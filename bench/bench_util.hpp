@@ -1,0 +1,20 @@
+// Shared helpers for the experiment harnesses in bench/.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace parsyrk::bench {
+
+inline void heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+inline std::string ratio_str(double measured, double bound) {
+  return fmt_double(measured / bound, 4);
+}
+
+}  // namespace parsyrk::bench

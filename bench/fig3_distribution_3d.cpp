@@ -1,0 +1,46 @@
+// E3 — Regenerates paper Figure 3: the 3D distribution with p1 = 6 (c = 2)
+// and p2 = 3, then demonstrates the layout is executable by running the 3D
+// algorithm on that exact grid and reporting the per-phase traffic.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/syrk.hpp"
+#include "core/syrk_internal.hpp"
+#include "distribution/render.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+
+using namespace parsyrk;
+
+int main() {
+  bench::heading("E3 / Figure 3: 3D Triangle Block Distribution, p1=6, p2=3");
+
+  dist::TriangleBlockDistribution d(2);
+  std::cout << dist::render_3d_layout(d, 3) << "\n";
+
+  // Execute on the pictured grid.
+  const std::size_t n1 = 24, n2 = 12;
+  Matrix a = random_matrix(n1, n2, 33);
+  comm::World world(18);
+  Matrix c = core::syrk_3d(world, a, /*c=*/2, /*p2=*/3);
+  Matrix ref = syrk_reference(a.view());
+  const double err = max_abs_diff(c.view(), ref.view());
+
+  const auto gather =
+      world.ledger().summary(core::internal::kPhaseGatherA);
+  const auto reduce =
+      world.ledger().summary(core::internal::kPhaseReduceC);
+  std::cout << "Executed 3D SYRK on the pictured grid (n1=" << n1
+            << ", n2=" << n2 << "):\n";
+  Table t({"phase", "max words/rank", "max msgs/rank"});
+  t.add_row({"All-to-All of A (within slices)",
+             std::to_string(gather.max.words_sent),
+             std::to_string(gather.max.msgs_sent)});
+  t.add_row({"Reduce-Scatter of C (across slices)",
+             std::to_string(reduce.max.words_sent),
+             std::to_string(reduce.max.msgs_sent)});
+  t.print(std::cout);
+  std::cout << "max |C - reference| = " << err << "\n";
+  return err < 1e-10 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

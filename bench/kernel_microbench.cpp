@@ -1,0 +1,125 @@
+// E13 — google-benchmark microbenchmarks of the local kernels and runtime
+// collectives. Not a paper claim (the paper's results are communication
+// volumes); this is the engineering sanity layer: blocked kernels must beat
+// naive, and collective wall time must scale with volume.
+#include <benchmark/benchmark.h>
+
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "simmpi/comm.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace parsyrk;
+
+void BM_GemmNtNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    gemm_nt_naive(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNtNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNtBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    gemm_nt(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNtBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SyrkLower(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n / 4, 3);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    syrk_lower(a.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * (n / 4) / 2);
+}
+BENCHMARK(BM_SyrkLower)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Syr2kLower(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n / 4, 4);
+  Matrix b = random_matrix(n, n / 4, 5);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    syr2k_lower(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * (n / 4));
+}
+BENCHMARK(BM_Syr2kLower)->Arg(128)->Arg(256);
+
+void BM_SparseSyrk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double fill = static_cast<double>(state.range(1)) / 100.0;
+  Matrix m(n, 2 * n);
+  Rng rng(6);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (rng.uniform() < fill) m.data()[i] = rng.uniform(-1, 1);
+  }
+  const sparse::Csr s = sparse::Csr::from_dense(m.view());
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    sparse::sparse_syrk_lower(s, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sparse::sparse_syrk_flops(s));
+}
+BENCHMARK(BM_SparseSyrk)->Args({256, 10})->Args({256, 2});
+
+void BM_AllToAll(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      std::vector<std::vector<double>> send(
+          p, std::vector<double>(block, 1.0));
+      auto out = comm.all_to_all_v(send);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * p * (p - 1) * block);
+}
+BENCHMARK(BM_AllToAll)->Args({4, 1024})->Args({8, 1024})->Args({16, 1024});
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto block = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      std::vector<double> data(block * p, 1.0);
+      auto out = comm.reduce_scatter_equal(data);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * p * (p - 1) * block);
+}
+BENCHMARK(BM_ReduceScatter)->Args({4, 1024})->Args({8, 1024})->Args({16, 1024});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// E15 — SYMM (§6 extension): triangle-block distribution of the symmetric
+// INPUT. Owner-computes on the triangle blocks of S means S never moves;
+// only B row blocks (gather) and partial C rows (reduce) travel. A
+// GEMM-based SYMM hauls n²/√P-word panels of the expanded S, so the gap
+// grows with n/m — measured here across aspect ratios.
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/gemm.hpp"
+#include "bench/bench_util.hpp"
+#include "core/symm.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+
+int main() {
+  bench::heading("E15 / SYMM: triangle-block input distribution vs GEMM");
+
+  Table t({"n", "m", "triangle words/rank (P=132)", "GEMM words/rank (P=121)",
+           "GEMM/triangle", "correct"});
+  bool ok = true;
+  double prev_ratio = 0.0;
+  for (std::size_t m : {96, 24, 12, 4}) {
+    const std::size_t n = 484;  // 4·11², triangle grid c = 11
+    Matrix s = syrk_reference(random_matrix(n, 8, 31).view());
+    Matrix b = random_matrix(n, m, 32);
+    Matrix ref = symm_reference(s.view(), b.view());
+    comm::World wt(132), wg(121);
+    Matrix ct = core::symm_2d(wt, s, b, 11);
+    Matrix cg = baseline::symm_gemm_baseline(wg, s, b, 11);
+    const bool correct = max_abs_diff(ct.view(), ref.view()) < 1e-8 &&
+                         max_abs_diff(cg.view(), ref.view()) < 1e-8;
+    const double tri =
+        static_cast<double>(wt.ledger().summary().critical_path_words());
+    const double gem =
+        static_cast<double>(wg.ledger().summary().critical_path_words());
+    const double ratio = gem / tri;
+    ok = ok && correct && ratio > prev_ratio;  // gap grows as m shrinks
+    prev_ratio = ratio;
+    t.add_row({std::to_string(n), std::to_string(m), fmt_double(tri, 8),
+               fmt_double(gem, 8), fmt_double(ratio, 4),
+               correct ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nS panels are " << fmt_double(484.0 * 484.0 / 11.0, 6)
+            << "-word gathers in the GEMM scheme and zero in the "
+               "triangle scheme; the advantage scales with n/m.\n";
+  std::cout << "SYMM triangle distribution eliminates S movement: "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,116 @@
+// E8 — The headline comparison (§1, §6): the triangle-block SYRK algorithms
+// move half the words of communication-optimal GEMM computing the same
+// C = A·Aᵀ, and half the words of a ScaLAPACK-style SYRK (which halves
+// flops but communicates like GEMM). One section per regime. Both measured
+// (runtime ledger) and analytic (lower bounds) ratios are reported.
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/gemm.hpp"
+#include "bench/bench_util.hpp"
+#include "bounds/syrk_bounds.hpp"
+#include "core/syrk.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+
+namespace {
+
+struct Row {
+  std::string regime;
+  std::string setup;
+  double syrk_words;
+  double gemm_words;
+  double bound_ratio;
+  bool correct;
+};
+
+double max_words(comm::World& w) {
+  return static_cast<double>(w.ledger().summary().critical_path_words());
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E8 / SYRK vs GEMM: the factor-2 communication reduction");
+
+  std::vector<Row> rows;
+  bool ok = true;
+
+  {
+    // Regime 1 (short-wide): 1D SYRK vs 1D GEMM on identical worlds.
+    const std::size_t n1 = 128, n2 = 16384;
+    const int p = 16;
+    Matrix a = random_matrix(n1, n2, 4);
+    Matrix ref = syrk_reference(a.view());
+    comm::World ws(p), wg(p);
+    Matrix cs = core::syrk_1d(ws, a);
+    Matrix cg = baseline::gemm_1d(wg, a, a);
+    const bool correct = max_abs_diff(cs.view(), ref.view()) < 1e-9 &&
+                         max_abs_diff(cg.view(), ref.view()) < 1e-9;
+    const auto bs = bounds::syrk_lower_bound(n1, n2, p);
+    const auto bg = bounds::gemm_lower_bound(n1, n2, p);
+    rows.push_back({"1 (1D)", "P=16, n1=128, n2=16384", max_words(ws),
+                    max_words(wg), bg.communicated / bs.communicated,
+                    correct});
+  }
+  {
+    // Regime 2 (tall-skinny): 2D triangle SYRK (P = c(c+1) = 132) vs 2D
+    // GEMM and ScaLAPACK-style SYRK on an 11x11 grid (P = 121).
+    const std::size_t n1 = 484, n2 = 12;
+    Matrix a = random_matrix(n1, n2, 5);
+    Matrix ref = syrk_reference(a.view());
+    comm::World wt(132), wg(121), wsc(121);
+    Matrix ct = core::syrk_2d(wt, a, 11);
+    Matrix cg = baseline::gemm_2d(wg, a, a, 11);
+    Matrix csc = baseline::scalapack_syrk(wsc, a, 11);
+    const bool correct = max_abs_diff(ct.view(), ref.view()) < 1e-9 &&
+                         max_abs_diff(cg.view(), ref.view()) < 1e-9 &&
+                         max_abs_diff(csc.view(), ref.view()) < 1e-9;
+    const auto bs = bounds::syrk_lower_bound(n1, n2, 132);
+    const auto bg = bounds::gemm_lower_bound(n1, n2, 121);
+    rows.push_back({"2 (2D)", "triangle P=132 vs grid 11x11",
+                    max_words(wt), max_words(wg),
+                    bg.communicated / bs.communicated, correct});
+    std::cout << "ScaLAPACK-style SYRK words/rank: " << max_words(wsc)
+              << " (equal to GEMM: "
+              << (max_words(wsc) == max_words(wg) ? "yes" : "no")
+              << "), triangle SYRK words/rank: " << max_words(wt) << "\n";
+  }
+  {
+    // Regime 3 (large P, square): 3D SYRK (p1=30, p2=5, P=150) vs 3D GEMM
+    // (5x5x6 grid, P=150).
+    const std::size_t n1 = 300, n2 = 300;
+    Matrix a = random_matrix(n1, n2, 6);
+    Matrix ref = syrk_reference(a.view());
+    comm::World ws(150), wg(150);
+    Matrix cs = core::syrk_3d(ws, a, 5, 5);
+    Matrix cg = baseline::gemm_3d(wg, a, a, 5, 6);
+    const bool correct = max_abs_diff(cs.view(), ref.view()) < 1e-9 &&
+                         max_abs_diff(cg.view(), ref.view()) < 1e-9;
+    const auto bs = bounds::syrk_lower_bound(n1, n2, 150);
+    const auto bg = bounds::gemm_lower_bound(n1, n2, 150);
+    rows.push_back({"3 (3D)", "P=150: 30x5 vs 5x5x6", max_words(ws),
+                    max_words(wg), bg.communicated / bs.communicated,
+                    correct});
+  }
+
+  Table t({"regime", "setup", "SYRK words/rank", "GEMM words/rank",
+           "measured GEMM/SYRK", "bound GEMM/SYRK", "correct"});
+  for (const auto& r : rows) {
+    const double measured_ratio = r.gemm_words / r.syrk_words;
+    // The paper's claim is a factor-2 leading-order separation; finite-P
+    // grids land within ~±30% of 2 at these sizes.
+    ok = ok && r.correct && measured_ratio > 1.4 && measured_ratio < 2.7 &&
+         std::abs(r.bound_ratio - 2.0) < 0.1;
+    t.add_row({r.regime, r.setup, fmt_double(r.syrk_words, 8),
+               fmt_double(r.gemm_words, 8), fmt_double(measured_ratio, 4),
+               fmt_double(r.bound_ratio, 4), r.correct ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nSYRK halves GEMM communication in every regime: "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,74 @@
+// E4 — Theorem 1: sweeps P for three matrix shapes (short-wide, square,
+// tall-skinny) and prints the lower bound W, the active case, and the
+// communicated-words bound; cross-checks the analytic Lemma 6 optimum
+// against a numeric minimizer and the KKT conditions at every point; checks
+// continuity at the case boundaries.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "bounds/syrk_bounds.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+using bounds::Regime;
+
+namespace {
+
+bool sweep(const char* label, std::uint64_t n1, std::uint64_t n2) {
+  std::cout << label << " (n1 = " << n1 << ", n2 = " << n2 << ")\n";
+  Table t({"P", "case", "W (data accessed)", "comm bound (words)",
+           "numeric/analytic", "KKT"});
+  bool ok = true;
+  double prev_w = std::numeric_limits<double>::infinity();
+  for (std::uint64_t p = 1; p <= 1u << 20; p *= 4) {
+    const auto b = bounds::syrk_lower_bound(n1, n2, p);
+    const auto numeric = bounds::solve_lemma6_numeric(
+        static_cast<double>(n1), static_cast<double>(n2),
+        static_cast<double>(p));
+    const double nr = numeric.objective() / b.solution.objective();
+    std::string why;
+    const bool kkt = bounds::verify_kkt(static_cast<double>(n1),
+                                        static_cast<double>(n2),
+                                        static_cast<double>(p), b.solution,
+                                        1e-8, &why);
+    ok = ok && kkt && std::abs(nr - 1.0) < 1e-3 && b.w <= prev_w * 1.0001;
+    prev_w = b.w;
+    t.add_row({std::to_string(p), bounds::regime_name(b.regime),
+               fmt_double(b.w, 6), fmt_double(b.communicated, 6),
+               fmt_double(nr, 6), kkt ? "pass" : "FAIL: " + why});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  return ok;
+}
+
+bool boundary_continuity(std::uint64_t n1, std::uint64_t n2) {
+  const double d1 = static_cast<double>(n1), d2 = static_cast<double>(n2);
+  const double pstar = d1 <= d2 ? d2 / std::sqrt(d1 * (d1 - 1))
+                                : d1 * (d1 - 1) / (d2 * d2);
+  const auto below = bounds::syrk_lower_bound(
+      n1, n2, static_cast<std::uint64_t>(pstar * 0.999));
+  const auto above = bounds::syrk_lower_bound(
+      n1, n2, static_cast<std::uint64_t>(pstar * 1.001) + 1);
+  const double jump = std::abs(below.w - above.w) / below.w;
+  std::cout << "Boundary continuity at P* = " << fmt_double(pstar, 6)
+            << " (n1 = " << n1 << ", n2 = " << n2
+            << "): relative jump = " << fmt_double(jump, 3) << "\n";
+  return jump < 0.02;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E4 / Theorem 1: lower bound sweep and verification");
+  bool ok = true;
+  ok &= sweep("Short-wide A (normal equations regime)", 1000, 1000000);
+  ok &= sweep("Square A", 10000, 10000);
+  ok &= sweep("Tall-skinny A (Cholesky / Gram regime)", 1000000, 100);
+  ok &= boundary_continuity(1000, 1000000);
+  ok &= boundary_continuity(1000000, 100);
+  std::cout << "\nAll bound checks: " << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

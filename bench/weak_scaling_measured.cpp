@@ -1,0 +1,79 @@
+// E22 — Measured weak scaling: per-rank work held ~constant (n³/P ≈ const,
+// square A) while P grows; the 3D SYRK and 3D GEMM run on matched processor
+// counts and the per-rank communicated words are measured. In the case-3
+// regime both curves follow (n²·n/P)^{2/3} and their ratio stays ≈ 2 — the
+// measured version of the model series in E21.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/gemm.hpp"
+#include "bench/bench_util.hpp"
+#include "bounds/syrk_bounds.hpp"
+#include "core/syrk.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+
+int main() {
+  bench::heading("E22 / Measured weak scaling: SYRK vs GEMM, case-3 regime");
+
+  struct Config {
+    std::size_t n;            // n1 = n2
+    std::uint64_t c, p2;      // SYRK grid (P = c(c+1)·p2)
+    std::uint64_t gr, gt;     // GEMM grid (P = gr²·gt)
+  };
+  // n ∝ P^{1/3} keeps flops/rank within ±15% across the sweep.
+  const Config configs[] = {
+      {108, 2, 2, 2, 3},   // P = 12
+      {144, 2, 4, 2, 6},   // P = 24
+      {180, 3, 4, 4, 3},   // P = 48
+      {216, 3, 8, 4, 6},   // P = 96
+  };
+
+  Table t({"P", "n", "flops/rank", "SYRK words/rank", "GEMM words/rank",
+           "GEMM/SYRK", "SYRK/bound", "correct"});
+  bool ok = true;
+  double prev_scaled = 0.0;
+  bool scaling_flat = true;
+  for (const auto& cfg : configs) {
+    const auto p = static_cast<int>(cfg.c * (cfg.c + 1) * cfg.p2);
+    PARSYRK_CHECK(static_cast<std::uint64_t>(p) == cfg.gr * cfg.gr * cfg.gt);
+    Matrix a = random_matrix(cfg.n, cfg.n, 71);
+    Matrix ref = syrk_reference(a.view());
+    comm::World ws(p), wg(p);
+    Matrix cs = core::syrk_3d(ws, a, cfg.c, cfg.p2);
+    Matrix cg = baseline::gemm_3d(wg, a, a, cfg.gr, cfg.gt);
+    const bool correct = max_abs_diff(cs.view(), ref.view()) < 1e-9 &&
+                         max_abs_diff(cg.view(), ref.view()) < 1e-9;
+    const double sw = static_cast<double>(
+        ws.ledger().summary().critical_path_words());
+    const double gw = static_cast<double>(
+        wg.ledger().summary().critical_path_words());
+    const double flops = static_cast<double>(cfg.n) * cfg.n * cfg.n / 2.0 / p;
+    const auto bound = bounds::syrk_lower_bound(cfg.n, cfg.n, p);
+    const double ratio = gw / sw;
+    ok = ok && correct && ratio > 1.5 && ratio < 2.4;
+    // Weak-scaling flatness: words/(n³/P)^{2/3} should be ~constant.
+    const double scaled = sw / std::pow(flops * 2.0, 2.0 / 3.0);
+    if (prev_scaled > 0.0 &&
+        (scaled / prev_scaled > 1.35 || scaled / prev_scaled < 0.65)) {
+      scaling_flat = false;
+    }
+    prev_scaled = scaled;
+    t.add_row({std::to_string(p), std::to_string(cfg.n),
+               fmt_double(flops, 6), fmt_double(sw, 8), fmt_double(gw, 8),
+               fmt_double(ratio, 4),
+               fmt_double(sw / bound.communicated, 4),
+               correct ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  ok = ok && scaling_flat;
+  std::cout << "\nWords/rank track (flops/rank)^{2/3} across the sweep "
+               "(weak-scaling flat in the case-3 sense) and GEMM/SYRK "
+               "stays ~2: "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,88 @@
+// CholeskyQR: the paper's motivating tall-skinny application (§1).
+//
+// Computes a QR factorization of a tall-skinny A via the Gram matrix:
+//   G = AᵀA           (a SYRK on Aᵀ — computed with the 2D triangle-block
+//                      algorithm, where the communication saving matters)
+//   G = RᵀR           (serial Cholesky of the small k×k Gram matrix)
+//   Q = A·R⁻¹          (triangular solve applied to the tall factor)
+// and verifies ‖QᵀQ − I‖ and ‖A − QR‖.
+//
+//   $ ./examples/cholesky_qr [rows] [cols]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/syrk.hpp"
+#include "matrix/factor.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+
+namespace {
+
+/// Solves x·Lᵀ = b row-wise, i.e. computes Q = A·(Lᵀ)⁻¹ = A·L⁻ᵀ.
+Matrix solve_triangular_rt(const Matrix& a, const Matrix& l) {
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix q(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = a(r, j);
+      for (std::size_t k = 0; k < j; ++k) s -= q(r, k) * l(j, k);
+      q(r, j) = s / l(j, j);
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 900;
+  const std::size_t cols = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 18;
+  std::cout << "CholeskyQR of a " << rows << "x" << cols
+            << " tall-skinny matrix\n\n";
+
+  Matrix a = random_matrix(rows, cols, 7);
+  // Condition the columns so the Gram matrix is comfortably SPD.
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) a(i, j) += (i == j % rows) ? 4.0 : 0.0;
+  }
+
+  // G = AᵀA is a SYRK on B = Aᵀ (n1 = cols, n2 = rows — short and wide, so
+  // the planner picks the regime the bound dictates; for a tall-skinny A
+  // the Gram SYRK is the 1D/short-wide case).
+  Matrix at = transpose(a.view());
+  const core::SyrkRun run = core::syrk_auto(at, /*max_procs=*/8);
+  std::cout << "Gram SYRK plan: " << run.plan << "\n";
+  std::cout << "Gram SYRK communication: "
+            << run.total.critical_path_words() << " words/rank (bound "
+            << fmt_double(run.bound.communicated, 6) << ")\n\n";
+
+  Matrix l = cholesky_lower(run.c.view());
+  Matrix q = solve_triangular_rt(a, l);
+
+  // Accuracy: QᵀQ = I and A = Q·Lᵀ.
+  Matrix qt = transpose(q.view());
+  Matrix qtq = syrk_reference(qt.view());
+  double orth = 0.0;
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      orth = std::max(orth, std::abs(qtq(i, j) - (i == j ? 1.0 : 0.0)));
+    }
+  }
+  Matrix recon(rows, cols);
+  gemm_nt(q.view(), l.view(), recon.view());  // Q·Lᵀ via gemm_nt(Q, L)
+  const double resid = max_abs_diff(recon.view(), a.view()) /
+                       frobenius_norm(a.view());
+
+  Table t({"check", "value"});
+  t.add_row({"max |QᵀQ − I|", fmt_double(orth, 4)});
+  t.add_row({"‖A − QR‖_max / ‖A‖_F", fmt_double(resid, 4)});
+  t.print(std::cout);
+
+  const bool ok = orth < 1e-8 && resid < 1e-10;
+  std::cout << "\nCholeskyQR " << (ok ? "PASSED" : "FAILED") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

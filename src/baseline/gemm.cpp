@@ -1,0 +1,248 @@
+#include "baseline/gemm.hpp"
+
+#include <algorithm>
+
+#include "distribution/block1d.hpp"
+#include "matrix/kernels.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::baseline {
+
+namespace {
+
+constexpr const char* kPhaseGatherA = "gather_A";
+constexpr const char* kPhaseGatherB = "gather_B";
+constexpr const char* kPhaseReduceC = "reduce_C";
+
+/// Geometry + data of the C block one grid rank owns after the 2D scheme.
+struct GridBlock {
+  std::size_t row0 = 0, rows = 0;
+  std::size_t col0 = 0, cols = 0;
+  Matrix block;
+};
+
+/// Reads this rank's even chunk of the flattened row panel `panel_row` of
+/// `m` (panel = rows [r0, r0+nr), all cols), all-gathers the panel within
+/// `along`, and returns it assembled.
+Matrix gather_panel(comm::Comm& along, const ConstMatrixView& m,
+                    std::size_t r0, std::size_t nr) {
+  const int parts = along.size();
+  const int me = along.rank();
+  const std::size_t n2 = m.cols();
+  const std::size_t flat = nr * n2;
+  const std::size_t lo = dist::chunk_begin(flat, parts, me);
+  const std::size_t hi = dist::chunk_end(flat, parts, me);
+  std::vector<double> mine;
+  mine.reserve(hi - lo);
+  for (std::size_t t = lo; t < hi; ++t) {
+    mine.push_back(m(r0 + t / n2, t % n2));
+  }
+  auto gathered = along.all_gather_v(mine);
+  Matrix panel(nr, n2);
+  for (int q = 0; q < parts; ++q) {
+    const std::size_t qlo = dist::chunk_begin(flat, parts, q);
+    PARSYRK_CHECK(gathered[q].size() == dist::chunk_size(flat, parts, q));
+    std::copy(gathered[q].begin(), gathered[q].end(), panel.data() + qlo);
+  }
+  return panel;
+}
+
+/// The 2D SUMMA-like body: rank (i, j) of an r×r grid gathers row panel i of
+/// `a` and row panel j of `b`, then (if `compute` says so) multiplies them.
+GridBlock gemm_2d_spmd(comm::Comm& grid, const ConstMatrixView& a,
+                       const ConstMatrixView& b, std::uint64_t r,
+                       bool lower_only) {
+  PARSYRK_REQUIRE(static_cast<std::uint64_t>(grid.size()) == r * r,
+                  "2D grid of ", r, "x", r, " needs ", r * r,
+                  " ranks; communicator has ", grid.size());
+  const int i = grid.rank() / static_cast<int>(r);
+  const int j = grid.rank() % static_cast<int>(r);
+  const std::size_t n1 = a.rows();
+  PARSYRK_CHECK(b.rows() == n1 && b.cols() == a.cols());
+
+  GridBlock out;
+  out.row0 = dist::chunk_begin(n1, static_cast<int>(r), i);
+  out.rows = dist::chunk_size(n1, static_cast<int>(r), i);
+  out.col0 = dist::chunk_begin(n1, static_cast<int>(r), j);
+  out.cols = dist::chunk_size(n1, static_cast<int>(r), j);
+
+  comm::Comm row = grid.split(/*color=*/i, /*key=*/j);
+  comm::Comm col = grid.split(/*color=*/j, /*key=*/i);
+
+  grid.set_phase(kPhaseGatherA);
+  Matrix ai = gather_panel(row, a, out.row0, out.rows);
+  grid.set_phase(kPhaseGatherB);
+  Matrix bj = gather_panel(col, b, out.col0, out.cols);
+
+  out.block = Matrix(out.rows, out.cols);
+  if (!lower_only || i >= j) {
+    gemm_nt(ai.view(), bj.view(), out.block.view());
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix gemm_1d(comm::World& world, const Matrix& a, const Matrix& b) {
+  PARSYRK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "gemm_1d computes A·Bᵀ for same-shape A and B");
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  Matrix c_full(n1, n1);
+  world.run([&](comm::Comm& comm) {
+    const int p = comm.size();
+    const int rk = comm.rank();
+    const std::size_t c0 = dist::chunk_begin(n2, p, rk);
+    const std::size_t cw = dist::chunk_size(n2, p, rk);
+    Matrix cbar(n1, n1);
+    if (cw > 0) {
+      gemm_nt(a.view().block(0, c0, n1, cw), b.view().block(0, c0, n1, cw),
+              cbar.view());
+    }
+    comm.set_phase(kPhaseReduceC);
+    std::vector<std::size_t> sizes(p);
+    for (int q = 0; q < p; ++q) sizes[q] = dist::chunk_size(n1 * n1, p, q);
+    auto mine = comm.reduce_scatter(cbar.span(), sizes);
+    std::size_t t = dist::chunk_begin(n1 * n1, p, rk);
+    for (double v : mine) {
+      c_full(t / n1, t % n1) = v;
+      ++t;
+    }
+  });
+  return c_full;
+}
+
+Matrix gemm_2d(comm::World& world, const Matrix& a, const Matrix& b,
+               std::uint64_t grid_r) {
+  PARSYRK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "gemm_2d computes A·Bᵀ for same-shape A and B");
+  Matrix c_full(a.rows(), a.rows());
+  world.run([&](comm::Comm& comm) {
+    GridBlock gb = gemm_2d_spmd(comm, a.view(), b.view(), grid_r,
+                                /*lower_only=*/false);
+    c_full.block(gb.row0, gb.col0, gb.rows, gb.cols).assign(gb.block.view());
+  });
+  return c_full;
+}
+
+Matrix gemm_3d(comm::World& world, const Matrix& a, const Matrix& b,
+               std::uint64_t grid_r, std::uint64_t slices) {
+  PARSYRK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "gemm_3d computes A·Bᵀ for same-shape A and B");
+  PARSYRK_REQUIRE(
+      static_cast<std::uint64_t>(world.size()) == grid_r * grid_r * slices,
+      "3D grid ", grid_r, "x", grid_r, "x", slices, " needs ",
+      grid_r * grid_r * slices, " ranks; world has ", world.size());
+  const std::size_t n2 = a.cols();
+  Matrix c_full(a.rows(), a.rows());
+  world.run([&](comm::Comm& comm) {
+    const int grid_sz = static_cast<int>(grid_r * grid_r);
+    const int s = comm.rank() / grid_sz;
+    const int within = comm.rank() % grid_sz;
+    comm::Comm slice = comm.split(/*color=*/s, /*key=*/within);
+    const std::size_t k0 = dist::chunk_begin(n2, static_cast<int>(slices), s);
+    const std::size_t kw = dist::chunk_size(n2, static_cast<int>(slices), s);
+    auto a_slab = a.view().block(0, k0, a.rows(), kw);
+    auto b_slab = b.view().block(0, k0, b.rows(), kw);
+    GridBlock gb = gemm_2d_spmd(slice, a_slab, b_slab, grid_r,
+                                /*lower_only=*/false);
+
+    comm::Comm depth = comm.split(/*color=*/within, /*key=*/s);
+    comm.set_phase(kPhaseReduceC);
+    const std::size_t flat = gb.rows * gb.cols;
+    std::vector<std::size_t> sizes(slices);
+    for (std::uint64_t q = 0; q < slices; ++q) {
+      sizes[q] = dist::chunk_size(flat, static_cast<int>(slices),
+                                  static_cast<int>(q));
+    }
+    auto mine = depth.reduce_scatter(gb.block.span(), sizes);
+    std::size_t t = dist::chunk_begin(flat, static_cast<int>(slices), s);
+    for (double v : mine) {
+      c_full(gb.row0 + t / gb.cols, gb.col0 + t % gb.cols) = v;
+      ++t;
+    }
+  });
+  return c_full;
+}
+
+Matrix symm_gemm_baseline(comm::World& world, const Matrix& s_lower,
+                          const Matrix& b, std::uint64_t grid_r) {
+  PARSYRK_REQUIRE(s_lower.rows() == s_lower.cols() &&
+                      s_lower.rows() == b.rows(),
+                  "SYMM shapes: S must be n x n and B n x m");
+  PARSYRK_REQUIRE(
+      static_cast<std::uint64_t>(world.size()) == grid_r * grid_r,
+      "2D grid needs ", grid_r * grid_r, " ranks; world has ", world.size());
+  const std::size_t n = s_lower.rows();
+  const std::size_t m = b.cols();
+  // Expand the symmetric input once (outside the measured run): the GEMM
+  // stack sees a dense S.
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      s(i, j) = s_lower(i, j);
+      s(j, i) = s_lower(i, j);
+    }
+  }
+  Matrix bt = transpose(b.view());  // m×n: gather_panel works on row panels
+  Matrix c_full(n, m);
+  world.run([&](comm::Comm& comm) {
+    const int r = static_cast<int>(grid_r);
+    const int gi = comm.rank() / r;
+    const int gj = comm.rank() % r;
+    comm::Comm row = comm.split(gi, gj);
+    comm::Comm col = comm.split(gj, gi);
+    // C block (rows i0.., cols j0..) = S(rows i0.., :) · B(:, cols j0..).
+    const std::size_t i0 = dist::chunk_begin(n, r, gi);
+    const std::size_t ni = dist::chunk_size(n, r, gi);
+    const std::size_t j0 = dist::chunk_begin(m, r, gj);
+    const std::size_t nj = dist::chunk_size(m, r, gj);
+    comm.set_phase(kPhaseGatherA);
+    Matrix si = gather_panel(row, s.view(), i0, ni);  // ni×n panel of S
+    comm.set_phase(kPhaseGatherB);
+    Matrix bj = gather_panel(col, bt.view(), j0, nj);  // nj×n panel of Bᵀ
+    Matrix block(ni, nj);
+    gemm_nt(si.view(), bj.view(), block.view());
+    c_full.block(i0, j0, ni, nj).assign(block.view());
+  });
+  return c_full;
+}
+
+Matrix syr2k_gemm_baseline(comm::World& world, const Matrix& a,
+                           const Matrix& b, std::uint64_t grid_r) {
+  PARSYRK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "SYR2K needs same-shape A and B");
+  Matrix abt = gemm_2d(world, a, b, grid_r);
+  Matrix bat = gemm_2d(world, b, a, grid_r);
+  Matrix c(a.rows(), a.rows());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      c(i, j) = abt(i, j) + bat(i, j);
+    }
+  }
+  return c;
+}
+
+Matrix scalapack_syrk(comm::World& world, const Matrix& a,
+                      std::uint64_t grid_r) {
+  Matrix c_full(a.rows(), a.rows());
+  world.run([&](comm::Comm& comm) {
+    GridBlock gb = gemm_2d_spmd(comm, a.view(), a.view(), grid_r,
+                                /*lower_only=*/true);
+    const int i = comm.rank() / static_cast<int>(grid_r);
+    const int j = comm.rank() % static_cast<int>(grid_r);
+    if (i < j) return;  // upper block: skipped computation (the flop saving)
+    for (std::size_t r = 0; r < gb.rows; ++r) {
+      for (std::size_t cc = 0; cc < gb.cols; ++cc) {
+        const std::size_t gi = gb.row0 + r;
+        const std::size_t gj = gb.col0 + cc;
+        if (gj > gi) continue;  // diagonal blocks: only the lower half
+        c_full(gi, gj) = gb.block(r, cc);
+        c_full(gj, gi) = gb.block(r, cc);
+      }
+    }
+  });
+  return c_full;
+}
+
+}  // namespace parsyrk::baseline

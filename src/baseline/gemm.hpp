@@ -1,0 +1,57 @@
+// Communication-optimal parallel GEMM baselines (Al Daas et al., SPAA '22
+// style), specialised to C = A·Bᵀ with two independent n1×n2 factors.
+//
+// These are the comparators for the paper's headline claim: SYRK with the
+// triangle-block algorithms moves half the words of the corresponding
+// optimal GEMM in every regime. The GEMM algorithms deliberately ignore the
+// symmetry available when B == A — they model how C = A·Aᵀ would run through
+// a general matrix-multiplication stack.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::baseline {
+
+/// 1D GEMM: the k (= n2) dimension is partitioned across world.size() ranks;
+/// each rank multiplies its column panels of A and B and the full n1×n1
+/// result is reduce-scattered. Optimal for n1 <= n2 and small P.
+Matrix gemm_1d(comm::World& world, const Matrix& a, const Matrix& b);
+
+/// 2D GEMM on an r×r grid (world.size() == r²): rank (i,j) computes
+/// C_ij = A_i·B_jᵀ after all-gathers of the row panels within grid rows and
+/// columns. Optimal for n1 > n2 and moderate P.
+Matrix gemm_2d(comm::World& world, const Matrix& a, const Matrix& b,
+               std::uint64_t grid_r);
+
+/// 3D GEMM on an r×r×t grid (world.size() == r²·t): each of the t slices
+/// runs the 2D scheme on a column slab of the k dimension, then C is
+/// reduce-scattered across slices. Optimal for large P with
+/// t = (n2/n1)^{2/3}·P^{1/3}.
+Matrix gemm_3d(comm::World& world, const Matrix& a, const Matrix& b,
+               std::uint64_t grid_r, std::uint64_t slices);
+
+/// GEMM-based SYMM baseline: expands the symmetric S to a full matrix and
+/// runs a SUMMA-style 2D product C = S·B on an r×r grid. Every rank gathers
+/// an n×(n/r) panel of S — the n²/√P-word cost that the triangle-block
+/// SYMM (core/symm.hpp) eliminates entirely. world.size() == r².
+Matrix symm_gemm_baseline(comm::World& world, const Matrix& s_lower,
+                          const Matrix& b, std::uint64_t grid_r);
+
+/// 2-GEMM SYR2K baseline: computes A·Bᵀ and B·Aᵀ as two independent 2D
+/// GEMMs on the same grid (the symmetry of the output is ignored, as in a
+/// GEMM-composed implementation) and adds them. world.size() == r².
+Matrix syr2k_gemm_baseline(comm::World& world, const Matrix& a,
+                           const Matrix& b, std::uint64_t grid_r);
+
+/// ScaLAPACK-style PSYRK: a 2D block distribution of C where each rank
+/// (i, j) with i >= j computes C_ij = A_i·A_jᵀ. The symmetry of C halves
+/// the flops (upper blocks are skipped) but *not* the communication: every
+/// rank still gathers full row and column panels of A — the behaviour the
+/// paper attributes to ScaLAPACK and Elemental (§1). world.size() == r².
+Matrix scalapack_syrk(comm::World& world, const Matrix& a,
+                      std::uint64_t grid_r);
+
+}  // namespace parsyrk::baseline

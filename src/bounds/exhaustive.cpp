@@ -1,0 +1,100 @@
+#include "bounds/exhaustive.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bounds/syrk_bounds.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::bounds {
+
+namespace {
+
+struct SearchState {
+  std::vector<std::pair<int, int>> columns;  // (i, j) pairs, j < i
+  int procs = 0;
+  std::size_t min_count = 0, max_count = 0;
+  double n2 = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t leaves = 0;
+
+  // Per-processor state.
+  std::vector<std::uint32_t> row_mask;  // bitmask of touched row indices
+  std::vector<std::size_t> count;       // columns assigned
+
+  double data_of(int p) const {
+    return static_cast<double>(__builtin_popcount(row_mask[p])) * n2 +
+           static_cast<double>(count[p]);
+  }
+
+  void dfs(std::size_t idx, double current_max) {
+    if (current_max >= best) return;  // cannot improve
+    if (idx == columns.size()) {
+      bool balanced = true;
+      for (int p = 0; p < procs; ++p) {
+        if (count[p] < min_count || count[p] > max_count) balanced = false;
+      }
+      if (balanced) {
+        ++leaves;
+        best = std::min(best, current_max);
+      }
+      return;
+    }
+    const auto [i, j] = columns[idx];
+    const std::size_t remaining = columns.size() - idx;
+    for (int p = 0; p < procs; ++p) {
+      if (count[p] >= max_count) continue;
+      // Feasibility: the others must still be able to reach min_count.
+      std::size_t deficit = 0;
+      for (int q = 0; q < procs; ++q) {
+        const std::size_t c = q == p ? count[q] + 1 : count[q];
+        deficit += c < min_count ? min_count - c : 0;
+      }
+      if (deficit > remaining - 1) continue;
+      // Symmetry: the first column always goes to processor 0.
+      if (idx == 0 && p != 0) break;
+      const auto saved_mask = row_mask[p];
+      row_mask[p] |= (1u << i) | (1u << j);
+      ++count[p];
+      dfs(idx + 1, std::max(current_max, data_of(p)));
+      --count[p];
+      row_mask[p] = saved_mask;
+    }
+  }
+};
+
+}  // namespace
+
+ExhaustiveResult exhaustive_min_max_data(std::uint64_t n1, std::uint64_t n2,
+                                         int procs) {
+  PARSYRK_REQUIRE(n1 >= 2 && n1 <= 16, "exhaustive search needs 2 <= n1 <= 16");
+  PARSYRK_REQUIRE(procs >= 1 && procs <= 4,
+                  "exhaustive search needs 1 <= procs <= 4");
+  SearchState st;
+  st.procs = procs;
+  st.n2 = static_cast<double>(n2);
+  for (std::uint64_t i = 1; i < n1; ++i) {
+    for (std::uint64_t j = 0; j < i; ++j) {
+      st.columns.emplace_back(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+  const std::size_t m = st.columns.size();
+  st.min_count = m / procs;
+  st.max_count = (m + procs - 1) / procs;
+  st.row_mask.assign(procs, 0);
+  st.count.assign(procs, 0);
+  st.dfs(0, 0.0);
+
+  ExhaustiveResult out;
+  out.min_max_data = st.best;
+  out.schedules = st.leaves;
+  out.lemma6_optimum = solve_lemma6(static_cast<double>(n1),
+                                    static_cast<double>(n2),
+                                    static_cast<double>(procs))
+                           .objective();
+  return out;
+}
+
+}  // namespace parsyrk::bounds

@@ -1,0 +1,99 @@
+#include "bounds/lemma3.hpp"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace parsyrk::bounds {
+
+Projections project(const std::vector<Point3>& v) {
+  std::set<std::pair<std::int64_t, std::int64_t>> pi, pj, pk, pij;
+  for (const auto& p : v) {
+    pi.emplace(p.j, p.k);
+    pj.emplace(p.i, p.k);
+    pk.emplace(p.i, p.j);
+    // phi_i and phi_j both live in (row-index, k) space; their union is the
+    // set of A entries the computation touches.
+    pij.emplace(p.j, p.k);
+    pij.emplace(p.i, p.k);
+  }
+  return {pi.size(), pj.size(), pk.size(), pij.size()};
+}
+
+bool loomis_whitney_holds(const std::vector<Point3>& v) {
+  std::set<Point3> unique(v.begin(), v.end());
+  const auto pr = project(v);
+  const double rhs = std::sqrt(static_cast<double>(pr.phi_i) *
+                               static_cast<double>(pr.phi_j) *
+                               static_cast<double>(pr.phi_k));
+  return static_cast<double>(unique.size()) <= rhs * (1.0 + 1e-12);
+}
+
+bool lemma3_holds(const std::vector<Point3>& v) {
+  return lemma3_tightness(v) >= 1.0 - 1e-12;
+}
+
+double lemma3_tightness(const std::vector<Point3>& v) {
+  if (v.empty()) return 0.0;
+  std::set<Point3> unique;
+  for (const auto& p : v) {
+    PARSYRK_CHECK_MSG(p.j < p.i, "lemma 3 point set must satisfy j < i; got (",
+                      p.i, ",", p.j, ",", p.k, ")");
+    unique.insert(p);
+  }
+  const auto pr = project(v);
+  const double lhs = 2.0 * static_cast<double>(unique.size());
+  const double rhs = static_cast<double>(pr.phi_i_union_j) *
+                     std::sqrt(2.0 * static_cast<double>(pr.phi_k));
+  return rhs / lhs;
+}
+
+std::vector<Point3> triangle_block_points(
+    const std::vector<std::int64_t>& rows, std::int64_t depth) {
+  std::vector<Point3> pts;
+  for (std::size_t a = 0; a < rows.size(); ++a) {
+    for (std::size_t b = 0; b < rows.size(); ++b) {
+      if (rows[a] <= rows[b]) continue;
+      for (std::int64_t k = 0; k < depth; ++k) {
+        pts.push_back({rows[a], rows[b], k});
+      }
+    }
+  }
+  return pts;
+}
+
+Lemma5Check lemma5_check(const std::vector<Point3>& v, std::int64_t n1,
+                         std::int64_t n2) {
+  PARSYRK_CHECK(n1 >= 2 && n2 >= 1);
+  std::set<Point3> unique;
+  for (const auto& p : v) {
+    PARSYRK_CHECK_MSG(p.j < p.i && p.i < n1 && p.j >= 0 && p.k >= 0 &&
+                          p.k < n2,
+                      "lemma 5 point out of the strict-lower prism");
+    unique.insert(p);
+  }
+  const auto pr = project(v);
+  Lemma5Check out;
+  out.a_elements = static_cast<double>(pr.phi_i_union_j);
+  out.c_elements = static_cast<double>(pr.phi_k);
+  out.a_lower_bound =
+      static_cast<double>(unique.size()) / static_cast<double>(n1 - 1);
+  out.c_lower_bound =
+      static_cast<double>(unique.size()) / static_cast<double>(n2);
+  return out;
+}
+
+std::vector<Point3> syrk_iteration_space(std::int64_t n1, std::int64_t n2) {
+  std::vector<Point3> pts;
+  pts.reserve(static_cast<std::size_t>(n1 * (n1 - 1) / 2 * n2));
+  for (std::int64_t i = 0; i < n1; ++i) {
+    for (std::int64_t j = 0; j < i; ++j) {
+      for (std::int64_t k = 0; k < n2; ++k) pts.push_back({i, j, k});
+    }
+  }
+  return pts;
+}
+
+}  // namespace parsyrk::bounds

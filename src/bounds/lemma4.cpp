@@ -1,0 +1,20 @@
+#include "bounds/lemma4.hpp"
+
+namespace parsyrk::bounds {
+
+bool quasiconvex_pair_holds(const G0& g, double x1, double x2, double y1,
+                            double y2, double tol) {
+  if (g.value(y1, y2) > g.value(x1, x2)) return true;  // premise false
+  const auto grad = g.gradient(x1, x2);
+  const double inner = grad[0] * (y1 - x1) + grad[1] * (y2 - x2);
+  return inner <= tol;
+}
+
+bool affine_objective_convex_pair(double x1, double x2, double y1, double y2) {
+  // f(y) >= f(x) + <grad f, y - x> holds with equality for affine f.
+  const double lhs = y1 + y2;
+  const double rhs = (x1 + x2) + (y1 - x1) + (y2 - x2);
+  return lhs >= rhs - 1e-12;
+}
+
+}  // namespace parsyrk::bounds

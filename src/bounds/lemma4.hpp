@@ -1,0 +1,33 @@
+// Lemma 4: g0(x) = L − x1²·x2 is quasiconvex on the positive quadrant.
+//
+// Executable form of the definitions in §3.3 (Defs. 1–2), used by tests to
+// confirm the quasiconvexity argument that makes the KKT conditions
+// sufficient (Lemma 2).
+#pragma once
+
+#include <array>
+
+namespace parsyrk::bounds {
+
+/// g0 and its gradient for a fixed constant L.
+struct G0 {
+  double l = 0.0;
+
+  double value(double x1, double x2) const { return l - x1 * x1 * x2; }
+  std::array<double, 2> gradient(double x1, double x2) const {
+    return {-2.0 * x1 * x2, -x1 * x1};
+  }
+};
+
+/// Checks Def. 2 at a pair of points: g(y) <= g(x) must imply
+/// <grad g(x), y - x> <= 0. Returns true if the implication holds (or its
+/// premise is false) at (x, y).
+bool quasiconvex_pair_holds(const G0& g, double x1, double x2, double y1,
+                            double y2, double tol = 1e-9);
+
+/// Checks Def. 1 (convexity) of f(x) = x1 + x2 at a pair of points —
+/// trivially true; present so the test suite exercises the exact hypothesis
+/// set of Lemma 2.
+bool affine_objective_convex_pair(double x1, double x2, double y1, double y2);
+
+}  // namespace parsyrk::bounds

@@ -1,0 +1,177 @@
+#include "bounds/schedule_analysis.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "bounds/syrk_bounds.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parsyrk::bounds {
+
+ScheduleStats analyze_column_schedule(std::uint64_t n1, std::uint64_t n2,
+                                      int procs,
+                                      const ColumnAssignment& assign) {
+  PARSYRK_REQUIRE(procs >= 1, "need at least one processor");
+  std::vector<std::set<std::uint64_t>> rows(procs);  // ϕ_i ∪ ϕ_j row indices
+  std::vector<std::uint64_t> c_count(procs, 0);      // |ϕ_k|
+  std::vector<std::uint64_t> mults(procs, 0);        // |F_p|
+  for (std::uint64_t i = 1; i < n1; ++i) {
+    for (std::uint64_t j = 0; j < i; ++j) {
+      const int p = assign(i, j);
+      PARSYRK_CHECK_MSG(p >= 0 && p < procs, "assignment out of range at (",
+                        i, ",", j, "): ", p);
+      rows[p].insert(i);
+      rows[p].insert(j);
+      c_count[p] += 1;
+      mults[p] += n2;
+    }
+  }
+  ScheduleStats s;
+  s.procs = procs;
+  std::uint64_t total_mults = 0;
+  for (int p = 0; p < procs; ++p) {
+    const std::uint64_t a_elems = rows[p].size() * n2;
+    s.max_a_elements = std::max(s.max_a_elements, a_elems);
+    s.max_c_elements = std::max(s.max_c_elements, c_count[p]);
+    s.max_data = std::max(s.max_data, a_elems + c_count[p]);
+    s.max_mults = std::max(s.max_mults, mults[p]);
+    total_mults += mults[p];
+  }
+  s.balance = static_cast<double>(s.max_mults) /
+              (static_cast<double>(total_mults) / procs);
+  const auto opt = solve_lemma6(static_cast<double>(n1),
+                                static_cast<double>(n2),
+                                static_cast<double>(procs));
+  s.lemma6_optimum = opt.objective();
+  s.data_vs_optimum = static_cast<double>(s.max_data) / s.lemma6_optimum;
+  return s;
+}
+
+ScheduleStats analyze_point_schedule(std::uint64_t n1, std::uint64_t n2,
+                                     int procs,
+                                     const PointAssignment& assign) {
+  PARSYRK_REQUIRE(procs >= 1, "need at least one processor");
+  std::vector<std::set<std::uint64_t>> a_pairs(procs);  // (row, k) encoded
+  std::vector<std::set<std::uint64_t>> c_pairs(procs);  // (i, j) encoded
+  std::vector<std::uint64_t> mults(procs, 0);
+  for (std::uint64_t i = 1; i < n1; ++i) {
+    for (std::uint64_t j = 0; j < i; ++j) {
+      for (std::uint64_t k = 0; k < n2; ++k) {
+        const int p = assign(i, j, k);
+        PARSYRK_CHECK_MSG(p >= 0 && p < procs,
+                          "assignment out of range at (", i, ",", j, ",", k,
+                          "): ", p);
+        a_pairs[p].insert(i * n2 + k);
+        a_pairs[p].insert(j * n2 + k);
+        c_pairs[p].insert(i * n1 + j);
+        mults[p] += 1;
+      }
+    }
+  }
+  ScheduleStats s;
+  s.procs = procs;
+  std::uint64_t total = 0;
+  for (int p = 0; p < procs; ++p) {
+    const std::uint64_t a = a_pairs[p].size();
+    const std::uint64_t c = c_pairs[p].size();
+    s.max_a_elements = std::max(s.max_a_elements, a);
+    s.max_c_elements = std::max(s.max_c_elements, c);
+    s.max_data = std::max(s.max_data, a + c);
+    s.max_mults = std::max(s.max_mults, mults[p]);
+    total += mults[p];
+  }
+  s.balance = static_cast<double>(s.max_mults) /
+              (static_cast<double>(total) / procs);
+  const auto opt = solve_lemma6(static_cast<double>(n1),
+                                static_cast<double>(n2),
+                                static_cast<double>(procs));
+  s.lemma6_optimum = opt.objective();
+  s.data_vs_optimum = static_cast<double>(s.max_data) / s.lemma6_optimum;
+  return s;
+}
+
+PointAssignment triangle_3d_assignment(
+    const dist::TriangleBlockDistribution& d, std::uint64_t n1,
+    std::uint64_t n2, std::uint64_t p2) {
+  PARSYRK_REQUIRE(n1 % d.num_block_rows() == 0,
+                  "triangle assignment needs n1 divisible by c²");
+  const std::uint64_t nb = n1 / d.num_block_rows();
+  const std::uint64_t p1 = d.num_procs();
+  return [&d, nb, n2, p1, p2](std::uint64_t i, std::uint64_t j,
+                              std::uint64_t k) {
+    const std::uint64_t bi = i / nb;
+    const std::uint64_t bj = j / nb;
+    const std::uint64_t owner = bi == bj ? d.owner_diagonal(bi)
+                                         : d.owner_off_diagonal(bi, bj);
+    const std::uint64_t slice = k * p2 / n2;
+    return static_cast<int>(owner + p1 * slice);
+  };
+}
+
+PointAssignment grid_3d_assignment(std::uint64_t n1, std::uint64_t n2,
+                                   int grid_r, int slices) {
+  return [n1, n2, grid_r, slices](std::uint64_t i, std::uint64_t j,
+                                  std::uint64_t k) {
+    const auto gi = static_cast<int>(i * grid_r / n1);
+    const auto gj = static_cast<int>(j * grid_r / n1);
+    const auto gk = static_cast<int>(k * slices / n2);
+    return (gi * grid_r + gj) + grid_r * grid_r * gk;
+  };
+}
+
+ColumnAssignment triangle_block_assignment(
+    const dist::TriangleBlockDistribution& d, std::uint64_t n1) {
+  PARSYRK_REQUIRE(n1 % d.num_block_rows() == 0,
+                  "triangle assignment needs n1 divisible by c²");
+  const std::uint64_t nb = n1 / d.num_block_rows();
+  return [&d, nb](std::uint64_t i, std::uint64_t j) {
+    const std::uint64_t bi = i / nb;
+    const std::uint64_t bj = j / nb;
+    return static_cast<int>(bi == bj ? d.owner_diagonal(bi)
+                                     : d.owner_off_diagonal(bi, bj));
+  };
+}
+
+ColumnAssignment block_row_assignment(std::uint64_t n1, int procs) {
+  // Row r contributes r lower-triangle columns; cut rows so each processor
+  // gets ~area/P. Precompute the row → proc map.
+  const double total = static_cast<double>(n1) * (n1 - 1) / 2.0;
+  auto owner = std::make_shared<std::vector<int>>(n1, procs - 1);
+  double acc = 0.0;
+  int p = 0;
+  for (std::uint64_t i = 0; i < n1; ++i) {
+    (*owner)[i] = std::min(p, procs - 1);
+    acc += static_cast<double>(i);
+    if (acc >= total * (p + 1) / procs) ++p;
+  }
+  return [owner](std::uint64_t i, std::uint64_t /*j*/) {
+    return (*owner)[i];
+  };
+}
+
+ColumnAssignment grid_assignment(std::uint64_t n1, int grid_r) {
+  return [n1, grid_r](std::uint64_t i, std::uint64_t j) {
+    const auto gi = static_cast<int>(i * grid_r / n1);
+    const auto gj = static_cast<int>(j * grid_r / n1);
+    return gi * grid_r + gj;
+  };
+}
+
+ColumnAssignment cyclic_assignment(int procs) {
+  return [procs](std::uint64_t i, std::uint64_t j) {
+    return static_cast<int>((i + j) % static_cast<std::uint64_t>(procs));
+  };
+}
+
+ColumnAssignment random_assignment(int procs, std::uint64_t seed) {
+  return [procs, seed](std::uint64_t i, std::uint64_t j) {
+    // Stateless hash so the assignment is a pure function of (i, j).
+    Rng rng(seed ^ (i * 0x9E3779B97F4A7C15ULL) ^ (j + 0x1234567ULL));
+    return static_cast<int>(rng.next_u64() %
+                            static_cast<std::uint64_t>(procs));
+  };
+}
+
+}  // namespace parsyrk::bounds

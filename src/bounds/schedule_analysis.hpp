@@ -1,0 +1,83 @@
+// Schedule analysis: evaluates an arbitrary assignment of SYRK iteration
+// points to processors against the Lemma 6 optimum.
+//
+// For an assignment F_p ⊆ {(i,j,k) : j < i} per processor p, the data a
+// processor must access is |ϕ_i(F_p) ∪ ϕ_j(F_p)| elements of A plus
+// |ϕ_k(F_p)| elements of C — the exact quantities the lower-bound proof
+// (Theorem 1) projects. Comparing canned assignments (triangle-block,
+// block-row, cyclic, random) shows *why* the triangle-block distribution is
+// the one that attains the bound: it minimizes the A-projection for a given
+// C footprint (Lemma 3 tightness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "distribution/triangle_block.hpp"
+
+namespace parsyrk::bounds {
+
+/// Assignment of a strict-lower iteration column (i, j) (all k values move
+/// together when the k dimension is unsplit) to a processor.
+using ColumnAssignment =
+    std::function<int(std::uint64_t i, std::uint64_t j)>;
+
+struct ScheduleStats {
+  std::uint64_t procs = 0;
+  // Per the busiest processor:
+  std::uint64_t max_a_elements = 0;  // |ϕ_i ∪ ϕ_j| · n2
+  std::uint64_t max_c_elements = 0;  // |ϕ_k|
+  std::uint64_t max_data = 0;        // their sum
+  std::uint64_t max_mults = 0;       // |F_p|
+  double balance = 0.0;              // max_mults / (total/P); 1 is perfect
+  // The Lemma 6 optimum for this (n1, n2, P): x1 + x2.
+  double lemma6_optimum = 0.0;
+  double data_vs_optimum = 0.0;  // max_data / lemma6_optimum
+};
+
+/// Analyzes a k-unsplit schedule of the n1×n2 SYRK over `procs` processors.
+ScheduleStats analyze_column_schedule(std::uint64_t n1, std::uint64_t n2,
+                                      int procs,
+                                      const ColumnAssignment& assign);
+
+/// Point-level assignment for k-split (3D) schedules: every iteration
+/// (i, j, k) of the strict-lower prism gets an owner.
+using PointAssignment =
+    std::function<int(std::uint64_t i, std::uint64_t j, std::uint64_t k)>;
+
+/// Analyzes a fully 3D schedule. A-data per processor is the number of
+/// distinct (row, k) pairs among {(i,k), (j,k)} of its points (the
+/// ϕ_i ∪ ϕ_j projection of the Theorem 1 proof); C-data is |ϕ_k|.
+/// O(points) time and memory — keep n1³-ish sizes modest.
+ScheduleStats analyze_point_schedule(std::uint64_t n1, std::uint64_t n2,
+                                     int procs,
+                                     const PointAssignment& assign);
+
+/// The 3D algorithm's computation assignment: the triangle-block owner of
+/// block (i/nb, j/nb) within a slice, times the k-slice index (p2 slices).
+/// procs must equal d.num_procs()·p2; n1 % c² == 0.
+PointAssignment triangle_3d_assignment(
+    const dist::TriangleBlockDistribution& d, std::uint64_t n1,
+    std::uint64_t n2, std::uint64_t p2);
+
+/// An r×r×t block grid over (i, j, k) — the GEMM-style 3D layout.
+PointAssignment grid_3d_assignment(std::uint64_t n1, std::uint64_t n2,
+                                   int grid_r, int slices);
+
+/// Canned assignments for the E16 ablation. All cover every (i, j), j < i,
+/// exactly once.
+/// Triangle-block (paper §5.2): requires n1 % c² == 0 and procs == c(c+1).
+ColumnAssignment triangle_block_assignment(
+    const dist::TriangleBlockDistribution& d, std::uint64_t n1);
+/// Contiguous block rows of C, balanced by lower-triangle area.
+ColumnAssignment block_row_assignment(std::uint64_t n1, int procs);
+/// Square-ish 2D grid over (i, j) blocks (the ScaLAPACK-style layout);
+/// procs must be r² for the given r.
+ColumnAssignment grid_assignment(std::uint64_t n1, int grid_r);
+/// Element-cyclic: (i + j) mod P.
+ColumnAssignment cyclic_assignment(int procs);
+/// Seeded uniform-random owner per (i, j).
+ColumnAssignment random_assignment(int procs, std::uint64_t seed);
+
+}  // namespace parsyrk::bounds

@@ -1,0 +1,35 @@
+#include "bounds/syr2k_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parsyrk::bounds {
+
+Syr2kBound syr2k_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                             std::uint64_t p) {
+  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && p >= 1,
+                  "syr2k bound needs n1 >= 2, n2 >= 1, P >= 1");
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  const double dp = static_cast<double>(p);
+  const double tri2 = d1 * (d1 - 1.0);
+  Syr2kBound b;
+  if (d1 <= d2 && dp <= 2.0 * d2 / std::sqrt(tri2)) {
+    b.regime = Regime::kOneD;
+    b.w = 2.0 * d1 * d2 / dp + tri2 / 2.0;
+  } else if (d1 > d2 && dp <= tri2 / (4.0 * d2 * d2)) {
+    b.regime = Regime::kTwoD;
+    b.w = 2.0 * d1 * d2 / std::sqrt(dp) + tri2 / (2.0 * dp);
+  } else {
+    b.regime = Regime::kThreeD;
+    b.w = 3.0 * std::pow(tri2 * d2 / (std::sqrt(2.0) * dp), 2.0 / 3.0);
+  }
+  // One copy each of A, B, and the strict lower triangle of C.
+  const double resident = (tri2 / 2.0 + 2.0 * d1 * d2) / dp;
+  b.communicated = std::max(0.0, b.w - resident);
+  return b;
+}
+
+}  // namespace parsyrk::bounds

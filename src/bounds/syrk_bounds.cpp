@@ -1,0 +1,243 @@
+#include "bounds/syrk_bounds.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parsyrk::bounds {
+
+namespace {
+
+/// The case conditions of Lemma 6 / Theorem 1.
+Regime classify(double n1, double n2, double p) {
+  const double tri2 = n1 * (n1 - 1.0);
+  if (n1 <= n2) {
+    return p <= n2 / std::sqrt(tri2) ? Regime::kOneD : Regime::kThreeD;
+  }
+  return p <= tri2 / (n2 * n2) ? Regime::kTwoD : Regime::kThreeD;
+}
+
+}  // namespace
+
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::kOneD: return "1D";
+    case Regime::kTwoD: return "2D";
+    case Regime::kThreeD: return "3D";
+  }
+  return "?";
+}
+
+Lemma6Solution solve_lemma6(double n1, double n2, double p) {
+  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && p >= 1,
+                  "lemma 6 needs n1 >= 2, n2 >= 1, P >= 1; got n1 = ", n1,
+                  ", n2 = ", n2, ", P = ", p);
+  const double tri2 = n1 * (n1 - 1.0);  // = 2 · (# strict-lower entries)
+  Lemma6Solution s;
+  s.regime = classify(n1, n2, p);
+  switch (s.regime) {
+    case Regime::kOneD:
+      s.x1 = n2 * std::sqrt(tri2) / p;
+      s.x2 = tri2 / 2.0;
+      break;
+    case Regime::kTwoD:
+      s.x1 = n2 * std::sqrt(tri2 / p);
+      s.x2 = tri2 / (2.0 * p);
+      break;
+    case Regime::kThreeD: {
+      const double t = std::pow(tri2 * n2 / p, 2.0 / 3.0);
+      s.x1 = t;
+      s.x2 = 0.5 * t;
+      break;
+    }
+  }
+  return s;
+}
+
+Lemma6Solution solve_lemma6_numeric(double n1, double n2, double p,
+                                    int grid_points) {
+  const double tri2 = n1 * (n1 - 1.0);
+  const double lo = tri2 / (2.0 * p);
+  const double hi = tri2 / 2.0;
+  const double kprod = tri2 * n2 / (std::sqrt(2.0) * p);
+  const double k2 = kprod * kprod;  // x1²·x2 >= k2 must bind at the optimum
+  Lemma6Solution best;
+  best.x1 = std::sqrt(k2 / lo);
+  best.x2 = lo;
+  double best_obj = best.objective();
+  // Log sweep over the feasible x2 interval; x1 sits on the product
+  // constraint boundary (raising x1 above it only worsens the objective).
+  const double ratio = hi / lo;
+  for (int g = 0; g <= grid_points; ++g) {
+    const double x2 =
+        lo * std::pow(ratio, static_cast<double>(g) / grid_points);
+    const double x1 = std::sqrt(k2 / x2);
+    if (x1 + x2 < best_obj) {
+      best_obj = x1 + x2;
+      best.x1 = x1;
+      best.x2 = x2;
+    }
+  }
+  best.regime = classify(n1, n2, p);
+  return best;
+}
+
+bool verify_kkt(double n1, double n2, double p, const Lemma6Solution& s,
+                double tol, std::string* why) {
+  auto fail = [&](const std::string& m) {
+    if (why != nullptr) *why = m;
+    return false;
+  };
+  const double tri2 = n1 * (n1 - 1.0);
+  const double kprod = tri2 * n2 / (std::sqrt(2.0) * p);
+  const double k2 = kprod * kprod;
+  const double lo = tri2 / (2.0 * p);
+  const double hi = tri2 / 2.0;
+  const double x1 = s.x1, x2 = s.x2;
+
+  // Primal feasibility (relative slack).
+  const double g1 = k2 - x1 * x1 * x2;
+  if (g1 > tol * k2) return fail("primal: product constraint violated");
+  if (x1 < -tol) return fail("primal: x1 < 0");
+  if (lo - x2 > tol * lo) return fail("primal: x2 below lower bound");
+  if (x2 - hi > tol * hi) return fail("primal: x2 above upper bound");
+
+  // Dual variables: mu2 = 0 (x1 > 0 at every optimum); mu1 from the first
+  // stationarity equation; mu3/mu4 from the second, depending on which x2
+  // constraint binds.
+  const double mu1 = 1.0 / (2.0 * x1 * x2);
+  double mu3 = 0.0, mu4 = 0.0;
+  const bool at_lo = std::abs(x2 - lo) <= tol * lo;
+  const bool at_hi = std::abs(x2 - hi) <= tol * hi;
+  const double resid2 = 1.0 - mu1 * x1 * x1;  // = mu3 - mu4 required
+  // When both bounds coincide (P = 1) either multiplier may absorb the
+  // residual; pick the sign-feasible one.
+  if (at_hi && (!at_lo || resid2 <= tol)) {
+    mu4 = -resid2;
+  } else if (at_lo) {
+    mu3 = resid2;
+  } else {
+    // Interior in x2: stationarity must hold with mu3 = mu4 = 0.
+    if (std::abs(resid2) > tol) {
+      return fail("stationarity: interior x2 but 1 - mu1*x1^2 != 0");
+    }
+  }
+  if (mu1 < -tol || mu3 < -tol || mu4 < -tol) {
+    return fail("dual feasibility: negative multiplier");
+  }
+  // Complementary slackness: mu1 = 1/(2·x1·x2) is strictly positive by
+  // construction, so the product constraint must be tight (checked in
+  // relative terms — mu1 itself can be numerically tiny).
+  if (std::abs(g1) > tol * k2) {
+    return fail("complementary slackness: mu1 > 0 but constraint slack");
+  }
+  if (mu3 > tol && !at_lo) return fail("slackness: mu3 > 0 but x2 > lo");
+  if (mu4 > tol && !at_hi) return fail("slackness: mu4 > 0 but x2 < hi");
+  return true;
+}
+
+SyrkBound syrk_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t p) {
+  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && p >= 1,
+                  "bound needs n1 >= 2, n2 >= 1, P >= 1");
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  const double dp = static_cast<double>(p);
+  const double tri2 = d1 * (d1 - 1.0);
+  SyrkBound b;
+  b.solution = solve_lemma6(d1, d2, dp);
+  b.regime = b.solution.regime;
+  switch (b.regime) {
+    case Regime::kOneD:
+      b.w = d1 * d2 / dp + tri2 / 2.0;
+      break;
+    case Regime::kTwoD:
+      b.w = d1 * d2 / std::sqrt(dp) + tri2 / (2.0 * dp);
+      break;
+    case Regime::kThreeD:
+      b.w = 1.5 * std::pow(tri2 * d2 / dp, 2.0 / 3.0);
+      break;
+  }
+  const double resident = (tri2 / 2.0 + d1 * d2) / dp;
+  b.communicated = std::max(0.0, b.w - resident);
+  return b;
+}
+
+GemmProjections gemm_projection_bound(double m, double n, double k,
+                                      double p) {
+  PARSYRK_REQUIRE(m >= 1 && n >= 1 && k >= 1 && p >= 1,
+                  "gemm projection bound needs positive dimensions");
+  const double l2 = std::pow(m * n * k / p, 2.0);  // product constraint RHS
+  // Arrays and their caps, tracked as (cap, which) so the cascade can
+  // clamp in increasing cap order.
+  struct Var {
+    double cap;
+    int which;  // 0: A (mk), 1: B (kn), 2: C (mn)
+    double value = 0.0;
+  };
+  std::array<Var, 3> v = {Var{m * k, 0}, Var{k * n, 1}, Var{m * n, 2}};
+  std::sort(v.begin(), v.end(),
+            [](const Var& a, const Var& b) { return a.cap < b.cap; });
+
+  GemmProjections out;
+  // Interior: all equal to L^{2/3}.
+  const double sym = std::pow(l2, 1.0 / 3.0);
+  if (sym <= v[0].cap) {
+    v[0].value = v[1].value = v[2].value = sym;
+  } else {
+    // Clamp the smallest cap; remaining two equal at sqrt(L²/cap).
+    v[0].value = v[0].cap;
+    out.clamped = 1;
+    const double pair = std::sqrt(l2 / v[0].cap);
+    if (pair <= v[1].cap) {
+      v[1].value = v[2].value = pair;
+    } else {
+      // Clamp the two smallest caps; the last takes the residual.
+      v[1].value = v[1].cap;
+      out.clamped = 2;
+      const double rest = l2 / (v[0].cap * v[1].cap);
+      // If even the residual exceeds the last cap, the computation fits in
+      // the arrays (P below 1-copy territory); cap it — W = total data.
+      if (rest > v[2].cap) {
+        v[2].value = v[2].cap;
+        out.clamped = 3;
+      } else {
+        v[2].value = rest;
+      }
+    }
+  }
+  for (const auto& var : v) {
+    if (var.which == 0) out.x1 = var.value;
+    if (var.which == 1) out.x2 = var.value;
+    if (var.which == 2) out.x3 = var.value;
+  }
+  return out;
+}
+
+GemmBound gemm_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t p) {
+  // Al Daas et al. SPAA '22, specialised to m = n = n1, k = n2. The three
+  // regimes mirror the SYRK ones; the boundary thresholds P = n2/n1 and
+  // P = n1²/n2² make W continuous in P.
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  const double dp = static_cast<double>(p);
+  GemmBound b;
+  if (d1 <= d2 && dp <= d2 / d1) {
+    b.regime = Regime::kOneD;
+    b.w = 2.0 * d1 * d2 / dp + d1 * d1;
+  } else if (d1 > d2 && dp <= (d1 * d1) / (d2 * d2)) {
+    b.regime = Regime::kTwoD;
+    b.w = 2.0 * d1 * d2 / std::sqrt(dp) + d1 * d1 / dp;
+  } else {
+    b.regime = Regime::kThreeD;
+    b.w = 3.0 * std::pow(d1 * d1 * d2 / dp, 2.0 / 3.0);
+  }
+  const double resident = (2.0 * d1 * d2 + d1 * d1) / dp;
+  b.communicated = std::max(0.0, b.w - resident);
+  return b;
+}
+
+}  // namespace parsyrk::bounds

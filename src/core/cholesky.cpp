@@ -1,0 +1,200 @@
+#include "core/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace parsyrk::core {
+
+namespace {
+
+/// Unblocked Cholesky of a tile (lower in/out).
+void factor_tile(MatrixView t) {
+  const std::size_t nb = t.rows();
+  for (std::size_t j = 0; j < nb; ++j) {
+    double d = t(j, j);
+    for (std::size_t q = 0; q < j; ++q) d -= t(j, q) * t(j, q);
+    PARSYRK_REQUIRE(d > 0.0, "matrix is not positive definite");
+    t(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < nb; ++i) {
+      double s = t(i, j);
+      for (std::size_t q = 0; q < j; ++q) s -= t(i, q) * t(j, q);
+      t(i, j) = s / t(j, j);
+    }
+  }
+}
+
+/// Panel tile solve: B := B · L⁻ᵀ for a factored lower tile L.
+void solve_tile(MatrixView b, const ConstMatrixView& l) {
+  for (std::size_t rr = 0; rr < b.rows(); ++rr) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = b(rr, j);
+      for (std::size_t q = 0; q < j; ++q) s -= b(rr, q) * l(j, q);
+      b(rr, j) = s / l(j, j);
+    }
+  }
+}
+
+/// Trailing update: C −= A·Bᵀ (lower part only when diag).
+void update_tile(MatrixView c, const ConstMatrixView& a,
+                 const ConstMatrixView& b, bool diag) {
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    const std::size_t jmax = diag ? std::min(c.cols(), i + 1) : c.cols();
+    for (std::size_t j = 0; j < jmax; ++j) {
+      double acc = 0.0;
+      for (std::size_t q = 0; q < a.cols(); ++q) acc += a(i, q) * b(j, q);
+      c(i, j) -= acc;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix parallel_cholesky(comm::World& world, const Matrix& g,
+                         std::uint64_t grid_r, std::size_t tile) {
+  PARSYRK_REQUIRE(g.rows() == g.cols(), "Cholesky needs a square matrix");
+  PARSYRK_REQUIRE(tile >= 1, "tile size must be positive");
+  const auto r = static_cast<int>(grid_r);
+  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == grid_r * grid_r,
+                  "parallel Cholesky on an ", grid_r, "x", grid_r,
+                  " grid needs ", grid_r * grid_r, " ranks; world has ",
+                  world.size());
+  const std::size_t n = g.rows();
+  const std::size_t ntiles = (n + tile - 1) / tile;
+  auto tbegin = [&](std::size_t t) { return t * tile; };
+  auto tsize = [&](std::size_t t) { return std::min(tile, n - t * tile); };
+
+  // Shared working matrix: tile (bi, bj) is touched only by its owner
+  // (bi mod r, bj mod r); all cross-rank reads go through messages.
+  Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) w(i, j) = g(i, j);
+  }
+
+  world.run([&](comm::Comm& comm) {
+    const int pi = comm.rank() / r;
+    const int pj = comm.rank() % r;
+    comm::Comm row_comm = comm.split(pi, pj);  // ordered by pj
+    comm::Comm col_comm = comm.split(pj, pi);  // ordered by pi
+    auto owns = [&](std::size_t bi, std::size_t bj) {
+      return static_cast<int>(bi % grid_r) == pi &&
+             static_cast<int>(bj % grid_r) == pj;
+    };
+
+    for (std::size_t k = 0; k < ntiles; ++k) {
+      const int ko = static_cast<int>(k % grid_r);
+      const std::size_t k0 = tbegin(k), nbk = tsize(k);
+
+      // --- 1. Factor the diagonal tile; broadcast it down grid column ko.
+      std::vector<double> diag(nbk * nbk, 0.0);
+      if (pj == ko) {
+        comm.set_phase("bcast_diag");
+        if (pi == ko) {
+          if (owns(k, k)) {
+            factor_tile(w.block(k0, k0, nbk, nbk));
+          }
+          auto t = w.block(k0, k0, nbk, nbk);
+          for (std::size_t i = 0; i < nbk; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) diag[i * nbk + j] = t(i, j);
+          }
+        }
+        col_comm.bcast(diag, /*root=*/ko);
+      }
+      Matrix lkk(nbk, nbk);
+      std::copy(diag.begin(), diag.end(), lkk.data());
+
+      // --- 2. Panel solves on grid column ko.
+      // Tiles bi > k with bi ≡ pi owned by (pi, ko).
+      std::vector<std::size_t> my_rows;  // bi ≡ pi, bi > k
+      for (std::size_t bi = k + 1; bi < ntiles; ++bi) {
+        if (static_cast<int>(bi % grid_r) == pi) my_rows.push_back(bi);
+      }
+      if (pj == ko) {
+        for (std::size_t bi : my_rows) {
+          solve_tile(w.block(tbegin(bi), k0, tsize(bi), nbk), lkk.view());
+        }
+      }
+
+      // --- 3. Row broadcast: column-ko ranks share their solved tiles with
+      // their whole grid row.
+      comm.set_phase("bcast_panel");
+      std::size_t row_words = 0;
+      for (std::size_t bi : my_rows) row_words += tsize(bi) * nbk;
+      std::vector<double> row_buf(row_words, 0.0);
+      if (pj == ko) {
+        std::size_t off = 0;
+        for (std::size_t bi : my_rows) {
+          auto t = w.block(tbegin(bi), k0, tsize(bi), nbk);
+          for (std::size_t i = 0; i < t.rows(); ++i) {
+            for (std::size_t j = 0; j < nbk; ++j) row_buf[off++] = t(i, j);
+          }
+        }
+      }
+      row_comm.bcast(row_buf, /*root=*/ko);
+      std::map<std::size_t, Matrix> l_row;  // bi -> tile, bi ≡ pi
+      {
+        std::size_t off = 0;
+        for (std::size_t bi : my_rows) {
+          Matrix t(tsize(bi), nbk);
+          std::copy(row_buf.begin() + off, row_buf.begin() + off + t.size(),
+                    t.data());
+          off += t.size();
+          l_row.emplace(bi, std::move(t));
+        }
+      }
+
+      // --- 4. Transpose routing: the diagonal rank of each grid column now
+      // holds the tiles bj ≡ pj (they arrived in its row broadcast) and
+      // re-broadcasts them down the column.
+      std::vector<std::size_t> col_rows;  // bj ≡ pj, bj > k
+      for (std::size_t bj = k + 1; bj < ntiles; ++bj) {
+        if (static_cast<int>(bj % grid_r) == pj) col_rows.push_back(bj);
+      }
+      std::size_t col_words = 0;
+      for (std::size_t bj : col_rows) col_words += tsize(bj) * nbk;
+      std::vector<double> col_buf(col_words, 0.0);
+      if (pi == pj) {
+        std::size_t off = 0;
+        for (std::size_t bj : col_rows) {
+          const auto& t = l_row.at(bj);  // pi == pj ⟹ bj ≡ pi as well
+          std::copy(t.data(), t.data() + t.size(), col_buf.begin() + off);
+          off += t.size();
+        }
+      }
+      col_comm.bcast(col_buf, /*root=*/pj);
+      std::map<std::size_t, Matrix> l_col;  // bj -> tile, bj ≡ pj
+      {
+        std::size_t off = 0;
+        for (std::size_t bj : col_rows) {
+          Matrix t(tsize(bj), nbk);
+          std::copy(col_buf.begin() + off, col_buf.begin() + off + t.size(),
+                    t.data());
+          off += t.size();
+          l_col.emplace(bj, std::move(t));
+        }
+      }
+
+      // --- 5. Local trailing updates on owned tiles.
+      for (std::size_t bi : my_rows) {
+        for (std::size_t bj : col_rows) {
+          if (bj > bi || !owns(bi, bj)) continue;
+          update_tile(
+              w.block(tbegin(bi), tbegin(bj), tsize(bi), tsize(bj)),
+              l_row.at(bi).view(), l_col.at(bj).view(), bi == bj);
+        }
+      }
+      comm.barrier();  // step boundary: owners may now read updated tiles
+    }
+  });
+
+  // Extract L: zero the strict upper triangle.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) l(i, j) = w(i, j);
+  }
+  return l;
+}
+
+}  // namespace parsyrk::core

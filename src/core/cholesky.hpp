@@ -1,0 +1,26 @@
+// Distributed tile Cholesky — the computation SYRK is named for (§1).
+//
+// A right-looking tile Cholesky on an r×r process grid with block-cyclic
+// tile ownership (the ScaLAPACK pattern), built entirely on this library's
+// runtime: per step the diagonal owner factors and broadcasts down its grid
+// column, panel owners solve and broadcast along grid rows, the diagonal
+// ranks re-broadcast the panel down grid columns (the transpose routing),
+// and every trailing tile update — a SYRK/GEMM with the step's panel — is
+// local. Exercises sub-communicators, rooted collectives, and the ledger on
+// a full multi-step factorization.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::core {
+
+/// Factors the SPD matrix `g` (lower triangle read) into L with G = L·Lᵀ.
+/// world.size() == grid_r² ranks; `tile` is the block-cyclic tile size.
+/// Returns the full lower-triangular L (strict upper zero).
+Matrix parallel_cholesky(comm::World& world, const Matrix& g,
+                         std::uint64_t grid_r, std::size_t tile);
+
+}  // namespace parsyrk::core

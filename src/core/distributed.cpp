@@ -1,0 +1,104 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parsyrk::core {
+
+DistributedSyrkResult DistributedSyrkResult::compute_2d(comm::World& world,
+                                                        const Matrix& a,
+                                                        std::uint64_t c) {
+  DistributedSyrkResult out(a.rows(), c);
+  PARSYRK_REQUIRE(
+      static_cast<std::uint64_t>(world.size()) == out.dist_.num_procs(),
+      "distributed 2D SYRK with c = ", c, " needs ", out.dist_.num_procs(),
+      " ranks; world has ", world.size());
+  out.per_rank_.resize(world.size());
+  world.run([&](comm::Comm& comm) {
+    out.per_rank_[comm.rank()] =
+        internal::syrk_2d_spmd(comm, out.dist_, a.view());
+  });
+  return out;
+}
+
+double DistributedSyrkResult::at(std::uint64_t i, std::uint64_t j) const {
+  PARSYRK_REQUIRE(i < n1_ && j < n1_, "index (", i, ",", j, ") out of range");
+  if (j > i) std::swap(i, j);
+  const std::uint64_t bi = i / nb_;
+  const std::uint64_t bj = j / nb_;
+  const std::uint64_t owner = bi == bj ? dist_.owner_diagonal(bi)
+                                       : dist_.owner_off_diagonal(bi, bj);
+  const auto& local = per_rank_[owner];
+  const std::size_t li = i % nb_;
+  const std::size_t lj = j % nb_;
+  if (bi == bj) {
+    PARSYRK_CHECK(local.diag_index && *local.diag_index == bi);
+    return local.diag_block(li, lj);
+  }
+  const auto key = std::pair{bi, bj};
+  const auto it =
+      std::lower_bound(local.pairs.begin(), local.pairs.end(), key);
+  PARSYRK_CHECK(it != local.pairs.end() && *it == key);
+  return local.off_blocks[static_cast<std::size_t>(it - local.pairs.begin())](
+      li, lj);
+}
+
+Matrix DistributedSyrkResult::assemble() const {
+  Matrix full(n1_, n1_);
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& local = per_rank_[r];
+    auto flat = internal::flatten_triangle_blocks(local);
+    internal::scatter_flat_to_full(local, flat, 0, nb_, full);
+  }
+  return full;
+}
+
+void DistributedSyrkResult::accumulate_2d(comm::World& world, const Matrix& a,
+                                          double alpha, double beta) {
+  PARSYRK_REQUIRE(a.rows() == n1_, "accumulate needs A with ", n1_,
+                  " rows; got ", a.rows());
+  PARSYRK_REQUIRE(world.size() == num_ranks(),
+                  "accumulate world must match the compute world size");
+  world.run([&](comm::Comm& comm) {
+    auto update = internal::syrk_2d_spmd(comm, dist_, a.view());
+    auto& mine = per_rank_[comm.rank()];
+    auto combine = [&](Matrix& old_m, const Matrix& new_m, bool lower_only) {
+      for (std::size_t i = 0; i < old_m.rows(); ++i) {
+        const std::size_t jmax =
+            lower_only ? std::min(old_m.cols(), i + 1) : old_m.cols();
+        for (std::size_t j = 0; j < jmax; ++j) {
+          old_m(i, j) = beta * old_m(i, j) + alpha * new_m(i, j);
+        }
+      }
+    };
+    PARSYRK_CHECK(mine.pairs == update.pairs);
+    for (std::size_t t = 0; t < mine.off_blocks.size(); ++t) {
+      combine(mine.off_blocks[t], update.off_blocks[t], false);
+    }
+    if (mine.diag_index) {
+      PARSYRK_CHECK(update.diag_index == mine.diag_index);
+      combine(mine.diag_block, update.diag_block, true);
+    }
+  });
+}
+
+Matrix DistributedSyrkResult::gather_to_root(comm::World& world,
+                                             int root) const {
+  PARSYRK_REQUIRE(world.size() == num_ranks(),
+                  "gather world must match the compute world size");
+  Matrix full(n1_, n1_);
+  world.run([&](comm::Comm& comm) {
+    comm.set_phase("gather_result");
+    const auto& mine = per_rank_[comm.rank()];
+    auto flat = internal::flatten_triangle_blocks(mine);
+    auto gathered = comm.gather(flat, root);
+    if (comm.rank() != root) return;
+    for (int r = 0; r < comm.size(); ++r) {
+      internal::scatter_flat_to_full(per_rank_[r], gathered[r], 0, nb_, full);
+    }
+  });
+  return full;
+}
+
+}  // namespace parsyrk::core

@@ -1,0 +1,100 @@
+#include "core/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "costmodel/algorithm_costs.hpp"
+#include "support/check.hpp"
+#include "support/prime.hpp"
+
+namespace parsyrk::core {
+
+double memory_footprint_per_rank(const Plan& plan, std::uint64_t n1,
+                                 std::uint64_t n2) {
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  switch (plan.algorithm) {
+    case Algorithm::kOneD: {
+      // Local column block + the full packed triangle it accumulates into
+      // (plus the same again transiently during the reduce-scatter rounds,
+      // dropped here as lower order since rounds stream w/P-word chunks).
+      const double p = static_cast<double>(plan.procs);
+      return d1 * d2 / p + d1 * (d1 + 1.0) / 2.0;
+    }
+    case Algorithm::kTwoD:
+    case Algorithm::kThreeD: {
+      const double c = static_cast<double>(plan.c);
+      const double p2 = static_cast<double>(plan.p2);
+      const double nb = d1 / (c * c);
+      const double cols = d2 / p2;  // columns per slice (p2 = 1 for 2D)
+      // Gathered row blocks (c of them), the send staging (one chunk per
+      // destination ≈ the same c row blocks again), and the owned triangle
+      // block of C blocks plus one diagonal block.
+      const double gathered = c * nb * cols;
+      const double staging = gathered;
+      const double c_blocks =
+          c * (c - 1.0) / 2.0 * nb * nb + nb * (nb + 1.0) / 2.0;
+      return gathered + staging + c_blocks;
+    }
+  }
+  return 0.0;
+}
+
+double syrk_memory_dependent_bound(std::uint64_t n1, std::uint64_t n2,
+                                   std::uint64_t p, std::uint64_t m) {
+  PARSYRK_REQUIRE(m >= 1, "memory size must be positive");
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  return d1 * d1 * d2 /
+         (std::sqrt(2.0) * static_cast<double>(p) *
+          std::sqrt(static_cast<double>(m)));
+}
+
+double syrk_combined_bound(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t p, std::uint64_t m) {
+  return std::max(bounds::syrk_lower_bound(n1, n2, p).communicated,
+                  syrk_memory_dependent_bound(n1, n2, p, m));
+}
+
+std::optional<MemoryAwarePlan> plan_syrk_memory_aware(
+    std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+    std::uint64_t memory_words, bool n1_divisibility) {
+  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && max_procs >= 1,
+                  "plan needs n1 >= 2, n2 >= 1, max_procs >= 1");
+  std::optional<MemoryAwarePlan> best;
+  auto consider = [&](Plan plan, double words) {
+    const double footprint = memory_footprint_per_rank(plan, n1, n2);
+    if (footprint > static_cast<double>(memory_words)) return;
+    if (!best || words < best->predicted_words) {
+      best = MemoryAwarePlan{plan, words, footprint};
+    }
+  };
+
+  {
+    Plan p1d;
+    p1d.algorithm = Algorithm::kOneD;
+    p1d.regime = bounds::syrk_lower_bound(n1, n2, max_procs).regime;
+    p1d.procs = max_procs;
+    p1d.p2 = max_procs;
+    consider(p1d, costmodel::syrk_1d_cost({n1, n2}, max_procs).words);
+  }
+  for (std::uint64_t c = 2; c * (c + 1) <= max_procs; ++c) {
+    if (!is_prime(c)) continue;
+    if (n1_divisibility && n1 % (c * c) != 0) continue;
+    const std::uint64_t p1 = c * (c + 1);
+    for (std::uint64_t p2 = 1; p1 * p2 <= max_procs; ++p2) {
+      Plan plan;
+      plan.algorithm = p2 == 1 ? Algorithm::kTwoD : Algorithm::kThreeD;
+      plan.regime =
+          bounds::syrk_lower_bound(n1, n2, p1 * p2).regime;
+      plan.c = c;
+      plan.p1 = p1;
+      plan.p2 = p2;
+      plan.procs = p1 * p2;
+      consider(plan, costmodel::syrk_3d_cost({n1, n2}, c, p2).words);
+    }
+  }
+  return best;
+}
+
+}  // namespace parsyrk::core

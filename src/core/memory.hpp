@@ -1,0 +1,52 @@
+// Per-rank memory footprints and memory-aware planning (§6).
+//
+// The paper's model assumes each processor has enough local memory; §6
+// notes the 3D algorithm may be infeasible under limited memory, where the
+// memory-dependent bound (the per-processor extension of the sequential
+// Beaumont bound) becomes the tighter one. This module makes that analysis
+// executable: exact working-set sizes per algorithm, the memory-dependent
+// bound, and a planner that picks the cheapest plan that fits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/syrk.hpp"
+
+namespace parsyrk::core {
+
+/// Peak words a single rank holds while executing `plan` on an n1×n2
+/// problem: resident input + gathered row blocks + local C blocks +
+/// collective staging, to leading order.
+double memory_footprint_per_rank(const Plan& plan, std::uint64_t n1,
+                                 std::uint64_t n2);
+
+/// The memory-dependent communication lower bound (per §6: the sequential
+/// bound of Beaumont et al. applied to the n1²n2/2P multiplications each
+/// processor performs with M words of local memory):
+///   W_md = n1²·n2 / (√2 · P · √M).
+double syrk_memory_dependent_bound(std::uint64_t n1, std::uint64_t n2,
+                                   std::uint64_t p, std::uint64_t m);
+
+/// max(memory-independent Theorem 1, memory-dependent) — the tighter of the
+/// two regimes.
+double syrk_combined_bound(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t p, std::uint64_t m);
+
+/// Result of memory-aware planning: the plan plus its predicted cost and
+/// footprint.
+struct MemoryAwarePlan {
+  Plan plan;
+  double predicted_words = 0.0;   // closed-form bandwidth (eqs. 3/10/12)
+  double footprint_words = 0.0;   // peak per-rank memory
+};
+
+/// Enumerates every executable plan (1D; 2D for each usable prime c; 3D
+/// over usable (c, p2) grids with c(c+1)·p2 <= max_procs), drops the ones
+/// whose footprint exceeds `memory_words`, and returns the cheapest
+/// surviving plan by predicted communication. nullopt when nothing fits.
+std::optional<MemoryAwarePlan> plan_syrk_memory_aware(
+    std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+    std::uint64_t memory_words, bool n1_divisibility = true);
+
+}  // namespace parsyrk::core

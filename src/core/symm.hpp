@@ -1,0 +1,34 @@
+// Parallel SYMM: C = S·B with S symmetric n×n and B n×m (§6 extension).
+//
+// Here the symmetry is in the INPUT. Distributing the lower triangle of S
+// with the triangle-block scheme and letting owners compute makes S's
+// movement zero: a processor owning block S_{ij} (i > j) contributes
+// S_{ij}·B_j to C rows i and S_{ij}ᵀ·B_i to C rows j, both of which need
+// only the B row blocks indexed by its set R_k. The communication is one
+// All-to-All of B (gather) plus per-Q_i Reduce-Scatters of the partial C
+// rows — ~2·n·m/√P words, independent of n², whereas a GEMM-based SYMM
+// moves the n²/√P-word panels of the (expanded) S. E15 measures the gap.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::core {
+
+/// Triangle-block SYMM. `s` is n×n with the lower triangle authoritative
+/// (entries above the diagonal are ignored); `b` is n×m. Requires
+/// world.size() == c(c+1) with c prime and n % c² == 0.
+/// Returns the full n×m product S·B.
+Matrix symm_2d(comm::World& world, const Matrix& s, const Matrix& b,
+               std::uint64_t c);
+
+/// 1D SYMM for the wide-B regime (m >> n): the columns of B are
+/// partitioned, the packed lower triangle of S is all-gathered once
+/// ((1−1/P)·n(n+1)/2 words), and every output column is computed locally —
+/// no reduction. The 1D/2D crossover mirrors the SYRK one: 1D wins while
+/// the S triangle is smaller than the B/C panels.
+Matrix symm_1d(comm::World& world, const Matrix& s, const Matrix& b);
+
+}  // namespace parsyrk::core

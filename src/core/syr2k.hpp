@@ -1,0 +1,31 @@
+// Parallel SYR2K: C = A·Bᵀ + B·Aᵀ with symmetric output (§6 extension).
+//
+// The same three algorithm families as SYRK apply — the output has the same
+// triangular structure, so the triangle-block distribution carries over
+// verbatim; the only change is that the All-to-All gathers row blocks of
+// BOTH factors (doubling the A-phase volume, exactly as the extended bound
+// doubles the x1 term).
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::core {
+
+/// 1D SYR2K: n2 partitioned, local SYR2K per rank, Reduce-Scatter of the
+/// packed lower triangle. Optimal for n1 <= n2 and small P.
+Matrix syr2k_1d(comm::World& world, const Matrix& a, const Matrix& b);
+
+/// 2D SYR2K on the triangle-block distribution: world.size() == c(c+1), c
+/// prime, n1 % c² == 0. Gathers A and B row blocks in one All-to-All.
+Matrix syr2k_2d(comm::World& world, const Matrix& a, const Matrix& b,
+                std::uint64_t c);
+
+/// 3D SYR2K: 2D per column slice, Reduce-Scatter of C across p2 slices;
+/// world.size() == c(c+1)·p2.
+Matrix syr2k_3d(comm::World& world, const Matrix& a, const Matrix& b,
+                std::uint64_t c, std::uint64_t p2);
+
+}  // namespace parsyrk::core

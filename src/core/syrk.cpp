@@ -1,0 +1,251 @@
+#include "core/syrk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "core/syrk_internal.hpp"
+#include "distribution/block1d.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/packed.hpp"
+#include "support/check.hpp"
+#include "support/prime.hpp"
+
+namespace parsyrk::core {
+
+using internal::PackedChunk;
+using internal::TriangleBlocks;
+
+Matrix syrk_1d(comm::World& world, const Matrix& a, ReduceKind reduce) {
+  Matrix c_full(a.rows(), a.rows());
+  world.run([&](comm::Comm& comm) {
+    PackedChunk chunk = internal::syrk_1d_spmd(comm, a.view(), reduce);
+    // Assembly into the shared result: disjoint entries per rank, free.
+    internal::scatter_packed_to_full(chunk, c_full);
+  });
+  return c_full;
+}
+
+Matrix syrk_1d_from_root(comm::World& world, const Matrix& a, int root) {
+  PARSYRK_REQUIRE(root >= 0 && root < world.size(), "bad root ", root);
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  Matrix c_full(n1, n1);
+  world.run([&](comm::Comm& comm) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    // Ingestion: the root packs and scatters the 1D column blocks. Only the
+    // root reads the shared input; every other rank works purely from its
+    // received buffer.
+    comm.set_phase("scatter_A");
+    std::vector<std::vector<double>> parts;
+    if (r == root) {
+      parts.resize(p);
+      for (int q = 0; q < p; ++q) {
+        const std::size_t c0 = dist::chunk_begin(n2, p, q);
+        const std::size_t cw = dist::chunk_size(n2, p, q);
+        parts[q].reserve(n1 * cw);
+        for (std::size_t i = 0; i < n1; ++i) {
+          for (std::size_t j = c0; j < c0 + cw; ++j) {
+            parts[q].push_back(a(i, j));
+          }
+        }
+      }
+    }
+    auto mine = comm.scatter(parts, root);
+    const std::size_t cw = dist::chunk_size(n2, p, r);
+    PARSYRK_CHECK(mine.size() == n1 * cw);
+    Matrix local(n1, cw);
+    std::copy(mine.begin(), mine.end(), local.data());
+
+    // Alg. 1 on the scattered block.
+    Matrix cbar(n1, n1);
+    if (cw > 0) syrk_lower(local.view(), cbar.view());
+    PackedLower packed = PackedLower::from_full(cbar.view());
+    comm.set_phase(internal::kPhaseReduceC);
+    std::vector<std::size_t> sizes(p);
+    for (int q = 0; q < p; ++q) {
+      sizes[q] = dist::chunk_size(packed.size(), p, q);
+    }
+    internal::PackedChunk chunk;
+    chunk.offset = dist::chunk_begin(packed.size(), p, r);
+    chunk.data = comm.reduce_scatter(packed.span(), sizes);
+    internal::scatter_packed_to_full(chunk, c_full);
+  });
+  return c_full;
+}
+
+Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
+               ExchangeKind exchange) {
+  dist::TriangleBlockDistribution d(c);
+  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == d.num_procs(),
+                  "2D SYRK with c = ", c, " needs ", d.num_procs(),
+                  " ranks; world has ", world.size());
+  const std::size_t nb = a.rows() / d.num_block_rows();
+  Matrix c_full(a.rows(), a.rows());
+  world.run([&](comm::Comm& comm) {
+    TriangleBlocks blocks = internal::syrk_2d_spmd(comm, d, a.view(),
+                                                   exchange);
+    auto flat = internal::flatten_triangle_blocks(blocks);
+    internal::scatter_flat_to_full(blocks, flat, 0, nb, c_full);
+  });
+  return c_full;
+}
+
+Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
+               std::uint64_t p2) {
+  dist::TriangleBlockDistribution d(c);
+  const std::uint64_t p1 = d.num_procs();
+  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == p1 * p2,
+                  "3D SYRK with c = ", c, ", p2 = ", p2, " needs ", p1 * p2,
+                  " ranks; world has ", world.size());
+  PARSYRK_REQUIRE(p2 >= 1, "p2 must be >= 1");
+  const std::size_t n2 = a.cols();
+  const std::size_t nb = a.rows() / d.num_block_rows();
+  Matrix c_full(a.rows(), a.rows());
+  world.run([&](comm::Comm& comm) {
+    // Grid coordinates: world rank w = k + p1·l.
+    const auto w = static_cast<std::uint64_t>(comm.rank());
+    const int k = static_cast<int>(w % p1);
+    const int l = static_cast<int>(w / p1);
+
+    // Slice communicator Pi_{*l} runs the 2D algorithm on column block l
+    // (Alg. 3 line 3).
+    comm::Comm slice = comm.split(/*color=*/l, /*key=*/k);
+    const std::size_t c0 = dist::chunk_begin(n2, static_cast<int>(p2), l);
+    const std::size_t cw = dist::chunk_size(n2, static_cast<int>(p2), l);
+    auto a_slice = a.view().block(0, c0, a.rows(), cw);
+    TriangleBlocks blocks = internal::syrk_2d_spmd(slice, d, a_slice);
+
+    // Reduce-Scatter of C_k across Pi_{k*} (Alg. 3 line 5).
+    comm::Comm row = comm.split(/*color=*/k, /*key=*/l);
+    comm.set_phase(internal::kPhaseReduceC);
+    auto flat = internal::flatten_triangle_blocks(blocks);
+    std::vector<std::size_t> sizes(p2);
+    for (std::uint64_t q = 0; q < p2; ++q) {
+      sizes[q] = dist::chunk_size(flat.size(), static_cast<int>(p2),
+                                  static_cast<int>(q));
+    }
+    auto reduced = row.reduce_scatter(flat, sizes);
+    const std::size_t lo =
+        dist::chunk_begin(flat.size(), static_cast<int>(p2), l);
+    internal::scatter_flat_to_full(blocks, reduced, lo, nb, c_full);
+  });
+  return c_full;
+}
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kOneD: return "1D";
+    case Algorithm::kTwoD: return "2D";
+    case Algorithm::kThreeD: return "3D";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Largest usable triangle-distribution prime c with c(c+1) <= p and
+/// (optionally) n1 % c² == 0; nullopt when none exists.
+std::optional<std::uint64_t> best_c_at_most(std::uint64_t p, std::uint64_t n1,
+                                            bool divisible) {
+  std::optional<std::uint64_t> best;
+  for (std::uint64_t c = 2; c * (c + 1) <= p; ++c) {
+    if (!is_prime(c)) continue;
+    if (divisible && n1 % (c * c) != 0) continue;
+    best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+Plan plan_syrk(std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+               bool n1_divisibility) {
+  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && max_procs >= 1,
+                  "plan needs n1 >= 2, n2 >= 1, max_procs >= 1");
+  const auto bound = bounds::syrk_lower_bound(n1, n2, max_procs);
+  Plan plan;
+  plan.regime = bound.regime;
+
+  auto fall_back_1d = [&] {
+    plan.algorithm = Algorithm::kOneD;
+    plan.procs = max_procs;
+    plan.c = 0;
+    plan.p1 = 1;
+    plan.p2 = max_procs;
+  };
+
+  switch (bound.regime) {
+    case bounds::Regime::kOneD:
+      fall_back_1d();
+      break;
+    case bounds::Regime::kTwoD: {
+      auto c = best_c_at_most(max_procs, n1, n1_divisibility);
+      if (!c) {
+        fall_back_1d();
+        break;
+      }
+      plan.algorithm = Algorithm::kTwoD;
+      plan.c = *c;
+      plan.p1 = *c * (*c + 1);
+      plan.p2 = 1;
+      plan.procs = plan.p1;
+      break;
+    }
+    case bounds::Regime::kThreeD: {
+      // §5.4: p1 = (n1/n2)^{2/3}·P^{2/3}, p2 = (n2/n1)^{2/3}·P^{1/3},
+      // rounded to a usable c(c+1) grid.
+      const double pd = static_cast<double>(max_procs);
+      const double ratio = static_cast<double>(n1) / static_cast<double>(n2);
+      const double p1_target = std::pow(ratio, 2.0 / 3.0) * std::pow(pd, 2.0 / 3.0);
+      auto c = best_c_at_most(
+          static_cast<std::uint64_t>(std::max(1.0, p1_target)), n1,
+          n1_divisibility);
+      if (!c) {
+        fall_back_1d();
+        break;
+      }
+      plan.algorithm = Algorithm::kThreeD;
+      plan.c = *c;
+      plan.p1 = *c * (*c + 1);
+      plan.p2 = std::max<std::uint64_t>(1, max_procs / plan.p1);
+      plan.procs = plan.p1 * plan.p2;
+      if (plan.p2 == 1) plan.algorithm = Algorithm::kTwoD;
+      break;
+    }
+  }
+  return plan;
+}
+
+std::ostream& operator<<(std::ostream& os, const Plan& plan) {
+  os << "Plan{" << algorithm_name(plan.algorithm) << ", P=" << plan.procs;
+  if (plan.c != 0) os << ", c=" << plan.c << ", p1=" << plan.p1;
+  os << ", p2=" << plan.p2
+     << ", bound case=" << bounds::regime_name(plan.regime) << "}";
+  return os;
+}
+
+SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs) {
+  SyrkRun run;
+  run.plan = plan_syrk(a.rows(), a.cols(), max_procs);
+  comm::World world(static_cast<int>(run.plan.procs));
+  switch (run.plan.algorithm) {
+    case Algorithm::kOneD:
+      run.c = syrk_1d(world, a);
+      break;
+    case Algorithm::kTwoD:
+      run.c = syrk_2d(world, a, run.plan.c);
+      break;
+    case Algorithm::kThreeD:
+      run.c = syrk_3d(world, a, run.plan.c, run.plan.p2);
+      break;
+  }
+  run.total = world.ledger().summary();
+  run.gather_a = world.ledger().summary(internal::kPhaseGatherA);
+  run.reduce_c = world.ledger().summary(internal::kPhaseReduceC);
+  run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), run.plan.procs);
+  return run;
+}
+
+}  // namespace parsyrk::core

@@ -1,0 +1,103 @@
+// Public API: communication-optimal parallel SYRK (paper Algorithms 1–3).
+//
+// Quickstart:
+//   parsyrk::comm::World world(12);                      // P = 12 ranks
+//   parsyrk::Matrix a = parsyrk::random_matrix(180, 64, /*seed=*/1);
+//   parsyrk::Matrix c = parsyrk::core::syrk_2d(world, a, /*c=*/3);
+//   auto words = world.ledger().summary().critical_path_words();
+//
+// Or let the planner pick the algorithm and grid (§5.4):
+//   auto run = parsyrk::core::syrk_auto(a, /*max_procs=*/64);
+//
+// The returned matrix is the full symmetric C = A·Aᵀ, reassembled from the
+// distributed owners for convenience and validation; reassembly happens via
+// shared memory after the algorithm completes and is NOT counted as
+// communication. The world's ledger holds the per-rank measured volumes,
+// attributable by phase ("gather_A", "reduce_C").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "bounds/syrk_bounds.hpp"
+#include "core/syrk_internal.hpp"
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::core {
+
+using internal::ExchangeKind;
+using internal::ReduceKind;
+
+/// Alg. 1 (1D): partitions only the n2 dimension; A is block-column
+/// distributed, C is reduce-scattered. Optimal for n1 <= n2 and small P
+/// (Theorem 1 case 1). Uses world.size() ranks. With
+/// ReduceKind::kBruck the reduction is simultaneously bandwidth- and
+/// latency-optimal (§6's observation), making the whole 1D algorithm
+/// doubly optimal.
+Matrix syrk_1d(comm::World& world, const Matrix& a,
+               ReduceKind reduce = ReduceKind::kPairwise);
+
+/// Alg. 2 (2D): partitions both n1 dimensions via the triangle-block
+/// distribution. Requires world.size() == c(c+1) with c prime and
+/// n1 % c² == 0. Optimal for n1 > n2 and moderate P (Theorem 1 case 2).
+/// `exchange` selects the §6 All-to-All realization (pairwise default;
+/// butterfly trades bandwidth for O(log P) latency and additionally needs
+/// (n1/c²)·n2 divisible by c+1).
+Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
+               ExchangeKind exchange = ExchangeKind::kPairwise);
+
+/// Real-world ingestion flow: A starts on `root` only. The root scatters
+/// the 1D column blocks (measured under ledger phase "scatter_A"), then
+/// Alg. 1 runs on the scattered data. Theorem 1 assumes one *distributed*
+/// copy of A; this entry point makes the extra ingestion term —
+/// n1·n2·(1−1/P) words out of the root — visible and attributable.
+Matrix syrk_1d_from_root(comm::World& world, const Matrix& a, int root);
+
+/// Alg. 3 (3D): p1 = c(c+1) by p2 grid; the 2D algorithm per column slice
+/// of A followed by a Reduce-Scatter of C across slices. Requires
+/// world.size() == c(c+1)·p2 and n1 % c² == 0. Optimal for large P
+/// (Theorem 1 case 3) with the §5.4 grid.
+Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
+               std::uint64_t p2);
+
+/// Which algorithm a plan selects.
+enum class Algorithm { kOneD, kTwoD, kThreeD };
+
+const char* algorithm_name(Algorithm a);
+
+/// An executable algorithm + grid choice for a given problem, following the
+/// optimal selection rules of §5.4 (with processor counts rounded to the
+/// nearest usable c(c+1) grid).
+struct Plan {
+  Algorithm algorithm = Algorithm::kOneD;
+  bounds::Regime regime = bounds::Regime::kOneD;  // bound case at max_procs
+  std::uint64_t procs = 1;  // total ranks the plan uses (<= max_procs)
+  std::uint64_t c = 0;      // triangle-distribution prime (2D/3D)
+  std::uint64_t p1 = 1;     // = c(c+1) for 2D/3D
+  std::uint64_t p2 = 1;     // slice count (3D), or procs (1D)
+};
+
+/// Chooses algorithm and grid per §5.4 for up to `max_procs` ranks.
+/// `n1_divisibility` — when true (default), only grids with n1 % c² == 0
+/// are considered so the run communicates exactly the analyzed volumes.
+Plan plan_syrk(std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+               bool n1_divisibility = true);
+
+std::ostream& operator<<(std::ostream& os, const Plan& plan);
+
+/// Result of a planned run.
+struct SyrkRun {
+  Plan plan;
+  Matrix c;                        // full symmetric result
+  comm::CostSummary total;         // whole-run communication
+  comm::CostSummary gather_a;      // "gather_A" phase
+  comm::CostSummary reduce_c;      // "reduce_C" phase
+  bounds::SyrkBound bound;         // Theorem 1 at the plan's processor count
+};
+
+/// Plans and executes SYRK on an internally created world of plan.procs
+/// ranks; fills in measured costs and the matching lower bound.
+SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs);
+
+}  // namespace parsyrk::core

@@ -1,0 +1,245 @@
+#include "core/syrk_internal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distribution/block1d.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/packed.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::core::internal {
+
+PackedChunk syrk_1d_spmd(comm::Comm& comm, const ConstMatrixView& a,
+                         ReduceKind reduce) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+
+  // Local SYRK over this rank's column block (Alg. 1 line 3). The column
+  // block is local data by assumption; reading it from the shared view costs
+  // nothing, matching the model.
+  const std::size_t c0 = dist::chunk_begin(n2, p, r);
+  const std::size_t cw = dist::chunk_size(n2, p, r);
+  Matrix cbar(n1, n1);
+  if (cw > 0) syrk_lower(a.block(0, c0, n1, cw), cbar.view());
+  PackedLower packed = PackedLower::from_full(cbar.view());
+
+  // Reduce-Scatter of the n1(n1+1)/2 packed entries (Alg. 1 line 4).
+  comm.set_phase(kPhaseReduceC);
+  const std::size_t total = packed.size();
+  PackedChunk out;
+  if (reduce == ReduceKind::kPairwise) {
+    std::vector<std::size_t> sizes(p);
+    for (int q = 0; q < p; ++q) sizes[q] = dist::chunk_size(total, p, q);
+    out.offset = dist::chunk_begin(total, p, r);
+    out.data = comm.reduce_scatter(packed.span(), sizes);
+  } else {
+    // Bruck needs equal blocks: pad to a multiple of P; trailing zeros of
+    // the last rank's block are trimmed after the reduction.
+    const std::size_t blk = (total + p - 1) / p;
+    std::vector<double> padded(blk * p, 0.0);
+    std::copy(packed.data(), packed.data() + total, padded.begin());
+    auto mine = comm.reduce_scatter_bruck(padded);
+    out.offset = blk * static_cast<std::size_t>(r);
+    const std::size_t valid =
+        out.offset >= total ? 0 : std::min(blk, total - out.offset);
+    mine.resize(valid);
+    out.data = std::move(mine);
+  }
+  return out;
+}
+
+TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
+                            const dist::TriangleBlockDistribution& d,
+                            const ConstMatrixView& a, ExchangeKind exchange) {
+  const auto p = static_cast<std::uint64_t>(comm.size());
+  PARSYRK_REQUIRE(p == d.num_procs(), "2D SYRK needs exactly c(c+1) = ",
+                  d.num_procs(), " ranks; communicator has ", p);
+  const std::uint64_t c = d.c();
+  const std::uint64_t nblocks = d.num_block_rows();  // c²
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  PARSYRK_REQUIRE(n1 % nblocks == 0, "2D SYRK needs n1 divisible by c² = ",
+                  nblocks, "; got n1 = ", n1);
+  const std::size_t nb = n1 / nblocks;      // block dimension
+  const std::size_t flat = nb * n2;         // words per row block A_i
+  const auto k = static_cast<std::uint64_t>(comm.rank());
+  const int parts = static_cast<int>(c + 1);
+
+  // --- All-to-All gather of the row blocks in R_k (Alg. 2 lines 3–14) ---
+  // This rank holds chunk q = chunk_index(i, k) of each A_i with i in R_k
+  // and must send it to the other c members of Q_i. Because the distribution
+  // is valid, each pair of processors shares at most one row block, so the
+  // exchange is a single personalized All-to-All.
+  comm.set_phase(kPhaseGatherA);
+  std::vector<std::vector<double>> sendbuf(p);
+  const auto& rk = d.row_block_set(k);
+  auto read_own_chunk = [&](std::uint64_t i) {
+    const int q = static_cast<int>(d.chunk_index(i, k));
+    const std::size_t lo = dist::chunk_begin(flat, parts, q);
+    const std::size_t hi = dist::chunk_end(flat, parts, q);
+    std::vector<double> chunk;
+    chunk.reserve(hi - lo);
+    for (std::size_t t = lo; t < hi; ++t) {
+      chunk.push_back(a(i * nb + t / n2, t % n2));
+    }
+    return chunk;
+  };
+  for (std::uint64_t i : rk) {
+    auto mine = read_own_chunk(i);
+    for (std::uint64_t k2 : d.processor_set(i)) {
+      if (k2 == k) continue;
+      PARSYRK_CHECK_MSG(sendbuf[k2].empty(), "processors ", k, " and ", k2,
+                        " would exchange two chunks; invalid distribution");
+      sendbuf[k2] = mine;
+    }
+  }
+  std::vector<std::vector<double>> recvbuf;
+  if (exchange == ExchangeKind::kPairwise) {
+    recvbuf = comm.all_to_all_v(sendbuf);
+  } else {
+    // Butterfly needs equal blocks: every nonempty block is one even chunk
+    // of a row block; empty destinations are padded with zeros. The extra
+    // zeros are the §6 bandwidth price on top of the (log2 P)/2 factor.
+    PARSYRK_REQUIRE(flat % parts == 0,
+                    "butterfly exchange needs even chunks: (n1/c²)·n2 "
+                    "divisible by c+1");
+    const std::size_t block = flat / parts;
+    std::vector<double> flat_send(block * p, 0.0);
+    for (std::uint64_t k2 = 0; k2 < p; ++k2) {
+      PARSYRK_CHECK(sendbuf[k2].empty() || sendbuf[k2].size() == block);
+      std::copy(sendbuf[k2].begin(), sendbuf[k2].end(),
+                flat_send.begin() + k2 * block);
+    }
+    auto flat_recv = comm.all_to_all_butterfly(flat_send, block);
+    recvbuf.resize(p);
+    for (std::uint64_t k2 = 0; k2 < p; ++k2) {
+      if (k2 == k || !d.shared_block(k, k2)) continue;  // padding: discard
+      recvbuf[k2].assign(flat_recv.begin() + k2 * block,
+                         flat_recv.begin() + (k2 + 1) * block);
+    }
+  }
+
+  // Assemble the full row blocks A_i, i in R_k, from own + received chunks.
+  std::vector<Matrix> local_a;  // in R_k order
+  local_a.reserve(rk.size());
+  for (std::uint64_t i : rk) {
+    Matrix ai(nb, n2);
+    for (std::uint64_t k2 : d.processor_set(i)) {
+      const int q = static_cast<int>(d.chunk_index(i, k2));
+      const std::size_t lo = dist::chunk_begin(flat, parts, q);
+      const std::size_t hi = dist::chunk_end(flat, parts, q);
+      if (k2 == k) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          ai.data()[t] = a(i * nb + t / n2, t % n2);
+        }
+      } else {
+        const auto& chunk = recvbuf[k2];
+        PARSYRK_CHECK_MSG(chunk.size() == hi - lo, "rank ", k,
+                          " expected a chunk of ", hi - lo, " words from ", k2,
+                          ", got ", chunk.size());
+        std::copy(chunk.begin(), chunk.end(), ai.data() + lo);
+      }
+    }
+    local_a.push_back(std::move(ai));
+  }
+  auto block_of = [&](std::uint64_t i) -> const Matrix& {
+    auto it = std::lower_bound(rk.begin(), rk.end(), i);
+    PARSYRK_CHECK(it != rk.end() && *it == i);
+    return local_a[static_cast<std::size_t>(it - rk.begin())];
+  };
+
+  // --- Local computation (Alg. 2 lines 15–20) ---
+  TriangleBlocks out;
+  out.pairs = d.owned_pairs(k);
+  out.off_blocks.reserve(out.pairs.size());
+  for (const auto& [i, j] : out.pairs) {
+    Matrix cij(nb, nb);
+    gemm_nt(block_of(i).view(), block_of(j).view(), cij.view());
+    out.off_blocks.push_back(std::move(cij));
+  }
+  if (auto di = d.diagonal_block(k)) {
+    out.diag_index = *di;
+    out.diag_block = Matrix(nb, nb);
+    syrk_lower(block_of(*di).view(), out.diag_block.view());
+  }
+  return out;
+}
+
+std::vector<double> flatten_triangle_blocks(const TriangleBlocks& b) {
+  std::vector<double> flat;
+  std::size_t total = 0;
+  for (const auto& m : b.off_blocks) total += m.size();
+  std::size_t nb = 0;
+  if (b.diag_index) {
+    nb = b.diag_block.rows();
+    total += nb * (nb + 1) / 2;
+  }
+  flat.reserve(total);
+  for (const auto& m : b.off_blocks) {
+    flat.insert(flat.end(), m.data(), m.data() + m.size());
+  }
+  if (b.diag_index) {
+    for (std::size_t r = 0; r < nb; ++r) {
+      for (std::size_t cc = 0; cc <= r; ++cc) {
+        flat.push_back(b.diag_block(r, cc));
+      }
+    }
+  }
+  return flat;
+}
+
+void scatter_flat_to_full(const TriangleBlocks& shape,
+                          const std::vector<double>& chunk, std::size_t lo,
+                          std::size_t nb, Matrix& c_full) {
+  const std::size_t hi = lo + chunk.size();
+  std::size_t off = 0;
+  auto emit = [&](std::size_t gi, std::size_t gj) {
+    if (off >= lo && off < hi) {
+      const double v = chunk[off - lo];
+      c_full(gi, gj) = v;
+      c_full(gj, gi) = v;
+    }
+    ++off;
+  };
+  for (std::size_t bidx = 0; bidx < shape.pairs.size(); ++bidx) {
+    const auto [bi, bj] = shape.pairs[bidx];
+    if (off + nb * nb <= lo || off >= hi) {
+      off += nb * nb;
+      continue;
+    }
+    for (std::size_t r = 0; r < nb; ++r) {
+      for (std::size_t cc = 0; cc < nb; ++cc) emit(bi * nb + r, bj * nb + cc);
+    }
+  }
+  if (shape.diag_index) {
+    const std::uint64_t di = *shape.diag_index;
+    for (std::size_t r = 0; r < nb; ++r) {
+      for (std::size_t cc = 0; cc <= r; ++cc) emit(di * nb + r, di * nb + cc);
+    }
+  }
+  PARSYRK_CHECK_MSG(hi <= off, "chunk extends past the flattened blocks");
+}
+
+void scatter_packed_to_full(const PackedChunk& chunk, Matrix& c_full) {
+  // Invert the packed index t = i(i+1)/2 + j once, then walk forward.
+  if (chunk.data.empty()) return;
+  std::size_t t = chunk.offset;
+  auto i = static_cast<std::size_t>(
+      (std::sqrt(8.0 * static_cast<double>(t) + 1.0) - 1.0) / 2.0);
+  while (i * (i + 1) / 2 > t) --i;
+  while ((i + 1) * (i + 2) / 2 <= t) ++i;
+  std::size_t j = t - i * (i + 1) / 2;
+  for (double v : chunk.data) {
+    c_full(i, j) = v;
+    c_full(j, i) = v;
+    if (++j > i) {
+      ++i;
+      j = 0;
+    }
+  }
+}
+
+}  // namespace parsyrk::core::internal

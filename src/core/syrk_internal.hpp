@@ -1,0 +1,81 @@
+// SPMD building blocks shared by the 1D/2D/3D drivers.
+//
+// Each routine is the per-rank body of one of the paper's algorithms,
+// operating on a sub-communicator so the 3D algorithm can reuse the 2D body
+// per slice (paper Alg. 3 line 3). Data "distribution" is realized by each
+// rank reading only its assigned portion of the shared input view during
+// setup — reads of local data are free, exactly as in the model, and every
+// non-local word is counted by the runtime ledger.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "distribution/triangle_block.hpp"
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::core::internal {
+
+/// Ledger phase labels shared by algorithms, tests, and benches.
+inline constexpr const char* kPhaseGatherA = "gather_A";
+inline constexpr const char* kPhaseReduceC = "reduce_C";
+
+/// How the 1D/3D algorithms' Reduce-Scatter is realized: pairwise exchange
+/// (latency P−1) or the §6 Bruck adaptation, which is bandwidth- AND
+/// latency-optimal (ceil(log2 P) messages) at the cost of padding the
+/// packed triangle to a multiple of P (< P extra words).
+enum class ReduceKind { kPairwise, kBruck };
+
+/// Alg. 1 per-rank body: local SYRK over this rank's column block of A,
+/// then a Reduce-Scatter of the packed lower triangle of C.
+/// Returns this rank's even chunk of the packed triangle and its offset.
+struct PackedChunk {
+  std::size_t offset = 0;
+  std::vector<double> data;
+};
+PackedChunk syrk_1d_spmd(comm::Comm& comm, const ConstMatrixView& a,
+                         ReduceKind reduce = ReduceKind::kPairwise);
+
+/// How the 2D algorithm's All-to-All is realized (§6 trade-off):
+/// pairwise exchange is bandwidth-optimal with latency P−1; the butterfly
+/// (Bruck) variant has latency ceil(log2 P) at ~(log2 P)/2 times the words.
+enum class ExchangeKind { kPairwise, kButterfly };
+
+/// Alg. 2 per-rank body: All-to-All gather of the c row blocks in this
+/// rank's row-block set, then local GEMMs for the triangle block of blocks
+/// and a local SYRK for the diagonal block if assigned.
+struct TriangleBlocks {
+  /// Owned off-diagonal block coordinates (i, j), i > j, sorted; one Matrix
+  /// per pair in the same order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  std::vector<Matrix> off_blocks;
+  /// Diagonal block index and data (lower triangle valid) if D_k nonempty.
+  std::optional<std::uint64_t> diag_index;
+  Matrix diag_block;
+};
+TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
+                            const dist::TriangleBlockDistribution& d,
+                            const ConstMatrixView& a,
+                            ExchangeKind exchange = ExchangeKind::kPairwise);
+
+/// Serializes the blocks a rank owns into the flat buffer the 3D algorithm
+/// reduce-scatters: off-diagonal blocks in pair order (row-major within a
+/// block), then the diagonal block packed lower. Identical layout across
+/// ranks with the same k, which is what makes the per-k Reduce-Scatter of
+/// Alg. 3 line 5 well-formed.
+std::vector<double> flatten_triangle_blocks(const TriangleBlocks& b);
+
+/// Writes `flat[lo..hi)` of a rank's flattened triangle blocks into the full
+/// output matrix (mirroring into the upper triangle), given the block
+/// geometry. `nb` is the block dimension n1/c².
+void scatter_flat_to_full(const TriangleBlocks& shape,
+                          const std::vector<double>& chunk, std::size_t lo,
+                          std::size_t nb, Matrix& c_full);
+
+/// Writes one rank's packed-triangle chunk (from the 1D algorithm) into the
+/// full symmetric output.
+void scatter_packed_to_full(const PackedChunk& chunk, Matrix& c_full);
+
+}  // namespace parsyrk::core::internal

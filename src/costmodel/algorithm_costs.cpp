@@ -1,0 +1,86 @@
+#include "costmodel/algorithm_costs.hpp"
+
+#include "support/check.hpp"
+
+namespace parsyrk::costmodel {
+
+CollectiveCost syrk_1d_cost(SyrkShape s, std::uint64_t p) {
+  // Alg. 1 communicates once: Reduce-Scatter of the packed lower triangle,
+  // n1(n1+1)/2 words per rank before the collective (paper eq. (3)).
+  const double tri = 0.5 * static_cast<double>(s.n1) *
+                     (static_cast<double>(s.n1) + 1.0);
+  return reduce_scatter_pairwise(p, tri);
+}
+
+CollectiveCost syrk_2d_cost(SyrkShape s, std::uint64_t c) {
+  // Alg. 2 communicates once: All-to-All with a buffer of n1·n2/c words per
+  // rank (paper eq. (10)), on P = c(c+1) ranks.
+  const std::uint64_t p = c * (c + 1);
+  const double w = static_cast<double>(s.n1) * static_cast<double>(s.n2) /
+                   static_cast<double>(c);
+  return all_to_all_pairwise(p, w);
+}
+
+CollectiveCost syrk_3d_cost(SyrkShape s, std::uint64_t c, std::uint64_t p2) {
+  // Paper §5.3.2: the 2D algorithm on each slice handles n2/p2 columns on
+  // p1 = c(c+1) ranks, then C (a triangle block of blocks plus at most one
+  // diagonal block) is reduce-scattered over p2 ranks.
+  PARSYRK_CHECK(p2 >= 1);
+  SyrkShape slice{s.n1, s.n2 / p2};
+  CollectiveCost cost = syrk_2d_cost(slice, c);
+  const double n1 = static_cast<double>(s.n1);
+  const double c2 = static_cast<double>(c) * static_cast<double>(c);
+  const double blk = n1 / c2;  // block dimension n1/c²
+  const double ck = static_cast<double>(c);
+  const double tri_words =
+      0.5 * ck * (ck - 1.0) * blk * blk + 0.5 * blk * (blk + 1.0);
+  cost += reduce_scatter_pairwise(p2, tri_words);
+  return cost;
+}
+
+double syrk_flops_per_rank(SyrkShape s, std::uint64_t p) {
+  return static_cast<double>(s.n1) * static_cast<double>(s.n1) *
+         static_cast<double>(s.n2) / (2.0 * static_cast<double>(p)) * 1.0 *
+         1.0;  // scalar multiplications below+on the diagonal, halved vs GEMM
+}
+
+CollectiveCost gemm_1d_cost(SyrkShape s, std::uint64_t p) {
+  // 1D GEMM for C = A·Bᵀ with the k dimension partitioned: each rank holds a
+  // column block of A and of B, computes a full n1×n1 contribution, and the
+  // result is reduce-scattered. Without symmetry the buffer is the full n1².
+  const double full = static_cast<double>(s.n1) * static_cast<double>(s.n1);
+  return reduce_scatter_pairwise(p, full);
+}
+
+CollectiveCost gemm_2d_cost(SyrkShape s, std::uint64_t grid_r) {
+  // r×r grid; rank (i,j) computes C_ij = A_i · B_jᵀ. A_i is all-gathered
+  // among the r ranks of grid row i, B_j among grid column j; each gather
+  // ends with n1·n2/r words resident.
+  const double w = static_cast<double>(s.n1) * static_cast<double>(s.n2) /
+                   static_cast<double>(grid_r);
+  CollectiveCost cost = all_gather_pairwise(grid_r, w);
+  cost += all_gather_pairwise(grid_r, w);
+  return cost;
+}
+
+CollectiveCost gemm_3d_cost(SyrkShape s, std::uint64_t grid_r,
+                            std::uint64_t slices) {
+  // `slices` cuts the k dimension; each slice runs the 2D scheme on n2/slices
+  // columns, then the full C is reduce-scattered across slices.
+  SyrkShape slice{s.n1, s.n2 / slices};
+  CollectiveCost cost = gemm_2d_cost(slice, grid_r);
+  const double c_per_rank = static_cast<double>(s.n1) *
+                            static_cast<double>(s.n1) /
+                            (static_cast<double>(grid_r) * grid_r);
+  cost += reduce_scatter_pairwise(slices, c_per_rank);
+  return cost;
+}
+
+CollectiveCost scalapack_syrk_cost(SyrkShape s, std::uint64_t grid_r) {
+  // Same data movement as the 2D GEMM scheme: the symmetry of C halves the
+  // flops (only lower blocks are computed) but every rank still gathers full
+  // row and column panels of A.
+  return gemm_2d_cost(s, grid_r);
+}
+
+}  // namespace parsyrk::costmodel

@@ -1,0 +1,48 @@
+// Closed-form per-algorithm cost functions from the paper's §5 analysis.
+//
+// These are the analytic curves the measured ledgers are checked against:
+//   eq. (3):  1D SYRK — Reduce-Scatter of the n1(n1+1)/2 triangle.
+//   eq. (10): 2D SYRK — All-to-All of n1·n2/c words.
+//   eq. (12): 3D SYRK — All-to-All of A within slices + Reduce-Scatter of C.
+//   eq. (9):  leading-order flops n1²n2/P (+ lower-order imbalance).
+// GEMM analogues (the factor-2 comparators) follow Al Daas et al. SPAA '22.
+#pragma once
+
+#include <cstdint>
+
+#include "costmodel/model.hpp"
+
+namespace parsyrk::costmodel {
+
+struct SyrkShape {
+  std::uint64_t n1 = 0;  // rows of A (and order of C)
+  std::uint64_t n2 = 0;  // columns of A
+};
+
+/// Paper eq. (3): bandwidth/latency of Alg. 1 on P ranks.
+CollectiveCost syrk_1d_cost(SyrkShape s, std::uint64_t p);
+
+/// Paper eq. (10): bandwidth/latency of Alg. 2 on P = c(c+1) ranks.
+/// `c` must satisfy c(c+1) == p.
+CollectiveCost syrk_2d_cost(SyrkShape s, std::uint64_t c);
+
+/// Paper §5.3.2: bandwidth/latency of Alg. 3 on a p1×p2 grid, p1 = c(c+1).
+CollectiveCost syrk_3d_cost(SyrkShape s, std::uint64_t c, std::uint64_t p2);
+
+/// Leading-order local flop count of the SYRK algorithms (eq. (9) and the 1D
+/// analogue): n1²·n2 / P multiply-adds counted as one "operation" each, per
+/// the paper's γ accounting of scalar multiplications.
+double syrk_flops_per_rank(SyrkShape s, std::uint64_t p);
+
+/// Communication of the communication-optimal GEMM baselines used in E8,
+/// specialised to C = A·Bᵀ with both factors n1×n2 (so m = n = n1, k = n2).
+CollectiveCost gemm_1d_cost(SyrkShape s, std::uint64_t p);
+CollectiveCost gemm_2d_cost(SyrkShape s, std::uint64_t grid_r);
+CollectiveCost gemm_3d_cost(SyrkShape s, std::uint64_t grid_r,
+                            std::uint64_t slices);
+
+/// ScaLAPACK-style SYRK (half flops, GEMM-level communication): equals
+/// gemm_2d_cost in words, half of it in flops.
+CollectiveCost scalapack_syrk_cost(SyrkShape s, std::uint64_t grid_r);
+
+}  // namespace parsyrk::costmodel

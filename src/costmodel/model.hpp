@@ -1,0 +1,103 @@
+// The α-β-γ machine model of §3.2 and closed-form collective costs.
+//
+// α: per-message latency, β: per-word bandwidth, γ: per-flop compute. The
+// paper assumes pairwise-exchange All-to-All and Reduce-Scatter (latency
+// P−1, bandwidth (1−1/P)·w); §6 discusses Bruck all-gather and butterfly
+// all-to-all trade-offs, which are also modelled here for the E12 ablation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace parsyrk::costmodel {
+
+/// Machine parameters. Defaults are representative of a commodity cluster
+/// (only ratios matter for the experiments: they rank algorithms, the
+/// theorems are about the β term's coefficient).
+struct Machine {
+  double alpha = 1.0e-6;  // seconds per message
+  double beta = 1.0e-9;   // seconds per word
+  double gamma = 1.0e-11; // seconds per flop
+};
+
+/// Cost of one collective expressed in (messages, words, flops) along the
+/// critical path of a single participating processor.
+struct CollectiveCost {
+  double messages = 0.0;
+  double words = 0.0;
+  double flops = 0.0;
+
+  double seconds(const Machine& m) const {
+    return messages * m.alpha + words * m.beta + flops * m.gamma;
+  }
+  CollectiveCost& operator+=(const CollectiveCost& o) {
+    messages += o.messages;
+    words += o.words;
+    flops += o.flops;
+    return *this;
+  }
+};
+
+inline CollectiveCost operator+(CollectiveCost a, const CollectiveCost& b) {
+  a += b;
+  return a;
+}
+
+/// Pairwise-exchange All-to-All on P ranks, w words resident per rank before
+/// and after: latency P−1, bandwidth (1−1/P)·w (paper §3.2).
+inline CollectiveCost all_to_all_pairwise(std::uint64_t p, double w) {
+  if (p <= 1) return {};
+  const double pd = static_cast<double>(p);
+  return {pd - 1.0, (1.0 - 1.0 / pd) * w, 0.0};
+}
+
+/// Pairwise-exchange Reduce-Scatter on P ranks, w words per rank before the
+/// collective: latency P−1, bandwidth (1−1/P)·w, plus (1−1/P)·w adds.
+inline CollectiveCost reduce_scatter_pairwise(std::uint64_t p, double w) {
+  if (p <= 1) return {};
+  const double pd = static_cast<double>(p);
+  const double vol = (1.0 - 1.0 / pd) * w;
+  return {pd - 1.0, vol, vol};
+}
+
+/// Pairwise-exchange All-Gather (dual of reduce-scatter, no arithmetic);
+/// w is the total words resident per rank *after* the collective.
+inline CollectiveCost all_gather_pairwise(std::uint64_t p, double w) {
+  if (p <= 1) return {};
+  const double pd = static_cast<double>(p);
+  return {pd - 1.0, (1.0 - 1.0 / pd) * w, 0.0};
+}
+
+/// All-reduce composed as reduce-scatter + all-gather (bandwidth-optimal):
+/// 2·(1−1/P)·w words, 2(P−1) messages, (1−1/P)·w adds.
+inline CollectiveCost all_reduce_pairwise(std::uint64_t p, double w) {
+  return reduce_scatter_pairwise(p, w) + all_gather_pairwise(p, w);
+}
+
+/// Bruck concatenation all-gather (§6): ceil(log2 P) messages and the same
+/// (1−1/P)·w bandwidth — latency- and bandwidth-optimal simultaneously.
+inline CollectiveCost all_gather_bruck(std::uint64_t p, double w) {
+  if (p <= 1) return {};
+  const double pd = static_cast<double>(p);
+  return {std::ceil(std::log2(pd)), (1.0 - 1.0 / pd) * w, 0.0};
+}
+
+/// Bruck-style Reduce-Scatter (§6): both latency- and bandwidth-optimal —
+/// ceil(log2 P) messages at (1−1/P)·w words plus (1−1/P)·w adds.
+inline CollectiveCost reduce_scatter_bruck(std::uint64_t p, double w) {
+  if (p <= 1) return {};
+  const double pd = static_cast<double>(p);
+  const double vol = (1.0 - 1.0 / pd) * w;
+  return {std::ceil(std::log2(pd)), vol, vol};
+}
+
+/// Butterfly (Bruck) All-to-All (§6): latency ceil(log2 P) at the price of a
+/// bandwidth factor: (w/2)·ceil(log2 P) words.
+inline CollectiveCost all_to_all_butterfly(std::uint64_t p, double w) {
+  if (p <= 1) return {};
+  const double pd = static_cast<double>(p);
+  const double rounds = std::ceil(std::log2(pd));
+  return {rounds, 0.5 * w * rounds, 0.0};
+}
+
+}  // namespace parsyrk::costmodel

@@ -1,0 +1,34 @@
+// Even 1D block partitioning with floor-based boundaries.
+//
+// chunk r of n items over p parts is [floor(n·r/p), floor(n·(r+1)/p)); sizes
+// differ by at most one, which keeps the load-balance assumptions of
+// Theorem 1 intact without divisibility requirements.
+#pragma once
+
+#include <cstdint>
+
+namespace parsyrk::dist {
+
+inline std::size_t chunk_begin(std::size_t n, int parts, int r) {
+  return n * static_cast<std::size_t>(r) / static_cast<std::size_t>(parts);
+}
+
+inline std::size_t chunk_end(std::size_t n, int parts, int r) {
+  return chunk_begin(n, parts, r + 1);
+}
+
+inline std::size_t chunk_size(std::size_t n, int parts, int r) {
+  return chunk_end(n, parts, r) - chunk_begin(n, parts, r);
+}
+
+/// The part that owns item `idx` under the floor-based partition.
+inline int chunk_owner(std::size_t n, int parts, std::size_t idx) {
+  // owner r satisfies floor(n r / p) <= idx < floor(n (r+1) / p);
+  // r = floor((idx * p + p - 1) / n) overshoots; search locally instead.
+  int r = static_cast<int>((idx * static_cast<std::size_t>(parts)) / n);
+  while (chunk_begin(n, parts, r) > idx) --r;
+  while (chunk_end(n, parts, r) <= idx) ++r;
+  return r;
+}
+
+}  // namespace parsyrk::dist

@@ -1,0 +1,67 @@
+#include "distribution/render.hpp"
+
+#include <sstream>
+
+namespace parsyrk::dist {
+
+namespace {
+std::string pad(const std::string& s, std::size_t w) {
+  return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+}
+}  // namespace
+
+std::string render_c_ownership(const TriangleBlockDistribution& d) {
+  const std::uint64_t nb = d.num_block_rows();
+  const std::size_t w = std::to_string(d.num_procs() - 1).size() + 2;
+  std::ostringstream os;
+  os << "C block ownership (rows/cols are block indices 0.." << nb - 1
+     << "; [k] marks a diagonal block owned by processor k):\n";
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    os << pad(std::to_string(i), 4) << "|";
+    for (std::uint64_t j = 0; j <= i; ++j) {
+      if (j == i) {
+        os << pad("[" + std::to_string(d.owner_diagonal(i)) + "]", w);
+      } else {
+        os << pad(" " + std::to_string(d.owner_off_diagonal(i, j)), w);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_a_ownership(const TriangleBlockDistribution& d) {
+  const std::uint64_t nb = d.num_block_rows();
+  std::ostringstream os;
+  os << "A row blocks and their processor sets Q_i (each A_i is split evenly "
+        "across its c+1 processors):\n";
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    os << "  A_" << pad(std::to_string(i), 3) << " -> { ";
+    for (std::uint64_t k : d.processor_set(i)) os << k << " ";
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string render_3d_layout(const TriangleBlockDistribution& d,
+                             std::uint64_t p2) {
+  std::ostringstream os;
+  os << "3D layout with p1 = " << d.num_procs() << " (c = " << d.c()
+     << "), p2 = " << p2 << ":\n\n";
+  os << "Every slice l in 0.." << p2 - 1
+     << " applies the same triangle-block distribution to its column block "
+        "A_{*,l}:\n\n";
+  os << render_c_ownership(d) << "\n";
+  os << "A blocks A_{i,l} are owned by Q_i x {l}:\n";
+  const std::uint64_t nb = d.num_block_rows();
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    os << "  A_" << pad(std::to_string(i), 3) << " -> { ";
+    for (std::uint64_t k : d.processor_set(i)) os << k << " ";
+    os << "} x {0.." << p2 - 1 << "}\n";
+  }
+  os << "\nEach processor (k, l) holds 1/" << p2
+     << " of triangle block C_k after the Reduce-Scatter over Pi_{k*}.\n";
+  return os.str();
+}
+
+}  // namespace parsyrk::dist

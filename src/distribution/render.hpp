@@ -1,0 +1,23 @@
+// ASCII renderings of the paper's distribution figures (Fig. 2 and Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "distribution/triangle_block.hpp"
+
+namespace parsyrk::dist {
+
+/// Fig. 2: the lower triangle of C as a c²×c² grid of blocks, each cell
+/// showing the owning processor rank. Diagonal cells are bracketed.
+std::string render_c_ownership(const TriangleBlockDistribution& d);
+
+/// Fig. 2 (right half): the c² row blocks of A, each annotated with its
+/// processor set Q_i.
+std::string render_a_ownership(const TriangleBlockDistribution& d);
+
+/// Fig. 3: the 3D layout — C ownership shared across p2 slices, and A as a
+/// c²×p2 grid of blocks with their Q_i×{ℓ} owners.
+std::string render_3d_layout(const TriangleBlockDistribution& d,
+                             std::uint64_t p2);
+
+}  // namespace parsyrk::dist

@@ -1,0 +1,262 @@
+#include "distribution/triangle_block.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/prime.hpp"
+
+namespace parsyrk::dist {
+
+namespace {
+constexpr std::uint64_t kUnowned = ~std::uint64_t{0};
+
+/// Mathematical mod for possibly-negative left operand.
+std::uint64_t pos_mod(std::int64_t a, std::int64_t m) {
+  std::int64_t r = a % m;
+  if (r < 0) r += m;
+  return static_cast<std::uint64_t>(r);
+}
+}  // namespace
+
+TriangleBlockDistribution::TriangleBlockDistribution(std::uint64_t c) : c_(c) {
+  PARSYRK_REQUIRE(is_prime(c), "triangle-block distribution requires prime c; "
+                  "got c = ", c);
+  const std::uint64_t p = num_procs();
+  const std::uint64_t nb = num_block_rows();
+
+  // R_k (eq. (5)).
+  r_sets_.resize(p);
+  for (std::uint64_t k = 0; k < p; ++k) {
+    auto& r = r_sets_[k];
+    if (k < c_ * c_) {
+      r.push_back(k / c_);
+      for (std::uint64_t u = 1; u < c_; ++u) r.push_back(f(k, u));
+    } else {
+      for (std::uint64_t u = 0; u < c_; ++u) r.push_back((k - c_ * c_) * c_ + u);
+    }
+    std::sort(r.begin(), r.end());
+    PARSYRK_CHECK_MSG(std::adjacent_find(r.begin(), r.end()) == r.end(),
+                      "R_", k, " has repeated indices");
+  }
+
+  // D_k (eq. (6)).
+  d_sets_.resize(p);
+  for (std::uint64_t k = 0; k < p; ++k) {
+    if (k < c_) {
+      d_sets_[k] = std::nullopt;
+    } else if (k < c_ * c_ && k % c_ == 0) {
+      d_sets_[k] = k / c_;
+    } else if (k < c_ * c_) {
+      d_sets_[k] = f(k, k / c_);
+    } else {
+      d_sets_[k] = f(c_ * (k - c_ * c_), k - c_ * c_);
+    }
+  }
+
+  // Q_i (eq. (8)).
+  q_sets_.resize(nb);
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    auto& q = q_sets_[i];
+    if (i < c_) {
+      for (std::uint64_t qq = 0; qq < c_; ++qq) q.push_back(c_ * i + qq);
+      q.push_back(c_ * c_);
+    } else {
+      for (std::uint64_t qq = 0; qq < c_; ++qq) q.push_back(h(i, qq));
+      q.push_back(c_ * c_ + i / c_);
+    }
+    std::sort(q.begin(), q.end());
+  }
+
+  // Owner maps, with uniqueness checks (the "valid partition" property).
+  off_owner_.resize(nb);
+  for (std::uint64_t i = 0; i < nb; ++i) off_owner_[i].assign(i, kUnowned);
+  diag_owner_.assign(nb, kUnowned);
+  for (std::uint64_t k = 0; k < p; ++k) {
+    const auto& r = r_sets_[k];
+    for (std::size_t a = 0; a < r.size(); ++a) {
+      for (std::size_t b = 0; b < a; ++b) {
+        const std::uint64_t i = r[a], j = r[b];  // sorted, so i > j
+        PARSYRK_CHECK_MSG(off_owner_[i][j] == kUnowned,
+                          "block (", i, ",", j, ") covered twice: processors ",
+                          off_owner_[i][j], " and ", k);
+        off_owner_[i][j] = k;
+      }
+    }
+    if (d_sets_[k]) {
+      const std::uint64_t i = *d_sets_[k];
+      PARSYRK_CHECK_MSG(diag_owner_[i] == kUnowned, "diagonal block ", i,
+                        " assigned twice");
+      diag_owner_[i] = k;
+    }
+  }
+}
+
+std::uint64_t TriangleBlockDistribution::f(std::uint64_t k,
+                                           std::uint64_t u) const {
+  // f_k(u) = (⌊k/c⌋·(u−1) + k) mod c + c·u, with the u = 0 case exercising
+  // a negative left operand.
+  const auto ci = static_cast<std::int64_t>(c_);
+  const auto kz = static_cast<std::int64_t>(k / c_);
+  const auto lhs = kz * (static_cast<std::int64_t>(u) - 1) +
+                   static_cast<std::int64_t>(k);
+  return pos_mod(lhs, ci) + c_ * u;
+}
+
+std::uint64_t TriangleBlockDistribution::h(std::uint64_t i,
+                                           std::uint64_t q) const {
+  // h_i(q) = (i − (⌊i/c⌋ − 1)·q) mod c + c·q.
+  const auto ci = static_cast<std::int64_t>(c_);
+  const auto iz = static_cast<std::int64_t>(i / c_);
+  const auto lhs = static_cast<std::int64_t>(i) -
+                   (iz - 1) * static_cast<std::int64_t>(q);
+  return pos_mod(lhs, ci) + c_ * q;
+}
+
+const std::vector<std::uint64_t>& TriangleBlockDistribution::row_block_set(
+    std::uint64_t k) const {
+  PARSYRK_CHECK(k < num_procs());
+  return r_sets_[k];
+}
+
+std::optional<std::uint64_t> TriangleBlockDistribution::diagonal_block(
+    std::uint64_t k) const {
+  PARSYRK_CHECK(k < num_procs());
+  return d_sets_[k];
+}
+
+const std::vector<std::uint64_t>& TriangleBlockDistribution::processor_set(
+    std::uint64_t i) const {
+  PARSYRK_CHECK(i < num_block_rows());
+  return q_sets_[i];
+}
+
+std::uint64_t TriangleBlockDistribution::owner_off_diagonal(
+    std::uint64_t i, std::uint64_t j) const {
+  PARSYRK_CHECK_MSG(j < i && i < num_block_rows(),
+                    "off-diagonal block needs i > j; got (", i, ",", j, ")");
+  const std::uint64_t k = off_owner_[i][j];
+  PARSYRK_CHECK(k != kUnowned);
+  return k;
+}
+
+std::uint64_t TriangleBlockDistribution::owner_diagonal(std::uint64_t i) const {
+  PARSYRK_CHECK(i < num_block_rows());
+  const std::uint64_t k = diag_owner_[i];
+  PARSYRK_CHECK(k != kUnowned);
+  return k;
+}
+
+std::size_t TriangleBlockDistribution::chunk_index(std::uint64_t i,
+                                                   std::uint64_t k) const {
+  const auto& q = processor_set(i);
+  auto it = std::lower_bound(q.begin(), q.end(), k);
+  PARSYRK_CHECK_MSG(it != q.end() && *it == k, "processor ", k,
+                    " is not a member of Q_", i);
+  return static_cast<std::size_t>(it - q.begin());
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+TriangleBlockDistribution::owned_pairs(std::uint64_t k) const {
+  const auto& r = row_block_set(k);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  pairs.reserve(r.size() * (r.size() - 1) / 2);
+  for (std::size_t a = 0; a < r.size(); ++a) {
+    for (std::size_t b = 0; b < a; ++b) pairs.emplace_back(r[a], r[b]);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::optional<std::uint64_t> TriangleBlockDistribution::shared_block(
+    std::uint64_t k, std::uint64_t k2) const {
+  const auto& r1 = row_block_set(k);
+  const auto& r2 = row_block_set(k2);
+  std::vector<std::uint64_t> common;
+  std::set_intersection(r1.begin(), r1.end(), r2.begin(), r2.end(),
+                        std::back_inserter(common));
+  PARSYRK_CHECK_MSG(common.size() <= 1, "processors ", k, " and ", k2,
+                    " share ", common.size(), " row blocks; distribution "
+                    "validity is violated");
+  if (common.empty()) return std::nullopt;
+  return common[0];
+}
+
+bool TriangleBlockDistribution::validate(std::string* why) const {
+  auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  const std::uint64_t p = num_procs();
+  const std::uint64_t nb = num_block_rows();
+
+  for (std::uint64_t k = 0; k < p; ++k) {
+    if (r_sets_[k].size() != c_) return fail(strcat_all("|R_", k, "| != c"));
+    for (std::uint64_t i : r_sets_[k]) {
+      if (i >= nb) return fail(strcat_all("R_", k, " holds out-of-range ", i));
+    }
+    if (d_sets_[k]) {
+      const auto& r = r_sets_[k];
+      if (!std::binary_search(r.begin(), r.end(), *d_sets_[k])) {
+        return fail(strcat_all("D_", k, " not a subset of R_", k));
+      }
+    }
+  }
+  // Coverage of all off-diagonal and diagonal blocks (constructor enforces
+  // "at most once"; here we confirm "at least once").
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    if (diag_owner_[i] == kUnowned) {
+      return fail(strcat_all("diagonal block ", i, " unassigned"));
+    }
+    for (std::uint64_t j = 0; j < i; ++j) {
+      if (off_owner_[i][j] == kUnowned) {
+        return fail(strcat_all("block (", i, ",", j, ") unassigned"));
+      }
+    }
+  }
+  // Q_i consistency with R_k.
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    if (q_sets_[i].size() != c_ + 1) {
+      return fail(strcat_all("|Q_", i, "| != c+1"));
+    }
+    for (std::uint64_t k : q_sets_[i]) {
+      const auto& r = r_sets_[k];
+      if (!std::binary_search(r.begin(), r.end(), i)) {
+        return fail(strcat_all(k, " in Q_", i, " but ", i, " not in R_", k));
+      }
+    }
+  }
+  std::uint64_t total_q = 0;
+  for (std::uint64_t k = 0; k < p; ++k) {
+    std::uint64_t appearances = 0;
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      appearances += std::binary_search(q_sets_[i].begin(), q_sets_[i].end(),
+                                        k)
+                         ? 1
+                         : 0;
+    }
+    if (appearances != c_) {
+      return fail(strcat_all("processor ", k, " appears in ", appearances,
+                             " Q sets, expected c"));
+    }
+    total_q += appearances;
+  }
+  if (total_q != nb * (c_ + 1)) return fail("Q membership count mismatch");
+  // No two processors share more than one Q_i (checked via R intersections).
+  for (std::uint64_t k = 0; k < p; ++k) {
+    for (std::uint64_t k2 = 0; k2 < k; ++k2) {
+      const auto& r1 = r_sets_[k];
+      const auto& r2 = r_sets_[k2];
+      std::vector<std::uint64_t> common;
+      std::set_intersection(r1.begin(), r1.end(), r2.begin(), r2.end(),
+                            std::back_inserter(common));
+      if (common.size() > 1) {
+        return fail(strcat_all("processors ", k, " and ", k2, " share ",
+                               common.size(), " row blocks"));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace parsyrk::dist

@@ -1,0 +1,90 @@
+// Triangle-block distribution of a symmetric matrix (paper §5.2.1).
+//
+// For P = c(c+1) processors with c prime, the lower triangle of C is split
+// into c² × c² square blocks; each processor is assigned c(c−1)/2
+// off-diagonal blocks that form a *triangle block of blocks* — the strict
+// lower triangle of R_k × R_k for a c-element row-block index set R_k — plus
+// at most one diagonal block (D_k ⊂ R_k). The conformal distribution of A
+// shares each row block A_i among the c+1 processors Q_i = {k : i ∈ R_k}.
+//
+// This implements the paper's cyclic (c,c)-indexing family, eqs. (4)–(8),
+// and the validity checks behind the claim that every off-diagonal block is
+// covered exactly once and every pair of processors shares at most one Q_i.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parsyrk::dist {
+
+class TriangleBlockDistribution {
+ public:
+  /// Requires prime c (the paper's sufficient validity condition).
+  explicit TriangleBlockDistribution(std::uint64_t c);
+
+  std::uint64_t c() const { return c_; }
+  /// P = c(c+1).
+  std::uint64_t num_procs() const { return c_ * (c_ + 1); }
+  /// C is partitioned into this many block rows (c²).
+  std::uint64_t num_block_rows() const { return c_ * c_; }
+
+  /// Paper eq. (4): f_k(u) — the row index of the block assigned to
+  /// processor k in the u-th zone of the first zone column.
+  std::uint64_t f(std::uint64_t k, std::uint64_t u) const;
+
+  /// Paper eq. (7): h_i(q) — the processor assigned block C_{i,q} in the
+  /// first zone column.
+  std::uint64_t h(std::uint64_t i, std::uint64_t q) const;
+
+  /// Paper eq. (5): R_k, the c-element row-block index set of processor k,
+  /// sorted ascending.
+  const std::vector<std::uint64_t>& row_block_set(std::uint64_t k) const;
+
+  /// Paper eq. (6): D_k — the index of processor k's diagonal block, if any.
+  std::optional<std::uint64_t> diagonal_block(std::uint64_t k) const;
+
+  /// Paper eq. (8): Q_i, the c+1 processors sharing row block A_i, sorted
+  /// ascending.
+  const std::vector<std::uint64_t>& processor_set(std::uint64_t i) const;
+
+  /// Owner of off-diagonal block C_{ij} (requires i > j); the unique k with
+  /// {i, j} ⊆ R_k.
+  std::uint64_t owner_off_diagonal(std::uint64_t i, std::uint64_t j) const;
+
+  /// Owner of diagonal block C_{ii}.
+  std::uint64_t owner_diagonal(std::uint64_t i) const;
+
+  /// Position of processor k within sorted Q_i (which even chunk of A_i it
+  /// holds in the conformal distribution). k must be a member of Q_i.
+  std::size_t chunk_index(std::uint64_t i, std::uint64_t k) const;
+
+  /// Sorted list of (i, j) off-diagonal block pairs owned by k (i > j); the
+  /// strict lower triangle of R_k × R_k, row-major order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> owned_pairs(
+      std::uint64_t k) const;
+
+  /// The unique row-block index shared by the R sets of processors k and k',
+  /// or nullopt. (Validity guarantees at most one, so each pair of
+  /// processors exchanges at most one chunk in the All-to-All.)
+  std::optional<std::uint64_t> shared_block(std::uint64_t k,
+                                            std::uint64_t k2) const;
+
+  /// Full structural validation; returns false and a reason on failure.
+  /// Checks: every R_k has c distinct indices; every off-diagonal block pair
+  /// covered exactly once; D_k ⊂ R_k with every diagonal block assigned
+  /// exactly once and |D_k| ≤ 1; Q_i consistency (k ∈ Q_i ⟺ i ∈ R_k,
+  /// |Q_i| = c+1); no two processors share more than one Q_i.
+  bool validate(std::string* why = nullptr) const;
+
+ private:
+  std::uint64_t c_;
+  std::vector<std::vector<std::uint64_t>> r_sets_;   // k -> sorted R_k
+  std::vector<std::optional<std::uint64_t>> d_sets_; // k -> D_k
+  std::vector<std::vector<std::uint64_t>> q_sets_;   // i -> sorted Q_i
+  std::vector<std::vector<std::uint64_t>> off_owner_;  // [i][j], j < i
+  std::vector<std::uint64_t> diag_owner_;              // [i]
+};
+
+}  // namespace parsyrk::dist

@@ -1,0 +1,129 @@
+#include "matrix/factor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace parsyrk {
+
+Matrix cholesky_lower(const ConstMatrixView& g) {
+  PARSYRK_REQUIRE(g.rows() == g.cols(), "Cholesky needs a square matrix");
+  const std::size_t n = g.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = g(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    PARSYRK_REQUIRE(d > 0.0, "matrix is not positive definite (pivot ", j,
+                    " = ", d, ")");
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = g(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+void solve_lower(const ConstMatrixView& l, std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  PARSYRK_CHECK(b.size() == n && l.cols() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    b[i] = s / l(i, i);
+  }
+}
+
+void solve_lower_transposed(const ConstMatrixView& l, std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  PARSYRK_CHECK(b.size() == n && l.cols() == n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * b[k];
+    b[ii] = s / l(ii, ii);
+  }
+}
+
+std::vector<double> cholesky_solve(const ConstMatrixView& l,
+                                   std::vector<double> b) {
+  solve_lower(l, b);
+  solve_lower_transposed(l, b);
+  return b;
+}
+
+EigenResult jacobi_eigen_symmetric(const ConstMatrixView& s, double tol,
+                                   int max_sweeps) {
+  PARSYRK_REQUIRE(s.rows() == s.cols(), "eigensolver needs a square matrix");
+  const std::size_t n = s.rows();
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = j <= i ? s(i, j) : s(j, i);  // symmetrize from the lower part
+    }
+  }
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const double norm = [&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * a(i, j);
+    }
+    return std::sqrt(acc);
+  }();
+  const double threshold = tol * std::max(norm, 1.0);
+
+  EigenResult out;
+  for (out.sweeps = 0; out.sweeps < max_sweeps; ++out.sweeps) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    }
+    if (std::sqrt(2.0 * off) <= threshold) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) <= threshold / (n * n)) continue;
+        // Classic symmetric Schur rotation zeroing a(p, q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = std::copysign(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - sn * akq;
+          a(k, q) = sn * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - sn * aqk;
+          a(q, k) = sn * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - sn * vkq;
+          v(k, q) = sn * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending, permuting the eigenvector columns along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x) > a(y, y);
+  });
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace parsyrk

@@ -1,0 +1,42 @@
+// Small dense factorizations used by the example applications.
+//
+// The paper motivates SYRK via CholeskyQR, the normal equations, and the
+// Gram SVD (§1); these serial routines factor the small Gram/covariance
+// outputs that the parallel SYRK produces. They are deliberately simple —
+// the k×k factor matrices are tiny next to the n1×n2 inputs.
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace parsyrk {
+
+/// Lower Cholesky factor of a symmetric positive-definite matrix:
+/// G = L·Lᵀ. Only the lower triangle of `g` is read. Throws
+/// InvalidArgument if a non-positive pivot appears.
+Matrix cholesky_lower(const ConstMatrixView& g);
+
+/// Solves L·y = b in place (forward substitution); L lower-triangular.
+void solve_lower(const ConstMatrixView& l, std::vector<double>& b);
+
+/// Solves Lᵀ·x = b in place (back substitution with the transpose of L).
+void solve_lower_transposed(const ConstMatrixView& l, std::vector<double>& b);
+
+/// Solves (L·Lᵀ)·x = b; returns x.
+std::vector<double> cholesky_solve(const ConstMatrixView& l,
+                                   std::vector<double> b);
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations:
+/// S = V·diag(values)·Vᵀ with V orthogonal. Eigenvalues are returned in
+/// descending order with the matching columns of V.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // column j is the eigenvector of values[j]
+  int sweeps = 0;  // Jacobi sweeps used
+};
+
+EigenResult jacobi_eigen_symmetric(const ConstMatrixView& s,
+                                   double tol = 1e-12, int max_sweeps = 64);
+
+}  // namespace parsyrk

@@ -1,0 +1,100 @@
+#include "matrix/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace parsyrk {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Matrix read_matrix_market(std::istream& in) {
+  std::string line;
+  PARSYRK_REQUIRE(std::getline(in, line), "empty MatrixMarket stream");
+  std::istringstream header(lowercase(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PARSYRK_REQUIRE(banner == "%%matrixmarket", "missing %%MatrixMarket banner");
+  PARSYRK_REQUIRE(object == "matrix", "unsupported object '", object, "'");
+  PARSYRK_REQUIRE(format == "array", "only the dense 'array' format is "
+                  "supported; got '", format, "'");
+  PARSYRK_REQUIRE(field == "real", "only real matrices are supported");
+  PARSYRK_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+                  "unsupported symmetry '", symmetry, "'");
+
+  // Skip comments.
+  do {
+    PARSYRK_REQUIRE(std::getline(in, line),
+                    "MatrixMarket stream ended before the size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0;
+  size_line >> rows >> cols;
+  PARSYRK_REQUIRE(rows > 0 && cols > 0, "bad size line '", line, "'");
+  if (symmetry == "symmetric") {
+    PARSYRK_REQUIRE(rows == cols, "symmetric matrix must be square");
+  }
+
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  // Array format is column-major; symmetric stores the lower triangle only.
+  if (symmetry == "general") {
+    for (long long j = 0; j < cols; ++j) {
+      for (long long i = 0; i < rows; ++i) {
+        double v = 0.0;
+        PARSYRK_REQUIRE(static_cast<bool>(in >> v),
+                        "short data section at (", i, ",", j, ")");
+        m(i, j) = v;
+      }
+    }
+  } else {
+    for (long long j = 0; j < cols; ++j) {
+      for (long long i = j; i < rows; ++i) {
+        double v = 0.0;
+        PARSYRK_REQUIRE(static_cast<bool>(in >> v),
+                        "short data section at (", i, ",", j, ")");
+        m(i, j) = v;
+        m(j, i) = v;
+      }
+    }
+  }
+  return m;
+}
+
+Matrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PARSYRK_REQUIRE(in.good(), "cannot open '", path, "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const ConstMatrixView& m) {
+  out << "%%MatrixMarket matrix array real general\n";
+  out << "% written by parsyrk\n";
+  out << m.rows() << " " << m.cols() << "\n";
+  out.precision(17);
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      out << m(i, j) << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const ConstMatrixView& m) {
+  std::ofstream out(path);
+  PARSYRK_REQUIRE(out.good(), "cannot open '", path, "' for writing");
+  write_matrix_market(out, m);
+}
+
+}  // namespace parsyrk

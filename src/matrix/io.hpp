@@ -1,0 +1,28 @@
+// Matrix file I/O in the MatrixMarket dense ("array") format, so the CLI
+// and examples can run on real data instead of synthetic inputs.
+//
+// Format accepted/produced:
+//   %%MatrixMarket matrix array real general
+//   % optional comment lines
+//   <rows> <cols>
+//   <value>            (column-major, one per line, as in the MM spec)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace parsyrk {
+
+/// Parses a dense MatrixMarket array stream; throws InvalidArgument on any
+/// malformed header or short data section.
+Matrix read_matrix_market(std::istream& in);
+Matrix read_matrix_market_file(const std::string& path);
+
+/// Writes in the same format (column-major values).
+void write_matrix_market(std::ostream& out, const ConstMatrixView& m);
+void write_matrix_market_file(const std::string& path,
+                              const ConstMatrixView& m);
+
+}  // namespace parsyrk

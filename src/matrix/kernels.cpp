@@ -1,0 +1,219 @@
+#include "matrix/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parsyrk {
+
+namespace {
+// Tile sizes chosen so one C tile plus the corresponding A/B panels fit in L1
+// on commodity cores; the experiments measure words, not cycles, so these are
+// not load-bearing for the reproduction.
+constexpr std::size_t kTileM = 64;
+constexpr std::size_t kTileN = 64;
+constexpr std::size_t kTileK = 256;
+}  // namespace
+
+void gemm_nt_naive(const ConstMatrixView& a, const ConstMatrixView& b,
+                   const MatrixView& c) {
+  PARSYRK_CHECK(a.rows() == c.rows() && b.rows() == c.cols() &&
+                a.cols() == b.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(j, k);
+      c(i, j) += acc;
+    }
+  }
+}
+
+void gemm_nt(const ConstMatrixView& a, const ConstMatrixView& b,
+             const MatrixView& c) {
+  PARSYRK_CHECK(a.rows() == c.rows() && b.rows() == c.cols() &&
+                a.cols() == b.cols());
+  const std::size_t m = c.rows(), n = c.cols(), kk = a.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += kTileM) {
+    const std::size_t im = std::min(i0 + kTileM, m);
+    for (std::size_t j0 = 0; j0 < n; j0 += kTileN) {
+      const std::size_t jm = std::min(j0 + kTileN, n);
+      for (std::size_t k0 = 0; k0 < kk; k0 += kTileK) {
+        const std::size_t km = std::min(k0 + kTileK, kk);
+        for (std::size_t i = i0; i < im; ++i) {
+          const double* arow = a.data() + i * a.ld();
+          double* crow = c.data() + i * c.ld();
+          for (std::size_t j = j0; j < jm; ++j) {
+            const double* brow = b.data() + j * b.ld();
+            double acc = 0.0;
+            for (std::size_t k = k0; k < km; ++k) acc += arow[k] * brow[k];
+            crow[j] += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+void syrk_lower_naive(const ConstMatrixView& a, const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * a(j, k);
+      c(i, j) += acc;
+    }
+  }
+}
+
+void syrk_lower(const ConstMatrixView& a, const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
+  const std::size_t m = c.rows(), kk = a.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += kTileM) {
+    const std::size_t im = std::min(i0 + kTileM, m);
+    for (std::size_t j0 = 0; j0 <= i0; j0 += kTileN) {
+      const std::size_t jm = std::min(j0 + kTileN, m);
+      for (std::size_t k0 = 0; k0 < kk; k0 += kTileK) {
+        const std::size_t km = std::min(k0 + kTileK, kk);
+        for (std::size_t i = i0; i < im; ++i) {
+          const double* arow = a.data() + i * a.ld();
+          double* crow = c.data() + i * c.ld();
+          const std::size_t jend = std::min(jm, i + 1);
+          for (std::size_t j = j0; j < jend; ++j) {
+            const double* brow = a.data() + j * a.ld();
+            double acc = 0.0;
+            for (std::size_t k = k0; k < km; ++k) acc += arow[k] * brow[k];
+            crow[j] += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+void syr2k_lower_naive(const ConstMatrixView& a, const ConstMatrixView& b,
+                       const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows() &&
+                b.rows() == a.rows() && b.cols() == a.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a(i, k) * b(j, k) + b(i, k) * a(j, k);
+      }
+      c(i, j) += acc;
+    }
+  }
+}
+
+void syr2k_lower(const ConstMatrixView& a, const ConstMatrixView& b,
+                 const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows() &&
+                b.rows() == a.rows() && b.cols() == a.cols());
+  const std::size_t m = c.rows(), kk = a.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += kTileM) {
+    const std::size_t im = std::min(i0 + kTileM, m);
+    for (std::size_t j0 = 0; j0 <= i0; j0 += kTileN) {
+      const std::size_t jm = std::min(j0 + kTileN, m);
+      for (std::size_t k0 = 0; k0 < kk; k0 += kTileK) {
+        const std::size_t km = std::min(k0 + kTileK, kk);
+        for (std::size_t i = i0; i < im; ++i) {
+          const double* ai = a.data() + i * a.ld();
+          const double* bi = b.data() + i * b.ld();
+          double* crow = c.data() + i * c.ld();
+          const std::size_t jend = std::min(jm, i + 1);
+          for (std::size_t j = j0; j < jend; ++j) {
+            const double* aj = a.data() + j * a.ld();
+            const double* bj = b.data() + j * b.ld();
+            double acc = 0.0;
+            for (std::size_t k = k0; k < km; ++k) {
+              acc += ai[k] * bj[k] + bi[k] * aj[k];
+            }
+            crow[j] += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+Matrix syr2k_reference(const ConstMatrixView& a, const ConstMatrixView& b) {
+  Matrix c(a.rows(), a.rows());
+  syr2k_lower_naive(a, b, c.view());
+  symmetrize_from_lower(c);
+  return c;
+}
+
+void symm_lower_left(const ConstMatrixView& s_lower, const ConstMatrixView& b,
+                     const MatrixView& c) {
+  PARSYRK_CHECK(s_lower.rows() == s_lower.cols() &&
+                b.rows() == s_lower.rows() && c.rows() == s_lower.rows() &&
+                c.cols() == b.cols());
+  const std::size_t n = s_lower.rows(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double s = j <= i ? s_lower(i, j) : s_lower(j, i);
+      for (std::size_t t = 0; t < m; ++t) c(i, t) += s * b(j, t);
+    }
+  }
+}
+
+Matrix symm_reference(const ConstMatrixView& s_lower,
+                      const ConstMatrixView& b) {
+  Matrix c(b.rows(), b.cols());
+  symm_lower_left(s_lower, b, c.view());
+  return c;
+}
+
+Matrix syrk_reference(const ConstMatrixView& a) {
+  Matrix c(a.rows(), a.rows());
+  syrk_lower_naive(a, c.view());
+  symmetrize_from_lower(c);
+  return c;
+}
+
+Matrix transpose(const ConstMatrixView& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void symmetrize_from_lower(Matrix& c) {
+  PARSYRK_CHECK(c.rows() == c.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = i + 1; j < c.cols(); ++j) c(i, j) = c(j, i);
+  }
+}
+
+double max_abs_diff(const ConstMatrixView& a, const ConstMatrixView& b) {
+  PARSYRK_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+double max_abs_diff_lower(const ConstMatrixView& a, const ConstMatrixView& b) {
+  PARSYRK_CHECK(a.rows() == b.rows() && a.cols() == b.cols() &&
+                a.rows() == a.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+double frobenius_norm(const ConstMatrixView& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * a(i, j);
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace parsyrk

@@ -1,0 +1,74 @@
+// Local (single-rank) dense kernels.
+//
+// Each SPMD rank of the parallel algorithms calls these on its local blocks:
+//   * gemm_nt:    C += A · Bᵀ          (paper Alg. 2, line 16 "Local-GEMM")
+//   * syrk_lower: C += A · Aᵀ (lower)  (paper Algs. 1–2, "Local-SYRK")
+// The blocked variants use register/cache tiling; the naive variants are the
+// oracle the tests compare against.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.hpp"
+
+namespace parsyrk {
+
+/// C (m×n) += A (m×k) · Bᵀ where B is n×k. Cache-blocked.
+void gemm_nt(const ConstMatrixView& a, const ConstMatrixView& b,
+             const MatrixView& c);
+
+/// Reference implementation of gemm_nt (triple loop, no tiling).
+void gemm_nt_naive(const ConstMatrixView& a, const ConstMatrixView& b,
+                   const MatrixView& c);
+
+/// C (m×m, lower triangle incl. diagonal) += A (m×k) · Aᵀ.
+/// Entries strictly above the diagonal of C are not touched.
+void syrk_lower(const ConstMatrixView& a, const MatrixView& c);
+
+/// Reference implementation of syrk_lower.
+void syrk_lower_naive(const ConstMatrixView& a, const MatrixView& c);
+
+/// C (m×m, lower triangle incl. diagonal) += A·Bᵀ + B·Aᵀ for A, B both m×k
+/// (the SYR2K local kernel — §6's first extension target).
+void syr2k_lower(const ConstMatrixView& a, const ConstMatrixView& b,
+                 const MatrixView& c);
+
+/// Reference implementation of syr2k_lower.
+void syr2k_lower_naive(const ConstMatrixView& a, const ConstMatrixView& b,
+                       const MatrixView& c);
+
+/// Full serial SYR2K oracle: symmetric A·Bᵀ + B·Aᵀ.
+Matrix syr2k_reference(const ConstMatrixView& a, const ConstMatrixView& b);
+
+/// C (m×n) += S·B where S is m×m symmetric given by its lower triangle
+/// (entries above the diagonal of `s_lower` are ignored) and B is m×n
+/// (the SYMM local kernel — §6's second extension target).
+void symm_lower_left(const ConstMatrixView& s_lower, const ConstMatrixView& b,
+                     const MatrixView& c);
+
+/// Full serial SYMM oracle.
+Matrix symm_reference(const ConstMatrixView& s_lower,
+                      const ConstMatrixView& b);
+
+/// Full serial SYRK: returns the n1×n1 matrix with the lower triangle of
+/// A·Aᵀ filled in and the strict upper triangle mirrored (symmetric result).
+/// This is the oracle all parallel algorithms are validated against.
+Matrix syrk_reference(const ConstMatrixView& a);
+
+/// Returns Aᵀ as a fresh matrix.
+Matrix transpose(const ConstMatrixView& a);
+
+/// Copies the strict upper triangle onto the strict lower (or vice versa) so
+/// a triangular result can be compared entry-for-entry with a full one.
+void symmetrize_from_lower(Matrix& c);
+
+/// max_{i,j} |a(i,j) - b(i,j)|; shapes must match.
+double max_abs_diff(const ConstMatrixView& a, const ConstMatrixView& b);
+
+/// max_{i>=j} |a(i,j) - b(i,j)| over the lower triangle only.
+double max_abs_diff_lower(const ConstMatrixView& a, const ConstMatrixView& b);
+
+/// Frobenius norm.
+double frobenius_norm(const ConstMatrixView& a);
+
+}  // namespace parsyrk

@@ -1,0 +1,63 @@
+#include "matrix/matrix.hpp"
+
+#include <algorithm>
+
+namespace parsyrk {
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t nr = rows.size();
+  const std::size_t nc = nr == 0 ? 0 : rows.begin()->size();
+  Matrix m(nr, nc);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    PARSYRK_CHECK_MSG(row.size() == nc, "ragged initializer row ", i);
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+MatrixView Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                         std::size_t nc) {
+  PARSYRK_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+  return {data_.data() + r0 * cols_ + c0, nr, nc, cols_};
+}
+
+ConstMatrixView Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                              std::size_t nc) const {
+  PARSYRK_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+  return {data_.data() + r0 * cols_ + c0, nr, nc, cols_};
+}
+
+MatrixView Matrix::view() { return {data_.data(), rows_, cols_, cols_}; }
+
+ConstMatrixView Matrix::view() const {
+  return {data_.data(), rows_, cols_, cols_};
+}
+
+void MatrixView::assign(const ConstMatrixView& src) const {
+  PARSYRK_CHECK(src.rows() == rows_ && src.cols() == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* s = src.data() + i * src.ld();
+    std::copy(s, s + cols_, p_ + i * ld_);
+  }
+}
+
+void MatrixView::fill(double v) const {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::fill(p_ + i * ld_, p_ + i * ld_ + cols_, v);
+  }
+}
+
+Matrix ConstMatrixView::to_matrix() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* s = p_ + i * ld_;
+    std::copy(s, s + cols_, m.data() + i * cols_);
+  }
+  return m;
+}
+
+}  // namespace parsyrk

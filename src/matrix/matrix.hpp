@@ -1,0 +1,140 @@
+// Dense row-major matrix container and lightweight views.
+//
+// The library works exclusively in double precision (the BLAS-3 SYRK the
+// paper analyzes is dtype-agnostic; communication volumes are measured in
+// words). Views carry a leading dimension so sub-blocks of a distributed
+// matrix can be addressed without copies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parsyrk {
+
+class MatrixView;
+class ConstMatrixView;
+
+/// Owning dense matrix, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    PARSYRK_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    PARSYRK_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+  /// Mutable view of the sub-block [r0, r0+nr) x [c0, c0+nc).
+  MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                   std::size_t nc);
+  ConstMatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                        std::size_t nc) const;
+  MatrixView view();
+  ConstMatrixView view() const;
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Non-owning mutable view with a leading dimension (row stride).
+class MatrixView {
+ public:
+  MatrixView(double* p, std::size_t rows, std::size_t cols, std::size_t ld)
+      : p_(p), rows_(rows), cols_(cols), ld_(ld) {
+    PARSYRK_CHECK(ld >= cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+  double* data() const { return p_; }
+
+  double& operator()(std::size_t i, std::size_t j) const {
+    PARSYRK_CHECK(i < rows_ && j < cols_);
+    return p_[i * ld_ + j];
+  }
+
+  MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                   std::size_t nc) const {
+    PARSYRK_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return {p_ + r0 * ld_ + c0, nr, nc, ld_};
+  }
+
+  /// Copies `src` into this view; shapes must match.
+  void assign(const ConstMatrixView& src) const;
+  void fill(double v) const;
+
+ private:
+  double* p_;
+  std::size_t rows_, cols_, ld_;
+};
+
+/// Non-owning read-only view with a leading dimension.
+class ConstMatrixView {
+ public:
+  ConstMatrixView(const double* p, std::size_t rows, std::size_t cols,
+                  std::size_t ld)
+      : p_(p), rows_(rows), cols_(cols), ld_(ld) {
+    PARSYRK_CHECK(ld >= cols);
+  }
+  // Implicit: a mutable view is usable wherever a const view is expected.
+  ConstMatrixView(const MatrixView& v)  // NOLINT(google-explicit-constructor)
+      : p_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+  const double* data() const { return p_; }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    PARSYRK_CHECK(i < rows_ && j < cols_);
+    return p_[i * ld_ + j];
+  }
+
+  ConstMatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                        std::size_t nc) const {
+    PARSYRK_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return {p_ + r0 * ld_ + c0, nr, nc, ld_};
+  }
+
+  /// Materializes the view into an owning Matrix.
+  Matrix to_matrix() const;
+
+ private:
+  const double* p_;
+  std::size_t rows_, cols_, ld_;
+};
+
+/// Fills `m` with uniform random entries using the given seed.
+class Rng;
+
+}  // namespace parsyrk

@@ -1,0 +1,33 @@
+#include "matrix/packed.hpp"
+
+namespace parsyrk {
+
+PackedLower PackedLower::from_full(const ConstMatrixView& m) {
+  PARSYRK_CHECK(m.rows() == m.cols());
+  PackedLower p(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) p(i, j) = m(i, j);
+  }
+  return p;
+}
+
+Matrix PackedLower::to_full_symmetric() const {
+  Matrix m(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      m(i, j) = (*this)(i, j);
+      m(j, i) = (*this)(i, j);
+    }
+  }
+  return m;
+}
+
+Matrix PackedLower::to_full_lower() const {
+  Matrix m(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) m(i, j) = (*this)(i, j);
+  }
+  return m;
+}
+
+}  // namespace parsyrk

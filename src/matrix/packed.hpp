@@ -1,0 +1,56 @@
+// Packed lower-triangular storage.
+//
+// The 1D algorithm reduce-scatters the n1(n1+1)/2 entries of the lower
+// triangle of C (paper §5.1.2 counts exactly this many words); packing the
+// triangle into a contiguous array makes the communicated volume equal the
+// mathematical count instead of the padded n1² square.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace parsyrk {
+
+/// Lower-triangular (including diagonal) n×n matrix stored row-packed:
+/// element (i, j), j <= i, lives at index i(i+1)/2 + j.
+class PackedLower {
+ public:
+  PackedLower() = default;
+  explicit PackedLower(std::size_t n) : n_(n), data_(packed_size(n), 0.0) {}
+
+  static std::size_t packed_size(std::size_t n) { return n * (n + 1) / 2; }
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    PARSYRK_CHECK(j <= i && i < n_);
+    return data_[i * (i + 1) / 2 + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    PARSYRK_CHECK(j <= i && i < n_);
+    return data_[i * (i + 1) / 2 + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+  /// Packs the lower triangle of a full square matrix.
+  static PackedLower from_full(const ConstMatrixView& m);
+
+  /// Expands to a full symmetric matrix (upper triangle mirrored).
+  Matrix to_full_symmetric() const;
+
+  /// Expands to a full matrix with zeros above the diagonal.
+  Matrix to_full_lower() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace parsyrk

@@ -1,0 +1,33 @@
+// Seeded test-matrix generation.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace parsyrk {
+
+/// Matrix with i.i.d. uniform entries in [-1, 1).
+inline Matrix random_matrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-1, 1);
+  return m;
+}
+
+/// Matrix whose entry (i, j) equals a deterministic function of (i, j); handy
+/// for tests that reshuffle blocks, since the expected value at any position
+/// is computable without reference to the original buffer.
+inline Matrix indexed_matrix(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = static_cast<double>(i * 1000 + j);
+    }
+  }
+  return m;
+}
+
+}  // namespace parsyrk

@@ -1,0 +1,64 @@
+// Explicitly managed fast memory for sequential I/O experiments.
+//
+// The sequential lower bounds (Beaumont et al., the substrate of the paper's
+// 2^{3/2} sequential story) are stated in the ideal "red-blue pebble"
+// model: an algorithm stages blocks into a fast memory of M words and every
+// word moved between slow and fast memory is one unit of I/O. FastMemory
+// enforces the capacity invariant and counts the traffic; the blocked
+// algorithms in seq_syrk.hpp do real arithmetic while staging through it.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace parsyrk::seqio {
+
+class FastMemory {
+ public:
+  explicit FastMemory(std::uint64_t capacity_words)
+      : capacity_(capacity_words) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t resident() const { return resident_; }
+  std::uint64_t loads() const { return loads_; }
+  std::uint64_t stores() const { return stores_; }
+  std::uint64_t total_io() const { return loads_ + stores_; }
+
+  /// Brings n words from slow memory; counts n loads.
+  void load(std::uint64_t n) {
+    loads_ += n;
+    resident_ += n;
+    PARSYRK_CHECK_MSG(resident_ <= capacity_, "fast memory overflow: ",
+                      resident_, " > ", capacity_);
+  }
+
+  /// Allocates n words in fast memory without I/O (e.g. a C block whose
+  /// initial value is zero — no load is required to start accumulating).
+  void allocate(std::uint64_t n) {
+    resident_ += n;
+    PARSYRK_CHECK_MSG(resident_ <= capacity_, "fast memory overflow: ",
+                      resident_, " > ", capacity_);
+  }
+
+  /// Writes n words back to slow memory and frees them; counts n stores.
+  void store_and_evict(std::uint64_t n) {
+    PARSYRK_CHECK(n <= resident_);
+    stores_ += n;
+    resident_ -= n;
+  }
+
+  /// Frees n clean words without I/O.
+  void evict(std::uint64_t n) {
+    PARSYRK_CHECK(n <= resident_);
+    resident_ -= n;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t resident_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace parsyrk::seqio

@@ -1,0 +1,54 @@
+// Word-granular fully-associative LRU cache simulator.
+//
+// Complements FastMemory: where FastMemory models an algorithm that manages
+// its own staging (the ideal-cache assumption of the sequential bounds),
+// LruCache models a hardware-like cache under an *unmodified* access stream
+// — used to show the naive triple loop really does incur ~n1²·n2/2 misses.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace parsyrk::seqio {
+
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_words) : capacity_(capacity_words) {
+    PARSYRK_REQUIRE(capacity_words > 0, "cache capacity must be positive");
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const { return accesses_ - misses_; }
+
+  /// Touches one word; returns true on a miss.
+  bool access(std::uint64_t addr) {
+    ++accesses_;
+    auto it = index_.find(addr);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return false;
+    }
+    ++misses_;
+    if (lru_.size() == capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(addr);
+    index_[addr] = lru_.begin();
+    return true;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+};
+
+}  // namespace parsyrk::seqio

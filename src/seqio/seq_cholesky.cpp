@@ -1,0 +1,183 @@
+#include "seqio/seq_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seqio/fast_memory.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::seqio {
+
+namespace {
+
+/// Unblocked Cholesky of the tile held at w.block(k0, k0, nb, nb), in place.
+void factor_diag(Matrix& w, std::size_t k0, std::size_t nb) {
+  for (std::size_t j = 0; j < nb; ++j) {
+    double d = w(k0 + j, k0 + j);
+    for (std::size_t t = 0; t < j; ++t) {
+      d -= w(k0 + j, k0 + t) * w(k0 + j, k0 + t);
+    }
+    PARSYRK_REQUIRE(d > 0.0, "matrix is not positive definite (tile pivot ",
+                    k0 + j, " = ", d, ")");
+    w(k0 + j, k0 + j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < nb; ++i) {
+      double s = w(k0 + i, k0 + j);
+      for (std::size_t t = 0; t < j; ++t) {
+        s -= w(k0 + i, k0 + t) * w(k0 + j, k0 + t);
+      }
+      w(k0 + i, k0 + j) = s / w(k0 + j, k0 + j);
+    }
+  }
+}
+
+/// In-place triangular solve of tile (i0, k0) against the factored diagonal
+/// tile (k0, k0): W(i0.., k0..) := W(i0.., k0..) · L(k0,k0)⁻ᵀ.
+void solve_panel_tile(Matrix& w, std::size_t i0, std::size_t k0,
+                      std::size_t ni, std::size_t nb) {
+  for (std::size_t r = 0; r < ni; ++r) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      double s = w(i0 + r, k0 + j);
+      for (std::size_t t = 0; t < j; ++t) {
+        s -= w(i0 + r, k0 + t) * w(k0 + j, k0 + t);
+      }
+      w(i0 + r, k0 + j) = s / w(k0 + j, k0 + j);
+    }
+  }
+}
+
+/// Trailing tile update: W(i0.., j0..) −= L(i0.., k0..)·L(j0.., k0..)ᵀ,
+/// lower part only when on the diagonal.
+void update_trailing_tile(Matrix& w, std::size_t i0, std::size_t j0,
+                          std::size_t k0, std::size_t ni, std::size_t nj,
+                          std::size_t nb, bool diag) {
+  for (std::size_t r = 0; r < ni; ++r) {
+    const std::size_t cmax = diag ? std::min(nj, r + 1) : nj;
+    for (std::size_t cc = 0; cc < cmax; ++cc) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < nb; ++t) {
+        acc += w(i0 + r, k0 + t) * w(j0 + cc, k0 + t);
+      }
+      w(i0 + r, j0 + cc) -= acc;
+    }
+  }
+}
+
+struct TileGrid {
+  std::size_t n = 0, b = 0, ntiles = 0;
+  std::size_t begin(std::size_t t) const { return t * b; }
+  std::size_t size(std::size_t t) const {
+    return std::min(b, n - t * b);
+  }
+};
+
+SeqCholResult run(const ConstMatrixView& g, std::uint64_t m,
+                  bool panel_resident) {
+  PARSYRK_REQUIRE(g.rows() == g.cols(), "Cholesky needs a square matrix");
+  const std::size_t n = g.rows();
+  // Tile size: 3 tiles resident for tile-pair; panel (n·b) + 2 tiles for
+  // panel-resident.
+  std::size_t b;
+  if (panel_resident) {
+    b = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(m) /
+                                    (static_cast<double>(n) + 1.0) / 1.2));
+    while (b > 1 && n * b + 2 * b * b > m) --b;
+    PARSYRK_REQUIRE(n * 1 + 2 <= m, "fast memory too small: need n + 2");
+  } else {
+    b = static_cast<std::size_t>(std::sqrt(static_cast<double>(m) / 3.0));
+    PARSYRK_REQUIRE(b >= 1, "fast memory too small for one tile triple");
+  }
+  b = std::min(b, n);
+
+  TileGrid grid{n, b, (n + b - 1) / b};
+  FastMemory fm(m);
+  SeqCholResult out;
+  out.tile = b;
+  // Working copy (slow memory); only the lower triangle is meaningful.
+  Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) w(i, j) = g(i, j);
+  }
+
+  const std::size_t k_tiles = grid.ntiles;
+  for (std::size_t k = 0; k < k_tiles; ++k) {
+    const std::size_t k0 = grid.begin(k), nb = grid.size(k);
+    // Factor the diagonal tile.
+    fm.load(nb * (nb + 1) / 2);
+    factor_diag(w, k0, nb);
+    // With panel_resident the factored tiles stay pinned for the trailing
+    // update; their writeback is counted here, eviction happens at step end.
+    if (panel_resident) out.stores += nb * (nb + 1) / 2;
+    std::uint64_t pinned = nb * (nb + 1) / 2;
+    for (std::size_t i = k + 1; i < k_tiles; ++i) {
+      const std::size_t i0 = grid.begin(i), ni = grid.size(i);
+      fm.load(ni * nb);
+      solve_panel_tile(w, i0, k0, ni, nb);
+      if (panel_resident) {
+        // Stays resident (also written back so slow memory holds L).
+        out.stores += ni * nb;
+        pinned += ni * nb;
+      } else {
+        fm.store_and_evict(ni * nb);
+      }
+    }
+    if (!panel_resident) fm.store_and_evict(nb * (nb + 1) / 2);
+
+    // Trailing SYRK with the step-k panel.
+    for (std::size_t i = k + 1; i < k_tiles; ++i) {
+      const std::size_t i0 = grid.begin(i), ni = grid.size(i);
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        const std::size_t j0 = grid.begin(j), nj = grid.size(j);
+        const bool diag = i == j;
+        const std::size_t c_words = diag ? ni * (ni + 1) / 2 : ni * nj;
+        fm.load(c_words);
+        if (!panel_resident) {
+          fm.load(ni * nb);
+          if (!diag) fm.load(nj * nb);
+        }
+        update_trailing_tile(w, i0, j0, k0, ni, nj, nb, diag);
+        fm.store_and_evict(c_words);
+        if (!panel_resident) {
+          fm.evict(ni * nb);
+          if (!diag) fm.evict(nj * nb);
+        }
+      }
+    }
+    if (panel_resident) {
+      fm.evict(pinned);  // panel was written back as it was produced
+    }
+  }
+  out.loads = fm.loads();
+  out.stores += fm.stores();
+
+  // Extract L (zeroing the strict upper).
+  out.l = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) out.l(i, j) = w(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+SeqCholResult seq_cholesky_tile_pair(const ConstMatrixView& g,
+                                     std::uint64_t m) {
+  return run(g, m, /*panel_resident=*/false);
+}
+
+SeqCholResult seq_cholesky_panel_resident(const ConstMatrixView& g,
+                                          std::uint64_t m) {
+  return run(g, m, /*panel_resident=*/true);
+}
+
+double seq_cholesky_io_reference(std::uint64_t n, std::uint64_t m) {
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn / (3.0 * std::sqrt(static_cast<double>(m)));
+}
+
+double seq_cholesky_io_lower_bound(std::uint64_t n, std::uint64_t m) {
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn / (3.0 * std::sqrt(2.0 * static_cast<double>(m)));
+}
+
+}  // namespace parsyrk::seqio

@@ -1,0 +1,207 @@
+#include "seqio/seq_syrk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distribution/triangle_block.hpp"
+#include "support/check.hpp"
+#include "support/prime.hpp"
+
+namespace parsyrk::seqio {
+
+namespace {
+
+/// Accumulates a(rows I, k0..k1) · a(rows J, k0..k1)ᵀ into `block`
+/// (full for I != J, lower triangle for I == J).
+void update_block(const ConstMatrixView& a, std::size_t i0, std::size_t ni,
+                  std::size_t j0, std::size_t nj, std::size_t k0,
+                  std::size_t k1, MatrixView block, bool lower_only) {
+  for (std::size_t r = 0; r < ni; ++r) {
+    const std::size_t jmax = lower_only ? std::min(nj, (i0 + r) - j0 + 1) : nj;
+    for (std::size_t c = 0; c < jmax; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = k0; k < k1; ++k) {
+        acc += a(i0 + r, k) * a(j0 + c, k);
+      }
+      block(r, c) += acc;
+    }
+  }
+}
+
+}  // namespace
+
+SeqSyrkResult seq_syrk_naive(const ConstMatrixView& a, std::uint64_t m) {
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  PARSYRK_REQUIRE(m >= 2 * n2 + 1, "naive scheme needs m >= 2·n2 + 1; m = ",
+                  m, ", n2 = ", n2);
+  FastMemory fm(m);
+  SeqSyrkResult out;
+  out.c = Matrix(n1, n1);
+  for (std::size_t i = 0; i < n1; ++i) {
+    fm.load(n2);  // row i stays resident across the j sweep
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (j < i) fm.load(n2);  // stream row j
+      fm.allocate(1);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n2; ++k) acc += a(i, k) * a(j, k);
+      out.c(i, j) = acc;
+      out.c(j, i) = acc;
+      fm.store_and_evict(1);
+      if (j < i) fm.evict(n2);
+    }
+    fm.evict(n2);
+  }
+  out.loads = fm.loads();
+  out.stores = fm.stores();
+  out.parameter = 0;
+  return out;
+}
+
+SeqSyrkResult seq_syrk_square(const ConstMatrixView& a, std::uint64_t m) {
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  // b² for the C block plus two streamed A panel chunks of width kc >= 1;
+  // maximizing b (≈ √M) is what attains the n1²·n2/√M I/O of square
+  // blocking — the chunk width only affects constant-free lower-order terms.
+  auto b = static_cast<std::size_t>(std::sqrt(static_cast<double>(m)));
+  while (b >= 1 && b * b + 2 * b > m) --b;
+  b = std::min(b, n1);
+  PARSYRK_REQUIRE(b >= 1, "square scheme needs m >= 3");
+  std::size_t kc = std::max<std::size_t>(1, (m - b * b) / (2 * b));
+  kc = std::min(kc, n2);
+  FastMemory fm(m);
+  SeqSyrkResult out;
+  out.c = Matrix(n1, n1);
+  out.parameter = b;
+  const std::size_t nblk = (n1 + b - 1) / b;
+  for (std::size_t bi = 0; bi < nblk; ++bi) {
+    const std::size_t i0 = bi * b, ni = std::min(b, n1 - i0);
+    for (std::size_t bj = 0; bj <= bi; ++bj) {
+      const std::size_t j0 = bj * b, nj = std::min(b, n1 - j0);
+      const bool diag = bi == bj;
+      fm.allocate(ni * nj);  // C block accumulates from zero: no load
+      Matrix block(ni, nj);
+      for (std::size_t k0 = 0; k0 < n2; k0 += kc) {
+        const std::size_t k1 = std::min(k0 + kc, n2);
+        fm.load(ni * (k1 - k0));            // A panel chunk, rows i0..
+        if (!diag) fm.load(nj * (k1 - k0)); // A panel chunk, rows j0..
+        update_block(a, i0, ni, j0, nj, k0, k1, block.view(), diag);
+        fm.evict(ni * (k1 - k0));
+        if (!diag) fm.evict(nj * (k1 - k0));
+      }
+      for (std::size_t r = 0; r < ni; ++r) {
+        const std::size_t cmax = diag ? std::min(nj, r + 1) : nj;
+        for (std::size_t c = 0; c < cmax; ++c) {
+          out.c(i0 + r, j0 + c) = block(r, c);
+          out.c(j0 + c, i0 + r) = block(r, c);
+        }
+      }
+      fm.store_and_evict(ni * nj);
+    }
+  }
+  out.loads = fm.loads();
+  out.stores = fm.stores();
+  return out;
+}
+
+SeqSyrkResult seq_syrk_triangle(const ConstMatrixView& a, std::uint64_t m) {
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  // Pick the smallest prime c such that the row groups divide n1 and one
+  // triangle set's working space fits: the C blocks of the set plus one
+  // k-chunk of all c·nb resident A rows.
+  std::optional<std::uint64_t> chosen;
+  for (std::uint64_t c = 2; c * c <= n1; c = next_prime(c + 1)) {
+    if (n1 % (c * c) != 0) continue;
+    const std::uint64_t nb = n1 / (c * c);
+    const std::uint64_t cset =
+        c * (c - 1) / 2 * nb * nb + nb * (nb + 1) / 2;
+    const std::uint64_t rows = c * nb;  // = n1/c resident A rows
+    if (cset + rows <= m) {  // at least kc = 1 must fit
+      chosen = c;
+      break;
+    }
+  }
+  PARSYRK_REQUIRE(chosen.has_value(),
+                  "no usable triangle-block prime: need a prime c with "
+                  "n1 % c² == 0 and the set working space within m = ", m);
+  const std::uint64_t c = *chosen;
+  const std::uint64_t nb = n1 / (c * c);
+  const std::uint64_t cset = c * (c - 1) / 2 * nb * nb + nb * (nb + 1) / 2;
+  const std::uint64_t rows = c * nb;
+  std::size_t kc = std::max<std::uint64_t>(1, (m - cset) / rows);
+  kc = std::min<std::size_t>(kc, n2);
+
+  dist::TriangleBlockDistribution d(c);
+  FastMemory fm(m);
+  SeqSyrkResult out;
+  out.c = Matrix(n1, n1);
+  out.parameter = c;
+
+  for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+    const auto pairs = d.owned_pairs(k);
+    const auto diag = d.diagonal_block(k);
+    // Allocate the set's C blocks (accumulate from zero: no load I/O).
+    std::vector<Matrix> blocks(pairs.size(), Matrix(nb, nb));
+    Matrix diag_block(nb, nb);
+    std::uint64_t cwords = pairs.size() * nb * nb;
+    if (diag) cwords += nb * (nb + 1) / 2;
+    fm.allocate(cwords);
+
+    for (std::size_t k0 = 0; k0 < n2; k0 += kc) {
+      const std::size_t k1 = std::min(k0 + kc, n2);
+      // One load brings the k-chunk of ALL the set's rows; every pair in the
+      // set reuses it — this is the higher operational intensity of triangle
+      // blocks (Beaumont et al.).
+      fm.load(rows * (k1 - k0));
+      for (std::size_t t = 0; t < pairs.size(); ++t) {
+        const auto [bi, bj] = pairs[t];
+        update_block(a, bi * nb, nb, bj * nb, nb, k0, k1, blocks[t].view(),
+                     /*lower_only=*/false);
+      }
+      if (diag) {
+        update_block(a, *diag * nb, nb, *diag * nb, nb, k0, k1,
+                     diag_block.view(), /*lower_only=*/true);
+      }
+      fm.evict(rows * (k1 - k0));
+    }
+    for (std::size_t t = 0; t < pairs.size(); ++t) {
+      const auto [bi, bj] = pairs[t];
+      for (std::size_t r = 0; r < nb; ++r) {
+        for (std::size_t cc = 0; cc < nb; ++cc) {
+          out.c(bi * nb + r, bj * nb + cc) = blocks[t](r, cc);
+          out.c(bj * nb + cc, bi * nb + r) = blocks[t](r, cc);
+        }
+      }
+    }
+    if (diag) {
+      for (std::size_t r = 0; r < nb; ++r) {
+        for (std::size_t cc = 0; cc <= r; ++cc) {
+          out.c(*diag * nb + r, *diag * nb + cc) = diag_block(r, cc);
+          out.c(*diag * nb + cc, *diag * nb + r) = diag_block(r, cc);
+        }
+      }
+    }
+    fm.store_and_evict(cwords);
+  }
+  out.loads = fm.loads();
+  out.stores = fm.stores();
+  return out;
+}
+
+double seq_syrk_io_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                               std::uint64_t m) {
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  return d1 * d1 * d2 / std::sqrt(2.0 * static_cast<double>(m));
+}
+
+double seq_gemm_io_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                               std::uint64_t m) {
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  return 2.0 * d1 * d1 * d2 / std::sqrt(static_cast<double>(m));
+}
+
+}  // namespace parsyrk::seqio

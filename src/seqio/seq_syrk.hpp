@@ -1,0 +1,57 @@
+// Sequential SYRK variants with measured I/O (E10).
+//
+// Three schemes compute the lower triangle of C = A·Aᵀ while staging data
+// through a FastMemory of M words:
+//   * naive: row-pair streaming, no C blocking — I/O ≈ n1²·n2/2;
+//   * square: square cache blocks of C — I/O ≈ n1²·n2/√M (the "GEMM-style,
+//     flops halved" scheme);
+//   * triangle: Beaumont et al.'s triangle-block scheme, reusing the
+//     triangle-block index family from the distribution module — I/O ≈
+//     (1/√2)·n1²·n2/√M, a factor √2 better, matching the sequential lower
+//     bound's constant.
+// Every scheme returns the computed matrix so tests can verify the
+// restructuring did not change the arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "seqio/fast_memory.hpp"
+
+namespace parsyrk::seqio {
+
+struct SeqSyrkResult {
+  Matrix c;                 // full symmetric result
+  std::uint64_t loads = 0;  // words moved slow -> fast
+  std::uint64_t stores = 0; // words moved fast -> slow
+  std::uint64_t total_io() const { return loads + stores; }
+  /// Parameter actually used by the scheme (block size b, or triangle
+  /// distribution prime c); 0 for the naive scheme.
+  std::uint64_t parameter = 0;
+};
+
+/// Row-pair streaming: keeps one row of A resident, streams the others.
+/// Requires 2·n2 + 1 <= m words.
+SeqSyrkResult seq_syrk_naive(const ConstMatrixView& a, std::uint64_t m);
+
+/// Square blocking: C blocks of dimension b with b² + 2·b·kc <= m; the A
+/// panels are streamed through fast memory in k-chunks of width kc.
+SeqSyrkResult seq_syrk_square(const ConstMatrixView& a, std::uint64_t m);
+
+/// Triangle blocking (Beaumont): rows are grouped into c² groups; the
+/// triangle-block index family covers every group pair exactly once with
+/// c-element sets, each processed with all its A rows resident.
+/// Requires a prime c such that the working set fits in m and n1 % c² == 0.
+SeqSyrkResult seq_syrk_triangle(const ConstMatrixView& a, std::uint64_t m);
+
+/// The sequential I/O lower bound of Beaumont et al.: (1/√2)·n1²·n2/√M
+/// (leading order).
+double seq_syrk_io_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                               std::uint64_t m);
+
+/// The tight sequential GEMM I/O bound (Smith et al.): 2·n1²·n2/√M, the
+/// 2^{3/2}-factor comparator.
+double seq_gemm_io_lower_bound(std::uint64_t n1, std::uint64_t n2,
+                               std::uint64_t m);
+
+}  // namespace parsyrk::seqio

@@ -1,0 +1,506 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace parsyrk::comm {
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(int num_ranks) : ledger_(num_ranks) {
+  PARSYRK_REQUIRE(num_ranks >= 1, "world size must be positive, got ",
+                  num_ranks);
+  mailboxes_.reserve(num_ranks);
+  for (int i = 0; i < num_ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  world_group_ = std::make_shared<detail::Group>();
+  world_group_->id = 0;
+  world_group_->world_ranks.resize(num_ranks);
+  for (int i = 0; i < num_ranks; ++i) world_group_->world_ranks[i] = i;
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& body) {
+  const int p = size();
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  std::vector<std::exception_ptr> errors(p);
+  // One byte per rank (vector<bool> would pack bits into shared words and
+  // race across threads).
+  std::vector<unsigned char> aborted(p, 0);
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([this, &body, &errors, &aborted, r] {
+      Comm comm(this, world_group_, r);
+      try {
+        body(comm);
+      } catch (const RankAborted&) {
+        aborted[r] = 1;  // secondary victim; the root cause is elsewhere
+      } catch (...) {
+        errors[r] = std::current_exception();
+        poison_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < p; ++r) {
+    if (errors[r]) {
+      reset_after_failure();
+      std::rethrow_exception(errors[r]);
+    }
+  }
+  // A clean SPMD body consumes every message it causes to be sent.
+  for (int r = 0; r < p; ++r) {
+    PARSYRK_CHECK_MSG(mailboxes_[r]->empty(),
+                      "rank ", r, " finished with undrained messages");
+  }
+}
+
+void World::poison_all() {
+  for (auto& mb : mailboxes_) mb->poison();
+  auto poison_group = [](detail::Group& g) {
+    {
+      std::lock_guard lock(g.bar_mu);
+      g.poisoned = true;
+    }
+    g.bar_cv.notify_all();
+  };
+  poison_group(*world_group_);
+  std::lock_guard lock(groups_mu_);
+  for (auto& [sig, g] : group_registry_) poison_group(*g);
+}
+
+void World::reset_after_failure() {
+  for (auto& mb : mailboxes_) mb->reset();
+  auto reset_group = [](detail::Group& g) {
+    std::lock_guard lock(g.bar_mu);
+    g.poisoned = false;
+    g.bar_count = 0;
+  };
+  reset_group(*world_group_);
+  std::lock_guard lock(groups_mu_);
+  for (auto& [sig, g] : group_registry_) reset_group(*g);
+}
+
+std::shared_ptr<detail::Group> World::intern_group(
+    const std::string& signature, const std::vector<int>& members) {
+  std::lock_guard lock(groups_mu_);
+  auto it = group_registry_.find(signature);
+  if (it != group_registry_.end()) {
+    PARSYRK_CHECK_MSG(it->second->world_ranks == members,
+                      "group signature collision: ", signature);
+    return it->second;
+  }
+  auto g = std::make_shared<detail::Group>();
+  g->id = next_group_id_++;
+  g->world_ranks = members;
+  group_registry_.emplace(signature, g);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Comm: point-to-point and barrier
+// ---------------------------------------------------------------------------
+
+void Comm::set_phase(const std::string& phase) {
+  world_->ledger().set_phase(world_rank(), phase);
+}
+
+void Comm::send_tagged(int dst, int tag, std::span<const double> data) {
+  PARSYRK_CHECK_MSG(dst >= 0 && dst < size() && dst != rank_,
+                    "bad destination ", dst, " from rank ", rank_);
+  if (!mute_ledger_) world_->ledger().record_send(world_rank(), data.size());
+  Message msg;
+  msg.env = Envelope{group_->id, rank_, tag};
+  msg.payload.assign(data.begin(), data.end());
+  world_->mailbox(group_->world_ranks[dst]).push(std::move(msg));
+}
+
+std::vector<double> Comm::recv_tagged(int src, int tag) {
+  PARSYRK_CHECK_MSG(src >= 0 && src < size() && src != rank_,
+                    "bad source ", src, " at rank ", rank_);
+  auto payload =
+      world_->mailbox(world_rank()).pop(Envelope{group_->id, src, tag});
+  if (!mute_ledger_) world_->ledger().record_recv(world_rank(), payload.size());
+  return payload;
+}
+
+void Comm::send(int dst, int tag, std::span<const double> data) {
+  PARSYRK_REQUIRE(tag >= 0, "user tags must be non-negative, got ", tag);
+  send_tagged(dst, tag, data);
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  PARSYRK_REQUIRE(tag >= 0, "user tags must be non-negative, got ", tag);
+  return recv_tagged(src, tag);
+}
+
+void Comm::barrier() {
+  auto& g = *group_;
+  std::unique_lock lock(g.bar_mu);
+  if (g.poisoned) throw RankAborted();
+  const std::uint64_t gen = g.bar_gen;
+  if (++g.bar_count == size()) {
+    g.bar_count = 0;
+    ++g.bar_gen;
+    g.bar_cv.notify_all();
+  } else {
+    g.bar_cv.wait(lock, [&] { return g.bar_gen != gen || g.poisoned; });
+    if (g.bar_gen == gen && g.poisoned) throw RankAborted();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise-exchange collectives
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> Comm::all_to_all_v(
+    const std::vector<std::vector<double>>& send) {
+  const int p = size();
+  PARSYRK_REQUIRE(static_cast<int>(send.size()) == p,
+                  "all_to_all_v needs one block per rank; got ", send.size(),
+                  " for ", p, " ranks");
+  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
+  const int tag0 = next_op_tag();
+  std::vector<std::vector<double>> recv(p);
+  recv[rank_] = send[rank_];  // own block stays local; no cost
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank_ + r) % p;
+    const int src = (rank_ - r + p) % p;
+    send_tagged(dst, tag0 + r, send[dst]);
+    recv[src] = recv_tagged(src, tag0 + r);
+  }
+  return recv;
+}
+
+std::vector<double> Comm::reduce_scatter(
+    std::span<const double> data, const std::vector<std::size_t>& sizes) {
+  const int p = size();
+  PARSYRK_REQUIRE(static_cast<int>(sizes.size()) == p,
+                  "reduce_scatter needs one block size per rank");
+  std::vector<std::size_t> offset(p + 1, 0);
+  for (int i = 0; i < p; ++i) offset[i + 1] = offset[i] + sizes[i];
+  PARSYRK_REQUIRE(offset[p] == data.size(), "reduce_scatter buffer is ",
+                  data.size(), " words but block sizes sum to ", offset[p]);
+  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
+  const int tag0 = next_op_tag();
+  std::vector<double> acc(data.begin() + offset[rank_],
+                          data.begin() + offset[rank_ + 1]);
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank_ + r) % p;
+    const int src = (rank_ - r + p) % p;
+    send_tagged(dst, tag0 + r, data.subspan(offset[dst], sizes[dst]));
+    auto in = recv_tagged(src, tag0 + r);
+    PARSYRK_CHECK(in.size() == acc.size());
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+  }
+  return acc;
+}
+
+std::vector<double> Comm::reduce_scatter_equal(std::span<const double> data) {
+  const int p = size();
+  PARSYRK_REQUIRE(data.size() % p == 0, "buffer of ", data.size(),
+                  " words is not divisible by ", p, " ranks");
+  return reduce_scatter(data,
+                        std::vector<std::size_t>(p, data.size() / p));
+}
+
+std::vector<double> Comm::all_reduce(std::span<const double> data) {
+  auto mine = reduce_scatter_equal(data);
+  return all_gather(mine);
+}
+
+std::vector<double> Comm::all_gather(std::span<const double> mine) {
+  const int p = size();
+  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
+  const int tag0 = next_op_tag();
+  std::vector<double> out(mine.size() * p);
+  std::copy(mine.begin(), mine.end(), out.begin() + rank_ * mine.size());
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank_ + r) % p;
+    const int src = (rank_ - r + p) % p;
+    send_tagged(dst, tag0 + r, mine);
+    auto in = recv_tagged(src, tag0 + r);
+    PARSYRK_CHECK(in.size() == mine.size());
+    std::copy(in.begin(), in.end(), out.begin() + src * mine.size());
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Comm::all_gather_v(
+    std::span<const double> mine) {
+  const int p = size();
+  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
+  const int tag0 = next_op_tag();
+  std::vector<std::vector<double>> out(p);
+  out[rank_].assign(mine.begin(), mine.end());
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank_ + r) % p;
+    const int src = (rank_ - r + p) % p;
+    send_tagged(dst, tag0 + r, mine);
+    out[src] = recv_tagged(src, tag0 + r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Latency-efficient variants (§6)
+// ---------------------------------------------------------------------------
+
+std::vector<double> Comm::all_gather_bruck(std::span<const double> mine) {
+  const int p = size();
+  const std::size_t n = mine.size();
+  const int tag0 = next_op_tag();
+  // rel[t] holds the contribution of rank (rank_ + t) mod p.
+  std::vector<std::vector<double>> rel;
+  rel.reserve(p);
+  rel.emplace_back(mine.begin(), mine.end());
+  int round = 0;
+  for (int d = 1; d < p; d <<= 1) {
+    const int count = std::min(d, p - d);
+    const int dst = (rank_ - d + p) % p;
+    const int src = (rank_ + d) % p;
+    std::vector<double> flat;
+    flat.reserve(count * n);
+    for (int t = 0; t < count; ++t) {
+      flat.insert(flat.end(), rel[t].begin(), rel[t].end());
+    }
+    send_tagged(dst, tag0 + round, flat);
+    auto in = recv_tagged(src, tag0 + round);
+    PARSYRK_CHECK(in.size() == static_cast<std::size_t>(count) * n);
+    for (int t = 0; t < count; ++t) {
+      rel.emplace_back(in.begin() + t * n, in.begin() + (t + 1) * n);
+    }
+    ++round;
+  }
+  std::vector<double> out(n * p);
+  for (int t = 0; t < p; ++t) {
+    const int owner = (rank_ + t) % p;
+    std::copy(rel[t].begin(), rel[t].end(), out.begin() + owner * n);
+  }
+  return out;
+}
+
+std::vector<double> Comm::reduce_scatter_bruck(std::span<const double> data) {
+  const int p = size();
+  PARSYRK_REQUIRE(data.size() % p == 0, "buffer of ", data.size(),
+                  " words is not divisible by ", p, " ranks");
+  const std::size_t n = data.size() / p;
+  const int tag0 = next_op_tag();
+  // rel[t] = my partial for rank (rank_ + t) mod p. The schedule is the
+  // exact reverse of all_gather_bruck with summation folded in: what the
+  // gather copied outward, the reduce accumulates inward, so bandwidth
+  // (1−1/P)·w and latency ceil(log2 P) are both optimal (§6).
+  std::vector<std::vector<double>> rel(p);
+  for (int t = 0; t < p; ++t) {
+    const int owner = (rank_ + t) % p;
+    rel[t].assign(data.begin() + owner * n, data.begin() + (owner + 1) * n);
+  }
+  // Forward step distances, replayed in reverse.
+  std::vector<int> steps;
+  for (int d = 1; d < p; d <<= 1) steps.push_back(d);
+  int round = 0;
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const int d = *it;
+    const int count = std::min(d, p - d);
+    const int dst = (rank_ + d) % p;
+    const int src = (rank_ - d + p) % p;
+    std::vector<double> flat;
+    flat.reserve(count * n);
+    for (int t = d; t < d + count; ++t) {
+      flat.insert(flat.end(), rel[t].begin(), rel[t].end());
+    }
+    send_tagged(dst, tag0 + round, flat);
+    auto in = recv_tagged(src, tag0 + round);
+    PARSYRK_CHECK(in.size() == static_cast<std::size_t>(count) * n);
+    for (int t = 0; t < count; ++t) {
+      for (std::size_t w = 0; w < n; ++w) {
+        rel[t][w] += in[t * n + w];
+      }
+    }
+    ++round;
+  }
+  return rel[0];
+}
+
+std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
+                                               std::size_t block) {
+  const int p = size();
+  PARSYRK_REQUIRE(send.size() == block * p,
+                  "butterfly all-to-all needs p equal blocks");
+  const int tag0 = next_op_tag();
+  // Phase 1: local rotation so slot j holds the block destined to rank_+j.
+  std::vector<std::vector<double>> buf(p);
+  for (int j = 0; j < p; ++j) {
+    const int dst = (rank_ + j) % p;
+    buf[j].assign(send.begin() + dst * block, send.begin() + (dst + 1) * block);
+  }
+  // Phase 2: bit-wise exchanges; block j travels a total displacement of j.
+  int round = 0;
+  for (int bit = 1; bit < p; bit <<= 1) {
+    const int dst = (rank_ + bit) % p;
+    const int src = (rank_ - bit + p) % p;
+    std::vector<int> moved;
+    std::vector<double> flat;
+    for (int j = 0; j < p; ++j) {
+      if ((j & bit) != 0) {
+        moved.push_back(j);
+        flat.insert(flat.end(), buf[j].begin(), buf[j].end());
+      }
+    }
+    send_tagged(dst, tag0 + round, flat);
+    auto in = recv_tagged(src, tag0 + round);
+    PARSYRK_CHECK(in.size() == moved.size() * block);
+    for (std::size_t m = 0; m < moved.size(); ++m) {
+      buf[moved[m]].assign(in.begin() + m * block,
+                           in.begin() + (m + 1) * block);
+    }
+    ++round;
+  }
+  // Phase 3: slot j now holds the block from rank (rank_ - j); unrotate.
+  std::vector<double> out(block * p);
+  for (int j = 0; j < p; ++j) {
+    const int src = (rank_ - j + p) % p;
+    std::copy(buf[j].begin(), buf[j].end(), out.begin() + src * block);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rooted collectives
+// ---------------------------------------------------------------------------
+
+void Comm::bcast(std::span<double> data, int root) {
+  const int p = size();
+  PARSYRK_REQUIRE(root >= 0 && root < p, "bad bcast root ", root);
+  const int tag0 = next_op_tag();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) != 0) {
+      const int src = ((vrank - mask) + root) % p;
+      auto in = recv_tagged(src, tag0);
+      PARSYRK_CHECK(in.size() == data.size());
+      std::copy(in.begin(), in.end(), data.begin());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = ((vrank + mask) + root) % p;
+      send_tagged(dst, tag0, data);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<double> Comm::reduce(std::span<const double> data, int root) {
+  const int p = size();
+  PARSYRK_REQUIRE(root >= 0 && root < p, "bad reduce root ", root);
+  const int tag0 = next_op_tag();
+  const int vrank = (rank_ - root + p) % p;
+  std::vector<double> acc(data.begin(), data.end());
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) != 0) {
+      const int dst = ((vrank - mask) + root) % p;
+      send_tagged(dst, tag0, acc);
+      return {};
+    }
+    if (vrank + mask < p) {
+      const int src = ((vrank + mask) + root) % p;
+      auto in = recv_tagged(src, tag0);
+      PARSYRK_CHECK(in.size() == acc.size());
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+    }
+    mask <<= 1;
+  }
+  return acc;
+}
+
+std::vector<std::vector<double>> Comm::gather(std::span<const double> mine,
+                                              int root) {
+  const int p = size();
+  PARSYRK_REQUIRE(root >= 0 && root < p, "bad gather root ", root);
+  const int tag0 = next_op_tag();
+  if (rank_ != root) {
+    send_tagged(root, tag0, mine);
+    return {};
+  }
+  std::vector<std::vector<double>> out(p);
+  out[root].assign(mine.begin(), mine.end());
+  for (int r = 0; r < p; ++r) {
+    if (r == root) continue;
+    out[r] = recv_tagged(r, tag0);
+  }
+  return out;
+}
+
+std::vector<double> Comm::scatter(
+    const std::vector<std::vector<double>>& parts, int root) {
+  const int p = size();
+  PARSYRK_REQUIRE(root >= 0 && root < p, "bad scatter root ", root);
+  const int tag0 = next_op_tag();
+  if (rank_ == root) {
+    PARSYRK_REQUIRE(static_cast<int>(parts.size()) == p,
+                    "scatter needs one part per rank");
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      send_tagged(r, tag0, parts[r]);
+    }
+    return parts[root];
+  }
+  return recv_tagged(root, tag0);
+}
+
+// ---------------------------------------------------------------------------
+// split
+// ---------------------------------------------------------------------------
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key) so each rank can compute every group's membership.
+  const int p = size();
+  const std::vector<double> mine = {static_cast<double>(color),
+                                    static_cast<double>(key)};
+  mute_ledger_ = true;  // setup exchange: not algorithm communication
+  auto all = all_gather(mine);
+  mute_ledger_ = false;
+
+  struct Entry {
+    int color, key, rank;
+  };
+  std::vector<Entry> members;
+  std::string sig = std::to_string(group_->id) + "@" +
+                    std::to_string(op_seq_) + ":";
+  for (int r = 0; r < p; ++r) {
+    const int rc = static_cast<int>(all[2 * r]);
+    const int rk = static_cast<int>(all[2 * r + 1]);
+    sig += std::to_string(rc) + "," + std::to_string(rk) + ";";
+    if (rc == color) members.push_back({rc, rk, r});
+  }
+  sig += "|" + std::to_string(color);
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+                   });
+
+  std::vector<int> world_members;
+  world_members.reserve(members.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    world_members.push_back(group_->world_ranks[members[i].rank]);
+    if (members[i].rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  PARSYRK_CHECK(my_new_rank >= 0);
+  auto g = world_->intern_group(sig, world_members);
+  return Comm(world_, std::move(g), my_new_rank);
+}
+
+}  // namespace parsyrk::comm

@@ -1,0 +1,85 @@
+#include "simmpi/ledger.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parsyrk::comm {
+
+CostLedger::CostLedger(int num_ranks) : ranks_(num_ranks) {
+  PARSYRK_CHECK(num_ranks >= 1);
+}
+
+void CostLedger::set_phase(int rank, std::string phase) {
+  std::lock_guard lock(mu_);
+  PARSYRK_CHECK(rank >= 0 && rank < static_cast<int>(ranks_.size()));
+  if (std::find(phase_order_.begin(), phase_order_.end(), phase) ==
+      phase_order_.end()) {
+    phase_order_.push_back(phase);
+  }
+  ranks_[rank].phase = std::move(phase);
+}
+
+void CostLedger::record_send(int rank, std::uint64_t words) {
+  std::lock_guard lock(mu_);
+  auto& c = ranks_[rank].by_phase[ranks_[rank].phase];
+  c.words_sent += words;
+  c.msgs_sent += 1;
+}
+
+void CostLedger::record_recv(int rank, std::uint64_t words) {
+  std::lock_guard lock(mu_);
+  auto& c = ranks_[rank].by_phase[ranks_[rank].phase];
+  c.words_recv += words;
+  c.msgs_recv += 1;
+}
+
+void CostLedger::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& r : ranks_) {
+    r.phase = "default";
+    r.by_phase.clear();
+  }
+  phase_order_.clear();
+}
+
+CostSummary CostLedger::summarize(const std::string* phase) const {
+  std::lock_guard lock(mu_);
+  CostSummary s;
+  s.ranks = ranks_.size();
+  for (const auto& r : ranks_) {
+    Counters rank_total;
+    for (const auto& [name, c] : r.by_phase) {
+      if (phase != nullptr && name != *phase) continue;
+      rank_total += c;
+    }
+    s.total += rank_total;
+    s.max.words_sent = std::max(s.max.words_sent, rank_total.words_sent);
+    s.max.words_recv = std::max(s.max.words_recv, rank_total.words_recv);
+    s.max.msgs_sent = std::max(s.max.msgs_sent, rank_total.msgs_sent);
+    s.max.msgs_recv = std::max(s.max.msgs_recv, rank_total.msgs_recv);
+  }
+  return s;
+}
+
+CostSummary CostLedger::summary() const { return summarize(nullptr); }
+
+CostSummary CostLedger::summary(const std::string& phase) const {
+  return summarize(&phase);
+}
+
+std::vector<std::string> CostLedger::phases() const {
+  std::lock_guard lock(mu_);
+  return phase_order_;
+}
+
+std::vector<Counters> CostLedger::per_rank() const {
+  std::lock_guard lock(mu_);
+  std::vector<Counters> out(ranks_.size());
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    for (const auto& [name, c] : ranks_[i].by_phase) out[i] += c;
+  }
+  return out;
+}
+
+}  // namespace parsyrk::comm

@@ -1,0 +1,82 @@
+// Communication-cost ledger.
+//
+// The reproduction's measured quantity is the number of words each rank
+// sends/receives (the β term of the α-β-γ model) and the number of messages
+// (the α term). Every send/recv in the runtime is recorded here, broken down
+// by a per-rank "phase" label so one run can attribute volume to, e.g., the
+// All-to-All of A vs the Reduce-Scatter of C.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parsyrk::comm {
+
+struct Counters {
+  std::uint64_t words_sent = 0;
+  std::uint64_t words_recv = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+
+  Counters& operator+=(const Counters& o) {
+    words_sent += o.words_sent;
+    words_recv += o.words_recv;
+    msgs_sent += o.msgs_sent;
+    msgs_recv += o.msgs_recv;
+    return *this;
+  }
+};
+
+/// Aggregate view over all ranks of one phase (or the whole run).
+struct CostSummary {
+  Counters max;    // per-field maximum over ranks — the critical-path proxy
+  Counters total;  // per-field sum over ranks
+  std::uint64_t ranks = 0;
+
+  /// The quantity Theorem 1 bounds: words moved by the busiest processor.
+  /// Send and receive overlap in the model, so the max of the two is used.
+  std::uint64_t critical_path_words() const {
+    return max.words_sent > max.words_recv ? max.words_sent : max.words_recv;
+  }
+};
+
+/// Thread-safe per-rank cost accounting. One instance per World.
+class CostLedger {
+ public:
+  explicit CostLedger(int num_ranks);
+
+  /// Sets the phase label subsequent traffic of `rank` is attributed to.
+  void set_phase(int rank, std::string phase);
+
+  void record_send(int rank, std::uint64_t words);
+  void record_recv(int rank, std::uint64_t words);
+
+  /// Clears all counters and phases.
+  void reset();
+
+  /// Summary across every phase.
+  CostSummary summary() const;
+  /// Summary of one phase (empty summary if the phase never ran).
+  CostSummary summary(const std::string& phase) const;
+  /// All phase names seen, in first-use order.
+  std::vector<std::string> phases() const;
+  /// Raw per-rank counters accumulated over all phases.
+  std::vector<Counters> per_rank() const;
+
+ private:
+  struct RankState {
+    std::string phase = "default";
+    std::map<std::string, Counters> by_phase;
+  };
+
+  CostSummary summarize(const std::string* phase) const;
+
+  mutable std::mutex mu_;
+  std::vector<RankState> ranks_;
+  std::vector<std::string> phase_order_;
+};
+
+}  // namespace parsyrk::comm

@@ -1,0 +1,96 @@
+// Per-rank mailbox: the point-to-point transport under the communicator.
+//
+// Sends are buffered (the MPI "eager" discipline), so a rank can post all of
+// its messages for a collective round before draining its inbox — the
+// pairwise-exchange schedules rely on this to avoid deadlock. Receives match
+// on (communicator id, source, tag), mirroring MPI envelope matching.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace parsyrk::comm {
+
+/// Thrown out of blocking runtime calls when another rank of the same run
+/// failed: the survivors unwind instead of waiting forever for messages
+/// that will never arrive. World::run rethrows the original error.
+struct RankAborted : std::runtime_error {
+  RankAborted()
+      : std::runtime_error("rank aborted: a peer rank failed mid-run") {}
+};
+
+struct Envelope {
+  std::uint64_t comm_id = 0;
+  int src = 0;  // rank within the sending communicator
+  int tag = 0;
+
+  bool operator==(const Envelope&) const = default;
+};
+
+struct Message {
+  Envelope env;
+  std::vector<double> payload;
+};
+
+class Mailbox {
+ public:
+  void push(Message msg) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message matching `env` arrives, then removes and returns
+  /// its payload. Matching is in arrival order (FIFO per envelope). Throws
+  /// RankAborted if the mailbox is poisoned while waiting.
+  std::vector<double> pop(const Envelope& env) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->env == env) {
+          std::vector<double> payload = std::move(it->payload);
+          queue_.erase(it);
+          return payload;
+        }
+      }
+      if (poisoned_) throw RankAborted();
+      cv_.wait(lock);
+    }
+  }
+
+  /// Wakes every blocked receiver with RankAborted (failure propagation).
+  void poison() {
+    {
+      std::lock_guard lock(mu_);
+      poisoned_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Clears poison and drops undelivered messages (between runs).
+  void reset() {
+    std::lock_guard lock(mu_);
+    poisoned_ = false;
+    queue_.clear();
+  }
+
+  /// True if no messages are pending (used by tests to assert drainage).
+  bool empty() const {
+    std::lock_guard lock(mu_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace parsyrk::comm

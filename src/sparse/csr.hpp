@@ -1,0 +1,66 @@
+// Compressed sparse row storage — the substrate for §6's last extension
+// target ("sparse versions of these kernels such as symmetric sparse matrix
+// times dense matrix").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace parsyrk::sparse {
+
+/// Immutable CSR matrix (double values).
+class Csr {
+ public:
+  Csr() = default;
+
+  /// From triplets; duplicates are summed, entries are sorted per row.
+  static Csr from_triplets(
+      std::size_t rows, std::size_t cols,
+      std::vector<std::tuple<std::size_t, std::size_t, double>> triplets);
+
+  /// Dense → sparse with exact-zero dropping.
+  static Csr from_dense(const ConstMatrixView& m);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  double density() const {
+    return rows_ * cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows_) * static_cast<double>(cols_));
+  }
+
+  /// Row r spans [row_ptr()[r], row_ptr()[r+1]) in col_idx()/values().
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  Matrix to_dense() const;
+
+  /// Transpose (CSR of Aᵀ — equivalently the CSC view of A).
+  Csr transpose() const;
+
+  /// Columns [c0, c0+width) as a new CSR (column indices rebased to 0).
+  Csr column_slice(std::size_t c0, std::size_t width) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// C (dense, lower triangle incl. diagonal) += A·Aᵀ for sparse A. The
+/// output of a sparse SYRK is generically dense (every pair of rows sharing
+/// one nonzero column collides), which is why the communication structure —
+/// and the triangular reduction — matches the dense case (§6).
+void sparse_syrk_lower(const Csr& a, const MatrixView& c);
+
+/// Flop count of sparse_syrk_lower: the number of scalar multiply-adds
+/// actually performed (sum over columns k of nnz_k(nnz_k+1)/2).
+std::uint64_t sparse_syrk_flops(const Csr& a);
+
+}  // namespace parsyrk::sparse

@@ -1,0 +1,110 @@
+#include "sparse/kernels.hpp"
+
+#include <algorithm>
+
+#include "distribution/block1d.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::sparse {
+
+namespace {
+
+void require_lower(const Csr& s) {
+  PARSYRK_REQUIRE(s.rows() == s.cols(), "symmetric pattern must be square");
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t p = s.row_ptr()[i]; p < s.row_ptr()[i + 1]; ++p) {
+      PARSYRK_REQUIRE(s.col_idx()[p] <= i,
+                      "pattern entry (", i, ",", s.col_idx()[p],
+                      ") is above the diagonal; store the lower triangle");
+    }
+  }
+}
+
+/// Partial SDDMM values over columns [k0, k1) of A, in mask storage order.
+std::vector<double> sddmm_partial(const Csr& mask,
+                                  const ConstMatrixView& a, std::size_t k0,
+                                  std::size_t k1) {
+  std::vector<double> vals;
+  vals.reserve(mask.nnz());
+  for (std::size_t i = 0; i < mask.rows(); ++i) {
+    for (std::size_t p = mask.row_ptr()[i]; p < mask.row_ptr()[i + 1]; ++p) {
+      const std::size_t j = mask.col_idx()[p];
+      double acc = 0.0;
+      for (std::size_t k = k0; k < k1; ++k) acc += a(i, k) * a(j, k);
+      vals.push_back(acc);
+    }
+  }
+  return vals;
+}
+
+/// Rebuilds a CSR with the mask's pattern and the given values scaled by
+/// the mask entries.
+Csr with_values(const Csr& mask, const std::vector<double>& dots) {
+  PARSYRK_CHECK(dots.size() == mask.nnz());
+  std::vector<std::tuple<std::size_t, std::size_t, double>> trip;
+  trip.reserve(mask.nnz());
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < mask.rows(); ++i) {
+    for (std::size_t p = mask.row_ptr()[i]; p < mask.row_ptr()[i + 1]; ++p) {
+      trip.emplace_back(i, mask.col_idx()[p], mask.values()[p] * dots[t++]);
+    }
+  }
+  return Csr::from_triplets(mask.rows(), mask.cols(), std::move(trip));
+}
+
+}  // namespace
+
+Matrix sparse_symm_lower(const Csr& s_lower, const ConstMatrixView& b) {
+  require_lower(s_lower);
+  PARSYRK_REQUIRE(b.rows() == s_lower.rows(), "SYMM shapes: B needs ",
+                  s_lower.rows(), " rows; got ", b.rows());
+  const std::size_t m = b.cols();
+  Matrix c(s_lower.rows(), m);
+  for (std::size_t i = 0; i < s_lower.rows(); ++i) {
+    for (std::size_t p = s_lower.row_ptr()[i]; p < s_lower.row_ptr()[i + 1];
+         ++p) {
+      const std::size_t j = s_lower.col_idx()[p];
+      const double v = s_lower.values()[p];
+      for (std::size_t t = 0; t < m; ++t) c(i, t) += v * b(j, t);
+      if (j != i) {
+        for (std::size_t t = 0; t < m; ++t) c(j, t) += v * b(i, t);
+      }
+    }
+  }
+  return c;
+}
+
+Csr sddmm_syrk(const Csr& mask_lower, const ConstMatrixView& a) {
+  require_lower(mask_lower);
+  PARSYRK_REQUIRE(a.rows() == mask_lower.rows(), "SDDMM shapes: A needs ",
+                  mask_lower.rows(), " rows; got ", a.rows());
+  return with_values(mask_lower, sddmm_partial(mask_lower, a, 0, a.cols()));
+}
+
+Csr sddmm_syrk_1d(comm::World& world, const Csr& mask_lower,
+                  const ConstMatrixView& a) {
+  require_lower(mask_lower);
+  PARSYRK_REQUIRE(a.rows() == mask_lower.rows(), "SDDMM shapes: A needs ",
+                  mask_lower.rows(), " rows; got ", a.rows());
+  const std::size_t n2 = a.cols();
+  const std::size_t nnz = mask_lower.nnz();
+  std::vector<double> dots(nnz, 0.0);
+  world.run([&](comm::Comm& comm) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    const std::size_t k0 = dist::chunk_begin(n2, p, r);
+    const std::size_t k1 = dist::chunk_end(n2, p, r);
+    auto partial = sddmm_partial(mask_lower, a, k0, k1);
+    // Reduce-scatter over the nnz-length value vector — the sparse-output
+    // analogue of Alg. 1's triangle reduction.
+    comm.set_phase("reduce_sddmm");
+    std::vector<std::size_t> sizes(p);
+    for (int q = 0; q < p; ++q) sizes[q] = dist::chunk_size(nnz, p, q);
+    auto mine = comm.reduce_scatter(partial, sizes);
+    const std::size_t off = dist::chunk_begin(nnz, p, r);
+    std::copy(mine.begin(), mine.end(), dots.begin() + off);
+  });
+  return with_values(mask_lower, dots);
+}
+
+}  // namespace parsyrk::sparse

@@ -1,0 +1,36 @@
+// The remaining kernels §6 names: "symmetric sparse matrix times dense
+// matrix" (sparse SYMM / SpMM) and "symmetric sampled dense-dense matrix
+// multiplication" (SDDMM with a symmetric mask).
+//
+// SDDMM is the communication mirror image of sparse SYRK: there the input
+// is sparse but the communicated output triangle stays dense (E23); here
+// the OUTPUT is masked sparse, so the reduced volume is nnz(mask) words and
+// communication shrinks with the mask (E24).
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+#include "sparse/csr.hpp"
+
+namespace parsyrk::sparse {
+
+/// C = S·B for a sparse symmetric S given by its lower triangle (diagonal
+/// included; entries strictly above the diagonal of the stored pattern are
+/// rejected) and dense B. Each stored off-diagonal (i, j, v) acts twice:
+/// C_i += v·B_j and C_j += v·B_i.
+Matrix sparse_symm_lower(const Csr& s_lower, const ConstMatrixView& b);
+
+/// Symmetric SDDMM: for every stored entry (i, j) of the lower-triangular
+/// mask, out(i, j) = mask(i, j) · <A row i, A row j>. Returns a CSR with
+/// the mask's pattern. Cost is nnz(mask)·n2, independent of n1².
+Csr sddmm_syrk(const Csr& mask_lower, const ConstMatrixView& a);
+
+/// 1D parallel symmetric SDDMM: the k dimension (columns of A) is
+/// partitioned; each rank computes partial dot products for every mask
+/// entry and the nnz-length value vector is reduce-scattered — the
+/// communicated volume is (1−1/P)·nnz(mask) words, shrinking with the mask
+/// where sparse SYRK's stays dense.
+Csr sddmm_syrk_1d(comm::World& world, const Csr& mask_lower,
+                  const ConstMatrixView& a);
+
+}  // namespace parsyrk::sparse

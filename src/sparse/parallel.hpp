@@ -1,0 +1,35 @@
+// Parallel sparse SYRK (§6's sparse extension direction).
+//
+// With sparse A the *output* C = A·Aᵀ is generically dense (any two rows
+// sharing one nonzero column collide), so the communication structure of
+// the dense 1D algorithm carries over verbatim: partition the columns,
+// multiply locally at sum_k nnz_k² cost, reduce-scatter the packed dense
+// triangle. What changes is the balance point: compute shrinks with the
+// squared column fill while the communicated triangle stays n1(n1+1)/2 —
+// sparse SYRK goes communication-bound far earlier than dense (E23).
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+#include "sparse/csr.hpp"
+
+namespace parsyrk::sparse {
+
+/// How the k (column) dimension is split across ranks.
+enum class ColumnSplit {
+  kUniform,     // equal column counts
+  kNnzBalanced  // equal per-rank sparse flops (sum of nnz_k(nnz_k+1)/2)
+};
+
+/// 1D parallel sparse SYRK; returns the full symmetric dense C.
+/// The ledger records the same Reduce-Scatter as the dense Alg. 1 (phase
+/// "reduce_C"), making the sparse-vs-dense communication comparison direct.
+Matrix sparse_syrk_1d(comm::World& world, const Csr& a,
+                      ColumnSplit split = ColumnSplit::kNnzBalanced);
+
+/// The per-rank column ranges a split produces (exposed for tests and the
+/// E23 harness): entry r is [begin_r, end_r).
+std::vector<std::pair<std::size_t, std::size_t>> column_ranges(
+    const Csr& a, int parts, ColumnSplit split);
+
+}  // namespace parsyrk::sparse

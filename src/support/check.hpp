@@ -1,0 +1,71 @@
+// Fail-fast assertion and error-reporting utilities.
+//
+// The SPMD runtime executes rank bodies on many threads; throwing across a
+// rank boundary would terminate with an unhelpful message, so library-level
+// invariant violations abort with a formatted location + message instead.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parsyrk {
+
+/// Thrown by user-facing API entry points on invalid arguments
+/// (e.g. a processor count that cannot be factored as c(c+1) with c prime).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "[parsyrk] check failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Builds a std::string from stream-formatted parts: strcat("x=", x).
+template <typename... Args>
+std::string strcat_all(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace parsyrk
+
+/// Hard invariant: aborts the process on failure. Enabled in all build types —
+/// the experiments are only meaningful if the invariants hold.
+#define PARSYRK_CHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::parsyrk::detail::check_failed(#cond, __FILE__, __LINE__, "");      \
+    }                                                                      \
+  } while (0)
+
+#define PARSYRK_CHECK_MSG(cond, ...)                                       \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::parsyrk::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                      ::parsyrk::strcat_all(__VA_ARGS__)); \
+    }                                                                      \
+  } while (0)
+
+/// Argument validation at public API boundaries: throws InvalidArgument.
+#define PARSYRK_REQUIRE(cond, ...)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::parsyrk::InvalidArgument(                                    \
+          ::parsyrk::strcat_all("parsyrk: requirement '", #cond,           \
+                                "' violated: ", __VA_ARGS__));             \
+    }                                                                      \
+  } while (0)

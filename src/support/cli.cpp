@@ -1,0 +1,92 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace parsyrk {
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         std::optional<std::string> default_value) {
+  PARSYRK_CHECK_MSG(flags_.find(name) == flags_.end(), "flag '", name,
+                    "' declared twice");
+  flags_[name] = Flag{help, std::move(default_value), false};
+  declared_order_.push_back(name);
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = flags_.find(name);
+    PARSYRK_REQUIRE(it != flags_.end(), "unknown flag --", name);
+    if (!value) {
+      // --name value form when the next token isn't a flag; otherwise a
+      // bare boolean.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = std::move(value);
+    it->second.set_on_cli = true;
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  auto it = flags_.find(name);
+  PARSYRK_REQUIRE(it != flags_.end(), "undeclared flag --", name);
+  return it->second.value.has_value();
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  PARSYRK_REQUIRE(it != flags_.end(), "undeclared flag --", name);
+  PARSYRK_REQUIRE(it->second.value.has_value(), "flag --", name,
+                  " was not provided and has no default");
+  return *it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  PARSYRK_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+                  "flag --", name, " expects an integer, got '", v, "'");
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  PARSYRK_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+                  "flag --", name, " expects a number, got '", v, "'");
+  return out;
+}
+
+std::string CliParser::help(const std::string& program,
+                            const std::string& description) const {
+  std::ostringstream os;
+  os << program << " — " << description << "\n\nFlags:\n";
+  for (const auto& name : declared_order_) {
+    const auto& f = flags_.at(name);
+    os << "  --" << name;
+    if (f.value && !f.set_on_cli) os << " (default: " << *f.value << ")";
+    os << "\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace parsyrk

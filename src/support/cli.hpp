@@ -1,0 +1,46 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports --name=value, --name value, bare --flag booleans, and positional
+// arguments; unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parsyrk {
+
+class CliParser {
+ public:
+  /// Declares a flag with a help line; flags must be declared before parse.
+  void add_flag(const std::string& name, const std::string& help,
+                std::optional<std::string> default_value = std::nullopt);
+
+  /// Parses argv; throws InvalidArgument on unknown or malformed flags.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted help text listing all declared flags.
+  std::string help(const std::string& program,
+                   const std::string& description) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::optional<std::string> value;
+    bool set_on_cli = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declared_order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parsyrk

@@ -1,0 +1,65 @@
+#include "support/prime.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parsyrk {
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  if (n % 3 == 0) return n == 3;
+  for (std::uint64_t d = 5; d * d <= n; d += 6) {
+    if (n % d == 0 || n % (d + 2) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  std::uint64_t c = n < 2 ? 2 : n;
+  while (!is_prime(c)) ++c;
+  return c;
+}
+
+std::optional<std::uint64_t> prev_prime(std::uint64_t n) {
+  if (n < 2) return std::nullopt;
+  std::uint64_t c = n;
+  while (c >= 2 && !is_prime(c)) --c;
+  if (c < 2) return std::nullopt;
+  return c;
+}
+
+std::optional<std::uint64_t> as_prime_pronic(std::uint64_t p) {
+  // Solve c(c+1) = p: c = floor((sqrt(4p+1)-1)/2), then verify.
+  if (p < 6) return std::nullopt;
+  auto c = static_cast<std::uint64_t>(
+      (std::sqrt(4.0 * static_cast<double>(p) + 1.0) - 1.0) / 2.0);
+  for (std::uint64_t cand = (c > 1 ? c - 1 : 1); cand <= c + 1; ++cand) {
+    if (cand * (cand + 1) == p && is_prime(cand)) return cand;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> largest_prime_pronic_at_most(std::uint64_t p) {
+  if (p < 6) return std::nullopt;
+  auto cmax = static_cast<std::uint64_t>(
+      (std::sqrt(4.0 * static_cast<double>(p) + 1.0) - 1.0) / 2.0);
+  while (cmax >= 2 && (cmax * (cmax + 1) > p || !is_prime(cmax))) --cmax;
+  if (cmax < 2) return std::nullopt;
+  return cmax * (cmax + 1);
+}
+
+std::vector<std::uint64_t> primes_up_to(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  if (n < 2) return out;
+  std::vector<bool> composite(n + 1, false);
+  for (std::uint64_t i = 2; i <= n; ++i) {
+    if (composite[i]) continue;
+    out.push_back(i);
+    for (std::uint64_t j = i * i; j <= n; j += i) composite[j] = true;
+  }
+  return out;
+}
+
+}  // namespace parsyrk

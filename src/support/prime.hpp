@@ -1,0 +1,35 @@
+// Number-theory helpers for the triangle-block distribution.
+//
+// The 2D/3D algorithms of the paper require the p1 dimension of the processor
+// grid to factor as p1 = c(c+1) with c prime (a sufficient condition for the
+// validity of the cyclic (c,c)-indexing family of Beaumont et al. that the
+// distribution is built on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace parsyrk {
+
+/// Deterministic primality test for 64-bit integers (trial division up to
+/// sqrt; the c values used by the distribution are tiny, so this is plenty).
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n; n must be >= 0 and the result must fit in 64 bits.
+std::uint64_t next_prime(std::uint64_t n);
+
+/// Largest prime <= n, or nullopt if n < 2.
+std::optional<std::uint64_t> prev_prime(std::uint64_t n);
+
+/// If p == c(c+1) for a prime c, returns c; otherwise nullopt.
+std::optional<std::uint64_t> as_prime_pronic(std::uint64_t p);
+
+/// Largest value c(c+1) <= p with c prime, or nullopt when p < 6.
+/// Used to round a requested processor count down to a usable grid dimension.
+std::optional<std::uint64_t> largest_prime_pronic_at_most(std::uint64_t p);
+
+/// All primes <= n in increasing order (simple sieve).
+std::vector<std::uint64_t> primes_up_to(std::uint64_t n);
+
+}  // namespace parsyrk

@@ -1,0 +1,39 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// Every experiment binary prints rows in the shape of the paper's tables; a
+// shared formatter keeps the output aligned and diffable.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace parsyrk {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"P", "W_measured", "W_bound", "ratio"});
+///   t.add_row({"12", "1024", "1000", "1.024"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string fmt_double(double v, int precision = 4);
+
+/// Formats v as a human-friendly quantity with thousands separators
+/// (integers only), e.g. 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace parsyrk

@@ -1,0 +1,163 @@
+// Tests for src/baseline: correctness of the GEMM baselines and the
+// ScaLAPACK-style SYRK, plus the measured communication relationships the
+// paper's headline comparison relies on (E8).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/gemm.hpp"
+#include "core/syrk.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+
+namespace parsyrk::baseline {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+/// Oracle for C = A·Bᵀ.
+Matrix gemm_reference(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  gemm_nt_naive(a.view(), b.view(), c.view());
+  return c;
+}
+
+class Gemm1dShapes : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, std::size_t, int>> {};
+
+TEST_P(Gemm1dShapes, MatchesReference) {
+  const auto [n1, n2, p] = GetParam();
+  Matrix a = random_matrix(n1, n2, 501);
+  Matrix b = random_matrix(n1, n2, 502);
+  comm::World world(p);
+  Matrix c = gemm_1d(world, a, b);
+  EXPECT_LT(max_abs_diff(c.view(), gemm_reference(a, b).view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Gemm1dShapes,
+                         ::testing::Values(std::make_tuple(8, 64, 4),
+                                           std::make_tuple(13, 9, 5),
+                                           std::make_tuple(20, 20, 1),
+                                           std::make_tuple(6, 100, 7)));
+
+class Gemm2dShapes : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, std::size_t, std::uint64_t>> {
+};
+
+TEST_P(Gemm2dShapes, MatchesReference) {
+  const auto [n1, n2, r] = GetParam();
+  Matrix a = random_matrix(n1, n2, 503);
+  Matrix b = random_matrix(n1, n2, 504);
+  comm::World world(static_cast<int>(r * r));
+  Matrix c = gemm_2d(world, a, b, r);
+  EXPECT_LT(max_abs_diff(c.view(), gemm_reference(a, b).view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Gemm2dShapes,
+                         ::testing::Values(std::make_tuple(24, 8, 2),
+                                           std::make_tuple(25, 5, 3),
+                                           std::make_tuple(17, 4, 4),
+                                           std::make_tuple(9, 30, 3)));
+
+class Gemm3dShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(Gemm3dShapes, MatchesReference) {
+  const auto [n1, n2, r, t] = GetParam();
+  Matrix a = random_matrix(n1, n2, 505);
+  Matrix b = random_matrix(n1, n2, 506);
+  comm::World world(static_cast<int>(r * r * t));
+  Matrix c = gemm_3d(world, a, b, r, t);
+  EXPECT_LT(max_abs_diff(c.view(), gemm_reference(a, b).view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Gemm3dShapes,
+                         ::testing::Values(std::make_tuple(16, 24, 2, 3),
+                                           std::make_tuple(18, 7, 3, 2),
+                                           std::make_tuple(10, 40, 2, 5),
+                                           std::make_tuple(12, 12, 2, 1)));
+
+class ScalapackShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(ScalapackShapes, MatchesSyrkReference) {
+  const auto [n1, n2, r] = GetParam();
+  Matrix a = random_matrix(n1, n2, 507);
+  comm::World world(static_cast<int>(r * r));
+  Matrix c = scalapack_syrk(world, a, r);
+  EXPECT_LT(max_abs_diff(c.view(), syrk_reference(a.view()).view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScalapackShapes,
+                         ::testing::Values(std::make_tuple(24, 8, 2),
+                                           std::make_tuple(25, 5, 3),
+                                           std::make_tuple(30, 30, 4),
+                                           std::make_tuple(7, 3, 2)));
+
+TEST(BaselineCosts, ScalapackCommunicatesLikeGemm2d) {
+  // The paper's point about library SYRKs: same words as GEMM, half flops.
+  const std::size_t n1 = 64, n2 = 16;
+  const std::uint64_t r = 4;
+  Matrix a = random_matrix(n1, n2, 508);
+  comm::World wg(static_cast<int>(r * r)), ws(static_cast<int>(r * r));
+  gemm_2d(wg, a, a, r);
+  scalapack_syrk(ws, a, r);
+  EXPECT_EQ(wg.ledger().summary().max.words_sent,
+            ws.ledger().summary().max.words_sent);
+}
+
+TEST(BaselineCosts, Gemm1dMovesTwiceSyrk1d) {
+  // 1D GEMM reduce-scatters n1² words; 1D SYRK only the packed triangle.
+  const std::size_t n1 = 64, n2 = 512;
+  const int p = 8;
+  Matrix a = random_matrix(n1, n2, 509);
+  comm::World wg(p), ws(p);
+  gemm_1d(wg, a, a);
+  core::syrk_1d(ws, a);
+  const double g = static_cast<double>(wg.ledger().summary().max.words_sent);
+  const double s = static_cast<double>(ws.ledger().summary().max.words_sent);
+  EXPECT_NEAR(g / s, 2.0, 0.05);  // n1²/(n1(n1+1)/2) = 2n1/(n1+1)
+}
+
+TEST(BaselineCosts, TriangleSyrkMovesHalfOfScalapack) {
+  // Matched processor counts: 2D triangle SYRK on P = c(c+1) = 132 vs
+  // ScaLAPACK-style on 11×11 = 121. The words ratio approaches 2 from below
+  // as the grids grow (1.98 at c = r = 11).
+  const std::size_t n1 = 242, n2 = 12;  // even chunking on both grids
+  Matrix a = random_matrix(n1, n2, 510);
+  comm::World wt(132), ws(121);
+  core::syrk_2d(wt, a, 11);
+  scalapack_syrk(ws, a, 11);
+  const double tri = static_cast<double>(wt.ledger().summary().max.words_sent);
+  const double sca = static_cast<double>(ws.ledger().summary().max.words_sent);
+  EXPECT_NEAR(sca / tri, 2.0, 0.15);
+}
+
+TEST(BaselineCosts, Gemm2dLedgerMatchesClosedForm) {
+  const std::size_t n1 = 60, n2 = 10;
+  const std::uint64_t r = 3;
+  Matrix a = random_matrix(n1, n2, 511);
+  comm::World world(9);
+  gemm_2d(world, a, a, r);
+  // Two all-gathers, each ending with n1·n2/r words resident per rank.
+  const double per_gather =
+      (1.0 - 1.0 / static_cast<double>(r)) * n1 * n2 / r;
+  const auto summary = world.ledger().summary();
+  EXPECT_NEAR(static_cast<double>(summary.max.words_sent), 2.0 * per_gather,
+              2.0);
+}
+
+TEST(BaselineCosts, ShapeMismatchRejected) {
+  Matrix a = random_matrix(8, 4, 512);
+  Matrix b = random_matrix(8, 5, 513);
+  comm::World world(4);
+  EXPECT_THROW(gemm_1d(world, a, b), InvalidArgument);
+  comm::World w9(9);
+  EXPECT_THROW(gemm_3d(w9, a, a, 2, 2), InvalidArgument);  // needs 8 ranks
+}
+
+}  // namespace
+}  // namespace parsyrk::baseline

@@ -1,0 +1,104 @@
+// Tests for the 2D block-cyclic distribution (the ScaLAPACK/Elemental
+// layout used by the library comparators).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "distribution/block_cyclic.hpp"
+
+namespace parsyrk::dist {
+namespace {
+
+TEST(BlockCyclic, OwnerCoordsFollowBlockIndices) {
+  BlockCyclic2D d(16, 16, 2, 2, 2, 2);
+  EXPECT_EQ(d.owner_coords(0, 0), (std::pair{0, 0}));
+  EXPECT_EQ(d.owner_coords(1, 1), (std::pair{0, 0}));  // same 2×2 block
+  EXPECT_EQ(d.owner_coords(2, 0), (std::pair{1, 0}));
+  EXPECT_EQ(d.owner_coords(0, 2), (std::pair{0, 1}));
+  EXPECT_EQ(d.owner_coords(4, 4), (std::pair{0, 0}));  // wrapped around
+}
+
+TEST(BlockCyclic, OwnerRankRowMajor) {
+  BlockCyclic2D d(8, 8, 2, 2, 2, 2);
+  EXPECT_EQ(d.owner_rank(0, 0), 0);
+  EXPECT_EQ(d.owner_rank(0, 2), 1);
+  EXPECT_EQ(d.owner_rank(2, 0), 2);
+  EXPECT_EQ(d.owner_rank(2, 2), 3);
+}
+
+TEST(BlockCyclic, LocalCountsPartitionTheMatrix) {
+  for (auto [rows, cols, mb, nb, pr, pc] :
+       {std::tuple{16, 16, 2, 2, 2, 2}, std::tuple{17, 13, 3, 2, 2, 3},
+        std::tuple{100, 7, 8, 3, 4, 2}, std::tuple{5, 5, 8, 8, 2, 2}}) {
+    BlockCyclic2D d(rows, cols, mb, nb, pr, pc);
+    std::size_t total = 0;
+    for (int p = 0; p < pr; ++p) {
+      for (int q = 0; q < pc; ++q) {
+        total += d.local_rows(p) * d.local_cols(q);
+      }
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(rows) * cols)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(BlockCyclic, GlobalLocalRoundTrip) {
+  BlockCyclic2D d(23, 17, 3, 4, 2, 3);
+  for (std::size_t i = 0; i < 23; ++i) {
+    for (std::size_t j = 0; j < 17; ++j) {
+      const auto [p, q] = d.owner_coords(i, j);
+      const auto [li, lj] = d.global_to_local(i, j);
+      EXPECT_LT(li, d.local_rows(p));
+      EXPECT_LT(lj, d.local_cols(q));
+      EXPECT_EQ(d.local_to_global(p, q, li, lj), (std::pair{i, j}));
+    }
+  }
+}
+
+TEST(BlockCyclic, LocalIndicesAreDenseAndUnique) {
+  // Every (owner, local index) pair must be hit exactly once.
+  BlockCyclic2D d(19, 11, 2, 3, 3, 2);
+  std::map<std::tuple<int, std::size_t, std::size_t>, int> seen;
+  for (std::size_t i = 0; i < 19; ++i) {
+    for (std::size_t j = 0; j < 11; ++j) {
+      const auto [li, lj] = d.global_to_local(i, j);
+      ++seen[{d.owner_rank(i, j), li, lj}];
+    }
+  }
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(seen.size(), 19u * 11u);
+}
+
+TEST(BlockCyclic, CyclicBalancesLowerTriangleBetterThanBlock) {
+  // The motivation for cyclic layouts: with one big block per processor
+  // (block layout), the lower-triangle work is ~2x imbalanced; with small
+  // cyclic blocks it evens out.
+  const std::size_t n = 96;
+  const int r = 4;
+  auto imbalance = [&](std::size_t block) {
+    BlockCyclic2D d(n, n, block, block, r, r);
+    std::map<int, std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) ++work[d.owner_rank(i, j)];
+    }
+    std::size_t mx = 0, total = 0;
+    for (const auto& [rank, w] : work) {
+      mx = std::max(mx, w);
+      total += w;
+    }
+    return static_cast<double>(mx) /
+           (static_cast<double>(total) / (r * r));
+  };
+  const double block_layout = imbalance(n / r);  // one block per proc
+  const double cyclic_layout = imbalance(4);     // 4x4 cyclic blocks
+  EXPECT_GT(block_layout, 1.7);
+  EXPECT_LT(cyclic_layout, 1.25);
+}
+
+TEST(BlockCyclic, RejectsBadParameters) {
+  EXPECT_THROW(BlockCyclic2D(4, 4, 0, 1, 1, 1), InvalidArgument);
+  EXPECT_THROW(BlockCyclic2D(4, 4, 1, 1, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace parsyrk::dist

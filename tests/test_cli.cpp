@@ -1,0 +1,112 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+
+namespace parsyrk {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_flag("n1", "rows", "100");
+  cli.add_flag("verbose", "chatty output");
+  cli.add_flag("rate", "a real number", "0.5");
+  return cli;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsApply) {
+  auto cli = make_parser();
+  auto args = argv_of({});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(cli.get_int("n1"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_FALSE(cli.has("verbose"));
+}
+
+TEST(Cli, EqualsForm) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1=42"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(cli.get_int("n1"), 42);
+}
+
+TEST(Cli, SpaceForm) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1", "77", "--rate", "1.25"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(cli.get_int("n1"), 77);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.25);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  auto cli = make_parser();
+  auto args = argv_of({"--verbose", "--n1=5"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose"), "true");
+  EXPECT_EQ(cli.get_int("n1"), 5);
+}
+
+TEST(Cli, TrailingBareFlag) {
+  auto cli = make_parser();
+  auto args = argv_of({"--verbose"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(cli.get("verbose"), "true");
+}
+
+TEST(Cli, PositionalArguments) {
+  auto cli = make_parser();
+  auto args = argv_of({"input.mtx", "--n1=3", "output.mtx"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.mtx");
+  EXPECT_EQ(cli.positional()[1], "output.mtx");
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({"--bogus=1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(args.size()), args.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, NonNumericIntRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1=abc"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_THROW(cli.get_int("n1"), InvalidArgument);
+}
+
+TEST(Cli, UndeclaredAccessRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_THROW(cli.get("nope"), InvalidArgument);
+}
+
+TEST(Cli, HelpListsFlags) {
+  auto cli = make_parser();
+  const std::string h = cli.help("tool", "does things");
+  EXPECT_NE(h.find("--n1"), std::string::npos);
+  EXPECT_NE(h.find("--verbose"), std::string::npos);
+  EXPECT_NE(h.find("does things"), std::string::npos);
+  EXPECT_NE(h.find("default: 100"), std::string::npos);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  CliParser cli;
+  cli.add_flag("offset", "signed value", "0");
+  auto args = argv_of({"--offset=-12"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(cli.get_int("offset"), -12);
+}
+
+}  // namespace
+}  // namespace parsyrk

@@ -1,0 +1,442 @@
+// Tests for src/core: the 1D/2D/3D SYRK algorithms (correctness against the
+// serial reference on shape/processor sweeps), measured communication versus
+// the paper's closed-form algorithm costs and Theorem 1's lower bound, and
+// the §5.4 planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "core/syrk.hpp"
+#include "core/syrk_internal.hpp"
+#include "costmodel/algorithm_costs.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+
+namespace parsyrk::core {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+// ---------------------------------------------------------------------------
+// 1D algorithm
+// ---------------------------------------------------------------------------
+
+class OneDShapes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, int>> {};
+
+TEST_P(OneDShapes, MatchesReference) {
+  const auto [n1, n2, p] = GetParam();
+  Matrix a = random_matrix(n1, n2, 101);
+  comm::World world(p);
+  Matrix c = syrk_1d(world, a);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OneDShapes,
+    ::testing::Values(std::make_tuple(8, 64, 4), std::make_tuple(16, 100, 7),
+                      std::make_tuple(1, 50, 3), std::make_tuple(20, 20, 1),
+                      std::make_tuple(13, 9, 5),   // n2 not divisible by P
+                      std::make_tuple(5, 3, 8)));  // more ranks than columns
+
+class OneDBruck : public ::testing::TestWithParam<int> {};
+
+TEST_P(OneDBruck, DoublyOptimalReductionIsCorrect) {
+  // §6: the Bruck-adapted Reduce-Scatter keeps the bandwidth optimum and
+  // drops latency to ceil(log2 P); the 1D algorithm's result is unchanged.
+  const int p = GetParam();
+  const std::size_t n1 = 23, n2 = 64;  // packed triangle NOT divisible by p
+  Matrix a = random_matrix(n1, n2, 111);
+  comm::World wp(p), wb(p);
+  Matrix cp = syrk_1d(wp, a, ReduceKind::kPairwise);
+  Matrix cb = syrk_1d(wb, a, ReduceKind::kBruck);
+  EXPECT_LT(max_abs_diff(cp.view(), cb.view()), kTol);
+  if (p > 1) {
+    const auto sb = wb.ledger().summary();
+    EXPECT_EQ(sb.max.msgs_sent,
+              static_cast<std::uint64_t>(
+                  std::ceil(std::log2(static_cast<double>(p)))));
+    // Bandwidth within the padding slack of the pairwise volume.
+    const auto sp = wp.ledger().summary();
+    EXPECT_LE(sb.max.words_sent, sp.max.words_sent + p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, OneDBruck, ::testing::Values(1, 2, 5, 8, 12));
+
+TEST(OneD, CommunicationMatchesEq3) {
+  // Eq. (3): each rank sends exactly (1 − 1/P)·n1(n1+1)/2 words in P−1
+  // messages (packed-triangle Reduce-Scatter).
+  const std::size_t n1 = 40, n2 = 640;
+  const int p = 8;
+  Matrix a = random_matrix(n1, n2, 102);
+  comm::World world(p);
+  syrk_1d(world, a);
+  const auto expected = costmodel::syrk_1d_cost({n1, n2}, p);
+  for (const auto& r : world.ledger().per_rank()) {
+    EXPECT_NEAR(static_cast<double>(r.words_sent), expected.words, 1.0);
+    EXPECT_EQ(static_cast<double>(r.msgs_sent), expected.messages);
+  }
+}
+
+TEST(OneD, AttainsCase1BoundAsymptotically) {
+  // In case 1 the bound on communicated words is ~n1(n1−1)/2·(1−1/P); the
+  // algorithm moves n1(n1+1)/2·(1−1/P): optimal to leading order.
+  const std::size_t n1 = 60, n2 = 14400;
+  const int p = 4;
+  Matrix a = random_matrix(n1, n2, 103);
+  comm::World world(p);
+  syrk_1d(world, a);
+  const auto bound = bounds::syrk_lower_bound(n1, n2, p);
+  ASSERT_EQ(bound.regime, bounds::Regime::kOneD);
+  const double measured =
+      static_cast<double>(world.ledger().summary().critical_path_words());
+  EXPECT_GE(measured, bound.communicated * 0.999);
+  EXPECT_LT(measured / bound.communicated, 1.10);  // (n1+1)/(n1-1) slack
+}
+
+// ---------------------------------------------------------------------------
+// 2D algorithm
+// ---------------------------------------------------------------------------
+
+class TwoDShapes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(TwoDShapes, MatchesReference) {
+  const auto [n1, n2, c] = GetParam();
+  Matrix a = random_matrix(n1, n2, 201);
+  comm::World world(static_cast<int>(c * (c + 1)));
+  Matrix out = syrk_2d(world, a, c);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(out.view(), ref.view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TwoDShapes,
+    ::testing::Values(std::make_tuple(36, 8, 2),    // nb = 9
+                      std::make_tuple(36, 5, 3),    // nb = 4
+                      std::make_tuple(72, 16, 3),
+                      std::make_tuple(100, 3, 5),   // nb = 4, skinny
+                      std::make_tuple(49, 2, 7),    // nb = 1
+                      std::make_tuple(8, 13, 2)));  // nb = 2, n2 > n1
+
+TEST(TwoD, CommunicationNearEq10) {
+  // Each rank exchanges c² chunks of w/P words (a few destinations get
+  // empty messages), so measured words ≈ eq. (10)'s (1−1/P)·n1·n2/c.
+  const std::size_t n1 = 108, n2 = 24;  // n1 % c² == 0 and (c+1) | nb·n2
+  const std::uint64_t c = 3;
+  Matrix a = random_matrix(n1, n2, 202);
+  comm::World world(12);
+  syrk_2d(world, a, c);
+  const auto summary = world.ledger().summary();
+  const double eq10 = costmodel::syrk_2d_cost({n1, n2}, c).words;
+  const double measured = static_cast<double>(summary.critical_path_words());
+  // Exactly c² chunks of (n1·n2/c)/P words each:
+  const double exact = static_cast<double>(c * c) *
+                       (static_cast<double>(n1 * n2) / c / 12.0);
+  EXPECT_NEAR(measured, exact, 1.0);
+  EXPECT_LE(measured, eq10 + 1.0);
+  // measured/eq10 = c²/(P−1): 9/11 here, approaching 1 as c grows.
+  EXPECT_GT(measured, eq10 * 0.75);
+  // Latency: the pairwise exchange posts P−1 messages per rank.
+  EXPECT_EQ(summary.max.msgs_sent, 11u);
+}
+
+TEST(TwoD, AttainsCase2Bound) {
+  // Tall-skinny problem in regime 2: measured / bound → (in the limit) 1.
+  // With c = 5 (P = 30), the finite-P correction factors are ~(1 + 1/(2√P)).
+  const std::size_t n1 = 600, n2 = 6;
+  const std::uint64_t c = 5;
+  Matrix a = random_matrix(n1, n2, 203);
+  comm::World world(30);
+  syrk_2d(world, a, c);
+  const auto bound = bounds::syrk_lower_bound(n1, n2, 30);
+  ASSERT_EQ(bound.regime, bounds::Regime::kTwoD);
+  const double measured =
+      static_cast<double>(world.ledger().summary().critical_path_words());
+  const double ratio = measured / bound.communicated;
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST(TwoD, GatherPhaseIsAllTraffic) {
+  // The 2D algorithm communicates only A; no reduce phase exists.
+  const std::size_t n1 = 36, n2 = 10;
+  Matrix a = random_matrix(n1, n2, 204);
+  comm::World world(6);
+  syrk_2d(world, a, 2);
+  const auto gather = world.ledger().summary(internal::kPhaseGatherA);
+  const auto total = world.ledger().summary();
+  EXPECT_EQ(gather.total.words_sent, total.total.words_sent);
+  EXPECT_GT(total.total.words_sent, 0u);
+}
+
+TEST(TwoD, RequiresMatchingWorldAndDivisibility) {
+  Matrix a = random_matrix(36, 8, 205);
+  comm::World wrong(7);
+  EXPECT_THROW(syrk_2d(wrong, a, 2), InvalidArgument);
+  Matrix bad = random_matrix(37, 8, 206);  // 37 % 4 != 0
+  comm::World world(6);
+  EXPECT_THROW(syrk_2d(world, bad, 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// 3D algorithm
+// ---------------------------------------------------------------------------
+
+class ThreeDShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(ThreeDShapes, MatchesReference) {
+  const auto [n1, n2, c, p2] = GetParam();
+  Matrix a = random_matrix(n1, n2, 301);
+  comm::World world(static_cast<int>(c * (c + 1) * p2));
+  Matrix out = syrk_3d(world, a, c, p2);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(out.view(), ref.view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThreeDShapes,
+    ::testing::Values(std::make_tuple(24, 12, 2, 3),   // the Fig. 3 grid
+                      std::make_tuple(36, 30, 3, 2),
+                      std::make_tuple(16, 40, 2, 4),
+                      std::make_tuple(8, 7, 2, 5),     // n2 not divisible
+                      std::make_tuple(36, 9, 2, 1),    // degenerate p2 = 1
+                      std::make_tuple(50, 64, 5, 2)));
+
+TEST(ThreeD, CommunicationNearEq12) {
+  // §5.3.2: All-to-All of A within slices + Reduce-Scatter of C across
+  // slices; both volumes must appear in the ledger under their phases.
+  const std::size_t n1 = 48, n2 = 36;
+  const std::uint64_t c = 2, p2 = 3;
+  Matrix a = random_matrix(n1, n2, 302);
+  comm::World world(18);
+  syrk_3d(world, a, c, p2);
+  const auto gather = world.ledger().summary(internal::kPhaseGatherA);
+  const auto reduce = world.ledger().summary(internal::kPhaseReduceC);
+  // Gather phase: c² chunks of (n1·(n2/p2)/c)/p1 words.
+  const double slice_cols = static_cast<double>(n2) / p2;
+  const double exact_gather =
+      static_cast<double>(c * c) * (n1 * slice_cols / c / 6.0);
+  EXPECT_NEAR(static_cast<double>(gather.max.words_sent), exact_gather, 2.0);
+  // Reduce phase: (1 − 1/p2) of the per-k triangle block words.
+  const double nb = static_cast<double>(n1) / (c * c);
+  const double tri = (c * (c - 1) / 2.0) * nb * nb + nb * (nb + 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(reduce.max.words_sent),
+              tri * (1.0 - 1.0 / p2), 2.0);
+}
+
+TEST(ThreeD, AttainsCase3BoundWithOptimalGrid) {
+  // Square-ish problem, large P, §5.4 grid: measured within a modest factor
+  // of (3/2)(n1(n1−1)n2/P)^{2/3} (finite-P corrections shrink as P grows).
+  const std::size_t n1 = 120, n2 = 120;
+  const std::uint64_t c = 2, p2 = 4;  // P = 24, p1 = 6 ≈ P^{2/3}·(n1/n2)^{2/3}
+  Matrix a = random_matrix(n1, n2, 303);
+  comm::World world(24);
+  syrk_3d(world, a, c, p2);
+  const auto bound = bounds::syrk_lower_bound(n1, n2, 24);
+  ASSERT_EQ(bound.regime, bounds::Regime::kThreeD);
+  const double measured =
+      static_cast<double>(world.ledger().summary().critical_path_words());
+  const double ratio = measured / bound.communicated;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(ThreeD, ReducesToTwoDWhenP2IsOne) {
+  const std::size_t n1 = 36, n2 = 10;
+  Matrix a = random_matrix(n1, n2, 304);
+  comm::World w3(6), w2(6);
+  Matrix c3 = syrk_3d(w3, a, 2, 1);
+  Matrix c2 = syrk_2d(w2, a, 2);
+  EXPECT_LT(max_abs_diff(c3.view(), c2.view()), kTol);
+  EXPECT_EQ(w3.ledger().summary().max.words_sent,
+            w2.ledger().summary().max.words_sent);
+}
+
+// ---------------------------------------------------------------------------
+// Planner (§5.4)
+// ---------------------------------------------------------------------------
+
+TEST(Planner, ShortWideSmallPChoosesOneD) {
+  const auto plan = plan_syrk(100, 100000, 8);
+  EXPECT_EQ(plan.algorithm, Algorithm::kOneD);
+  EXPECT_EQ(plan.regime, bounds::Regime::kOneD);
+  EXPECT_EQ(plan.procs, 8u);
+}
+
+TEST(Planner, TallSkinnyChoosesTwoDWithPronicGrid) {
+  const auto plan = plan_syrk(3600, 10, 35, /*n1_divisibility=*/true);
+  EXPECT_EQ(plan.algorithm, Algorithm::kTwoD);
+  EXPECT_EQ(plan.regime, bounds::Regime::kTwoD);
+  // Largest prime c with c(c+1) <= 35 and c² | 3600: c = 5 (P = 30).
+  EXPECT_EQ(plan.c, 5u);
+  EXPECT_EQ(plan.procs, 30u);
+}
+
+TEST(Planner, DivisibilityConstraintChangesGrid) {
+  // n1 = 63: 3² divides 63 but 5² and 2² do not.
+  const auto plan = plan_syrk(63, 2, 35, /*n1_divisibility=*/true);
+  EXPECT_EQ(plan.algorithm, Algorithm::kTwoD);
+  EXPECT_EQ(plan.c, 3u);
+  const auto loose = plan_syrk(63, 2, 35, /*n1_divisibility=*/false);
+  EXPECT_EQ(loose.c, 5u);
+}
+
+TEST(Planner, LargePChoosesThreeD) {
+  const auto plan = plan_syrk(120, 120, 24);
+  EXPECT_EQ(plan.regime, bounds::Regime::kThreeD);
+  EXPECT_EQ(plan.algorithm, Algorithm::kThreeD);
+  EXPECT_EQ(plan.p1, plan.c * (plan.c + 1));
+  EXPECT_EQ(plan.procs, plan.p1 * plan.p2);
+  EXPECT_LE(plan.procs, 24u);
+}
+
+TEST(Planner, TinyWorldFallsBackToOneD) {
+  const auto plan = plan_syrk(1000, 2, 4);  // regime 2 but no c(c+1) <= 4
+  EXPECT_EQ(plan.algorithm, Algorithm::kOneD);
+  EXPECT_EQ(plan.procs, 4u);
+}
+
+TEST(Planner, PlanPrints) {
+  std::ostringstream os;
+  os << plan_syrk(120, 120, 24);
+  EXPECT_NE(os.str().find("3D"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// syrk_auto end-to-end
+// ---------------------------------------------------------------------------
+
+class AutoShapes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(AutoShapes, PlansRunsAndValidates) {
+  const auto [n1, n2, p] = GetParam();
+  Matrix a = random_matrix(n1, n2, 401);
+  const auto run = syrk_auto(a, p);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(run.c.view(), ref.view()), kTol);
+  EXPECT_LE(run.plan.procs, p);
+  // Measured communication respects the lower bound at the plan's P.
+  const auto bound = bounds::syrk_lower_bound(n1, n2, run.plan.procs);
+  if (run.plan.procs > 1) {
+    EXPECT_GE(static_cast<double>(run.total.critical_path_words()) * 1.001,
+              bound.communicated * 0.999);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AutoShapes,
+    ::testing::Values(std::make_tuple(24, 2000, 6),   // 1D regime
+                      std::make_tuple(360, 4, 16),    // 2D regime
+                      std::make_tuple(64, 64, 24),    // 3D regime
+                      std::make_tuple(44, 44, 1),     // serial
+                      std::make_tuple(9, 9, 50)));    // more ranks than work
+
+TEST(Auto, PhaseSummariesAreConsistent) {
+  Matrix a = random_matrix(48, 48, 402);
+  const auto run = syrk_auto(a, 18);
+  EXPECT_EQ(run.gather_a.total.words_sent + run.reduce_c.total.words_sent,
+            run.total.total.words_sent);
+}
+
+TEST(Auto, RandomShapeFuzz) {
+  // Random (n1, n2, P) triples through the planner: the plan must execute,
+  // validate, and respect the lower bound at its processor count.
+  Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n1 = static_cast<std::size_t>(rng.uniform_int(2, 80));
+    const auto n2 = static_cast<std::size_t>(rng.uniform_int(1, 120));
+    const auto p = static_cast<std::uint64_t>(rng.uniform_int(1, 40));
+    Matrix a = random_matrix(n1, n2, 500 + trial);
+    const auto run = syrk_auto(a, p);
+    Matrix ref = syrk_reference(a.view());
+    ASSERT_LT(max_abs_diff(run.c.view(), ref.view()), kTol)
+        << "n1=" << n1 << " n2=" << n2 << " P=" << p << " plan=" << run.plan;
+    ASSERT_LE(run.plan.procs, p);
+    if (run.plan.procs > 1 && run.bound.communicated > 0) {
+      ASSERT_GE(static_cast<double>(run.total.critical_path_words()) * 1.001,
+                run.bound.communicated * 0.999)
+          << "n1=" << n1 << " n2=" << n2 << " P=" << p;
+    }
+  }
+}
+
+class ButterflyShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(ButterflyShapes, MatchesPairwiseResult) {
+  const auto [n1, n2, c] = GetParam();
+  Matrix a = random_matrix(n1, n2, 550);
+  comm::World wp(static_cast<int>(c * (c + 1)));
+  comm::World wb(static_cast<int>(c * (c + 1)));
+  Matrix cp = syrk_2d(wp, a, c, ExchangeKind::kPairwise);
+  Matrix cb = syrk_2d(wb, a, c, ExchangeKind::kButterfly);
+  EXPECT_LT(max_abs_diff(cp.view(), cb.view()), kTol);
+  // ceil(log2 P) messages.
+  const double logp = std::ceil(
+      std::log2(static_cast<double>(c * (c + 1))));
+  EXPECT_EQ(wb.ledger().summary().max.msgs_sent,
+            static_cast<std::uint64_t>(logp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ButterflyShapes,
+    ::testing::Values(std::make_tuple(36, 6, 2),    // flat = 9·6 % 3 == 0
+                      std::make_tuple(36, 8, 3),    // flat = 4·8 % 4 == 0
+                      std::make_tuple(100, 12, 5),  // flat = 4·12 % 6 == 0
+                      std::make_tuple(12, 9, 2)));  // flat = 3·9 % 3 == 0
+
+// ---------------------------------------------------------------------------
+// Internal pieces
+// ---------------------------------------------------------------------------
+
+TEST(Internals, ScatterPackedToFullCoversAllEntries) {
+  // Split a packed triangle into uneven chunks and scatter; all entries of
+  // the symmetric matrix must land.
+  const std::size_t n = 7;
+  const std::size_t total = n * (n + 1) / 2;
+  std::vector<double> packed(total);
+  for (std::size_t t = 0; t < total; ++t) packed[t] = 100.0 + t;
+  Matrix full(n, n);
+  std::size_t off = 0;
+  for (std::size_t len : {3UL, 10UL, 1UL, 14UL}) {
+    internal::PackedChunk chunk;
+    chunk.offset = off;
+    chunk.data.assign(packed.begin() + off, packed.begin() + off + len);
+    internal::scatter_packed_to_full(chunk, full);
+    off += len;
+  }
+  ASSERT_EQ(off, total);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double expect = 100.0 + i * (i + 1) / 2 + j;
+      EXPECT_DOUBLE_EQ(full(i, j), expect);
+      EXPECT_DOUBLE_EQ(full(j, i), expect);
+    }
+  }
+}
+
+TEST(Internals, FlattenedLayoutIsStable) {
+  internal::TriangleBlocks b;
+  b.pairs = {{1, 0}, {2, 0}};
+  b.off_blocks = {Matrix(2, 2, 1.0), Matrix(2, 2, 2.0)};
+  b.diag_index = 2;
+  b.diag_block = Matrix(2, 2, 3.0);
+  const auto flat = internal::flatten_triangle_blocks(b);
+  ASSERT_EQ(flat.size(), 4u + 4u + 3u);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[4], 2.0);
+  EXPECT_DOUBLE_EQ(flat[8], 3.0);  // packed lower of the diagonal block
+}
+
+}  // namespace
+}  // namespace parsyrk::core

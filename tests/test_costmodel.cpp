@@ -1,0 +1,144 @@
+// Tests for src/costmodel: collective cost formulas (§3.2, §6) and the
+// closed-form per-algorithm costs (§5 analysis, eqs. (3), (10)–(12)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/algorithm_costs.hpp"
+#include "costmodel/model.hpp"
+
+namespace parsyrk::costmodel {
+namespace {
+
+TEST(Collectives, PairwiseAllToAll) {
+  // §3.2: latency P−1, bandwidth (1−1/P)·w.
+  const auto c = all_to_all_pairwise(8, 1000.0);
+  EXPECT_DOUBLE_EQ(c.messages, 7.0);
+  EXPECT_DOUBLE_EQ(c.words, 875.0);
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+}
+
+TEST(Collectives, PairwiseReduceScatterAddsFlops) {
+  const auto c = reduce_scatter_pairwise(4, 100.0);
+  EXPECT_DOUBLE_EQ(c.messages, 3.0);
+  EXPECT_DOUBLE_EQ(c.words, 75.0);
+  EXPECT_DOUBLE_EQ(c.flops, 75.0);
+}
+
+TEST(Collectives, SingleRankIsFree) {
+  EXPECT_DOUBLE_EQ(all_to_all_pairwise(1, 100.0).words, 0.0);
+  EXPECT_DOUBLE_EQ(reduce_scatter_pairwise(1, 100.0).words, 0.0);
+  EXPECT_DOUBLE_EQ(all_gather_pairwise(1, 100.0).messages, 0.0);
+}
+
+TEST(Collectives, BruckAllGatherLatency) {
+  // §6: Bruck is latency-optimal (ceil(log2 P)) at the same bandwidth.
+  const auto pair = all_gather_pairwise(16, 512.0);
+  const auto bruck = all_gather_bruck(16, 512.0);
+  EXPECT_DOUBLE_EQ(bruck.words, pair.words);
+  EXPECT_DOUBLE_EQ(bruck.messages, 4.0);
+  EXPECT_DOUBLE_EQ(pair.messages, 15.0);
+}
+
+TEST(Collectives, ButterflyTradesBandwidthForLatency) {
+  // §6: butterfly all-to-all has O(log P) latency but (w/2)·log2 P words.
+  const auto pair = all_to_all_pairwise(16, 512.0);
+  const auto bfly = all_to_all_butterfly(16, 512.0);
+  EXPECT_DOUBLE_EQ(bfly.messages, 4.0);
+  EXPECT_DOUBLE_EQ(bfly.words, 0.5 * 512.0 * 4.0);
+  EXPECT_GT(bfly.words, pair.words);
+}
+
+TEST(Collectives, SecondsCombinesTerms) {
+  Machine m{.alpha = 2.0, .beta = 3.0, .gamma = 5.0};
+  CollectiveCost c{10.0, 100.0, 7.0};
+  EXPECT_DOUBLE_EQ(c.seconds(m), 10.0 * 2.0 + 100.0 * 3.0 + 7.0 * 5.0);
+}
+
+TEST(Collectives, Accumulate) {
+  CollectiveCost a{1, 2, 3}, b{10, 20, 30};
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.messages, 11);
+  EXPECT_DOUBLE_EQ(s.words, 22);
+  EXPECT_DOUBLE_EQ(s.flops, 33);
+}
+
+TEST(AlgorithmCosts, Syrk1dMatchesEq3) {
+  // Eq. (3): α(P−1) + β·(n1(n1+1)/2)·(P−1)/P.
+  const SyrkShape s{100, 10000};
+  const auto c = syrk_1d_cost(s, 8);
+  EXPECT_DOUBLE_EQ(c.messages, 7.0);
+  EXPECT_DOUBLE_EQ(c.words, 100.0 * 101.0 / 2.0 * 7.0 / 8.0);
+}
+
+TEST(AlgorithmCosts, Syrk2dMatchesEq10) {
+  // Eq. (10): α(P−1) + β·(n1·n2/c)·(1−1/P), P = c(c+1).
+  const SyrkShape s{900, 40};
+  const std::uint64_t c = 3;
+  const auto cost = syrk_2d_cost(s, c);
+  const double p = 12.0;
+  EXPECT_DOUBLE_EQ(cost.messages, p - 1.0);
+  EXPECT_DOUBLE_EQ(cost.words, 900.0 * 40.0 / 3.0 * (1.0 - 1.0 / p));
+}
+
+TEST(AlgorithmCosts, Syrk3dMatchesSection532) {
+  // §5.3.2: 2D cost on n2/p2 columns over p1 ranks, plus Reduce-Scatter of
+  // the triangle block of blocks over p2.
+  const SyrkShape s{360, 600};
+  const std::uint64_t c = 2, p2 = 3;
+  const auto cost = syrk_3d_cost(s, c, p2);
+  const double p1 = 6.0;
+  const double a2a = 360.0 * 200.0 / 2.0 * (1.0 - 1.0 / p1);
+  const double nb = 360.0 / 4.0;
+  const double tri = 1.0 * nb * nb + nb * (nb + 1.0) / 2.0;  // c(c-1)/2 = 1
+  const double rs = tri * (1.0 - 1.0 / 3.0);
+  EXPECT_NEAR(cost.words, a2a + rs, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.messages, (p1 - 1.0) + (3.0 - 1.0));
+}
+
+TEST(AlgorithmCosts, SyrkFlopsHalvesGemm) {
+  const SyrkShape s{1000, 100};
+  EXPECT_DOUBLE_EQ(syrk_flops_per_rank(s, 10),
+                   1000.0 * 1000.0 * 100.0 / 2.0 / 10.0);
+}
+
+TEST(AlgorithmCosts, GemmIsTwiceSyrkLeadingOrder1d) {
+  // The headline factor 2: 1D GEMM reduce-scatters n1² words, 1D SYRK only
+  // the n1(n1+1)/2 triangle.
+  const SyrkShape s{2000, 100000};
+  const std::uint64_t p = 16;
+  const double gemm = gemm_1d_cost(s, p).words;
+  const double syrk = syrk_1d_cost(s, p).words;
+  EXPECT_NEAR(gemm / syrk, 2.0, 0.01);
+}
+
+TEST(AlgorithmCosts, GemmIsTwiceSyrkLeadingOrder2d) {
+  // 2D: GEMM on a √P×√P grid moves 2·n1·n2/√P; SYRK moves n1·n2/c ≈
+  // n1·n2/√P.
+  const SyrkShape s{10000, 50};
+  const std::uint64_t c = 13;            // SYRK: P = 182
+  const std::uint64_t r = 13;            // GEMM grid: 169 ranks (≈ same P)
+  const double syrk = syrk_2d_cost(s, c).words;
+  const double gemm = gemm_2d_cost(s, r).words;
+  // Finite-P factors: 2(1−1/r)/(1−1/P) ≈ 1.85 at r = c = 13, → 2 as P grows.
+  EXPECT_NEAR(gemm / syrk, 2.0, 0.2);
+}
+
+TEST(AlgorithmCosts, Gemm3dOptimalGridCost) {
+  // With t = (n2/n1)^{2/3}·P^{1/3} the 3D GEMM cost is 3(n1²n2/P)^{2/3}.
+  const SyrkShape s{1 << 10, 1 << 10};
+  const std::uint64_t r = 8, t = 4;  // P = 256, square-ish shape
+  const auto cost = gemm_3d_cost(s, r, t);
+  const double p = 256.0;
+  const double ideal =
+      3.0 * std::pow(1024.0 * 1024.0 * 1024.0 / p, 2.0 / 3.0);
+  EXPECT_NEAR(cost.words / ideal, 1.0, 0.15);
+}
+
+TEST(AlgorithmCosts, ScalapackSyrkCommunicatesLikeGemm) {
+  const SyrkShape s{4096, 64};
+  EXPECT_DOUBLE_EQ(scalapack_syrk_cost(s, 8).words, gemm_2d_cost(s, 8).words);
+}
+
+}  // namespace
+}  // namespace parsyrk::costmodel

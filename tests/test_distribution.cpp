@@ -1,0 +1,285 @@
+// Tests for src/distribution: the triangle-block distribution against the
+// paper's Table 1 (c = 3, P = 12), structural validity for a sweep of
+// primes, and the 1D partition helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "distribution/block1d.hpp"
+#include "distribution/render.hpp"
+#include "distribution/triangle_block.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::dist {
+namespace {
+
+using U64Vec = std::vector<std::uint64_t>;
+
+TEST(Block1D, EvenChunks) {
+  EXPECT_EQ(chunk_begin(10, 2, 0), 0u);
+  EXPECT_EQ(chunk_begin(10, 2, 1), 5u);
+  EXPECT_EQ(chunk_end(10, 2, 1), 10u);
+  EXPECT_EQ(chunk_size(10, 2, 0), 5u);
+}
+
+TEST(Block1D, UnevenChunksDifferByAtMostOne) {
+  const std::size_t n = 17;
+  const int p = 5;
+  std::size_t total = 0, mn = n, mx = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto s = chunk_size(n, p, r);
+    total += s;
+    mn = std::min(mn, s);
+    mx = std::max(mx, s);
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(Block1D, OwnerInverse) {
+  const std::size_t n = 29;
+  const int p = 7;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int r = chunk_owner(n, p, i);
+    EXPECT_LE(chunk_begin(n, p, r), i);
+    EXPECT_LT(i, chunk_end(n, p, r));
+  }
+}
+
+TEST(Block1D, MorePartsThanItems) {
+  const std::size_t n = 3;
+  const int p = 8;
+  std::size_t total = 0;
+  for (int r = 0; r < p; ++r) total += chunk_size(n, p, r);
+  EXPECT_EQ(total, n);
+}
+
+// ---------------------------------------------------------------------------
+// Paper Table 1 (c = 3, P = 12), cell for cell.
+// ---------------------------------------------------------------------------
+
+TEST(TriangleBlock, Table1RowBlockSets) {
+  TriangleBlockDistribution d(3);
+  const std::vector<U64Vec> expected_r = {
+      {0, 3, 6}, {0, 4, 7}, {0, 5, 8}, {1, 3, 7}, {1, 4, 8}, {1, 5, 6},
+      {2, 3, 8}, {2, 4, 6}, {2, 5, 7}, {0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  ASSERT_EQ(d.num_procs(), 12u);
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    EXPECT_EQ(d.row_block_set(k), expected_r[k]) << "R_" << k;
+  }
+}
+
+TEST(TriangleBlock, Table1DiagonalSets) {
+  TriangleBlockDistribution d(3);
+  const std::vector<std::optional<std::uint64_t>> expected_d = {
+      std::nullopt, std::nullopt, std::nullopt, 1, 4, 5, 2, 6, 7, 0, 3, 8};
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    EXPECT_EQ(d.diagonal_block(k), expected_d[k]) << "D_" << k;
+  }
+}
+
+TEST(TriangleBlock, Table1ProcessorSets) {
+  TriangleBlockDistribution d(3);
+  const std::vector<U64Vec> expected_q = {
+      {0, 1, 2, 9}, {3, 4, 5, 9}, {6, 7, 8, 9},
+      {0, 3, 6, 10}, {1, 4, 7, 10}, {2, 5, 8, 10},
+      {0, 5, 7, 11}, {1, 3, 8, 11}, {2, 4, 6, 11}};
+  ASSERT_EQ(d.num_block_rows(), 9u);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(d.processor_set(i), expected_q[i]) << "Q_" << i;
+  }
+}
+
+TEST(TriangleBlock, PaperExampleOwnership) {
+  // §5.2.1: "R_3 = {1,3,7} and processor 3 is assigned blocks C31, C71, C73";
+  // "D_7 = {6}, ... the processor of rank 7 owns the block (6,2)".
+  TriangleBlockDistribution d(3);
+  EXPECT_EQ(d.owner_off_diagonal(3, 1), 3u);
+  EXPECT_EQ(d.owner_off_diagonal(7, 1), 3u);
+  EXPECT_EQ(d.owner_off_diagonal(7, 3), 3u);
+  EXPECT_EQ(d.owner_diagonal(6), 7u);
+  EXPECT_EQ(d.owner_off_diagonal(6, 2), 7u);
+}
+
+TEST(TriangleBlock, HelperFunctionFormulas) {
+  // Hand-computed values of f_k(u) (eq. (4)) and h_i(q) (eq. (7)) for c = 3.
+  TriangleBlockDistribution d(3);
+  EXPECT_EQ(d.f(3, 1), 3u);
+  EXPECT_EQ(d.f(3, 2), 7u);
+  EXPECT_EQ(d.f(8, 1), 5u);
+  EXPECT_EQ(d.f(8, 2), 7u);
+  EXPECT_EQ(d.f(0, 0), 0u);  // exercises the (u-1) < 0 branch
+  EXPECT_EQ(d.h(6, 0), 0u);
+  EXPECT_EQ(d.h(6, 1), 5u);
+  EXPECT_EQ(d.h(6, 2), 7u);
+  EXPECT_EQ(d.h(3, 1), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Structural validity across primes (the paper's claim: prime c suffices).
+// ---------------------------------------------------------------------------
+
+class TrianglePrimes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrianglePrimes, Validates) {
+  TriangleBlockDistribution d(GetParam());
+  std::string why;
+  EXPECT_TRUE(d.validate(&why)) << why;
+}
+
+TEST_P(TrianglePrimes, EveryOffDiagonalBlockCoveredExactlyOnce) {
+  TriangleBlockDistribution d(GetParam());
+  const std::uint64_t nb = d.num_block_rows();
+  std::size_t covered = 0;
+  for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+    covered += d.owned_pairs(k).size();
+  }
+  EXPECT_EQ(covered, nb * (nb - 1) / 2);
+}
+
+TEST_P(TrianglePrimes, QiConsistentWithRk) {
+  TriangleBlockDistribution d(GetParam());
+  for (std::uint64_t i = 0; i < d.num_block_rows(); ++i) {
+    const auto& q = d.processor_set(i);
+    EXPECT_EQ(q.size(), d.c() + 1);
+    for (std::uint64_t k : q) {
+      const auto& r = d.row_block_set(k);
+      EXPECT_TRUE(std::binary_search(r.begin(), r.end(), i))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_P(TrianglePrimes, DiagonalAssignmentBalanced) {
+  // |D_k| <= 1 everywhere, exactly c processors own none, and every
+  // diagonal block has exactly one owner.
+  TriangleBlockDistribution d(GetParam());
+  std::uint64_t without = 0;
+  std::set<std::uint64_t> owned;
+  for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+    const auto dk = d.diagonal_block(k);
+    if (!dk) {
+      ++without;
+      continue;
+    }
+    EXPECT_TRUE(owned.insert(*dk).second) << "diag " << *dk << " owned twice";
+  }
+  EXPECT_EQ(without, d.c());
+  EXPECT_EQ(owned.size(), d.num_block_rows());
+}
+
+TEST_P(TrianglePrimes, PairsOfProcessorsShareAtMostOneBlock) {
+  TriangleBlockDistribution d(GetParam());
+  const std::uint64_t p = d.num_procs();
+  for (std::uint64_t k = 0; k < p; ++k) {
+    for (std::uint64_t k2 = 0; k2 < k; ++k2) {
+      d.shared_block(k, k2);  // internal check aborts if > 1 shared
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(TrianglePrimes, OwnerMapsInvertRSets) {
+  TriangleBlockDistribution d(GetParam());
+  for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+    for (const auto& [i, j] : d.owned_pairs(k)) {
+      EXPECT_EQ(d.owner_off_diagonal(i, j), k);
+    }
+    if (auto di = d.diagonal_block(k)) {
+      EXPECT_EQ(d.owner_diagonal(*di), k);
+    }
+  }
+}
+
+TEST_P(TrianglePrimes, ChunkIndexIsPositionInQi) {
+  TriangleBlockDistribution d(GetParam());
+  for (std::uint64_t i = 0; i < d.num_block_rows(); ++i) {
+    const auto& q = d.processor_set(i);
+    for (std::size_t pos = 0; pos < q.size(); ++pos) {
+      EXPECT_EQ(d.chunk_index(i, q[pos]), pos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, TrianglePrimes,
+                         ::testing::Values(2, 3, 5, 7, 11, 13));
+
+TEST(TriangleBlock, LargerPrimesValidate) {
+  // The paper's sufficiency claim, pushed further out: c = 17, 19, 23
+  // (P up to 552) still produce valid partitions.
+  for (std::uint64_t c : {17, 19, 23}) {
+    TriangleBlockDistribution d(c);
+    std::string why;
+    EXPECT_TRUE(d.validate(&why)) << "c = " << c << ": " << why;
+  }
+}
+
+TEST(TriangleBlock, OffDiagonalLoadIsUniform) {
+  // Every processor owns exactly c(c-1)/2 off-diagonal blocks — perfect
+  // balance of the dominant work.
+  for (std::uint64_t c : {3, 7, 13}) {
+    TriangleBlockDistribution d(c);
+    for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+      EXPECT_EQ(d.owned_pairs(k).size(), c * (c - 1) / 2) << "c=" << c;
+    }
+  }
+}
+
+TEST(TriangleBlock, SharedBlockSymmetricAndSelfConsistent) {
+  TriangleBlockDistribution d(5);
+  for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+    for (std::uint64_t k2 = 0; k2 < k; ++k2) {
+      const auto ab = d.shared_block(k, k2);
+      const auto ba = d.shared_block(k2, k);
+      EXPECT_EQ(ab, ba);
+      if (ab) {
+        const auto& q = d.processor_set(*ab);
+        EXPECT_TRUE(std::binary_search(q.begin(), q.end(), k));
+        EXPECT_TRUE(std::binary_search(q.begin(), q.end(), k2));
+      }
+    }
+  }
+}
+
+TEST(TriangleBlock, PairsOfProcessorsWithNoSharedBlockAreRare) {
+  // Exactly those pairs within the same "last-c" family or first-c²
+  // structure — the count of non-communicating pairs is P(P−1)/2 minus
+  // c²·C(c+1,2) covered pairs (each Q_i yields C(c+1,2) pairs, disjoint).
+  TriangleBlockDistribution d(3);
+  const std::uint64_t p = d.num_procs();
+  std::size_t communicating = 0;
+  for (std::uint64_t k = 0; k < p; ++k) {
+    for (std::uint64_t k2 = 0; k2 < k; ++k2) {
+      if (d.shared_block(k, k2)) ++communicating;
+    }
+  }
+  EXPECT_EQ(communicating, d.num_block_rows() * 4 * 3 / 2);  // 9·C(4,2)
+}
+
+TEST(TriangleBlock, RejectsNonPrimeC) {
+  EXPECT_THROW(TriangleBlockDistribution(4), InvalidArgument);
+  EXPECT_THROW(TriangleBlockDistribution(1), InvalidArgument);
+  EXPECT_THROW(TriangleBlockDistribution(9), InvalidArgument);
+}
+
+TEST(Render, Fig2ContainsAllProcessors) {
+  TriangleBlockDistribution d(3);
+  const std::string c_map = render_c_ownership(d);
+  // Every processor rank must appear as an owner somewhere.
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_NE(c_map.find(std::to_string(k)), std::string::npos) << k;
+  }
+  const std::string a_map = render_a_ownership(d);
+  EXPECT_NE(a_map.find("A_0"), std::string::npos);
+  EXPECT_NE(a_map.find("A_8"), std::string::npos);
+}
+
+TEST(Render, Fig3MentionsGridShape) {
+  TriangleBlockDistribution d(2);
+  const std::string s = render_3d_layout(d, 3);
+  EXPECT_NE(s.find("p1 = 6"), std::string::npos);
+  EXPECT_NE(s.find("p2 = 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parsyrk::dist

@@ -1,0 +1,156 @@
+// Tests for src/matrix/factor: Cholesky, triangular solves, and the Jacobi
+// symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/factor.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk {
+namespace {
+
+/// A well-conditioned SPD matrix: A·Aᵀ + n·I.
+Matrix spd_matrix(std::size_t n, std::uint64_t seed) {
+  Matrix g = syrk_reference(random_matrix(n, n + 2, seed).view());
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += static_cast<double>(n);
+  return g;
+}
+
+TEST(Cholesky, ReconstructsInput) {
+  Matrix g = spd_matrix(12, 701);
+  Matrix l = cholesky_lower(g.view());
+  Matrix recon(12, 12);
+  gemm_nt(l.view(), l.view(), recon.view());  // L·Lᵀ
+  EXPECT_LT(max_abs_diff(recon.view(), g.view()), 1e-10);
+}
+
+TEST(Cholesky, FactorIsLowerTriangular) {
+  Matrix l = cholesky_lower(spd_matrix(9, 702).view());
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i + 1; j < 9; ++j) {
+      EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Cholesky, KnownFactor) {
+  auto g = Matrix::from_rows({{4, 2}, {2, 5}});
+  Matrix l = cholesky_lower(g.view());
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 2.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  auto g = Matrix::from_rows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_lower(g.view()), InvalidArgument);
+}
+
+TEST(Cholesky, SolveRoundTrip) {
+  const std::size_t n = 10;
+  Matrix g = spd_matrix(n, 703);
+  Matrix l = cholesky_lower(g.view());
+  Rng rng(704);
+  std::vector<double> x_true(n);
+  for (auto& x : x_true) x = rng.uniform(-2, 2);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += g(i, j) * x_true[j];
+  }
+  auto x = cholesky_solve(l.view(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(TriangularSolve, ForwardAndBackward) {
+  auto l = Matrix::from_rows({{2, 0}, {1, 3}});
+  std::vector<double> b = {4, 7};
+  solve_lower(l.view(), b);  // y = (2, 5/3)
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+  EXPECT_DOUBLE_EQ(b[1], 5.0 / 3.0);
+  std::vector<double> c = {2, 3};  // solve Lᵀ x = c
+  solve_lower_transposed(l.view(), c);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+}
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  auto s = Matrix::from_rows({{3, 0, 0}, {0, 7, 0}, {0, 0, 1}});
+  auto e = jacobi_eigen_symmetric(s.view());
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.values[0], 7.0);
+  EXPECT_DOUBLE_EQ(e.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(e.values[2], 1.0);
+}
+
+TEST(Jacobi, KnownEigenvalues) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  auto s = Matrix::from_rows({{2, 1}, {1, 2}});
+  auto e = jacobi_eigen_symmetric(s.view());
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(Jacobi, ReconstructsSpdMatrix) {
+  const std::size_t n = 14;
+  Matrix s = spd_matrix(n, 705);
+  auto e = jacobi_eigen_symmetric(s.view());
+  // V·diag(λ)·Vᵀ == S.
+  Matrix vl(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      vl(i, j) = e.vectors(i, j) * e.values[j];
+    }
+  }
+  Matrix recon(n, n);
+  gemm_nt(vl.view(), e.vectors.view(), recon.view());
+  EXPECT_LT(max_abs_diff(recon.view(), s.view()), 1e-8);
+}
+
+TEST(Jacobi, VectorsOrthonormal) {
+  Matrix s = spd_matrix(11, 706);
+  auto e = jacobi_eigen_symmetric(s.view());
+  Matrix vt = transpose(e.vectors.view());
+  Matrix vtv = syrk_reference(vt.view());
+  for (std::size_t i = 0; i < 11; ++i) {
+    for (std::size_t j = 0; j < 11; ++j) {
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Jacobi, HandlesNegativeEigenvalues) {
+  auto s = Matrix::from_rows({{0, 2}, {2, 0}});  // eigenvalues 2, -2
+  auto e = jacobi_eigen_symmetric(s.view());
+  EXPECT_NEAR(e.values[0], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[1], -2.0, 1e-12);
+}
+
+TEST(Jacobi, TraceAndDeterminantPreserved) {
+  Matrix s = spd_matrix(8, 707);
+  auto e = jacobi_eigen_symmetric(s.view());
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    trace += s(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(Jacobi, ReadsOnlyLowerTriangle) {
+  Matrix s = spd_matrix(6, 708);
+  Matrix garbage = s;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) garbage(i, j) = -123.0;
+  }
+  auto clean = jacobi_eigen_symmetric(s.view());
+  auto dirty = jacobi_eigen_symmetric(garbage.view());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(clean.values[i], dirty.values[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace parsyrk

@@ -1,0 +1,109 @@
+// Tests for MatrixMarket dense I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/io.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk {
+namespace {
+
+TEST(MatrixIo, WriteReadRoundTrip) {
+  Matrix m = random_matrix(7, 4, 801);
+  std::stringstream ss;
+  write_matrix_market(ss, m.view());
+  Matrix back = read_matrix_market(ss);
+  EXPECT_EQ(back.rows(), 7u);
+  EXPECT_EQ(back.cols(), 4u);
+  EXPECT_LT(max_abs_diff(m.view(), back.view()), 1e-15);
+}
+
+TEST(MatrixIo, ColumnMajorOrder) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real general\n"
+      "2 3\n"
+      "1\n2\n3\n4\n5\n6\n");
+  Matrix m = read_matrix_market(ss);
+  // Column-major: first column (1,2), second (3,4), third (5,6).
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3);
+  EXPECT_DOUBLE_EQ(m(0, 2), 5);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixIo, CommentsSkipped) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real general\n"
+      "% a comment\n"
+      "% another\n"
+      "1 1\n"
+      "42.5\n");
+  Matrix m = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(m(0, 0), 42.5);
+}
+
+TEST(MatrixIo, SymmetricExpansion) {
+  // Symmetric array format stores the lower triangle column by column.
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real symmetric\n"
+      "3 3\n"
+      "1\n2\n3\n"   // column 0: (0,0) (1,0) (2,0)
+      "4\n5\n"      // column 1: (1,1) (2,1)
+      "6\n");       // column 2: (2,2)
+  Matrix m = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 5);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5);
+  EXPECT_DOUBLE_EQ(m(2, 2), 6);
+}
+
+TEST(MatrixIo, CaseInsensitiveHeader) {
+  std::stringstream ss(
+      "%%MatrixMarket MATRIX Array Real General\n"
+      "1 1\n"
+      "7\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(ss)(0, 0), 7);
+}
+
+TEST(MatrixIo, RejectsMalformedInputs) {
+  {
+    std::stringstream ss("not a banner\n1 1\n5\n");
+    EXPECT_THROW(read_matrix_market(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 5\n");
+    EXPECT_THROW(read_matrix_market(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n1\n");
+    EXPECT_THROW(read_matrix_market(ss), InvalidArgument);  // short data
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix array real general\n0 2\n");
+    EXPECT_THROW(read_matrix_market(ss), InvalidArgument);  // bad size
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix array real symmetric\n2 3\n1\n2\n3\n");
+    EXPECT_THROW(read_matrix_market(ss), InvalidArgument);  // not square
+  }
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"),
+               InvalidArgument);
+}
+
+TEST(MatrixIo, FileRoundTrip) {
+  Matrix m = random_matrix(5, 5, 802);
+  const std::string path = "/tmp/parsyrk_io_test.mtx";
+  write_matrix_market_file(path, m.view());
+  Matrix back = read_matrix_market_file(path);
+  EXPECT_LT(max_abs_diff(m.view(), back.view()), 1e-15);
+}
+
+}  // namespace
+}  // namespace parsyrk

@@ -1,0 +1,226 @@
+// Tests for src/matrix: container/view semantics, kernels vs naive oracles,
+// packed triangular storage.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/kernels.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/packed.hpp"
+#include "matrix/random.hpp"
+
+namespace parsyrk {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 1.5);
+  m(1, 2) = -7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -7.0);
+}
+
+TEST(Matrix, FromRows) {
+  auto m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.data()[0], 1);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3);
+  EXPECT_DOUBLE_EQ(m.data()[3], 4);
+}
+
+TEST(MatrixView, BlockViewAliasesStorage) {
+  Matrix m = indexed_matrix(6, 8);
+  auto b = m.block(2, 3, 2, 4);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 4u);
+  EXPECT_EQ(b.ld(), 8u);
+  EXPECT_DOUBLE_EQ(b(0, 0), m(2, 3));
+  b(1, 2) = -1.0;
+  EXPECT_DOUBLE_EQ(m(3, 5), -1.0);
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Matrix m = indexed_matrix(10, 10);
+  auto outer = m.block(1, 1, 8, 8);
+  auto inner = outer.block(2, 3, 2, 2);
+  EXPECT_DOUBLE_EQ(inner(0, 0), m(3, 4));
+}
+
+TEST(MatrixView, AssignAndFill) {
+  Matrix src = indexed_matrix(3, 3);
+  Matrix dst(5, 5);
+  dst.block(1, 1, 3, 3).assign(src.view());
+  EXPECT_DOUBLE_EQ(dst(2, 2), src(1, 1));
+  dst.block(0, 0, 2, 2).fill(9.0);
+  EXPECT_DOUBLE_EQ(dst(1, 1), 9.0);
+  EXPECT_DOUBLE_EQ(dst(2, 2), src(1, 1));  // untouched by the fill
+}
+
+TEST(MatrixView, ToMatrixCopies) {
+  Matrix m = indexed_matrix(4, 4);
+  Matrix copy = ConstMatrixView(m.block(1, 1, 2, 2)).to_matrix();
+  EXPECT_EQ(copy.rows(), 2u);
+  EXPECT_DOUBLE_EQ(copy(0, 0), m(1, 1));
+  copy(0, 0) = 1234.0;
+  EXPECT_NE(m(1, 1), 1234.0);
+}
+
+TEST(Kernels, TransposeRoundTrip) {
+  Matrix a = random_matrix(5, 9, 3);
+  Matrix att = transpose(transpose(a.view()).view());
+  EXPECT_EQ(max_abs_diff(a.view(), att.view()), 0.0);
+}
+
+class GemmShapes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmShapes, BlockedMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Matrix a = random_matrix(m, k, 11);
+  Matrix b = random_matrix(n, k, 12);
+  Matrix c1(m, n, 0.5), c2(m, n, 0.5);  // nonzero start: kernels accumulate
+  gemm_nt_naive(a.view(), b.view(), c1.view());
+  gemm_nt(a.view(), b.view(), c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 5, 3),
+                      std::make_tuple(64, 64, 64), std::make_tuple(65, 63, 70),
+                      std::make_tuple(128, 3, 300), std::make_tuple(3, 128, 9),
+                      std::make_tuple(100, 100, 1)));
+
+class SyrkShapes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SyrkShapes, BlockedMatchesNaive) {
+  const auto [n, k] = GetParam();
+  Matrix a = random_matrix(n, k, 21);
+  Matrix c1(n, n), c2(n, n);
+  syrk_lower_naive(a.view(), c1.view());
+  syrk_lower(a.view(), c2.view());
+  EXPECT_LT(max_abs_diff_lower(c1.view(), c2.view()), 1e-12);
+}
+
+TEST_P(SyrkShapes, UpperTriangleUntouched) {
+  const auto [n, k] = GetParam();
+  Matrix a = random_matrix(n, k, 22);
+  Matrix c(n, n, -3.25);
+  syrk_lower(a.view(), c.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(c(i, j), -3.25) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(SyrkShapes, MatchesGemmWithSelf) {
+  const auto [n, k] = GetParam();
+  Matrix a = random_matrix(n, k, 23);
+  Matrix cs(n, n), cg(n, n);
+  syrk_lower(a.view(), cs.view());
+  gemm_nt(a.view(), a.view(), cg.view());
+  EXPECT_LT(max_abs_diff_lower(cs.view(), cg.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SyrkShapes,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(5, 7),
+                                           std::make_tuple(64, 16),
+                                           std::make_tuple(65, 130),
+                                           std::make_tuple(129, 2),
+                                           std::make_tuple(2, 200)));
+
+TEST(Kernels, SyrkReferenceIsSymmetric) {
+  Matrix a = random_matrix(17, 5, 31);
+  Matrix c = syrk_reference(a.view());
+  for (std::size_t i = 0; i < 17; ++i) {
+    for (std::size_t j = 0; j < 17; ++j) {
+      EXPECT_DOUBLE_EQ(c(i, j), c(j, i));
+    }
+  }
+}
+
+TEST(Kernels, SyrkReferenceValues) {
+  auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+  Matrix c = syrk_reference(a.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 5);
+  EXPECT_DOUBLE_EQ(c(1, 0), 11);
+  EXPECT_DOUBLE_EQ(c(0, 1), 11);
+  EXPECT_DOUBLE_EQ(c(1, 1), 25);
+}
+
+TEST(Kernels, Norms) {
+  auto m = Matrix::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(frobenius_norm(m.view()), 5.0);
+  auto z = Matrix(2, 2);
+  EXPECT_DOUBLE_EQ(frobenius_norm(z.view()), 0.0);
+}
+
+TEST(Kernels, MaxAbsDiff) {
+  auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+  auto b = Matrix::from_rows({{1, 2.5}, {3, 4}});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 0.5);
+}
+
+TEST(Packed, SizeFormula) {
+  EXPECT_EQ(PackedLower::packed_size(1), 1u);
+  EXPECT_EQ(PackedLower::packed_size(4), 10u);
+  EXPECT_EQ(PackedLower(6).size(), 21u);
+}
+
+TEST(Packed, RoundTripFull) {
+  Matrix a = random_matrix(9, 4, 41);
+  Matrix c = syrk_reference(a.view());
+  PackedLower p = PackedLower::from_full(c.view());
+  Matrix back = p.to_full_symmetric();
+  EXPECT_LT(max_abs_diff(c.view(), back.view()), 1e-15);
+}
+
+TEST(Packed, ToFullLowerZeroesUpper) {
+  Matrix c = syrk_reference(random_matrix(5, 3, 42).view());
+  Matrix lower = PackedLower::from_full(c.view()).to_full_lower();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(lower(i, j), 0.0);
+    }
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_DOUBLE_EQ(lower(i, j), c(i, j));
+    }
+  }
+}
+
+TEST(Packed, IndexLayoutRowPacked) {
+  PackedLower p(4);
+  // Element (i, j) lives at i(i+1)/2 + j.
+  p(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(p.data()[2 * 3 / 2 + 1], 5.0);
+  p(3, 3) = 7.0;
+  EXPECT_DOUBLE_EQ(p.data()[3 * 4 / 2 + 3], 7.0);
+}
+
+TEST(Random, IndexedMatrixFormula) {
+  Matrix m = indexed_matrix(4, 7);
+  EXPECT_DOUBLE_EQ(m(2, 5), 2005.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Random, SeededReproducible) {
+  Matrix a = random_matrix(8, 8, 99);
+  Matrix b = random_matrix(8, 8, 99);
+  EXPECT_EQ(max_abs_diff(a.view(), b.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace parsyrk

@@ -1,0 +1,315 @@
+// Tests for src/seqio: the fast-memory/LRU simulators and the three
+// sequential SYRK schemes — correctness of the restructured arithmetic and
+// the measured I/O against the closed-form expectations (the Beaumont √2
+// story the paper builds on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "seqio/fast_memory.hpp"
+#include "seqio/lru_cache.hpp"
+#include "seqio/seq_cholesky.hpp"
+#include "seqio/seq_syrk.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::seqio {
+namespace {
+
+TEST(FastMemory, CountsLoadsAndStores) {
+  FastMemory fm(100);
+  fm.load(30);
+  fm.allocate(20);
+  EXPECT_EQ(fm.resident(), 50u);
+  fm.store_and_evict(20);
+  fm.evict(30);
+  EXPECT_EQ(fm.resident(), 0u);
+  EXPECT_EQ(fm.loads(), 30u);
+  EXPECT_EQ(fm.stores(), 20u);
+  EXPECT_EQ(fm.total_io(), 50u);
+}
+
+TEST(FastMemory, AllocateIsFreeOfIo) {
+  FastMemory fm(10);
+  fm.allocate(10);
+  EXPECT_EQ(fm.loads(), 0u);
+  fm.evict(10);
+  EXPECT_EQ(fm.total_io(), 0u);
+}
+
+TEST(LruCache, HitsAfterFirstTouch) {
+  LruCache cache(4);
+  EXPECT_TRUE(cache.access(1));   // miss
+  EXPECT_FALSE(cache.access(1));  // hit
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);              // 1 is now most recent
+  EXPECT_TRUE(cache.access(3)); // evicts 2
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.access(2)); // 2 was evicted
+}
+
+TEST(LruCache, CapacityOneThrashes) {
+  LruCache cache(1);
+  for (int i = 0; i < 10; ++i) {
+    cache.access(i % 2);
+  }
+  EXPECT_EQ(cache.misses(), 10u);
+}
+
+TEST(LruCache, SequentialScanWithinCapacityAllHitsSecondPass) {
+  LruCache cache(64);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 64; ++i) cache.access(i);
+  }
+  EXPECT_EQ(cache.misses(), 64u);
+  EXPECT_EQ(cache.hits(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential SYRK schemes: correctness.
+// ---------------------------------------------------------------------------
+
+class SeqSchemes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(SeqSchemes, NaiveMatchesReference) {
+  const auto [n1, n2, m] = GetParam();
+  Matrix a = random_matrix(n1, n2, 5);
+  const auto r = seq_syrk_naive(a.view(), m);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(r.c.view(), ref.view()), 1e-11);
+}
+
+TEST_P(SeqSchemes, SquareMatchesReference) {
+  const auto [n1, n2, m] = GetParam();
+  Matrix a = random_matrix(n1, n2, 6);
+  const auto r = seq_syrk_square(a.view(), m);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(r.c.view(), ref.view()), 1e-11);
+}
+
+TEST_P(SeqSchemes, TriangleMatchesReference) {
+  const auto [n1, n2, m] = GetParam();
+  Matrix a = random_matrix(n1, n2, 7);
+  const auto r = seq_syrk_triangle(a.view(), m);
+  Matrix ref = syrk_reference(a.view());
+  EXPECT_LT(max_abs_diff(r.c.view(), ref.view()), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeqSchemes,
+    ::testing::Values(std::make_tuple(36, 20, 600),
+                      std::make_tuple(100, 16, 1500),
+                      std::make_tuple(64, 64, 2000),
+                      std::make_tuple(49, 8, 1200)));
+
+// ---------------------------------------------------------------------------
+// Sequential SYRK schemes: I/O volumes.
+// ---------------------------------------------------------------------------
+
+TEST(SeqIo, NaiveIoIsQuadraticInN1) {
+  // Row-pair streaming loads ≈ n2·n1²/2 words.
+  const std::size_t n1 = 64, n2 = 16;
+  Matrix a = random_matrix(n1, n2, 8);
+  const auto r = seq_syrk_naive(a.view(), 4 * n2);
+  const double expected = static_cast<double>(n2) * n1 * (n1 + 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(r.loads) / expected, 1.0, 0.1);
+}
+
+TEST(SeqIo, TriangleBeatsSquareByAboutSqrt2) {
+  // The heart of the Beaumont result: at equal fast-memory size, triangle
+  // blocking moves fewer words than square blocking, approaching the √2
+  // factor on the A traffic as c grows (here c = 11: A ratio ≈ 1.37).
+  const std::size_t n1 = 968, n2 = 64;  // 968 = 8·11²
+  const std::uint64_t m = 3700;         // fits triangle sets with c = 11
+  Matrix a = random_matrix(n1, n2, 9);
+  const auto sq = seq_syrk_square(a.view(), m);
+  const auto tr = seq_syrk_triangle(a.view(), m);
+  EXPECT_LT(tr.total_io(), sq.total_io());
+  const double a_ratio =
+      static_cast<double>(sq.loads) / static_cast<double>(tr.loads);
+  EXPECT_GT(a_ratio, 1.25);
+  EXPECT_LT(a_ratio, std::sqrt(2.0) * 1.05);
+  const double total_ratio =
+      static_cast<double>(sq.total_io()) / static_cast<double>(tr.total_io());
+  EXPECT_GT(total_ratio, 1.15);  // C stores dilute the A-traffic gain
+}
+
+TEST(SeqIo, TriangleNearLowerBound) {
+  // Measured I/O of the triangle scheme should be within a modest factor of
+  // the (1/√2)·n1²·n2/√M bound (finite-size effects: the c grid is coarse
+  // and the +n1·n2 compulsory reads are not in the leading term).
+  const std::size_t n1 = 968, n2 = 64;
+  const std::uint64_t m = 3700;
+  Matrix a = random_matrix(n1, n2, 10);
+  const auto tr = seq_syrk_triangle(a.view(), m);
+  const double lb = seq_syrk_io_lower_bound(n1, n2, m);
+  EXPECT_GT(static_cast<double>(tr.total_io()), lb * 0.5);
+  EXPECT_LT(static_cast<double>(tr.total_io()), lb * 3.0);
+}
+
+TEST(SeqIo, TriangleAMovementMatchesFormula) {
+  // A-traffic of the triangle scheme is exactly (c+1)·n1·n2 loads; C adds
+  // one store per output word.
+  const std::size_t n1 = 144, n2 = 32;
+  const std::uint64_t m = 4000;
+  Matrix a = random_matrix(n1, n2, 11);
+  const auto tr = seq_syrk_triangle(a.view(), m);
+  const std::uint64_t c = tr.parameter;
+  ASSERT_GT(c, 0u);
+  EXPECT_EQ(tr.loads, (c + 1) * n1 * n2);
+  EXPECT_EQ(tr.stores, n1 * (n1 + 1) / 2);
+}
+
+TEST(SeqIo, SquareAMovementMatchesFormula) {
+  // With block size b | n1, loads = n2·b·(nblk² blocks read pairwise):
+  // sum over I>=J of (bi + bj if I!=J else bi)·n2.
+  const std::size_t n1 = 128, n2 = 16;
+  const std::uint64_t m = 32 * 32 + 2 * 32;  // largest b with b²+2b <= m: 32
+  Matrix a = random_matrix(n1, n2, 12);
+  const auto sq = seq_syrk_square(a.view(), m);
+  ASSERT_EQ(sq.parameter, 32u);
+  const std::uint64_t nblk = n1 / 32;
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < nblk; ++i) {
+    for (std::uint64_t j = 0; j <= i; ++j) {
+      expected += (i == j ? 32u : 64u) * n2;
+    }
+  }
+  EXPECT_EQ(sq.loads, expected);
+}
+
+TEST(SeqIo, LowerBoundFormulas) {
+  EXPECT_DOUBLE_EQ(seq_syrk_io_lower_bound(100, 10, 50),
+                   100.0 * 100.0 * 10.0 / std::sqrt(100.0));
+  EXPECT_DOUBLE_EQ(seq_gemm_io_lower_bound(100, 10, 100),
+                   2.0 * 100.0 * 100.0 * 10.0 / 10.0);
+  // The 2^{3/2} gap between GEMM and SYRK sequential bounds.
+  EXPECT_NEAR(seq_gemm_io_lower_bound(500, 80, 1000) /
+                  seq_syrk_io_lower_bound(500, 80, 1000),
+              std::pow(2.0, 1.5), 1e-9);
+}
+
+TEST(SeqIo, NaiveRejectsTinyMemory) {
+  Matrix a = random_matrix(8, 100, 13);
+  EXPECT_THROW(seq_syrk_naive(a.view(), 150), parsyrk::InvalidArgument);
+}
+
+TEST(SeqIo, TriangleRejectsImpossibleGeometry) {
+  // n1 = 35 has no prime c with c² | n1 other than nothing — 35 = 5·7.
+  Matrix a = random_matrix(35, 4, 14);
+  EXPECT_THROW(seq_syrk_triangle(a.view(), 100000),
+               parsyrk::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential blocked Cholesky (SYRK's host kernel).
+// ---------------------------------------------------------------------------
+
+Matrix spd(std::size_t n, std::uint64_t seed) {
+  Matrix g = syrk_reference(random_matrix(n, n + 3, seed).view());
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += static_cast<double>(n);
+  return g;
+}
+
+class CholSchemes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(CholSchemes, TilePairFactorsCorrectly) {
+  const auto [n, m] = GetParam();
+  Matrix g = spd(n, 21);
+  const auto r = seq_cholesky_tile_pair(g.view(), m);
+  Matrix recon(n, n);
+  gemm_nt(r.l.view(), r.l.view(), recon.view());
+  EXPECT_LT(max_abs_diff_lower(recon.view(), g.view()), 1e-8);
+}
+
+TEST_P(CholSchemes, PanelResidentFactorsCorrectly) {
+  const auto [n, m] = GetParam();
+  Matrix g = spd(n, 22);
+  const auto r = seq_cholesky_panel_resident(g.view(), m);
+  Matrix recon(n, n);
+  gemm_nt(r.l.view(), r.l.view(), recon.view());
+  EXPECT_LT(max_abs_diff_lower(recon.view(), g.view()), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholSchemes,
+                         ::testing::Values(std::make_tuple(40, 400),
+                                           std::make_tuple(64, 900),
+                                           std::make_tuple(96, 2500),
+                                           std::make_tuple(33, 3000)));
+
+TEST(SeqChol, SchemesAgreeWithDirectFactor) {
+  const std::size_t n = 48;
+  Matrix g = spd(n, 23);
+  const auto a = seq_cholesky_tile_pair(g.view(), 800);
+  const auto b = seq_cholesky_panel_resident(g.view(), 800);
+  EXPECT_LT(max_abs_diff_lower(a.l.view(), b.l.view()), 1e-9);
+}
+
+TEST(SeqChol, PanelResidentMovesFewerWords) {
+  const std::size_t n = 160;
+  const std::uint64_t m = 4000;
+  Matrix g = spd(n, 24);
+  const auto pair = seq_cholesky_tile_pair(g.view(), m);
+  const auto panel = seq_cholesky_panel_resident(g.view(), m);
+  EXPECT_LT(panel.total_io(), pair.total_io());
+}
+
+TEST(SeqChol, IoWithinFactorOfReference) {
+  const std::size_t n = 160;
+  const std::uint64_t m = 4000;
+  Matrix g = spd(n, 25);
+  const auto pair = seq_cholesky_tile_pair(g.view(), m);
+  const double ref = seq_cholesky_io_reference(n, m);
+  EXPECT_GT(static_cast<double>(pair.total_io()), 0.3 * ref);
+  EXPECT_LT(static_cast<double>(pair.total_io()), 6.0 * ref);
+}
+
+TEST(SeqChol, BoundFormulasSqrtTwoApart) {
+  EXPECT_NEAR(seq_cholesky_io_reference(100, 50) /
+                  seq_cholesky_io_lower_bound(100, 50),
+              std::sqrt(2.0), 1e-12);
+}
+
+TEST(SeqChol, RejectsIndefiniteMatrix) {
+  Matrix g = Matrix::from_rows({{1, 2}, {2, 1}});
+  EXPECT_THROW(seq_cholesky_tile_pair(g.view(), 100),
+               parsyrk::InvalidArgument);
+}
+
+TEST(SeqIo, LruNaiveSyrkMissesNearStreamingVolume) {
+  // Drive an LRU cache with the naive triple-loop access stream; with a
+  // cache far smaller than a row of A the misses approach one per A access.
+  // Capacity must exceed the per-pair working set (two rows + one C word =
+  // 65 words) with slack, or LRU thrashes and every access misses.
+  const std::size_t n1 = 48, n2 = 32;
+  LruCache cache(100);
+  // Address map: A row-major at 0, C packed after.
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k < n2; ++k) {
+        cache.access(i * n2 + k);
+        cache.access(j * n2 + k);
+      }
+      cache.access(n1 * n2 + i * (i + 1) / 2 + j);
+    }
+  }
+  const double a_accesses = static_cast<double>(n1) * (n1 + 1) * n2;
+  // Row i stays resident within the inner loops (64 >= 32 words) but row j
+  // changes every iteration: misses ≈ half the A accesses.
+  EXPECT_GT(static_cast<double>(cache.misses()), 0.35 * a_accesses);
+  EXPECT_LT(static_cast<double>(cache.misses()), 0.75 * a_accesses);
+}
+
+}  // namespace
+}  // namespace parsyrk::seqio

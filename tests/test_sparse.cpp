@@ -1,0 +1,302 @@
+// Tests for the sparse module: CSR container semantics, the sequential
+// sparse SYRK kernel, and the 1D parallel sparse SYRK with both column
+// splits.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/parallel.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parsyrk::sparse {
+namespace {
+
+/// Random matrix with the requested fill fraction (exact zeros elsewhere).
+Matrix sparse_dense(std::size_t rows, std::size_t cols, double fill,
+                    std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (rng.uniform() < fill) m.data()[i] = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+TEST(Csr, FromTripletsSortsAndSums) {
+  auto m = Csr::from_triplets(3, 3,
+                              {{2, 1, 1.0}, {0, 0, 2.0}, {2, 1, 3.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(2, 1), 4.0);  // duplicates summed
+}
+
+TEST(Csr, DenseRoundTrip) {
+  Matrix m = sparse_dense(9, 13, 0.3, 1001);
+  Csr s = Csr::from_dense(m.view());
+  EXPECT_LT(max_abs_diff(s.to_dense().view(), m.view()), 1e-15);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  Matrix m = sparse_dense(8, 5, 0.4, 1002);
+  Csr s = Csr::from_dense(m.view());
+  Csr tt = s.transpose().transpose();
+  EXPECT_LT(max_abs_diff(tt.to_dense().view(), m.view()), 1e-15);
+  EXPECT_EQ(tt.nnz(), s.nnz());
+}
+
+TEST(Csr, TransposeMatchesDenseTranspose) {
+  Matrix m = sparse_dense(6, 11, 0.25, 1003);
+  Csr s = Csr::from_dense(m.view());
+  Matrix expect = transpose(m.view());
+  EXPECT_LT(max_abs_diff(s.transpose().to_dense().view(), expect.view()),
+            1e-15);
+}
+
+TEST(Csr, ColumnSlice) {
+  Matrix m = sparse_dense(7, 10, 0.5, 1004);
+  Csr s = Csr::from_dense(m.view());
+  Csr slice = s.column_slice(3, 4);
+  Matrix expect = ConstMatrixView(m.view().block(0, 3, 7, 4)).to_matrix();
+  EXPECT_LT(max_abs_diff(slice.to_dense().view(), expect.view()), 1e-15);
+  EXPECT_THROW(s.column_slice(8, 4), parsyrk::InvalidArgument);
+}
+
+TEST(Csr, DensityAndBounds) {
+  auto m = Csr::from_triplets(4, 5, {{0, 0, 1.0}, {3, 4, 1.0}});
+  EXPECT_DOUBLE_EQ(m.density(), 2.0 / 20.0);
+  EXPECT_THROW(Csr::from_triplets(2, 2, {{2, 0, 1.0}}),
+               parsyrk::InvalidArgument);
+}
+
+class SparseSyrkShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(SparseSyrkShapes, KernelMatchesDenseReference) {
+  const auto [n1, n2, fill] = GetParam();
+  Matrix m = sparse_dense(n1, n2, fill, 1005);
+  Csr s = Csr::from_dense(m.view());
+  Matrix c(n1, n1);
+  sparse_syrk_lower(s, c.view());
+  Matrix ref = syrk_reference(m.view());
+  EXPECT_LT(max_abs_diff_lower(c.view(), ref.view()), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparseSyrkShapes,
+                         ::testing::Values(std::make_tuple(20, 30, 0.1),
+                                           std::make_tuple(40, 15, 0.05),
+                                           std::make_tuple(12, 12, 1.0),
+                                           std::make_tuple(25, 40, 0.0),
+                                           std::make_tuple(30, 8, 0.5)));
+
+TEST(SparseSyrk, FlopCountFormula) {
+  // Two columns with 3 and 2 nonzeros: 6 + 3 = 9 multiply-adds.
+  auto s = Csr::from_triplets(5, 2,
+                              {{0, 0, 1.0},
+                               {2, 0, 1.0},
+                               {4, 0, 1.0},
+                               {1, 1, 1.0},
+                               {3, 1, 1.0}});
+  EXPECT_EQ(sparse_syrk_flops(s), 9u);
+}
+
+TEST(SparseSyrk, FlopsShrinkQuadraticallyWithFill) {
+  const std::size_t n1 = 60, n2 = 60;
+  Csr dense = Csr::from_dense(sparse_dense(n1, n2, 1.0, 1006).view());
+  Csr tenth = Csr::from_dense(sparse_dense(n1, n2, 0.1, 1007).view());
+  const double ratio = static_cast<double>(sparse_syrk_flops(dense)) /
+                       static_cast<double>(sparse_syrk_flops(tenth));
+  EXPECT_GT(ratio, 50.0);   // ~1/fill² = 100, with sampling noise
+  EXPECT_LT(ratio, 200.0);
+}
+
+class Sparse1dProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sparse1dProcs, UniformSplitMatchesReference) {
+  const int p = GetParam();
+  Matrix m = sparse_dense(24, 50, 0.15, 1008);
+  Csr s = Csr::from_dense(m.view());
+  comm::World world(p);
+  Matrix c = sparse_syrk_1d(world, s, ColumnSplit::kUniform);
+  EXPECT_LT(max_abs_diff(c.view(), syrk_reference(m.view()).view()), 1e-10);
+}
+
+TEST_P(Sparse1dProcs, NnzBalancedSplitMatchesReference) {
+  const int p = GetParam();
+  Matrix m = sparse_dense(24, 50, 0.15, 1009);
+  Csr s = Csr::from_dense(m.view());
+  comm::World world(p);
+  Matrix c = sparse_syrk_1d(world, s, ColumnSplit::kNnzBalanced);
+  EXPECT_LT(max_abs_diff(c.view(), syrk_reference(m.view()).view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, Sparse1dProcs, ::testing::Values(1, 2, 5, 8));
+
+TEST(Sparse1d, CommunicationEqualsDenseAlgorithm) {
+  // The reduce-scattered triangle is dense no matter the input fill.
+  const std::size_t n1 = 32, n2 = 64;
+  Matrix m = sparse_dense(n1, n2, 0.05, 1010);
+  Csr s = Csr::from_dense(m.view());
+  comm::World world(8);
+  sparse_syrk_1d(world, s);
+  const double expected =
+      (1.0 - 1.0 / 8.0) * static_cast<double>(n1 * (n1 + 1) / 2);
+  for (const auto& r : world.ledger().per_rank()) {
+    EXPECT_NEAR(static_cast<double>(r.words_sent), expected, 1.0);
+  }
+}
+
+TEST(Sparse1d, ColumnRangesPartition) {
+  Matrix m = sparse_dense(16, 37, 0.2, 1011);
+  Csr s = Csr::from_dense(m.view());
+  for (auto split : {ColumnSplit::kUniform, ColumnSplit::kNnzBalanced}) {
+    const auto ranges = column_ranges(s, 5, split);
+    std::size_t cursor = 0;
+    for (const auto& [lo, hi] : ranges) {
+      EXPECT_EQ(lo, cursor);
+      EXPECT_LE(lo, hi);
+      cursor = hi;
+    }
+    EXPECT_EQ(cursor, 37u);
+  }
+}
+
+TEST(Sparse1d, NnzBalancedEvensSkewedWork) {
+  // Heavily skewed fill: the first 8 columns are dense, the rest nearly
+  // empty. A uniform split puts almost all flops on rank 0; the balanced
+  // split spreads them.
+  const std::size_t n1 = 30, n2 = 64;
+  std::vector<std::tuple<std::size_t, std::size_t, double>> trip;
+  Rng rng(1012);
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t i = 0; i < n1; ++i) trip.emplace_back(i, k, 1.0);
+  }
+  for (std::size_t k = 8; k < n2; ++k) {
+    trip.emplace_back(rng.uniform_int(0, n1 - 1), k, 1.0);
+  }
+  Csr s = Csr::from_triplets(n1, n2, std::move(trip));
+  auto flops_of = [&](const std::vector<std::pair<std::size_t, std::size_t>>&
+                          ranges) {
+    std::vector<std::uint64_t> w;
+    for (const auto& [lo, hi] : ranges) {
+      w.push_back(hi > lo ? sparse_syrk_flops(s.column_slice(lo, hi - lo))
+                          : 0);
+    }
+    const auto mx = *std::max_element(w.begin(), w.end());
+    std::uint64_t total = 0;
+    for (auto x : w) total += x;
+    return static_cast<double>(mx) / (static_cast<double>(total) / w.size());
+  };
+  const double uniform =
+      flops_of(column_ranges(s, 4, ColumnSplit::kUniform));
+  const double balanced =
+      flops_of(column_ranges(s, 4, ColumnSplit::kNnzBalanced));
+  EXPECT_GT(uniform, 2.5);
+  EXPECT_LT(balanced, 1.8);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric sparse SpMM (sparse SYMM) and symmetric SDDMM (§6 kernels)
+// ---------------------------------------------------------------------------
+
+/// Random symmetric lower pattern (diagonal included) at the given fill.
+Csr random_lower(std::size_t n, double fill, std::uint64_t seed) {
+  std::vector<std::tuple<std::size_t, std::size_t, double>> trip;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (j == i || rng.uniform() < fill) {
+        trip.emplace_back(i, j, rng.uniform(-1, 1));
+      }
+    }
+  }
+  return Csr::from_triplets(n, n, std::move(trip));
+}
+
+TEST(SparseSymm, MatchesDenseSymm) {
+  const std::size_t n = 22, m = 7;
+  Csr s = random_lower(n, 0.3, 1101);
+  Matrix b = random_matrix(n, m, 1102);
+  Matrix out = sparse_symm_lower(s, b.view());
+  // Dense oracle: expand and use the dense SYMM kernel.
+  Matrix dense = s.to_dense();
+  Matrix expect = symm_reference(dense.view(), b.view());
+  EXPECT_LT(max_abs_diff(out.view(), expect.view()), 1e-12);
+}
+
+TEST(SparseSymm, DiagonalOnlyActsOnce) {
+  // A diagonal pattern must scale rows exactly once (no double count).
+  Csr s = Csr::from_triplets(3, 3, {{0, 0, 2.0}, {1, 1, 3.0}, {2, 2, 4.0}});
+  Matrix b = Matrix::from_rows({{1, 1}, {1, 1}, {1, 1}});
+  Matrix out = sparse_symm_lower(s, b.view());
+  EXPECT_DOUBLE_EQ(out(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(out(2, 0), 4.0);
+}
+
+TEST(SparseSymm, RejectsUpperEntries) {
+  Csr bad = Csr::from_triplets(3, 3, {{0, 2, 1.0}});
+  Matrix b(3, 2);
+  EXPECT_THROW(sparse_symm_lower(bad, b.view()), parsyrk::InvalidArgument);
+}
+
+TEST(Sddmm, MatchesMaskedSyrk) {
+  const std::size_t n1 = 18, n2 = 9;
+  Csr mask = random_lower(n1, 0.25, 1103);
+  Matrix a = random_matrix(n1, n2, 1104);
+  Csr out = sddmm_syrk(mask, a.view());
+  Matrix full = syrk_reference(a.view());
+  Matrix dense_out = out.to_dense();
+  Matrix dense_mask = mask.to_dense();
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(dense_out(i, j), dense_mask(i, j) * full(i, j), 1e-11)
+          << i << "," << j;
+    }
+  }
+  EXPECT_EQ(out.nnz(), mask.nnz());
+}
+
+class SddmmProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SddmmProcs, ParallelMatchesSequential) {
+  const int p = GetParam();
+  const std::size_t n1 = 20, n2 = 33;
+  Csr mask = random_lower(n1, 0.2, 1105);
+  Matrix a = random_matrix(n1, n2, 1106);
+  comm::World world(p);
+  Csr par = sddmm_syrk_1d(world, mask, a.view());
+  Csr seq = sddmm_syrk(mask, a.view());
+  EXPECT_LT(max_abs_diff(par.to_dense().view(), seq.to_dense().view()),
+            1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SddmmProcs, ::testing::Values(1, 3, 6, 8));
+
+TEST(Sddmm, CommunicationScalesWithMaskNnz) {
+  // The reduced volume is (1−1/P)·nnz(mask) words — sparse OUTPUT shrinks
+  // communication, the mirror image of sparse SYRK (dense output).
+  const std::size_t n1 = 40, n2 = 24;
+  Matrix a = random_matrix(n1, n2, 1107);
+  const int p = 4;
+  for (double fill : {0.5, 0.1}) {
+    Csr mask = random_lower(n1, fill, 1108);
+    comm::World world(p);
+    sddmm_syrk_1d(world, mask, a.view());
+    const double expected =
+        (1.0 - 1.0 / p) * static_cast<double>(mask.nnz());
+    EXPECT_NEAR(static_cast<double>(
+                    world.ledger().summary().max.words_sent),
+                expected, 1.0)
+        << "fill " << fill;
+  }
+}
+
+}  // namespace
+}  // namespace parsyrk::sparse

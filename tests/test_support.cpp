@@ -1,0 +1,157 @@
+// Tests for src/support: primes, formatting, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/prime.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace parsyrk {
+namespace {
+
+TEST(Prime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(Prime, AgreesWithSieve) {
+  const auto sieve = primes_up_to(2000);
+  std::set<std::uint64_t> prime_set(sieve.begin(), sieve.end());
+  for (std::uint64_t n = 0; n <= 2000; ++n) {
+    EXPECT_EQ(is_prime(n), prime_set.count(n) == 1) << "n = " << n;
+  }
+}
+
+TEST(Prime, NextPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(90), 97u);
+}
+
+TEST(Prime, PrevPrime) {
+  EXPECT_FALSE(prev_prime(1).has_value());
+  EXPECT_EQ(prev_prime(2).value(), 2u);
+  EXPECT_EQ(prev_prime(10).value(), 7u);
+  EXPECT_EQ(prev_prime(100).value(), 97u);
+}
+
+TEST(Prime, AsPrimePronic) {
+  EXPECT_EQ(as_prime_pronic(6).value(), 2u);     // 2*3
+  EXPECT_EQ(as_prime_pronic(12).value(), 3u);    // 3*4
+  EXPECT_EQ(as_prime_pronic(30).value(), 5u);    // 5*6
+  EXPECT_EQ(as_prime_pronic(56).value(), 7u);    // 7*8
+  EXPECT_EQ(as_prime_pronic(132).value(), 11u);  // 11*12
+  EXPECT_FALSE(as_prime_pronic(20).has_value());  // 4*5, c = 4 not prime
+  EXPECT_FALSE(as_prime_pronic(72).has_value());  // 8*9, c = 8 not prime
+  EXPECT_FALSE(as_prime_pronic(7).has_value());   // not pronic at all
+  EXPECT_FALSE(as_prime_pronic(0).has_value());
+}
+
+TEST(Prime, LargestPrimePronicAtMost) {
+  EXPECT_FALSE(largest_prime_pronic_at_most(5).has_value());
+  EXPECT_EQ(largest_prime_pronic_at_most(6).value(), 6u);
+  EXPECT_EQ(largest_prime_pronic_at_most(11).value(), 6u);
+  EXPECT_EQ(largest_prime_pronic_at_most(12).value(), 12u);
+  EXPECT_EQ(largest_prime_pronic_at_most(55).value(), 30u);
+  EXPECT_EQ(largest_prime_pronic_at_most(131).value(), 56u);
+  EXPECT_EQ(largest_prime_pronic_at_most(1000).value(), 31u * 32u);
+}
+
+TEST(Prime, PrimesUpTo) {
+  EXPECT_TRUE(primes_up_to(1).empty());
+  EXPECT_EQ(primes_up_to(10), (std::vector<std::uint64_t>{2, 3, 5, 7}));
+  EXPECT_EQ(primes_up_to(29).back(), 29u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, NormalMomentsRoughly) {
+  Rng rng(123);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| a   | bbbb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FmtCount) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.5), "1.5");
+  EXPECT_EQ(fmt_double(0.333333333, 3), "0.333");
+}
+
+TEST(Check, RequireThrows) {
+  EXPECT_THROW({ PARSYRK_REQUIRE(false, "message ", 42); }, InvalidArgument);
+}
+
+TEST(Check, StrcatAll) {
+  EXPECT_EQ(strcat_all("x=", 3, ", y=", 1.5), "x=3, y=1.5");
+}
+
+}  // namespace
+}  // namespace parsyrk

@@ -1,0 +1,245 @@
+// parsyrk — command-line driver for the library.
+//
+// Runs any of the parallel kernels on a synthetic matrix, prints the plan,
+// the measured per-phase communication, the matching lower bound, and
+// verifies the result against the serial reference.
+//
+//   parsyrk --op syrk  --n1 144 --n2 96 --procs 12
+//   parsyrk --op syrk  --n1 360 --n2 8  --procs 30 --algo 2d --c 5
+//   parsyrk --op syr2k --n1 100 --n2 12 --procs 30 --algo 2d --c 5
+//   parsyrk --op symm  --n1 100 --n2 12 --procs 30 --c 5
+//   parsyrk --op bound --n1 1000 --n2 1000 --procs 4096
+#include <cstdlib>
+#include <iostream>
+
+#include "bounds/syr2k_bounds.hpp"
+#include "core/cholesky.hpp"
+#include "core/memory.hpp"
+#include "core/symm.hpp"
+#include "core/syr2k.hpp"
+#include "core/syrk.hpp"
+#include "matrix/factor.hpp"
+#include "matrix/io.hpp"
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+
+namespace {
+
+int run_bound(std::uint64_t n1, std::uint64_t n2, std::uint64_t p) {
+  const auto b = bounds::syrk_lower_bound(n1, n2, p);
+  const auto b2 = bounds::syr2k_lower_bound(n1, n2, p);
+  Table t({"kernel", "case", "W (data)", "communicated bound"});
+  t.add_row({"SYRK", bounds::regime_name(b.regime), fmt_double(b.w, 8),
+             fmt_double(b.communicated, 8)});
+  t.add_row({"SYR2K", bounds::regime_name(b2.regime), fmt_double(b2.w, 8),
+             fmt_double(b2.communicated, 8)});
+  t.print(std::cout);
+  return EXIT_SUCCESS;
+}
+
+void report(comm::World& world, double err, double bound_comm) {
+  const auto total = world.ledger().summary();
+  Table t({"phase", "max words/rank", "max msgs/rank"});
+  for (const auto& phase : world.ledger().phases()) {
+    const auto s = world.ledger().summary(phase);
+    t.add_row({phase, std::to_string(s.max.words_sent),
+               std::to_string(s.max.msgs_sent)});
+  }
+  t.add_row({"total", std::to_string(total.max.words_sent),
+             std::to_string(total.max.msgs_sent)});
+  t.print(std::cout);
+  std::cout << "max |result - reference| = " << err << "\n";
+  if (bound_comm > 0) {
+    std::cout << "lower bound = " << fmt_double(bound_comm, 6)
+              << " words; measured/bound = "
+              << fmt_double(
+                     static_cast<double>(total.critical_path_words()) /
+                         bound_comm,
+                     4)
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("op", "kernel to run: syrk | syr2k | symm | cholesky | bound",
+               "syrk");
+  cli.add_flag("n1", "rows of A (order of C); for symm: order of S", "144");
+  cli.add_flag("n2", "cols of A; for symm: cols of B", "96");
+  cli.add_flag("procs", "processor budget", "12");
+  cli.add_flag("algo", "force algorithm: auto | 1d | 2d | 3d", "auto");
+  cli.add_flag("c", "triangle-distribution prime (2d/3d)", "0");
+  cli.add_flag("p2", "slice count for 3d", "1");
+  cli.add_flag("memory", "per-rank memory budget in words (0 = unlimited)",
+               "0");
+  cli.add_flag("seed", "RNG seed for the synthetic input", "1");
+  cli.add_flag("input", "read A from a MatrixMarket file instead of "
+               "synthesizing it (overrides --n1/--n2)", std::nullopt);
+  cli.add_flag("help", "print this help");
+  try {
+    cli.parse(argc, argv);
+    if (cli.has("help") && cli.get("help") == "true") {
+      std::cout << cli.help("parsyrk",
+                            "communication-optimal parallel SYRK & friends");
+      return EXIT_SUCCESS;
+    }
+    auto n1 = static_cast<std::uint64_t>(cli.get_int("n1"));
+    auto n2 = static_cast<std::uint64_t>(cli.get_int("n2"));
+    const auto procs = static_cast<std::uint64_t>(cli.get_int("procs"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const std::string op = cli.get("op");
+
+    Matrix a;
+    if (cli.has("input")) {
+      a = read_matrix_market_file(cli.get("input"));
+      n1 = a.rows();
+      n2 = a.cols();
+      std::cout << "Loaded " << n1 << "x" << n2 << " matrix from "
+                << cli.get("input") << "\n";
+    }
+
+    if (op == "bound") return run_bound(n1, n2, procs);
+
+    const auto memory = static_cast<std::uint64_t>(cli.get_int("memory"));
+    std::string algo = cli.get("algo");
+    auto c_flag = static_cast<std::uint64_t>(cli.get_int("c"));
+    auto p2_flag = static_cast<std::uint64_t>(cli.get_int("p2"));
+
+    if (a.empty()) a = random_matrix(n1, n2, seed);
+
+    if (op == "syrk" && algo == "auto" && memory == 0) {
+      const auto run = core::syrk_auto(a, procs);
+      std::cout << "Plan: " << run.plan << "\n";
+      const double err =
+          max_abs_diff(run.c.view(), syrk_reference(a.view()).view());
+      Table t({"phase", "max words/rank"});
+      t.add_row({"gather_A", std::to_string(run.gather_a.max.words_sent)});
+      t.add_row({"reduce_C", std::to_string(run.reduce_c.max.words_sent)});
+      t.add_row({"total", std::to_string(run.total.max.words_sent)});
+      t.print(std::cout);
+      std::cout << "max |C - AAᵀ| = " << err << "; bound = "
+                << fmt_double(run.bound.communicated, 6) << " words\n";
+      return err < 1e-8 ? EXIT_SUCCESS : EXIT_FAILURE;
+    }
+    if (op == "syrk" && memory != 0) {
+      const auto choice =
+          core::plan_syrk_memory_aware(n1, n2, procs, memory);
+      if (!choice) {
+        std::cout << "No plan fits within " << memory
+                  << " words/rank; memory-dependent bound = "
+                  << fmt_double(core::syrk_memory_dependent_bound(
+                                    n1, n2, procs, memory),
+                                6)
+                  << "\n";
+        return EXIT_FAILURE;
+      }
+      std::cout << "Memory-aware plan: " << choice->plan << " (footprint "
+                << fmt_double(choice->footprint_words, 6) << " words)\n";
+      c_flag = choice->plan.c;
+      p2_flag = choice->plan.p2;
+      const char* names[] = {"1d", "2d", "3d"};
+      algo = names[static_cast<int>(choice->plan.algorithm)];
+    }
+
+    // Explicit algorithm runs.
+    auto need_c = [&]() {
+      PARSYRK_REQUIRE(c_flag >= 2, "--c is required for 2d/3d runs");
+      return c_flag;
+    };
+    if (op == "syrk") {
+      if (algo == "1d") {
+        comm::World world(static_cast<int>(procs));
+        Matrix c = core::syrk_1d(world, a);
+        report(world,
+               max_abs_diff(c.view(), syrk_reference(a.view()).view()),
+               bounds::syrk_lower_bound(n1, n2, procs).communicated);
+        return EXIT_SUCCESS;
+      }
+      if (algo == "2d") {
+        const auto c = need_c();
+        comm::World world(static_cast<int>(c * (c + 1)));
+        Matrix out = core::syrk_2d(world, a, c);
+        report(world,
+               max_abs_diff(out.view(), syrk_reference(a.view()).view()),
+               bounds::syrk_lower_bound(n1, n2, c * (c + 1)).communicated);
+        return EXIT_SUCCESS;
+      }
+      if (algo == "3d") {
+        const auto c = need_c();
+        comm::World world(static_cast<int>(c * (c + 1) * p2_flag));
+        Matrix out = core::syrk_3d(world, a, c, p2_flag);
+        report(world,
+               max_abs_diff(out.view(), syrk_reference(a.view()).view()),
+               bounds::syrk_lower_bound(n1, n2, c * (c + 1) * p2_flag)
+                   .communicated);
+        return EXIT_SUCCESS;
+      }
+      PARSYRK_REQUIRE(false, "unknown --algo ", algo);
+    }
+    if (op == "syr2k") {
+      Matrix b = random_matrix(n1, n2, seed + 1);
+      Matrix ref = syr2k_reference(a.view(), b.view());
+      if (algo == "2d" || algo == "auto") {
+        const auto c = need_c();
+        comm::World world(static_cast<int>(c * (c + 1)));
+        Matrix out = core::syr2k_2d(world, a, b, c);
+        report(world, max_abs_diff(out.view(), ref.view()),
+               bounds::syr2k_lower_bound(n1, n2, c * (c + 1)).communicated);
+      } else if (algo == "1d") {
+        comm::World world(static_cast<int>(procs));
+        Matrix out = core::syr2k_1d(world, a, b);
+        report(world, max_abs_diff(out.view(), ref.view()),
+               bounds::syr2k_lower_bound(n1, n2, procs).communicated);
+      } else {
+        const auto c = need_c();
+        comm::World world(static_cast<int>(c * (c + 1) * p2_flag));
+        Matrix out = core::syr2k_3d(world, a, b, c, p2_flag);
+        report(world, max_abs_diff(out.view(), ref.view()),
+               bounds::syr2k_lower_bound(n1, n2, c * (c + 1) * p2_flag)
+                   .communicated);
+      }
+      return EXIT_SUCCESS;
+    }
+    if (op == "cholesky") {
+      // Build an SPD G = A·Aᵀ + n1·I, factor it on a grid.
+      const auto grid = static_cast<std::uint64_t>(
+          std::sqrt(static_cast<double>(procs)));
+      PARSYRK_REQUIRE(grid >= 1, "cholesky needs at least one rank");
+      Matrix g = syrk_reference(a.view());
+      for (std::size_t i = 0; i < n1; ++i) {
+        g(i, i) += static_cast<double>(n1);
+      }
+      comm::World world(static_cast<int>(grid * grid));
+      const std::size_t tile =
+          std::max<std::size_t>(1, n1 / (2 * grid));
+      Matrix l = core::parallel_cholesky(world, g, grid, tile);
+      Matrix ref = cholesky_lower(g.view());
+      report(world, max_abs_diff(l.view(), ref.view()), 0.0);
+      return EXIT_SUCCESS;
+    }
+    if (op == "symm") {
+      const auto c = need_c();
+      Matrix s = syrk_reference(random_matrix(n1, 8, seed + 2).view());
+      Matrix b = random_matrix(n1, n2, seed + 3);
+      comm::World world(static_cast<int>(c * (c + 1)));
+      Matrix out = core::symm_2d(world, s, b, c);
+      report(world,
+             max_abs_diff(out.view(), symm_reference(s.view(), b.view()).view()),
+             0.0);
+      return EXIT_SUCCESS;
+    }
+    PARSYRK_REQUIRE(false, "unknown --op ", op);
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n\n"
+              << cli.help("parsyrk",
+                          "communication-optimal parallel SYRK & friends");
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
