@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg1_1d_optimality.dir/alg1_1d_optimality.cpp.o"
+  "CMakeFiles/alg1_1d_optimality.dir/alg1_1d_optimality.cpp.o.d"
+  "alg1_1d_optimality"
+  "alg1_1d_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg1_1d_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg2_2d_optimality.dir/alg2_2d_optimality.cpp.o"
+  "CMakeFiles/alg2_2d_optimality.dir/alg2_2d_optimality.cpp.o.d"
+  "alg2_2d_optimality"
+  "alg2_2d_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg2_2d_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alg2_2d_optimality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg3_3d_optimality.dir/alg3_3d_optimality.cpp.o"
+  "CMakeFiles/alg3_3d_optimality.dir/alg3_3d_optimality.cpp.o.d"
+  "alg3_3d_optimality"
+  "alg3_3d_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg3_3d_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_costs.dir/collectives_costs.cpp.o"
+  "CMakeFiles/collectives_costs.dir/collectives_costs.cpp.o.d"
+  "collectives_costs"
+  "collectives_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

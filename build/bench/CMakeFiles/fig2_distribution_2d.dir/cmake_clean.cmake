@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_distribution_2d.dir/fig2_distribution_2d.cpp.o"
+  "CMakeFiles/fig2_distribution_2d.dir/fig2_distribution_2d.cpp.o.d"
+  "fig2_distribution_2d"
+  "fig2_distribution_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_distribution_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

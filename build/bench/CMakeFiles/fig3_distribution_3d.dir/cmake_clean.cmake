@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_distribution_3d.dir/fig3_distribution_3d.cpp.o"
+  "CMakeFiles/fig3_distribution_3d.dir/fig3_distribution_3d.cpp.o.d"
+  "fig3_distribution_3d"
+  "fig3_distribution_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_distribution_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_selection_sweep.dir/grid_selection_sweep.cpp.o"
+  "CMakeFiles/grid_selection_sweep.dir/grid_selection_sweep.cpp.o.d"
+  "grid_selection_sweep"
+  "grid_selection_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_selection_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernel_microbench.cpp" "bench/CMakeFiles/kernel_microbench.dir/kernel_microbench.cpp.o" "gcc" "bench/CMakeFiles/kernel_microbench.dir/kernel_microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsyrk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsyrk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parsyrk_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/parsyrk_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parsyrk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/parsyrk_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/distribution/CMakeFiles/parsyrk_distribution.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/parsyrk_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma3_property_check.dir/lemma3_property_check.cpp.o"
+  "CMakeFiles/lemma3_property_check.dir/lemma3_property_check.cpp.o.d"
+  "lemma3_property_check"
+  "lemma3_property_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma3_property_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

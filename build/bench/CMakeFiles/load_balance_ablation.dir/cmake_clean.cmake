@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_ablation.dir/load_balance_ablation.cpp.o"
+  "CMakeFiles/load_balance_ablation.dir/load_balance_ablation.cpp.o.d"
+  "load_balance_ablation"
+  "load_balance_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

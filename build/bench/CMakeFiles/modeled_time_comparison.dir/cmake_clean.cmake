@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modeled_time_comparison.dir/modeled_time_comparison.cpp.o"
+  "CMakeFiles/modeled_time_comparison.dir/modeled_time_comparison.cpp.o.d"
+  "modeled_time_comparison"
+  "modeled_time_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modeled_time_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

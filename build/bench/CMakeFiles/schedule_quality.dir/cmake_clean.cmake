@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_quality.dir/schedule_quality.cpp.o"
+  "CMakeFiles/schedule_quality.dir/schedule_quality.cpp.o.d"
+  "schedule_quality"
+  "schedule_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_cholesky_io.dir/seq_cholesky_io.cpp.o"
+  "CMakeFiles/seq_cholesky_io.dir/seq_cholesky_io.cpp.o.d"
+  "seq_cholesky_io"
+  "seq_cholesky_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_cholesky_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

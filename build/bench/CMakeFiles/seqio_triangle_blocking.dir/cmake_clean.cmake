@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqio_triangle_blocking.dir/seqio_triangle_blocking.cpp.o"
+  "CMakeFiles/seqio_triangle_blocking.dir/seqio_triangle_blocking.cpp.o.d"
+  "seqio_triangle_blocking"
+  "seqio_triangle_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqio_triangle_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

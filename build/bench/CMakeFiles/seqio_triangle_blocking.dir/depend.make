@@ -1,0 +1,2 @@
+# Empty dependencies file for seqio_triangle_blocking.
+# This may be replaced when dependencies are built.

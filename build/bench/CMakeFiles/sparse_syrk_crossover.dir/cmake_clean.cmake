@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_syrk_crossover.dir/sparse_syrk_crossover.cpp.o"
+  "CMakeFiles/sparse_syrk_crossover.dir/sparse_syrk_crossover.cpp.o.d"
+  "sparse_syrk_crossover"
+  "sparse_syrk_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_syrk_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symm_ablation.dir/symm_ablation.cpp.o"
+  "CMakeFiles/symm_ablation.dir/symm_ablation.cpp.o.d"
+  "symm_ablation"
+  "symm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

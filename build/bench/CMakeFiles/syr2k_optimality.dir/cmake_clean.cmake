@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syr2k_optimality.dir/syr2k_optimality.cpp.o"
+  "CMakeFiles/syr2k_optimality.dir/syr2k_optimality.cpp.o.d"
+  "syr2k_optimality"
+  "syr2k_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syr2k_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

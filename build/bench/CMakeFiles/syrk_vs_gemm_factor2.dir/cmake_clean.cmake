@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrk_vs_gemm_factor2.dir/syrk_vs_gemm_factor2.cpp.o"
+  "CMakeFiles/syrk_vs_gemm_factor2.dir/syrk_vs_gemm_factor2.cpp.o.d"
+  "syrk_vs_gemm_factor2"
+  "syrk_vs_gemm_factor2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrk_vs_gemm_factor2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for syrk_vs_gemm_factor2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_triangle_sets.dir/table1_triangle_sets.cpp.o"
+  "CMakeFiles/table1_triangle_sets.dir/table1_triangle_sets.cpp.o.d"
+  "table1_triangle_sets"
+  "table1_triangle_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_triangle_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm1_lower_bound_sweep.dir/thm1_lower_bound_sweep.cpp.o"
+  "CMakeFiles/thm1_lower_bound_sweep.dir/thm1_lower_bound_sweep.cpp.o.d"
+  "thm1_lower_bound_sweep"
+  "thm1_lower_bound_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_lower_bound_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

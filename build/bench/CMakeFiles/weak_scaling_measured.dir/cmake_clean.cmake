@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_scaling_measured.dir/weak_scaling_measured.cpp.o"
+  "CMakeFiles/weak_scaling_measured.dir/weak_scaling_measured.cpp.o.d"
+  "weak_scaling_measured"
+  "weak_scaling_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_scaling_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covariance.dir/covariance.cpp.o"
+  "CMakeFiles/covariance.dir/covariance.cpp.o.d"
+  "covariance"
+  "covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

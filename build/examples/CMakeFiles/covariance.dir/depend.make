@@ -1,0 +1,2 @@
+# Empty dependencies file for covariance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_svd.dir/gram_svd.cpp.o"
+  "CMakeFiles/gram_svd.dir/gram_svd.cpp.o.d"
+  "gram_svd"
+  "gram_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

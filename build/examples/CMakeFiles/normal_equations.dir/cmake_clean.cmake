@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_equations.dir/normal_equations.cpp.o"
+  "CMakeFiles/normal_equations.dir/normal_equations.cpp.o.d"
+  "normal_equations"
+  "normal_equations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_equations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

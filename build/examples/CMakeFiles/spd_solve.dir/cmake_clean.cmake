@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spd_solve.dir/spd_solve.cpp.o"
+  "CMakeFiles/spd_solve.dir/spd_solve.cpp.o.d"
+  "spd_solve"
+  "spd_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spd_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

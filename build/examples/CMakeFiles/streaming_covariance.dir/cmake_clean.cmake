@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_covariance.dir/streaming_covariance.cpp.o"
+  "CMakeFiles/streaming_covariance.dir/streaming_covariance.cpp.o.d"
+  "streaming_covariance"
+  "streaming_covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

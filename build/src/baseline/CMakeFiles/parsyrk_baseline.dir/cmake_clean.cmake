@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_baseline.dir/gemm.cpp.o"
+  "CMakeFiles/parsyrk_baseline.dir/gemm.cpp.o.d"
+  "libparsyrk_baseline.a"
+  "libparsyrk_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/exhaustive.cpp" "src/bounds/CMakeFiles/parsyrk_bounds.dir/exhaustive.cpp.o" "gcc" "src/bounds/CMakeFiles/parsyrk_bounds.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/bounds/lemma3.cpp" "src/bounds/CMakeFiles/parsyrk_bounds.dir/lemma3.cpp.o" "gcc" "src/bounds/CMakeFiles/parsyrk_bounds.dir/lemma3.cpp.o.d"
+  "/root/repo/src/bounds/lemma4.cpp" "src/bounds/CMakeFiles/parsyrk_bounds.dir/lemma4.cpp.o" "gcc" "src/bounds/CMakeFiles/parsyrk_bounds.dir/lemma4.cpp.o.d"
+  "/root/repo/src/bounds/schedule_analysis.cpp" "src/bounds/CMakeFiles/parsyrk_bounds.dir/schedule_analysis.cpp.o" "gcc" "src/bounds/CMakeFiles/parsyrk_bounds.dir/schedule_analysis.cpp.o.d"
+  "/root/repo/src/bounds/syr2k_bounds.cpp" "src/bounds/CMakeFiles/parsyrk_bounds.dir/syr2k_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/parsyrk_bounds.dir/syr2k_bounds.cpp.o.d"
+  "/root/repo/src/bounds/syrk_bounds.cpp" "src/bounds/CMakeFiles/parsyrk_bounds.dir/syrk_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/parsyrk_bounds.dir/syrk_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsyrk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/distribution/CMakeFiles/parsyrk_distribution.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_bounds.dir/exhaustive.cpp.o"
+  "CMakeFiles/parsyrk_bounds.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/parsyrk_bounds.dir/lemma3.cpp.o"
+  "CMakeFiles/parsyrk_bounds.dir/lemma3.cpp.o.d"
+  "CMakeFiles/parsyrk_bounds.dir/lemma4.cpp.o"
+  "CMakeFiles/parsyrk_bounds.dir/lemma4.cpp.o.d"
+  "CMakeFiles/parsyrk_bounds.dir/schedule_analysis.cpp.o"
+  "CMakeFiles/parsyrk_bounds.dir/schedule_analysis.cpp.o.d"
+  "CMakeFiles/parsyrk_bounds.dir/syr2k_bounds.cpp.o"
+  "CMakeFiles/parsyrk_bounds.dir/syr2k_bounds.cpp.o.d"
+  "CMakeFiles/parsyrk_bounds.dir/syrk_bounds.cpp.o"
+  "CMakeFiles/parsyrk_bounds.dir/syrk_bounds.cpp.o.d"
+  "libparsyrk_bounds.a"
+  "libparsyrk_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

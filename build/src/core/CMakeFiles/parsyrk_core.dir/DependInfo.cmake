@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cholesky.cpp" "src/core/CMakeFiles/parsyrk_core.dir/cholesky.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/cholesky.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "src/core/CMakeFiles/parsyrk_core.dir/distributed.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/distributed.cpp.o.d"
+  "/root/repo/src/core/memory.cpp" "src/core/CMakeFiles/parsyrk_core.dir/memory.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/memory.cpp.o.d"
+  "/root/repo/src/core/symm.cpp" "src/core/CMakeFiles/parsyrk_core.dir/symm.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/symm.cpp.o.d"
+  "/root/repo/src/core/syr2k.cpp" "src/core/CMakeFiles/parsyrk_core.dir/syr2k.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/syr2k.cpp.o.d"
+  "/root/repo/src/core/syrk.cpp" "src/core/CMakeFiles/parsyrk_core.dir/syrk.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/syrk.cpp.o.d"
+  "/root/repo/src/core/syrk_internal.cpp" "src/core/CMakeFiles/parsyrk_core.dir/syrk_internal.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/syrk_internal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsyrk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsyrk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parsyrk_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/distribution/CMakeFiles/parsyrk_distribution.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/parsyrk_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/parsyrk_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_core.dir/cholesky.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/cholesky.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/distributed.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/memory.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/memory.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/symm.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/symm.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/syr2k.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/syr2k.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/syrk.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/syrk.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/syrk_internal.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/syrk_internal.cpp.o.d"
+  "libparsyrk_core.a"
+  "libparsyrk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

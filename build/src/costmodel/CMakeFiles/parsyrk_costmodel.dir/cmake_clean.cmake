@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_costmodel.dir/algorithm_costs.cpp.o"
+  "CMakeFiles/parsyrk_costmodel.dir/algorithm_costs.cpp.o.d"
+  "libparsyrk_costmodel.a"
+  "libparsyrk_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

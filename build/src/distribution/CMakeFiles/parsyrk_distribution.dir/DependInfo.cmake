@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distribution/render.cpp" "src/distribution/CMakeFiles/parsyrk_distribution.dir/render.cpp.o" "gcc" "src/distribution/CMakeFiles/parsyrk_distribution.dir/render.cpp.o.d"
+  "/root/repo/src/distribution/triangle_block.cpp" "src/distribution/CMakeFiles/parsyrk_distribution.dir/triangle_block.cpp.o" "gcc" "src/distribution/CMakeFiles/parsyrk_distribution.dir/triangle_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsyrk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_distribution.dir/render.cpp.o"
+  "CMakeFiles/parsyrk_distribution.dir/render.cpp.o.d"
+  "CMakeFiles/parsyrk_distribution.dir/triangle_block.cpp.o"
+  "CMakeFiles/parsyrk_distribution.dir/triangle_block.cpp.o.d"
+  "libparsyrk_distribution.a"
+  "libparsyrk_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/factor.cpp" "src/matrix/CMakeFiles/parsyrk_matrix.dir/factor.cpp.o" "gcc" "src/matrix/CMakeFiles/parsyrk_matrix.dir/factor.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/matrix/CMakeFiles/parsyrk_matrix.dir/io.cpp.o" "gcc" "src/matrix/CMakeFiles/parsyrk_matrix.dir/io.cpp.o.d"
+  "/root/repo/src/matrix/kernels.cpp" "src/matrix/CMakeFiles/parsyrk_matrix.dir/kernels.cpp.o" "gcc" "src/matrix/CMakeFiles/parsyrk_matrix.dir/kernels.cpp.o.d"
+  "/root/repo/src/matrix/matrix.cpp" "src/matrix/CMakeFiles/parsyrk_matrix.dir/matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/parsyrk_matrix.dir/matrix.cpp.o.d"
+  "/root/repo/src/matrix/packed.cpp" "src/matrix/CMakeFiles/parsyrk_matrix.dir/packed.cpp.o" "gcc" "src/matrix/CMakeFiles/parsyrk_matrix.dir/packed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsyrk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

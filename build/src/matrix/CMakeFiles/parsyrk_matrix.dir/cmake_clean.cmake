@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_matrix.dir/factor.cpp.o"
+  "CMakeFiles/parsyrk_matrix.dir/factor.cpp.o.d"
+  "CMakeFiles/parsyrk_matrix.dir/io.cpp.o"
+  "CMakeFiles/parsyrk_matrix.dir/io.cpp.o.d"
+  "CMakeFiles/parsyrk_matrix.dir/kernels.cpp.o"
+  "CMakeFiles/parsyrk_matrix.dir/kernels.cpp.o.d"
+  "CMakeFiles/parsyrk_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/parsyrk_matrix.dir/matrix.cpp.o.d"
+  "CMakeFiles/parsyrk_matrix.dir/packed.cpp.o"
+  "CMakeFiles/parsyrk_matrix.dir/packed.cpp.o.d"
+  "libparsyrk_matrix.a"
+  "libparsyrk_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

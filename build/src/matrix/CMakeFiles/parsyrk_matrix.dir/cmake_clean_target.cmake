@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparsyrk_matrix.a"
+)

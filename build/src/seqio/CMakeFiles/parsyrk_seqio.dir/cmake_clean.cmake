@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_seqio.dir/seq_cholesky.cpp.o"
+  "CMakeFiles/parsyrk_seqio.dir/seq_cholesky.cpp.o.d"
+  "CMakeFiles/parsyrk_seqio.dir/seq_syrk.cpp.o"
+  "CMakeFiles/parsyrk_seqio.dir/seq_syrk.cpp.o.d"
+  "libparsyrk_seqio.a"
+  "libparsyrk_seqio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_seqio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/parsyrk_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/parsyrk_simmpi.dir/ledger.cpp.o"
+  "CMakeFiles/parsyrk_simmpi.dir/ledger.cpp.o.d"
+  "libparsyrk_simmpi.a"
+  "libparsyrk_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

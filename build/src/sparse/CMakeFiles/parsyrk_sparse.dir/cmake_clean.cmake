@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_sparse.dir/csr.cpp.o"
+  "CMakeFiles/parsyrk_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/parsyrk_sparse.dir/kernels.cpp.o"
+  "CMakeFiles/parsyrk_sparse.dir/kernels.cpp.o.d"
+  "CMakeFiles/parsyrk_sparse.dir/parallel.cpp.o"
+  "CMakeFiles/parsyrk_sparse.dir/parallel.cpp.o.d"
+  "libparsyrk_sparse.a"
+  "libparsyrk_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk_support.dir/cli.cpp.o"
+  "CMakeFiles/parsyrk_support.dir/cli.cpp.o.d"
+  "CMakeFiles/parsyrk_support.dir/prime.cpp.o"
+  "CMakeFiles/parsyrk_support.dir/prime.cpp.o.d"
+  "CMakeFiles/parsyrk_support.dir/table.cpp.o"
+  "CMakeFiles/parsyrk_support.dir/table.cpp.o.d"
+  "libparsyrk_support.a"
+  "libparsyrk_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

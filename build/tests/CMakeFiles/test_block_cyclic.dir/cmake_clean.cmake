@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_cyclic.dir/test_block_cyclic.cpp.o"
+  "CMakeFiles/test_block_cyclic.dir/test_block_cyclic.cpp.o.d"
+  "test_block_cyclic"
+  "test_block_cyclic.pdb"
+  "test_block_cyclic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_cholesky.dir/test_parallel_cholesky.cpp.o"
+  "CMakeFiles/test_parallel_cholesky.dir/test_parallel_cholesky.cpp.o.d"
+  "test_parallel_cholesky"
+  "test_parallel_cholesky.pdb"
+  "test_parallel_cholesky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

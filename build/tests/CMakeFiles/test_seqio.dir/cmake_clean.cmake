@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqio.dir/test_seqio.cpp.o"
+  "CMakeFiles/test_seqio.dir/test_seqio.cpp.o.d"
+  "test_seqio"
+  "test_seqio.pdb"
+  "test_seqio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsyrk.dir/parsyrk_cli.cpp.o"
+  "CMakeFiles/parsyrk.dir/parsyrk_cli.cpp.o.d"
+  "parsyrk"
+  "parsyrk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsyrk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
