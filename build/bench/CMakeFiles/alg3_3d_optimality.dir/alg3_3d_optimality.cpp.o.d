@@ -160,8 +160,9 @@ bench/CMakeFiles/alg3_3d_optimality.dir/alg3_3d_optimality.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/bounds/syrk_bounds.hpp /root/repo/src/core/syrk.hpp \
- /root/repo/src/core/syrk_internal.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/core/syrk_internal.hpp \
  /root/repo/src/distribution/triangle_block.hpp \
  /root/repo/src/matrix/matrix.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/array \
@@ -234,6 +235,7 @@ bench/CMakeFiles/alg3_3d_optimality.dir/alg3_3d_optimality.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
  /root/repo/src/costmodel/algorithm_costs.hpp \
  /root/repo/src/costmodel/model.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_throughput.dir/executor_throughput.cpp.o"
+  "CMakeFiles/executor_throughput.dir/executor_throughput.cpp.o.d"
+  "executor_throughput"
+  "executor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -229,6 +229,7 @@ bench/CMakeFiles/symm_ablation.dir/symm_ablation.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
  /root/repo/bench/bench_util.hpp /root/repo/src/support/table.hpp \
  /root/repo/src/core/symm.hpp /root/repo/src/matrix/kernels.hpp \
  /root/repo/src/matrix/random.hpp /root/repo/src/support/rng.hpp \

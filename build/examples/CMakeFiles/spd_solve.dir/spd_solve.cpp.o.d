@@ -251,8 +251,10 @@ examples/CMakeFiles/spd_solve.dir/spd_solve.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
+ /root/repo/src/core/session.hpp /usr/include/c++/12/optional \
  /root/repo/src/core/syrk.hpp /root/repo/src/bounds/syrk_bounds.hpp \
- /root/repo/src/core/syrk_internal.hpp /usr/include/c++/12/optional \
+ /root/repo/src/core/syrk_internal.hpp \
  /root/repo/src/distribution/triangle_block.hpp \
  /root/repo/src/matrix/factor.hpp /root/repo/src/matrix/kernels.hpp \
  /root/repo/src/matrix/random.hpp /root/repo/src/support/rng.hpp \

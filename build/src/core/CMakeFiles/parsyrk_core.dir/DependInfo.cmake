@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/cholesky.cpp" "src/core/CMakeFiles/parsyrk_core.dir/cholesky.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/cholesky.cpp.o.d"
   "/root/repo/src/core/distributed.cpp" "src/core/CMakeFiles/parsyrk_core.dir/distributed.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/distributed.cpp.o.d"
   "/root/repo/src/core/memory.cpp" "src/core/CMakeFiles/parsyrk_core.dir/memory.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/memory.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/parsyrk_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/session.cpp.o.d"
   "/root/repo/src/core/symm.cpp" "src/core/CMakeFiles/parsyrk_core.dir/symm.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/symm.cpp.o.d"
   "/root/repo/src/core/syr2k.cpp" "src/core/CMakeFiles/parsyrk_core.dir/syr2k.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/syr2k.cpp.o.d"
   "/root/repo/src/core/syrk.cpp" "src/core/CMakeFiles/parsyrk_core.dir/syrk.cpp.o" "gcc" "src/core/CMakeFiles/parsyrk_core.dir/syrk.cpp.o.d"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/parsyrk_core.dir/distributed.cpp.o.d"
   "CMakeFiles/parsyrk_core.dir/memory.cpp.o"
   "CMakeFiles/parsyrk_core.dir/memory.cpp.o.d"
+  "CMakeFiles/parsyrk_core.dir/session.cpp.o"
+  "CMakeFiles/parsyrk_core.dir/session.cpp.o.d"
   "CMakeFiles/parsyrk_core.dir/symm.cpp.o"
   "CMakeFiles/parsyrk_core.dir/symm.cpp.o.d"
   "CMakeFiles/parsyrk_core.dir/syr2k.cpp.o"

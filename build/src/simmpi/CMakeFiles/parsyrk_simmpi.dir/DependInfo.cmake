@@ -9,7 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/simmpi/comm.cpp" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/comm.cpp.o" "gcc" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/simmpi/job_queue.cpp" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/job_queue.cpp.o" "gcc" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/job_queue.cpp.o.d"
   "/root/repo/src/simmpi/ledger.cpp" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/ledger.cpp.o" "gcc" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/ledger.cpp.o.d"
+  "/root/repo/src/simmpi/worker_pool.cpp" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/worker_pool.cpp.o" "gcc" "src/simmpi/CMakeFiles/parsyrk_simmpi.dir/worker_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

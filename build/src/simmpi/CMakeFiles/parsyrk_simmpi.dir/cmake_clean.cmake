@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/parsyrk_simmpi.dir/comm.cpp.o"
   "CMakeFiles/parsyrk_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/parsyrk_simmpi.dir/job_queue.cpp.o"
+  "CMakeFiles/parsyrk_simmpi.dir/job_queue.cpp.o.d"
   "CMakeFiles/parsyrk_simmpi.dir/ledger.cpp.o"
   "CMakeFiles/parsyrk_simmpi.dir/ledger.cpp.o.d"
+  "CMakeFiles/parsyrk_simmpi.dir/worker_pool.cpp.o"
+  "CMakeFiles/parsyrk_simmpi.dir/worker_pool.cpp.o.d"
   "libparsyrk_simmpi.a"
   "libparsyrk_simmpi.pdb"
 )

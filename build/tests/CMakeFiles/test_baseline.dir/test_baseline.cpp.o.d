@@ -306,6 +306,7 @@ tests/CMakeFiles/test_baseline.dir/test_baseline.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
  /root/repo/src/core/syrk.hpp /root/repo/src/bounds/syrk_bounds.hpp \
  /root/repo/src/core/syrk_internal.hpp \
  /root/repo/src/distribution/triangle_block.hpp \

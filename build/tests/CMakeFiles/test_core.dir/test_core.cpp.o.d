@@ -331,6 +331,7 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
  /root/repo/src/costmodel/algorithm_costs.hpp \
  /root/repo/src/costmodel/model.hpp /root/repo/src/matrix/kernels.hpp \
  /root/repo/src/matrix/random.hpp /root/repo/src/support/rng.hpp

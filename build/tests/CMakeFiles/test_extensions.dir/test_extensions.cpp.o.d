@@ -328,6 +328,7 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
  /root/repo/src/bounds/schedule_analysis.hpp \
  /root/repo/src/distribution/triangle_block.hpp \
  /root/repo/src/bounds/syr2k_bounds.hpp \

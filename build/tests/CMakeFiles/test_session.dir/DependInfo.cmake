@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/test_session.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_session.dir/test_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parsyrk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsyrk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/parsyrk_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parsyrk_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/distribution/CMakeFiles/parsyrk_distribution.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/parsyrk_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqio/CMakeFiles/parsyrk_seqio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parsyrk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/parsyrk_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/parsyrk_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -231,14 +231,16 @@ tools/CMakeFiles/parsyrk.dir/parsyrk_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/worker_pool.hpp /usr/include/c++/12/thread \
  /root/repo/src/core/memory.hpp /usr/include/c++/12/optional \
  /root/repo/src/core/syrk.hpp /root/repo/src/core/syrk_internal.hpp \
  /root/repo/src/distribution/triangle_block.hpp \
- /root/repo/src/core/symm.hpp /root/repo/src/core/syr2k.hpp \
- /root/repo/src/matrix/factor.hpp /root/repo/src/matrix/io.hpp \
- /root/repo/src/matrix/kernels.hpp /root/repo/src/matrix/random.hpp \
- /root/repo/src/support/rng.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/session.hpp /root/repo/src/core/symm.hpp \
+ /root/repo/src/core/syr2k.hpp /root/repo/src/matrix/factor.hpp \
+ /root/repo/src/matrix/io.hpp /root/repo/src/matrix/kernels.hpp \
+ /root/repo/src/matrix/random.hpp /root/repo/src/support/rng.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

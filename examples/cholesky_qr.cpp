@@ -12,7 +12,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/factor.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
   // the planner picks the regime the bound dictates; for a tall-skinny A
   // the Gram SYRK is the 1D/short-wide case).
   Matrix at = transpose(a.view());
-  const core::SyrkRun run = core::syrk_auto(at, /*max_procs=*/8);
+  core::Session session(/*num_ranks=*/8);
+  const core::SyrkRun run = core::syrk(session, core::SyrkRequest(at));
   std::cout << "Gram SYRK plan: " << run.plan << "\n";
   std::cout << "Gram SYRK communication: "
             << run.total.critical_path_words() << " words/rank (bound "

@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/kernels.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   }
 
   // The SYRK: planner should land on the 1D algorithm (case 1).
-  const core::SyrkRun run = core::syrk_auto(x, p);
+  core::Session session(static_cast<int>(p));
+  const core::SyrkRun run = core::syrk(session, core::SyrkRequest(x));
   std::cout << "Plan: " << run.plan << "\n";
   std::cout << "Communication: " << run.total.critical_path_words()
             << " words/rank vs bound "

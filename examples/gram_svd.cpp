@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/factor.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
 
   // G = AᵀA: SYRK on Aᵀ (k×n, short-wide → 1D algorithm).
   Matrix at = transpose(a.view());
-  const core::SyrkRun run = core::syrk_auto(at, p);
+  core::Session session(static_cast<int>(p));
+  const core::SyrkRun run = core::syrk(session, core::SyrkRequest(at));
   std::cout << "Gram SYRK plan: " << run.plan << " — communicated "
             << run.total.critical_path_words() << " words/rank\n\n";
 

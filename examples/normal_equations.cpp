@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/factor.hpp"
 #include "matrix/kernels.hpp"
 #include "support/rng.hpp"
@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   }
 
   // G = A·Aᵀ via the planner (case 1 → 1D algorithm).
-  const core::SyrkRun run = core::syrk_auto(a, p);
+  core::Session session(static_cast<int>(p));
+  const core::SyrkRun run = core::syrk(session, core::SyrkRequest(a));
   std::cout << "Gram SYRK plan: " << run.plan << "\n";
   std::cout << "Communication: " << run.total.critical_path_words()
             << " words/rank — the " << n << "-sample data never moves, only "

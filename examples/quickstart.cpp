@@ -5,7 +5,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
 #include "support/table.hpp"
@@ -23,9 +23,11 @@ int main(int argc, char** argv) {
   // 1. Make an input matrix (any data source works; rows are observations).
   Matrix a = random_matrix(n1, n2, /*seed=*/42);
 
-  // 2. Let the planner pick the algorithm + grid per the paper's §5.4 and
-  //    execute it on the thread-backed message-passing runtime.
-  const core::SyrkRun run = core::syrk_auto(a, p);
+  // 2. Open a session (a warm pool of p workers) and let the planner pick
+  //    the algorithm + grid per the paper's §5.4. Further requests on the
+  //    same session reuse the parked workers — no thread churn per call.
+  core::Session session(static_cast<int>(p));
+  const core::SyrkRun run = core::syrk(session, core::SyrkRequest(a));
 
   std::cout << "Plan: " << run.plan << "\n";
   std::cout << "Result: " << run.c.rows() << "x" << run.c.cols()

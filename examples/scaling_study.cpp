@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
 #include "support/table.hpp"
@@ -27,8 +27,12 @@ int main(int argc, char** argv) {
   Table t({"P req", "P used", "algorithm", "bound case", "grid",
            "measured words/rank", "bound words", "meas/bound", "correct"});
   bool all_ok = true;
+  // One warm session sized for the largest sweep point; each request caps
+  // the planner at its own P, so all eight runs share the parked workers.
+  core::Session session(128);
   for (std::uint64_t p : {1, 2, 4, 8, 16, 32, 64, 128}) {
-    const auto run = core::syrk_auto(a, p);
+    const auto run =
+        core::syrk(session, core::SyrkRequest(a).with_max_procs(p));
     const double err = max_abs_diff(run.c.view(), ref.view());
     const double measured =
         static_cast<double>(run.total.critical_path_words());

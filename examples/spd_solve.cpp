@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "core/cholesky.hpp"
-#include "core/syrk.hpp"
+#include "core/session.hpp"
 #include "matrix/factor.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -25,19 +25,26 @@ int main(int argc, char** argv) {
             << ", factored on a " << r << "x" << r << " grid\n\n";
 
   // 1. Build the SPD system matrix with the communication-optimal SYRK.
+  //    The whole pipeline shares one session: the SYRK request and the
+  //    Cholesky below run back-to-back on the same warm workers.
   Matrix a = random_matrix(n, k, 99);
-  const core::SyrkRun syrk = core::syrk_auto(a, r * r);
+  core::Session session(static_cast<int>(r * r));
+  const core::SyrkRun syrk = core::syrk(session, core::SyrkRequest(a));
   Matrix g = syrk.c;
   for (std::size_t i = 0; i < n; ++i) g(i, i) += static_cast<double>(n);
   std::cout << "SYRK plan: " << syrk.plan << " ("
             << syrk.total.critical_path_words() << " words/rank)\n";
 
-  // 2. Factor with the distributed tile Cholesky.
-  comm::World world(static_cast<int>(r * r));
+  // 2. Factor with the distributed tile Cholesky on the session's world,
+  //    scoping the ledger to the Cholesky job alone.
+  comm::World& world = session.world();
+  const auto pre_chol = world.ledger().snapshot();
   Matrix l = core::parallel_cholesky(world, g, r, /*tile=*/n / (2 * r));
-  const auto chol_words = world.ledger().summary().critical_path_words();
+  const auto chol_words =
+      world.ledger().summary_since(pre_chol).critical_path_words();
   std::cout << "Cholesky communication: " << chol_words << " words/rank ("
-            << world.ledger().summary("bcast_panel").max.words_sent
+            << world.ledger().summary_since(pre_chol, "bcast_panel")
+                   .max.words_sent
             << " in panel broadcasts)\n\n";
 
   // 3. Solve G·x = b and verify.

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/distributed.hpp"
+#include "core/session.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
 #include "support/table.hpp"
@@ -27,7 +28,10 @@ int main(int argc, char** argv) {
   std::cout << "Streaming SYRK: " << batches << " batches of " << bcols
             << " observations over " << d << " features, P = 12\n\n";
 
-  comm::World world(12);
+  // One session for the whole stream: every batch update is another job on
+  // the same warm 12-rank pool.
+  core::Session session(12);
+  comm::World& world = session.world();
   // All data, for the one-shot reference.
   Matrix all = random_matrix(d, batches * bcols, 2025);
 

@@ -1,0 +1,112 @@
+#include "core/session.hpp"
+
+#include <utility>
+
+#include "core/memory.hpp"
+#include "distribution/triangle_block.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::core {
+
+Plan resolve_plan(const Session& session, const SyrkRequest& req) {
+  PARSYRK_REQUIRE(req.a != nullptr, "request has no input matrix");
+  const std::uint64_t n1 = req.a->rows();
+  const std::uint64_t n2 = req.a->cols();
+  const auto session_procs = static_cast<std::uint64_t>(session.size());
+
+  Plan plan;
+  if (req.algorithm) {
+    switch (*req.algorithm) {
+      case Algorithm::kOneD:
+        plan.algorithm = Algorithm::kOneD;
+        plan.procs = req.procs_1d.value_or(session_procs);
+        PARSYRK_REQUIRE(plan.procs >= 1, "1D SYRK needs at least 1 rank");
+        plan.c = 0;
+        plan.p1 = 1;
+        plan.p2 = plan.procs;
+        break;
+      case Algorithm::kTwoD: {
+        dist::TriangleBlockDistribution d(req.c);  // validates c prime
+        plan.algorithm = Algorithm::kTwoD;
+        plan.c = req.c;
+        plan.p1 = d.num_procs();
+        plan.p2 = 1;
+        plan.procs = plan.p1;
+        break;
+      }
+      case Algorithm::kThreeD: {
+        dist::TriangleBlockDistribution d(req.c);
+        PARSYRK_REQUIRE(req.p2 >= 1, "p2 must be >= 1");
+        plan.algorithm = Algorithm::kThreeD;
+        plan.c = req.c;
+        plan.p1 = d.num_procs();
+        plan.p2 = req.p2;
+        plan.procs = plan.p1 * plan.p2;
+        break;
+      }
+    }
+    plan.regime = bounds::syrk_lower_bound(n1, n2, plan.procs).regime;
+  } else if (req.memory_limit_words) {
+    auto aware = plan_syrk_memory_aware(n1, n2,
+                                        req.max_procs.value_or(session_procs),
+                                        *req.memory_limit_words);
+    PARSYRK_REQUIRE(aware.has_value(), "no SYRK plan for n1=", n1, ", n2=",
+                    n2, " fits in ", *req.memory_limit_words,
+                    " words of per-rank memory");
+    plan = aware->plan;
+  } else {
+    plan = plan_syrk(n1, n2, req.max_procs.value_or(session_procs));
+  }
+  return plan;
+}
+
+SyrkRun syrk(Session& session, const SyrkRequest& req) {
+  const Matrix& a = *req.a;
+  const Plan plan = resolve_plan(session, req);
+  PARSYRK_REQUIRE(plan.procs <= static_cast<std::uint64_t>(session.size()),
+                  "request needs ", plan.procs, " ranks; session has ",
+                  session.size());
+  if (req.options.root) {
+    PARSYRK_REQUIRE(plan.algorithm == Algorithm::kOneD,
+                    "from_root is only supported with the 1D algorithm");
+    PARSYRK_REQUIRE(*req.options.root >= 0 &&
+                        static_cast<std::uint64_t>(*req.options.root) <
+                            plan.procs,
+                    "bad root ", *req.options.root);
+  }
+
+  comm::World& world = session.world();
+  const comm::CostLedger::Snapshot before = world.ledger().snapshot();
+  Matrix c_full(a.rows(), a.rows());
+  const int active_ranks = static_cast<int>(plan.procs);
+  if (active_ranks == session.size()) {
+    // Full-size plan: run directly on the world communicator (no per-job
+    // split on the hot path).
+    world.run([&](comm::Comm& wc) {
+      internal::run_syrk_plan_rank(wc, a.view(), plan, req.options, c_full);
+    });
+  } else {
+    world.run([&](comm::Comm& wc) {
+      const bool active = wc.rank() < active_ranks;
+      // Every rank takes part in the split (it is collective and
+      // ledger-muted, so measured volumes match a world of exactly
+      // plan.procs ranks); idle ranks then sit the job out.
+      comm::Comm sub = wc.split(active ? 0 : 1, wc.rank());
+      if (!active) return;
+      internal::run_syrk_plan_rank(sub, a.view(), plan, req.options, c_full);
+    });
+  }
+
+  SyrkRun run;
+  run.plan = plan;
+  run.c = std::move(c_full);
+  const comm::CostLedger& ledger = world.ledger();
+  run.total = ledger.summary_since(before);
+  run.gather_a = ledger.summary_since(before, internal::kPhaseGatherA);
+  run.reduce_c = ledger.summary_since(before, internal::kPhaseReduceC);
+  run.scatter_a = ledger.summary_since(before, internal::kPhaseScatterA);
+  run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), plan.procs);
+  return run;
+}
+
+}  // namespace parsyrk::core

@@ -1,0 +1,130 @@
+// The unified SYRK entry point: a Session owning a warm world, and
+// syrk(Session&, SyrkRequest) executing one request per call.
+//
+//   parsyrk::core::Session session(12);          // 12 parked workers, leased
+//   parsyrk::Matrix a = parsyrk::random_matrix(180, 64, /*seed=*/1);
+//   auto run = parsyrk::core::syrk(session, parsyrk::core::SyrkRequest(a));
+//
+// A Session acquires its workers from the shared pool once, at
+// construction; every request dispatches to the already-parked threads (no
+// thread is created or joined per call), which is what makes issuing many
+// small SYRKs cheap. Each returned SyrkRun carries ledger summaries scoped
+// to that request alone, even though the session's world accumulates across
+// requests.
+//
+// A request defaults to the §5.4 planner over the session's ranks; use the
+// fluent setters for an explicit algorithm/grid, root-held input, a planner
+// processor cap, or memory-aware planning (§6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/syrk.hpp"
+#include "matrix/matrix.hpp"
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::core {
+
+/// Owns a warm world of a fixed rank count. Construct once, issue many
+/// requests; requests may use up to size() ranks (smaller plans run on an
+/// active-ranks sub-communicator, idle ranks sit the job out).
+class Session {
+ public:
+  /// Leases `num_ranks` workers from the process-wide shared pool.
+  explicit Session(int num_ranks) : world_(num_ranks) {}
+  /// Leases from a caller-owned pool (tests/benches isolate pools this way).
+  Session(int num_ranks, comm::WorkerPool& pool) : world_(num_ranks, pool) {}
+
+  int size() const { return world_.size(); }
+  /// Requests executed so far (each syrk() call is one job on the world).
+  std::uint64_t jobs_run() const { return world_.jobs_run(); }
+
+  /// The underlying runtime, for callers that mix syrk() with their own
+  /// SPMD jobs (e.g. a Cholesky on the SYRK output) on the same warm pool.
+  comm::World& world() { return world_; }
+
+ private:
+  comm::World world_;
+};
+
+/// One SYRK problem plus how to run it. The matrix is referenced, not
+/// copied — it must outlive the syrk() call.
+struct SyrkRequest {
+  explicit SyrkRequest(const Matrix& matrix) : a(&matrix) {}
+
+  // ---- Algorithm / grid (default: §5.4 planner over the session) ----
+
+  /// Alg. 1 on `procs` ranks (default: every session rank).
+  SyrkRequest& use_1d(std::optional<std::uint64_t> procs = std::nullopt) {
+    algorithm = Algorithm::kOneD;
+    procs_1d = procs;
+    return *this;
+  }
+  /// Alg. 2 on c(c+1) ranks (c prime, n1 % c² == 0).
+  SyrkRequest& use_2d(std::uint64_t prime_c) {
+    algorithm = Algorithm::kTwoD;
+    c = prime_c;
+    return *this;
+  }
+  /// Alg. 3 on a c(c+1) × p2 grid.
+  SyrkRequest& use_3d(std::uint64_t prime_c, std::uint64_t slices) {
+    algorithm = Algorithm::kThreeD;
+    c = prime_c;
+    p2 = slices;
+    return *this;
+  }
+
+  // ---- Planner inputs (ignored when an algorithm is explicit) ----
+
+  /// Caps the planner's processor count below the session size.
+  SyrkRequest& with_max_procs(std::uint64_t procs) {
+    max_procs = procs;
+    return *this;
+  }
+  /// Memory-aware planning (§6): cheapest plan whose per-rank footprint
+  /// fits in `words`; the request fails when nothing fits.
+  SyrkRequest& with_memory_limit(std::uint64_t words) {
+    memory_limit_words = words;
+    return *this;
+  }
+
+  // ---- Execution options ----
+
+  /// 1D only: A starts on rank `rank` and is scattered first (ledger phase
+  /// "scatter_A", reported in SyrkRun::scatter_a).
+  SyrkRequest& from_root(int rank) {
+    options.root = rank;
+    return *this;
+  }
+  SyrkRequest& with_reduce(ReduceKind kind) {
+    options.reduce = kind;
+    return *this;
+  }
+  SyrkRequest& with_exchange(ExchangeKind kind) {
+    options.exchange = kind;
+    return *this;
+  }
+
+  const Matrix* a = nullptr;
+  std::optional<Algorithm> algorithm;          // unset -> planner
+  std::uint64_t c = 0;                         // 2D/3D triangle prime
+  std::uint64_t p2 = 1;                        // 3D slice count
+  std::optional<std::uint64_t> procs_1d;       // 1D rank-count override
+  std::optional<std::uint64_t> max_procs;      // planner cap
+  std::optional<std::uint64_t> memory_limit_words;  // memory-aware planning
+  SyrkOptions options;
+};
+
+/// Resolves the request to an executable Plan against the session size
+/// (without running anything). Exposed for planning-only callers and tests.
+Plan resolve_plan(const Session& session, const SyrkRequest& req);
+
+/// Executes one request as one job on the session's warm world and returns
+/// the result with request-scoped measured costs and the Theorem 1 bound at
+/// the plan's processor count. Throws InvalidArgument when the request
+/// needs more ranks than the session has, when from_root is combined with a
+/// non-1D algorithm, or when no plan fits the memory limit.
+SyrkRun syrk(Session& session, const SyrkRequest& req);
+
+}  // namespace parsyrk::core

@@ -16,63 +16,181 @@ namespace parsyrk::core {
 using internal::PackedChunk;
 using internal::TriangleBlocks;
 
-Matrix syrk_1d(comm::World& world, const Matrix& a, ReduceKind reduce) {
+namespace internal {
+namespace {
+
+/// Alg. 1 per-rank driver, optionally preceded by the root-scatter
+/// ingestion flow (opts.root).
+void run_1d_rank(comm::Comm& comm, const ConstMatrixView& a,
+                 const SyrkOptions& opts, Matrix& c_full) {
+  if (!opts.root) {
+    PackedChunk chunk = syrk_1d_spmd(comm, a, opts.reduce);
+    // Assembly into the shared result: disjoint entries per rank, free.
+    scatter_packed_to_full(chunk, c_full);
+    return;
+  }
+  const int root = *opts.root;
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+  const int p = comm.size();
+  const int r = comm.rank();
+  // Ingestion: the root packs and scatters the 1D column blocks. Only the
+  // root reads the shared input; every other rank works purely from its
+  // received buffer.
+  comm.set_phase(kPhaseScatterA);
+  std::vector<std::vector<double>> parts;
+  if (r == root) {
+    parts.resize(p);
+    for (int q = 0; q < p; ++q) {
+      const std::size_t c0 = dist::chunk_begin(n2, p, q);
+      const std::size_t cw = dist::chunk_size(n2, p, q);
+      parts[q].reserve(n1 * cw);
+      for (std::size_t i = 0; i < n1; ++i) {
+        for (std::size_t j = c0; j < c0 + cw; ++j) {
+          parts[q].push_back(a(i, j));
+        }
+      }
+    }
+  }
+  auto mine = comm.scatter(parts, root);
+  const std::size_t cw = dist::chunk_size(n2, p, r);
+  PARSYRK_CHECK(mine.size() == n1 * cw);
+  Matrix local(n1, cw);
+  std::copy(mine.begin(), mine.end(), local.data());
+
+  // Alg. 1 on the scattered block. The packed-triangle chunks are uneven,
+  // so the reduction is the pairwise (variable-size) Reduce-Scatter.
+  Matrix cbar(n1, n1);
+  if (cw > 0) syrk_lower(local.view(), cbar.view());
+  PackedLower packed = PackedLower::from_full(cbar.view());
+  comm.set_phase(kPhaseReduceC);
+  std::vector<std::size_t> sizes(p);
+  for (int q = 0; q < p; ++q) {
+    sizes[q] = dist::chunk_size(packed.size(), p, q);
+  }
+  PackedChunk chunk;
+  chunk.offset = dist::chunk_begin(packed.size(), p, r);
+  chunk.data = comm.reduce_scatter(packed.span(), sizes);
+  scatter_packed_to_full(chunk, c_full);
+}
+
+/// Alg. 2 per-rank driver.
+void run_2d_rank(comm::Comm& comm, const ConstMatrixView& a,
+                 const Plan& plan, const SyrkOptions& opts, Matrix& c_full) {
+  dist::TriangleBlockDistribution d(plan.c);
+  const std::size_t nb = a.rows() / d.num_block_rows();
+  TriangleBlocks blocks = syrk_2d_spmd(comm, d, a, opts.exchange);
+  auto flat = flatten_triangle_blocks(blocks);
+  scatter_flat_to_full(blocks, flat, 0, nb, c_full);
+}
+
+/// Alg. 3 per-rank driver.
+void run_3d_rank(comm::Comm& comm, const ConstMatrixView& a,
+                 const Plan& plan, Matrix& c_full) {
+  dist::TriangleBlockDistribution d(plan.c);
+  const std::uint64_t p1 = d.num_procs();
+  const std::uint64_t p2 = plan.p2;
+  const std::size_t n2 = a.cols();
+  const std::size_t nb = a.rows() / d.num_block_rows();
+  // Grid coordinates: rank w = k + p1·l.
+  const auto w = static_cast<std::uint64_t>(comm.rank());
+  const int k = static_cast<int>(w % p1);
+  const int l = static_cast<int>(w / p1);
+
+  // Slice communicator Pi_{*l} runs the 2D algorithm on column block l
+  // (Alg. 3 line 3).
+  comm::Comm slice = comm.split(/*color=*/l, /*key=*/k);
+  const std::size_t c0 = dist::chunk_begin(n2, static_cast<int>(p2), l);
+  const std::size_t cw = dist::chunk_size(n2, static_cast<int>(p2), l);
+  auto a_slice = a.block(0, c0, a.rows(), cw);
+  TriangleBlocks blocks = syrk_2d_spmd(slice, d, a_slice);
+
+  // Reduce-Scatter of C_k across Pi_{k*} (Alg. 3 line 5).
+  comm::Comm row = comm.split(/*color=*/k, /*key=*/l);
+  comm.set_phase(kPhaseReduceC);
+  auto flat = flatten_triangle_blocks(blocks);
+  std::vector<std::size_t> sizes(p2);
+  for (std::uint64_t q = 0; q < p2; ++q) {
+    sizes[q] = dist::chunk_size(flat.size(), static_cast<int>(p2),
+                                static_cast<int>(q));
+  }
+  auto reduced = row.reduce_scatter(flat, sizes);
+  const std::size_t lo =
+      dist::chunk_begin(flat.size(), static_cast<int>(p2), l);
+  scatter_flat_to_full(blocks, reduced, lo, nb, c_full);
+}
+
+}  // namespace
+
+void run_syrk_plan_rank(comm::Comm& comm, const ConstMatrixView& a,
+                        const Plan& plan, const SyrkOptions& opts,
+                        Matrix& c_full) {
+  switch (plan.algorithm) {
+    case Algorithm::kOneD:
+      run_1d_rank(comm, a, opts, c_full);
+      break;
+    case Algorithm::kTwoD:
+      run_2d_rank(comm, a, plan, opts, c_full);
+      break;
+    case Algorithm::kThreeD:
+      run_3d_rank(comm, a, plan, c_full);
+      break;
+  }
+}
+
+Matrix run_syrk_plan(comm::World& world, const Matrix& a, const Plan& plan,
+                     const SyrkOptions& opts) {
+  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == plan.procs,
+                  algorithm_name(plan.algorithm), " plan needs ", plan.procs,
+                  " ranks; world has ", world.size());
+  if (opts.root) {
+    PARSYRK_REQUIRE(plan.algorithm == Algorithm::kOneD,
+                    "root-held input is only supported with the 1D algorithm");
+    PARSYRK_REQUIRE(*opts.root >= 0 && *opts.root < world.size(), "bad root ",
+                    *opts.root);
+  }
   Matrix c_full(a.rows(), a.rows());
   world.run([&](comm::Comm& comm) {
-    PackedChunk chunk = internal::syrk_1d_spmd(comm, a.view(), reduce);
-    // Assembly into the shared result: disjoint entries per rank, free.
-    internal::scatter_packed_to_full(chunk, c_full);
+    run_syrk_plan_rank(comm, a.view(), plan, opts, c_full);
   });
   return c_full;
 }
 
+}  // namespace internal
+
+namespace {
+
+/// The Plan an old-style entry point implies for a world of `procs` ranks.
+Plan explicit_plan(Algorithm algorithm, std::uint64_t procs, std::uint64_t c,
+                   std::uint64_t p2) {
+  Plan plan;
+  plan.algorithm = algorithm;
+  plan.procs = procs;
+  plan.c = c;
+  plan.p1 = (algorithm == Algorithm::kOneD) ? 1 : c * (c + 1);
+  plan.p2 = (algorithm == Algorithm::kOneD) ? procs : p2;
+  return plan;
+}
+
+}  // namespace
+
+Matrix syrk_1d(comm::World& world, const Matrix& a, ReduceKind reduce) {
+  SyrkOptions opts;
+  opts.reduce = reduce;
+  const auto p = static_cast<std::uint64_t>(world.size());
+  return internal::run_syrk_plan(world, a,
+                                 explicit_plan(Algorithm::kOneD, p, 0, p),
+                                 opts);
+}
+
 Matrix syrk_1d_from_root(comm::World& world, const Matrix& a, int root) {
   PARSYRK_REQUIRE(root >= 0 && root < world.size(), "bad root ", root);
-  const std::size_t n1 = a.rows();
-  const std::size_t n2 = a.cols();
-  Matrix c_full(n1, n1);
-  world.run([&](comm::Comm& comm) {
-    const int p = comm.size();
-    const int r = comm.rank();
-    // Ingestion: the root packs and scatters the 1D column blocks. Only the
-    // root reads the shared input; every other rank works purely from its
-    // received buffer.
-    comm.set_phase("scatter_A");
-    std::vector<std::vector<double>> parts;
-    if (r == root) {
-      parts.resize(p);
-      for (int q = 0; q < p; ++q) {
-        const std::size_t c0 = dist::chunk_begin(n2, p, q);
-        const std::size_t cw = dist::chunk_size(n2, p, q);
-        parts[q].reserve(n1 * cw);
-        for (std::size_t i = 0; i < n1; ++i) {
-          for (std::size_t j = c0; j < c0 + cw; ++j) {
-            parts[q].push_back(a(i, j));
-          }
-        }
-      }
-    }
-    auto mine = comm.scatter(parts, root);
-    const std::size_t cw = dist::chunk_size(n2, p, r);
-    PARSYRK_CHECK(mine.size() == n1 * cw);
-    Matrix local(n1, cw);
-    std::copy(mine.begin(), mine.end(), local.data());
-
-    // Alg. 1 on the scattered block.
-    Matrix cbar(n1, n1);
-    if (cw > 0) syrk_lower(local.view(), cbar.view());
-    PackedLower packed = PackedLower::from_full(cbar.view());
-    comm.set_phase(internal::kPhaseReduceC);
-    std::vector<std::size_t> sizes(p);
-    for (int q = 0; q < p; ++q) {
-      sizes[q] = dist::chunk_size(packed.size(), p, q);
-    }
-    internal::PackedChunk chunk;
-    chunk.offset = dist::chunk_begin(packed.size(), p, r);
-    chunk.data = comm.reduce_scatter(packed.span(), sizes);
-    internal::scatter_packed_to_full(chunk, c_full);
-  });
-  return c_full;
+  SyrkOptions opts;
+  opts.root = root;
+  const auto p = static_cast<std::uint64_t>(world.size());
+  return internal::run_syrk_plan(world, a,
+                                 explicit_plan(Algorithm::kOneD, p, 0, p),
+                                 opts);
 }
 
 Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
@@ -81,15 +199,10 @@ Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
   PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == d.num_procs(),
                   "2D SYRK with c = ", c, " needs ", d.num_procs(),
                   " ranks; world has ", world.size());
-  const std::size_t nb = a.rows() / d.num_block_rows();
-  Matrix c_full(a.rows(), a.rows());
-  world.run([&](comm::Comm& comm) {
-    TriangleBlocks blocks = internal::syrk_2d_spmd(comm, d, a.view(),
-                                                   exchange);
-    auto flat = internal::flatten_triangle_blocks(blocks);
-    internal::scatter_flat_to_full(blocks, flat, 0, nb, c_full);
-  });
-  return c_full;
+  SyrkOptions opts;
+  opts.exchange = exchange;
+  return internal::run_syrk_plan(
+      world, a, explicit_plan(Algorithm::kTwoD, d.num_procs(), c, 1), opts);
 }
 
 Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
@@ -100,38 +213,9 @@ Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
                   "3D SYRK with c = ", c, ", p2 = ", p2, " needs ", p1 * p2,
                   " ranks; world has ", world.size());
   PARSYRK_REQUIRE(p2 >= 1, "p2 must be >= 1");
-  const std::size_t n2 = a.cols();
-  const std::size_t nb = a.rows() / d.num_block_rows();
-  Matrix c_full(a.rows(), a.rows());
-  world.run([&](comm::Comm& comm) {
-    // Grid coordinates: world rank w = k + p1·l.
-    const auto w = static_cast<std::uint64_t>(comm.rank());
-    const int k = static_cast<int>(w % p1);
-    const int l = static_cast<int>(w / p1);
-
-    // Slice communicator Pi_{*l} runs the 2D algorithm on column block l
-    // (Alg. 3 line 3).
-    comm::Comm slice = comm.split(/*color=*/l, /*key=*/k);
-    const std::size_t c0 = dist::chunk_begin(n2, static_cast<int>(p2), l);
-    const std::size_t cw = dist::chunk_size(n2, static_cast<int>(p2), l);
-    auto a_slice = a.view().block(0, c0, a.rows(), cw);
-    TriangleBlocks blocks = internal::syrk_2d_spmd(slice, d, a_slice);
-
-    // Reduce-Scatter of C_k across Pi_{k*} (Alg. 3 line 5).
-    comm::Comm row = comm.split(/*color=*/k, /*key=*/l);
-    comm.set_phase(internal::kPhaseReduceC);
-    auto flat = internal::flatten_triangle_blocks(blocks);
-    std::vector<std::size_t> sizes(p2);
-    for (std::uint64_t q = 0; q < p2; ++q) {
-      sizes[q] = dist::chunk_size(flat.size(), static_cast<int>(p2),
-                                  static_cast<int>(q));
-    }
-    auto reduced = row.reduce_scatter(flat, sizes);
-    const std::size_t lo =
-        dist::chunk_begin(flat.size(), static_cast<int>(p2), l);
-    internal::scatter_flat_to_full(blocks, reduced, lo, nb, c_full);
-  });
-  return c_full;
+  return internal::run_syrk_plan(
+      world, a, explicit_plan(Algorithm::kThreeD, p1 * p2, c, p2),
+      SyrkOptions{});
 }
 
 const char* algorithm_name(Algorithm a) {
@@ -230,20 +314,11 @@ SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs) {
   SyrkRun run;
   run.plan = plan_syrk(a.rows(), a.cols(), max_procs);
   comm::World world(static_cast<int>(run.plan.procs));
-  switch (run.plan.algorithm) {
-    case Algorithm::kOneD:
-      run.c = syrk_1d(world, a);
-      break;
-    case Algorithm::kTwoD:
-      run.c = syrk_2d(world, a, run.plan.c);
-      break;
-    case Algorithm::kThreeD:
-      run.c = syrk_3d(world, a, run.plan.c, run.plan.p2);
-      break;
-  }
+  run.c = internal::run_syrk_plan(world, a, run.plan, SyrkOptions{});
   run.total = world.ledger().summary();
   run.gather_a = world.ledger().summary(internal::kPhaseGatherA);
   run.reduce_c = world.ledger().summary(internal::kPhaseReduceC);
+  run.scatter_a = world.ledger().summary(internal::kPhaseScatterA);
   run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), run.plan.procs);
   return run;
 }

@@ -1,23 +1,30 @@
 // Public API: communication-optimal parallel SYRK (paper Algorithms 1–3).
 //
-// Quickstart:
-//   parsyrk::comm::World world(12);                      // P = 12 ranks
+// Quickstart (see core/session.hpp for Session and SyrkRequest):
+//   parsyrk::core::Session session(12);                  // P = 12 warm ranks
 //   parsyrk::Matrix a = parsyrk::random_matrix(180, 64, /*seed=*/1);
-//   parsyrk::Matrix c = parsyrk::core::syrk_2d(world, a, /*c=*/3);
-//   auto words = world.ledger().summary().critical_path_words();
+//   auto run = parsyrk::core::syrk(session, parsyrk::core::SyrkRequest(a));
+//   auto words = run.total.critical_path_words();
 //
-// Or let the planner pick the algorithm and grid (§5.4):
-//   auto run = parsyrk::core::syrk_auto(a, /*max_procs=*/64);
+// The Session owns a World whose workers are leased once from the shared
+// pool, so issuing many requests reuses the same parked threads. Requests
+// default to the §5.4 planner; explicit algorithm/grid, root-held input,
+// and memory-aware planning are selected on the request.
 //
 // The returned matrix is the full symmetric C = A·Aᵀ, reassembled from the
 // distributed owners for convenience and validation; reassembly happens via
 // shared memory after the algorithm completes and is NOT counted as
-// communication. The world's ledger holds the per-rank measured volumes,
-// attributable by phase ("gather_A", "reduce_C").
+// communication. The run (and the world's ledger) holds the per-rank
+// measured volumes, attributable by phase ("gather_A", "reduce_C",
+// "scatter_A").
+//
+// The older per-algorithm entry points below (syrk_1d/2d/3d/_from_root,
+// syrk_auto) remain as thin wrappers over the same execution path.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 
 #include "bounds/syrk_bounds.hpp"
 #include "core/syrk_internal.hpp"
@@ -29,12 +36,29 @@ namespace parsyrk::core {
 using internal::ExchangeKind;
 using internal::ReduceKind;
 
+/// Execution knobs shared by every SYRK entry point.
+struct SyrkOptions {
+  /// Reduce-Scatter realization for the 1D/3D algorithms: pairwise exchange
+  /// (latency P−1) or the §6 Bruck adaptation (bandwidth- AND
+  /// latency-optimal). The root-scatter ingestion path always reduces
+  /// pairwise (its blocks are uneven).
+  ReduceKind reduce = ReduceKind::kPairwise;
+  /// All-to-All realization for the 2D algorithm (§6 trade-off).
+  ExchangeKind exchange = ExchangeKind::kPairwise;
+  /// When set (1D only): A starts on this rank and is scattered first,
+  /// measured under ledger phase "scatter_A". Theorem 1 assumes one
+  /// *distributed* copy of A; this makes the extra ingestion term —
+  /// n1·n2·(1−1/P) words out of the root — visible and attributable.
+  std::optional<int> root;
+};
+
 /// Alg. 1 (1D): partitions only the n2 dimension; A is block-column
 /// distributed, C is reduce-scattered. Optimal for n1 <= n2 and small P
 /// (Theorem 1 case 1). Uses world.size() ranks. With
 /// ReduceKind::kBruck the reduction is simultaneously bandwidth- and
 /// latency-optimal (§6's observation), making the whole 1D algorithm
 /// doubly optimal.
+/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_1d(...)).
 Matrix syrk_1d(comm::World& world, const Matrix& a,
                ReduceKind reduce = ReduceKind::kPairwise);
 
@@ -44,20 +68,21 @@ Matrix syrk_1d(comm::World& world, const Matrix& a,
 /// `exchange` selects the §6 All-to-All realization (pairwise default;
 /// butterfly trades bandwidth for O(log P) latency and additionally needs
 /// (n1/c²)·n2 divisible by c+1).
+/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_2d(c)).
 Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
                ExchangeKind exchange = ExchangeKind::kPairwise);
 
 /// Real-world ingestion flow: A starts on `root` only. The root scatters
-/// the 1D column blocks (measured under ledger phase "scatter_A"), then
-/// Alg. 1 runs on the scattered data. Theorem 1 assumes one *distributed*
-/// copy of A; this entry point makes the extra ingestion term —
-/// n1·n2·(1−1/P) words out of the root — visible and attributable.
+/// the 1D column blocks (ledger phase "scatter_A"), then Alg. 1 runs on the
+/// scattered data.
+/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_1d().from_root(r)).
 Matrix syrk_1d_from_root(comm::World& world, const Matrix& a, int root);
 
 /// Alg. 3 (3D): p1 = c(c+1) by p2 grid; the 2D algorithm per column slice
 /// of A followed by a Reduce-Scatter of C across slices. Requires
 /// world.size() == c(c+1)·p2 and n1 % c² == 0. Optimal for large P
 /// (Theorem 1 case 3) with the §5.4 grid.
+/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_3d(c, p2)).
 Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
                std::uint64_t p2);
 
@@ -93,11 +118,31 @@ struct SyrkRun {
   comm::CostSummary total;         // whole-run communication
   comm::CostSummary gather_a;      // "gather_A" phase
   comm::CostSummary reduce_c;      // "reduce_C" phase
+  comm::CostSummary scatter_a;     // "scatter_A" ingestion (root requests)
   bounds::SyrkBound bound;         // Theorem 1 at the plan's processor count
 };
 
 /// Plans and executes SYRK on an internally created world of plan.procs
 /// ranks; fills in measured costs and the matching lower bound.
+/// Deprecated: prefer syrk(Session&, SyrkRequest) — a Session reuses its
+/// warm worker pool across calls instead of building a world per call.
 SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs);
+
+namespace internal {
+
+/// Per-rank body of an executable plan: dispatches to the 1D/2D/3D SPMD
+/// routines on `comm` (a communicator of exactly plan.procs ranks — the
+/// world itself or an active-ranks sub-communicator) and assembles this
+/// rank's share of the result into `c_full` via shared memory (free).
+void run_syrk_plan_rank(comm::Comm& comm, const ConstMatrixView& a,
+                        const Plan& plan, const SyrkOptions& opts,
+                        Matrix& c_full);
+
+/// Executes `plan` as one job on a world of exactly plan.procs ranks. The
+/// single execution path behind every public entry point.
+Matrix run_syrk_plan(comm::World& world, const Matrix& a, const Plan& plan,
+                     const SyrkOptions& opts);
+
+}  // namespace internal
 
 }  // namespace parsyrk::core

@@ -21,6 +21,7 @@ namespace parsyrk::core::internal {
 /// Ledger phase labels shared by algorithms, tests, and benches.
 inline constexpr const char* kPhaseGatherA = "gather_A";
 inline constexpr const char* kPhaseReduceC = "reduce_C";
+inline constexpr const char* kPhaseScatterA = "scatter_A";
 
 /// How the 1D/3D algorithms' Reduce-Scatter is realized: pairwise exchange
 /// (latency P−1) or the §6 Bruck adaptation, which is bandwidth- AND

@@ -1,7 +1,6 @@
 #include "simmpi/comm.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "support/check.hpp"
 
@@ -11,9 +10,12 @@ namespace parsyrk::comm {
 // World
 // ---------------------------------------------------------------------------
 
-World::World(int num_ranks) : ledger_(num_ranks) {
+World::World(int num_ranks) : World(num_ranks, WorkerPool::shared()) {}
+
+World::World(int num_ranks, WorkerPool& pool) : ledger_(std::max(num_ranks, 1)) {
   PARSYRK_REQUIRE(num_ranks >= 1, "world size must be positive, got ",
                   num_ranks);
+  lease_ = pool.acquire(num_ranks);
   mailboxes_.reserve(num_ranks);
   for (int i = 0; i < num_ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -22,21 +24,34 @@ World::World(int num_ranks) : ledger_(num_ranks) {
   world_group_->id = 0;
   world_group_->world_ranks.resize(num_ranks);
   for (int i = 0; i < num_ranks; ++i) world_group_->world_ranks[i] = i;
+  world_group_->handle_gen.assign(num_ranks, 0);
 }
 
 World::~World() = default;
 
+void World::begin_job() {
+  std::fill(world_group_->handle_gen.begin(), world_group_->handle_gen.end(),
+            0u);
+  std::lock_guard lock(groups_mu_);
+  for (auto& [sig, g] : group_registry_) {
+    std::fill(g->handle_gen.begin(), g->handle_gen.end(), 0u);
+  }
+}
+
 void World::run(const std::function<void(Comm&)>& body) {
   const int p = size();
-  std::vector<std::thread> threads;
-  threads.reserve(p);
+  begin_job();
+  ++jobs_run_;
   std::vector<std::exception_ptr> errors(p);
   // One byte per rank (vector<bool> would pack bits into shared words and
   // race across threads).
   std::vector<unsigned char> aborted(p, 0);
+  // Hand the rank bodies to the leased, already-parked workers. This is the
+  // hot path of the executor: no thread is created or joined here, only a
+  // condition-variable handoff per rank and one completion latch.
   for (int r = 0; r < p; ++r) {
-    threads.emplace_back([this, &body, &errors, &aborted, r] {
-      Comm comm(this, world_group_, r);
+    lease_.dispatch(r, [this, &body, &errors, &aborted, r] {
+      Comm comm(this, world_group_, r, world_group_->handle_gen[r]++);
       try {
         body(comm);
       } catch (const RankAborted&) {
@@ -47,7 +62,7 @@ void World::run(const std::function<void(Comm&)>& body) {
       }
     });
   }
-  for (auto& t : threads) t.join();
+  lease_.wait();
   for (int r = 0; r < p; ++r) {
     if (errors[r]) {
       reset_after_failure();
@@ -99,6 +114,7 @@ std::shared_ptr<detail::Group> World::intern_group(
   auto g = std::make_shared<detail::Group>();
   g->id = next_group_id_++;
   g->world_ranks = members;
+  g->handle_gen.assign(members.size(), 0);
   group_registry_.emplace(signature, g);
   return g;
 }
@@ -111,7 +127,8 @@ void Comm::set_phase(const std::string& phase) {
   world_->ledger().set_phase(world_rank(), phase);
 }
 
-void Comm::send_tagged(int dst, int tag, std::span<const double> data) {
+void Comm::send_tagged(int dst, std::int64_t tag,
+                       std::span<const double> data) {
   PARSYRK_CHECK_MSG(dst >= 0 && dst < size() && dst != rank_,
                     "bad destination ", dst, " from rank ", rank_);
   if (!mute_ledger_) world_->ledger().record_send(world_rank(), data.size());
@@ -121,7 +138,7 @@ void Comm::send_tagged(int dst, int tag, std::span<const double> data) {
   world_->mailbox(group_->world_ranks[dst]).push(std::move(msg));
 }
 
-std::vector<double> Comm::recv_tagged(int src, int tag) {
+std::vector<double> Comm::recv_tagged(int src, std::int64_t tag) {
   PARSYRK_CHECK_MSG(src >= 0 && src < size() && src != rank_,
                     "bad source ", src, " at rank ", rank_);
   auto payload =
@@ -166,7 +183,7 @@ std::vector<std::vector<double>> Comm::all_to_all_v(
                   "all_to_all_v needs one block per rank; got ", send.size(),
                   " for ", p, " ranks");
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   std::vector<std::vector<double>> recv(p);
   recv[rank_] = send[rank_];  // own block stays local; no cost
   for (int r = 1; r < p; ++r) {
@@ -188,7 +205,7 @@ std::vector<double> Comm::reduce_scatter(
   PARSYRK_REQUIRE(offset[p] == data.size(), "reduce_scatter buffer is ",
                   data.size(), " words but block sizes sum to ", offset[p]);
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   std::vector<double> acc(data.begin() + offset[rank_],
                           data.begin() + offset[rank_ + 1]);
   for (int r = 1; r < p; ++r) {
@@ -218,7 +235,7 @@ std::vector<double> Comm::all_reduce(std::span<const double> data) {
 std::vector<double> Comm::all_gather(std::span<const double> mine) {
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   std::vector<double> out(mine.size() * p);
   std::copy(mine.begin(), mine.end(), out.begin() + rank_ * mine.size());
   for (int r = 1; r < p; ++r) {
@@ -236,7 +253,7 @@ std::vector<std::vector<double>> Comm::all_gather_v(
     std::span<const double> mine) {
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   std::vector<std::vector<double>> out(p);
   out[rank_].assign(mine.begin(), mine.end());
   for (int r = 1; r < p; ++r) {
@@ -255,7 +272,7 @@ std::vector<std::vector<double>> Comm::all_gather_v(
 std::vector<double> Comm::all_gather_bruck(std::span<const double> mine) {
   const int p = size();
   const std::size_t n = mine.size();
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   // rel[t] holds the contribution of rank (rank_ + t) mod p.
   std::vector<std::vector<double>> rel;
   rel.reserve(p);
@@ -291,7 +308,7 @@ std::vector<double> Comm::reduce_scatter_bruck(std::span<const double> data) {
   PARSYRK_REQUIRE(data.size() % p == 0, "buffer of ", data.size(),
                   " words is not divisible by ", p, " ranks");
   const std::size_t n = data.size() / p;
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   // rel[t] = my partial for rank (rank_ + t) mod p. The schedule is the
   // exact reverse of all_gather_bruck with summation folded in: what the
   // gather copied outward, the reduce accumulates inward, so bandwidth
@@ -333,7 +350,7 @@ std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
   const int p = size();
   PARSYRK_REQUIRE(send.size() == block * p,
                   "butterfly all-to-all needs p equal blocks");
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   // Phase 1: local rotation so slot j holds the block destined to rank_+j.
   std::vector<std::vector<double>> buf(p);
   for (int j = 0; j < p; ++j) {
@@ -378,7 +395,7 @@ std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
 void Comm::bcast(std::span<double> data, int root) {
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad bcast root ", root);
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   const int vrank = (rank_ - root + p) % p;
   int mask = 1;
   while (mask < p) {
@@ -404,7 +421,7 @@ void Comm::bcast(std::span<double> data, int root) {
 std::vector<double> Comm::reduce(std::span<const double> data, int root) {
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad reduce root ", root);
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   const int vrank = (rank_ - root + p) % p;
   std::vector<double> acc(data.begin(), data.end());
   int mask = 1;
@@ -429,7 +446,7 @@ std::vector<std::vector<double>> Comm::gather(std::span<const double> mine,
                                               int root) {
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad gather root ", root);
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   if (rank_ != root) {
     send_tagged(root, tag0, mine);
     return {};
@@ -447,7 +464,7 @@ std::vector<double> Comm::scatter(
     const std::vector<std::vector<double>>& parts, int root) {
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad scatter root ", root);
-  const int tag0 = next_op_tag();
+  const std::int64_t tag0 = next_op_tag();
   if (rank_ == root) {
     PARSYRK_REQUIRE(static_cast<int>(parts.size()) == p,
                     "scatter needs one part per rank");
@@ -500,7 +517,12 @@ Comm Comm::split(int color, int key) {
   }
   PARSYRK_CHECK(my_new_rank >= 0);
   auto g = world_->intern_group(sig, world_members);
-  return Comm(world_, std::move(g), my_new_rank);
+  // Obtaining a group handle is collective, so every member reads the same
+  // generation; the bump gives the next handle to this group (a repeated
+  // identical split) a disjoint collective-tag block. Generations reset at
+  // each job start.
+  const std::uint32_t gen = g->handle_gen[my_new_rank]++;
+  return Comm(world_, std::move(g), my_new_rank, gen);
 }
 
 }  // namespace parsyrk::comm

@@ -21,6 +21,8 @@
 
 #include "simmpi/ledger.hpp"
 #include "simmpi/mailbox.hpp"
+#include "simmpi/worker_pool.hpp"
+#include "support/check.hpp"
 
 namespace parsyrk::comm {
 
@@ -40,6 +42,14 @@ struct Group {
   int bar_count = 0;
   std::uint64_t bar_gen = 0;
   bool poisoned = false;
+
+  // Per-member count of Comm handles obtained for this group in the
+  // current job. Each handle instance draws its collective tags from a
+  // disjoint block indexed by this generation, so two handles to the same
+  // group (repeated identical splits) can never collide, and World resets
+  // the counts at every job start so a reused world replays exactly the
+  // tag sequence of a fresh one. Each rank touches only its own slot.
+  std::vector<std::uint32_t> handle_gen;
 };
 
 }  // namespace detail
@@ -130,31 +140,53 @@ class Comm {
 
  private:
   friend class World;
-  Comm(World* world, std::shared_ptr<detail::Group> group, int rank)
-      : world_(world), group_(std::move(group)), rank_(rank) {}
+  Comm(World* world, std::shared_ptr<detail::Group> group, int rank,
+       std::uint32_t handle_gen)
+      : world_(world),
+        group_(std::move(group)),
+        rank_(rank),
+        tag_base_(static_cast<std::int64_t>(handle_gen) * kOpsPerHandle) {}
 
-  /// Reserves a tag block for the next collective operation.
-  int next_op_tag() { return -(++op_seq_ * kTagStride); }
+  /// Reserves a tag block for the next collective operation. Tags are
+  /// negative (disjoint from user tags) and carved per handle generation:
+  /// handle g's ops draw from [g·kOpsPerHandle, (g+1)·kOpsPerHandle), so
+  /// tag blocks never collide across handles of one group, and the per-job
+  /// generation reset keeps the space bounded on a reused world.
+  std::int64_t next_op_tag() {
+    PARSYRK_CHECK_MSG(op_seq_ < kOpsPerHandle,
+                      "collective tag space exhausted: more than ",
+                      kOpsPerHandle, " collectives on one communicator "
+                      "handle within a single job");
+    return -((tag_base_ + ++op_seq_) * kTagStride);
+  }
 
-  void send_tagged(int dst, int tag, std::span<const double> data);
-  std::vector<double> recv_tagged(int src, int tag);
+  void send_tagged(int dst, std::int64_t tag, std::span<const double> data);
+  std::vector<double> recv_tagged(int src, std::int64_t tag);
 
-  static constexpr int kTagStride = 4096;
+  static constexpr std::int64_t kTagStride = 4096;
+  static constexpr std::int64_t kOpsPerHandle = std::int64_t{1} << 20;
 
   World* world_;
   std::shared_ptr<detail::Group> group_;
   int rank_;
-  int op_seq_ = 0;  // advances identically on all ranks (collective calls)
+  std::int64_t tag_base_ = 0;  // handle_gen · kOpsPerHandle
+  std::int64_t op_seq_ = 0;  // advances identically on all ranks (collectives)
   // Communicator setup (split's color/key exchange) is bookkeeping, not
   // algorithm traffic; it is excluded from the cost ledger, matching the
   // paper's accounting where the processor grid exists a priori.
   bool mute_ledger_ = false;
 };
 
-/// Owns the mailboxes, ledger, and group registry; runs SPMD bodies.
+/// Owns the mailboxes, ledger, and group registry; runs SPMD bodies on
+/// workers leased once from a WorkerPool (the process-shared pool by
+/// default), so repeated runs reuse the same warm, parked threads.
 class World {
  public:
+  /// Leases size() workers from the process-wide shared pool.
   explicit World(int num_ranks);
+  /// Leases from a caller-owned pool (benchmarks and tests use this to
+  /// model the old fresh-threads-per-job execution, or to isolate pools).
+  World(int num_ranks, WorkerPool& pool);
   ~World();
 
   World(const World&) = delete;
@@ -162,12 +194,16 @@ class World {
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
   CostLedger& ledger() { return ledger_; }
+  /// Jobs executed by this world so far (each run() is one job).
+  std::uint64_t jobs_run() const { return jobs_run_; }
 
-  /// Executes `body` on size() threads, one per rank. If a rank throws, the
+  /// Executes `body` as one job: the SPMD bodies are handed to the size()
+  /// already-parked pool workers (condition-variable handoff — no thread is
+  /// created or joined here) and run one per rank. If a rank throws, the
   /// runtime is poisoned so ranks blocked in receives or barriers unwind
-  /// with RankAborted; after every thread joins, the original exception is
+  /// with RankAborted; after every rank finishes, the original exception is
   /// rethrown (lowest failing rank wins) and the runtime is reset so the
-  /// World stays usable.
+  /// World — and its leased workers — stay usable for the next job.
   void run(const std::function<void(Comm&)>& body);
 
  private:
@@ -181,6 +217,10 @@ class World {
   std::shared_ptr<detail::Group> intern_group(const std::string& signature,
                                               const std::vector<int>& members);
 
+  /// Starts a job epoch: resets every group's per-rank handle generations
+  /// so collective tag allocation restarts exactly as on a fresh world.
+  void begin_job();
+
   /// Failure propagation: wakes every blocked receive and barrier.
   void poison_all();
   /// Clears poison state and drops undelivered messages.
@@ -188,7 +228,9 @@ class World {
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CostLedger ledger_;
+  WorkerPool::Lease lease_;
   std::shared_ptr<detail::Group> world_group_;
+  std::uint64_t jobs_run_ = 0;
 
   std::mutex groups_mu_;
   std::map<std::string, std::shared_ptr<detail::Group>> group_registry_;

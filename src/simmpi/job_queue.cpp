@@ -1,0 +1,33 @@
+#include "simmpi/job_queue.hpp"
+
+namespace parsyrk::comm {
+
+void JobQueue::enqueue(std::string name, std::function<void(Comm&)> body) {
+  pending_.emplace_back(std::move(name), std::move(body));
+  ++named_;
+}
+
+void JobQueue::enqueue(std::function<void(Comm&)> body) {
+  enqueue("job" + std::to_string(named_), std::move(body));
+}
+
+std::vector<JobQueue::JobResult> JobQueue::drain() {
+  std::vector<JobResult> results;
+  results.reserve(pending_.size());
+  for (auto& [name, body] : pending_) {
+    JobResult res;
+    res.name = name;
+    const CostLedger::Snapshot before = world_.ledger().snapshot();
+    try {
+      world_.run(body);
+    } catch (...) {
+      res.error = std::current_exception();
+    }
+    res.cost = world_.ledger().summary_since(before);
+    results.push_back(std::move(res));
+  }
+  pending_.clear();
+  return results;
+}
+
+}  // namespace parsyrk::comm

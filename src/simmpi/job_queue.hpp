@@ -1,0 +1,58 @@
+// Multi-job execution on a warm world.
+//
+// A service issuing many independent SYRK jobs wants them to run
+// back-to-back on the same parked worker pool, with each job's
+// communication attributed separately. JobQueue provides exactly that:
+// enqueue SPMD bodies, then drain() executes them in order on the world's
+// leased workers. Each result carries a job-scoped ledger summary (a diff
+// against the pre-job snapshot, so the world's cumulative ledger is
+// untouched), and a failing job poisons only itself — its error is
+// captured in the result, the runtime resets, and the remaining jobs
+// still run on the surviving pool.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace parsyrk::comm {
+
+class JobQueue {
+ public:
+  explicit JobQueue(World& world) : world_(world) {}
+
+  struct JobResult {
+    std::string name;
+    CostSummary cost;           // this job's traffic only
+    std::exception_ptr error;   // set when the job's body threw
+
+    bool ok() const { return error == nullptr; }
+    /// Rethrows the job's error (no-op when the job succeeded).
+    void rethrow() const {
+      if (error) std::rethrow_exception(error);
+    }
+  };
+
+  /// Queues one SPMD body for the next drain().
+  void enqueue(std::string name, std::function<void(Comm&)> body);
+  /// Same, with an auto-generated "job<N>" name.
+  void enqueue(std::function<void(Comm&)> body);
+
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Runs every pending job back-to-back on the warm pool and returns one
+  /// result per job, in enqueue order. Never throws a job's exception —
+  /// failures are isolated into their JobResult.
+  std::vector<JobResult> drain();
+
+ private:
+  World& world_;
+  std::vector<std::pair<std::string, std::function<void(Comm&)>>> pending_;
+  std::size_t named_ = 0;  // monotonic counter for auto names
+};
+
+}  // namespace parsyrk::comm

@@ -43,15 +43,22 @@ void CostLedger::reset() {
   phase_order_.clear();
 }
 
-CostSummary CostLedger::summarize(const std::string* phase) const {
+CostSummary CostLedger::summarize(const std::string* phase,
+                                  const Snapshot* since) const {
   std::lock_guard lock(mu_);
+  PARSYRK_CHECK_MSG(since == nullptr || since->by_phase_.size() == ranks_.size(),
+                    "ledger snapshot is from a different world");
   CostSummary s;
   s.ranks = ranks_.size();
-  for (const auto& r : ranks_) {
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
     Counters rank_total;
-    for (const auto& [name, c] : r.by_phase) {
+    for (const auto& [name, c] : ranks_[i].by_phase) {
       if (phase != nullptr && name != *phase) continue;
       rank_total += c;
+      if (since != nullptr) {
+        auto it = since->by_phase_[i].find(name);
+        if (it != since->by_phase_[i].end()) rank_total -= it->second;
+      }
     }
     s.total += rank_total;
     s.max.words_sent = std::max(s.max.words_sent, rank_total.words_sent);
@@ -62,10 +69,42 @@ CostSummary CostLedger::summarize(const std::string* phase) const {
   return s;
 }
 
-CostSummary CostLedger::summary() const { return summarize(nullptr); }
+CostSummary CostLedger::summary() const { return summarize(nullptr, nullptr); }
 
 CostSummary CostLedger::summary(const std::string& phase) const {
-  return summarize(&phase);
+  return summarize(&phase, nullptr);
+}
+
+CostLedger::Snapshot CostLedger::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  snap.by_phase_.reserve(ranks_.size());
+  for (const auto& r : ranks_) snap.by_phase_.push_back(r.by_phase);
+  return snap;
+}
+
+CostSummary CostLedger::summary_since(const Snapshot& since) const {
+  return summarize(nullptr, &since);
+}
+
+CostSummary CostLedger::summary_since(const Snapshot& since,
+                                      const std::string& phase) const {
+  return summarize(&phase, &since);
+}
+
+std::vector<Counters> CostLedger::per_rank_since(const Snapshot& since) const {
+  std::lock_guard lock(mu_);
+  PARSYRK_CHECK_MSG(since.by_phase_.size() == ranks_.size(),
+                    "ledger snapshot is from a different world");
+  std::vector<Counters> out(ranks_.size());
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    for (const auto& [name, c] : ranks_[i].by_phase) {
+      out[i] += c;
+      auto it = since.by_phase_[i].find(name);
+      if (it != since.by_phase_[i].end()) out[i] -= it->second;
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> CostLedger::phases() const {

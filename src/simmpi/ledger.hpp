@@ -28,6 +28,18 @@ struct Counters {
     msgs_recv += o.msgs_recv;
     return *this;
   }
+
+  /// Counters only grow, so the per-field difference of a later reading
+  /// minus an earlier one is well-defined (job-scoped accounting).
+  Counters& operator-=(const Counters& o) {
+    words_sent -= o.words_sent;
+    words_recv -= o.words_recv;
+    msgs_sent -= o.msgs_sent;
+    msgs_recv -= o.msgs_recv;
+    return *this;
+  }
+
+  bool operator==(const Counters&) const = default;
 };
 
 /// Aggregate view over all ranks of one phase (or the whole run).
@@ -46,6 +58,18 @@ struct CostSummary {
 /// Thread-safe per-rank cost accounting. One instance per World.
 class CostLedger {
  public:
+  /// A point-in-time copy of every counter, taken between jobs. Diffing the
+  /// live ledger against a snapshot scopes the cumulative accounting to one
+  /// job on a reused world, without clobbering the whole-session totals.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class CostLedger;
+    std::vector<std::map<std::string, Counters>> by_phase_;
+  };
+
   explicit CostLedger(int num_ranks);
 
   /// Sets the phase label subsequent traffic of `rank` is attributed to.
@@ -66,13 +90,26 @@ class CostLedger {
   /// Raw per-rank counters accumulated over all phases.
   std::vector<Counters> per_rank() const;
 
+  // ---- Job-scoped accounting (persistent-executor support) ----
+
+  /// Captures the current counters; cheap relative to any SPMD job.
+  Snapshot snapshot() const;
+  /// Summary of traffic recorded after `since` was taken.
+  CostSummary summary_since(const Snapshot& since) const;
+  /// Per-phase variant of summary_since.
+  CostSummary summary_since(const Snapshot& since,
+                            const std::string& phase) const;
+  /// Per-rank counters (all phases) recorded after `since` was taken.
+  std::vector<Counters> per_rank_since(const Snapshot& since) const;
+
  private:
   struct RankState {
     std::string phase = "default";
     std::map<std::string, Counters> by_phase;
   };
 
-  CostSummary summarize(const std::string* phase) const;
+  CostSummary summarize(const std::string* phase,
+                        const Snapshot* since) const;
 
   mutable std::mutex mu_;
   std::vector<RankState> ranks_;

@@ -26,7 +26,10 @@ struct RankAborted : std::runtime_error {
 struct Envelope {
   std::uint64_t comm_id = 0;
   int src = 0;  // rank within the sending communicator
-  int tag = 0;
+  // 64-bit so collective tag blocks (negative, carved per communicator
+  // handle and per job epoch) can never wrap into the non-negative user
+  // tag space however many jobs a reused world executes.
+  std::int64_t tag = 0;
 
   bool operator==(const Envelope&) const = default;
 };

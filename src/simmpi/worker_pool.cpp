@@ -1,0 +1,163 @@
+#include "simmpi/worker_pool.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace parsyrk::comm {
+
+namespace detail {
+
+void CompletionLatch::add(int n) {
+  std::lock_guard lock(mu);
+  pending += n;
+}
+
+void CompletionLatch::done() {
+  {
+    std::lock_guard lock(mu);
+    --pending;
+  }
+  cv.notify_all();
+}
+
+void CompletionLatch::wait() {
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return pending == 0; });
+}
+
+namespace {
+
+void worker_main(PoolWorker* w) {
+  std::unique_lock lock(w->mu);
+  for (;;) {
+    w->cv.wait(lock, [&] { return w->task != nullptr || w->stop; });
+    if (w->task) {
+      std::function<void()> task = std::move(w->task);
+      w->task = nullptr;
+      lock.unlock();
+      task();
+      lock.lock();
+    } else if (w->stop) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  std::vector<detail::PoolWorker*> all;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& w : workers_) all.push_back(w.get());
+  }
+  for (auto* w : all) {
+    {
+      std::lock_guard lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto* w : all) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+WorkerPool::Lease WorkerPool::acquire(int count) {
+  PARSYRK_REQUIRE(count >= 1, "worker lease must be positive, got ", count);
+  Lease lease;
+  lease.pool_ = this;
+  lease.latch_ = std::make_shared<detail::CompletionLatch>();
+  std::lock_guard lock(mu_);
+  lease.workers_.reserve(count);
+  while (!free_.empty() && static_cast<int>(lease.workers_.size()) < count) {
+    lease.workers_.push_back(free_.back());
+    free_.pop_back();
+  }
+  while (static_cast<int>(lease.workers_.size()) < count) {
+    auto w = std::make_unique<detail::PoolWorker>();
+    w->thread = std::thread(detail::worker_main, w.get());
+    ++threads_created_;
+    lease.workers_.push_back(w.get());
+    workers_.push_back(std::move(w));
+  }
+  return lease;
+}
+
+std::uint64_t WorkerPool::threads_created() const {
+  std::lock_guard lock(mu_);
+  return threads_created_;
+}
+
+int WorkerPool::idle() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(free_.size());
+}
+
+void WorkerPool::release_workers(std::vector<detail::PoolWorker*>& workers) {
+  std::lock_guard lock(mu_);
+  for (auto* w : workers) free_.push_back(w);
+  workers.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Lease
+// ---------------------------------------------------------------------------
+
+WorkerPool::Lease::Lease(Lease&& o) noexcept
+    : pool_(std::exchange(o.pool_, nullptr)),
+      workers_(std::move(o.workers_)),
+      latch_(std::move(o.latch_)) {
+  o.workers_.clear();
+}
+
+WorkerPool::Lease& WorkerPool::Lease::operator=(Lease&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = std::exchange(o.pool_, nullptr);
+    workers_ = std::move(o.workers_);
+    latch_ = std::move(o.latch_);
+    o.workers_.clear();
+  }
+  return *this;
+}
+
+WorkerPool::Lease::~Lease() { release(); }
+
+void WorkerPool::Lease::release() {
+  if (pool_ == nullptr) return;
+  if (latch_) latch_->wait();  // never park a worker with work in flight
+  pool_->release_workers(workers_);
+  pool_ = nullptr;
+  latch_.reset();
+}
+
+void WorkerPool::Lease::dispatch(int i, std::function<void()> task) {
+  PARSYRK_CHECK_MSG(i >= 0 && i < size(), "bad worker index ", i);
+  latch_->add(1);
+  detail::PoolWorker* w = workers_[i];
+  {
+    std::lock_guard lock(w->mu);
+    PARSYRK_CHECK_MSG(w->task == nullptr,
+                      "worker ", i, " already has a pending task");
+    w->task = [latch = latch_, t = std::move(task)] {
+      t();
+      latch->done();
+    };
+  }
+  w->cv.notify_one();
+}
+
+void WorkerPool::Lease::wait() {
+  PARSYRK_CHECK_MSG(latch_ != nullptr, "wait() on an empty lease");
+  latch_->wait();
+}
+
+}  // namespace parsyrk::comm

@@ -1,0 +1,114 @@
+// Persistent worker pool: the execution substrate under the SPMD runtime.
+//
+// A World used to spawn and join P fresh OS threads on every run; a service
+// issuing thousands of SYRK jobs paid thread-creation latency per call. The
+// pool instead keeps long-lived workers parked on condition variables: a
+// World acquires a Lease of P workers once, at construction, and every
+// World::run hands the per-rank bodies to already-parked workers and waits
+// on a completion latch — no thread is created or joined on the hot path.
+// Workers returned by a destroyed World stay parked in the pool for the
+// next World (of any size) to reuse.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsyrk::comm {
+
+namespace detail {
+
+/// One parked OS thread. The worker sleeps on `cv` until a task is handed
+/// over (or `stop` is set at pool shutdown), runs it, and parks again.
+struct PoolWorker {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::function<void()> task;  // nonempty while a task is pending/running
+  bool stop = false;
+  std::thread thread;
+};
+
+/// Counts in-flight tasks of one lease; dispatchers wait for it to drain.
+/// Heap-allocated (shared with the task wrappers) so leases stay movable
+/// while tasks are in flight.
+struct CompletionLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = 0;
+
+  void add(int n);
+  void done();
+  void wait();
+};
+
+}  // namespace detail
+
+/// A shared pool of long-lived worker threads. Thread-safe. Workers are
+/// created lazily — only when an acquire cannot be served from the parked
+/// set — and are never destroyed until the pool itself is.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The process-wide pool every World draws from by default.
+  static WorkerPool& shared();
+
+  /// RAII ownership of `count` workers. Movable; returns the workers to the
+  /// pool (still parked, still warm) on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept;
+    Lease& operator=(Lease&& o) noexcept;
+    ~Lease();
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /// Hands `task` to parked worker `i`; returns immediately. The task
+    /// must not throw — rank bodies are wrapped in catch-all handlers by
+    /// the caller (an escaped exception terminates, exactly as it would
+    /// have escaping a raw std::thread).
+    void dispatch(int i, std::function<void()> task);
+
+    /// Blocks until every task dispatched through this lease has finished.
+    void wait();
+
+   private:
+    friend class WorkerPool;
+    WorkerPool* pool_ = nullptr;
+    std::vector<detail::PoolWorker*> workers_;
+    std::shared_ptr<detail::CompletionLatch> latch_;
+
+    void release();
+  };
+
+  /// Takes `count` workers out of the parked set, creating threads only for
+  /// the shortfall.
+  Lease acquire(int count);
+
+  /// Total OS threads this pool ever created (monotonic). Tests assert this
+  /// stays flat across jobs — the "no thread creation on the hot path"
+  /// guarantee.
+  std::uint64_t threads_created() const;
+
+  /// Workers currently parked and unleased.
+  int idle() const;
+
+ private:
+  void release_workers(std::vector<detail::PoolWorker*>& workers);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<detail::PoolWorker>> workers_;
+  std::vector<detail::PoolWorker*> free_;
+  std::uint64_t threads_created_ = 0;
+};
+
+}  // namespace parsyrk::comm

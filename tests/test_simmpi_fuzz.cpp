@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "simmpi/comm.hpp"
+#include "simmpi/job_queue.hpp"
+#include "simmpi/worker_pool.hpp"
 #include "support/rng.hpp"
 
 namespace parsyrk::comm {
@@ -199,6 +202,102 @@ TEST(FuzzStress, ConcurrentDisjointSubcommunicators) {
     }
   });
 }
+
+class FuzzJobQueues : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzJobQueues, RandomJobSequencesWithFailures) {
+  // Random sequences of SPMD jobs drained through one JobQueue on a warm
+  // pool; one randomly chosen job throws on a random rank at a random
+  // point. Exactly that job must error, every other job must produce the
+  // same results and per-job costs as on a fresh world, and the pool must
+  // survive (no threads created after warmup).
+  const std::uint64_t seed = GetParam();
+  Rng planner(seed);
+  const int p = static_cast<int>(planner.uniform_int(2, 11));
+  const int jobs = static_cast<int>(planner.uniform_int(4, 13));
+  const int bad_job = static_cast<int>(planner.uniform_int(0, jobs - 1));
+  const int bad_rank = static_cast<int>(planner.uniform_int(0, p - 1));
+
+  std::vector<int> kinds(jobs), sizes(jobs), fail_round(jobs, -1);
+  for (int j = 0; j < jobs; ++j) {
+    kinds[j] = static_cast<int>(planner.uniform_int(0, 2));
+    sizes[j] = static_cast<int>(planner.uniform_int(1, 7));
+  }
+  fail_round[bad_job] = static_cast<int>(planner.uniform_int(0, 2));
+
+  // Each job runs 3 rounds of one collective kind; a failing job throws on
+  // bad_rank before its fail_round-th round, leaving peers blocked inside
+  // the collective to be unwound by poisoning.
+  auto make_body = [&](int j) {
+    const int kind = kinds[j], n = sizes[j], fail = fail_round[j];
+    return [kind, n, fail, bad_rank, p](Comm& comm) {
+      for (int round = 0; round < 3; ++round) {
+        if (round == fail && comm.rank() == bad_rank) {
+          throw std::runtime_error("fuzzed failure");
+        }
+        switch (kind) {
+          case 0: {
+            auto all =
+                comm.all_gather(std::vector<double>(n, 1.0 * comm.rank()));
+            ASSERT_EQ(all.size(), static_cast<std::size_t>(n * p));
+            break;
+          }
+          case 1: {
+            auto mine = comm.reduce_scatter_equal(
+                std::vector<double>(static_cast<std::size_t>(n) * p, 1.0));
+            for (double x : mine) ASSERT_DOUBLE_EQ(x, 1.0 * p);
+            break;
+          }
+          default: {
+            Comm sub = comm.split(comm.rank() % 2, comm.rank());
+            auto ids = sub.all_gather(
+                std::vector<double>{1.0 * comm.world_rank()});
+            ASSERT_EQ(ids.size(), static_cast<std::size_t>(sub.size()));
+            break;
+          }
+        }
+      }
+    };
+  };
+
+  // Reference per-job costs from fresh worlds (skipping the poisoned job —
+  // its partial traffic is unspecified).
+  std::vector<CostSummary> fresh(jobs);
+  for (int j = 0; j < jobs; ++j) {
+    if (j == bad_job) continue;
+    World world(p);
+    world.run(make_body(j));
+    fresh[j] = world.ledger().summary();
+  }
+
+  WorkerPool pool;
+  World world(p, pool);
+  const std::uint64_t warm = pool.threads_created();
+  JobQueue queue(world);
+  for (int j = 0; j < jobs; ++j) queue.enqueue(make_body(j));
+  auto results = queue.drain();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    if (j == bad_job) {
+      EXPECT_FALSE(results[j].ok()) << "job " << j;
+      EXPECT_THROW(results[j].rethrow(), std::runtime_error);
+      continue;
+    }
+    EXPECT_TRUE(results[j].ok()) << "job " << j;
+    EXPECT_EQ(results[j].cost.total, fresh[j].total) << "job " << j;
+    EXPECT_EQ(results[j].cost.max, fresh[j].max) << "job " << j;
+  }
+  EXPECT_EQ(pool.threads_created(), warm);
+  // The world stays fully usable after the drained failure.
+  world.run([](Comm& comm) {
+    auto all = comm.all_gather(std::vector<double>{3.0});
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzJobQueues,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28, 29,
+                                           30, 31, 32));
 
 }  // namespace
 }  // namespace parsyrk::comm

@@ -1,0 +1,232 @@
+// Persistent worker-pool executor: leases, warm dispatch, and the JobQueue.
+//
+// The load-bearing property: after a World's construction, running jobs
+// creates NO threads — bodies are handed to already-parked workers. These
+// tests pin that down with a private pool whose thread-creation counter is
+// observable, and exercise the JobQueue's per-job ledger scoping and
+// failure isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/job_queue.hpp"
+#include "simmpi/worker_pool.hpp"
+#include "support/check.hpp"
+
+namespace parsyrk::comm {
+namespace {
+
+TEST(WorkerPool, DispatchRunsEveryTask) {
+  WorkerPool pool;
+  std::atomic<int> sum{0};
+  {
+    auto lease = pool.acquire(8);
+    ASSERT_EQ(lease.size(), 8);
+    for (int i = 0; i < 8; ++i) {
+      lease.dispatch(i, [&sum, i] { sum += i + 1; });
+    }
+    lease.wait();
+  }
+  EXPECT_EQ(sum.load(), 36);
+  EXPECT_EQ(pool.threads_created(), 8u);
+}
+
+TEST(WorkerPool, LeasesReuseParkedWorkers) {
+  WorkerPool pool;
+  for (int round = 0; round < 5; ++round) {
+    auto lease = pool.acquire(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 4; ++i) lease.dispatch(i, [&ran] { ++ran; });
+    lease.wait();
+    EXPECT_EQ(ran.load(), 4);
+  }
+  // Workers were created once and parked between leases.
+  EXPECT_EQ(pool.threads_created(), 4u);
+  EXPECT_EQ(pool.idle(), 4);
+}
+
+TEST(WorkerPool, GrowsOnlyByTheShortfall) {
+  WorkerPool pool;
+  { auto lease = pool.acquire(3); }
+  EXPECT_EQ(pool.threads_created(), 3u);
+  { auto lease = pool.acquire(7); }
+  EXPECT_EQ(pool.threads_created(), 7u);
+  { auto lease = pool.acquire(5); }
+  EXPECT_EQ(pool.threads_created(), 7u);
+}
+
+TEST(WorkerPool, ConcurrentLeasesAreDisjoint) {
+  WorkerPool pool;
+  auto a = pool.acquire(3);
+  auto b = pool.acquire(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    a.dispatch(i, [&ran] { ++ran; });
+    b.dispatch(i, [&ran] { ++ran; });
+  }
+  a.wait();
+  b.wait();
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_EQ(pool.threads_created(), 6u);
+}
+
+TEST(WorkerPool, WorldRunCreatesNoThreadsAfterWarmup) {
+  // The tentpole acceptance check: 100 jobs on one World, zero thread
+  // creation after the lease at construction.
+  WorkerPool pool;
+  World world(6, pool);
+  const std::uint64_t warm = pool.threads_created();
+  EXPECT_EQ(warm, 6u);
+  for (int job = 0; job < 100; ++job) {
+    world.run([&](Comm& comm) {
+      auto all = comm.all_gather(std::vector<double>{1.0 * comm.rank()});
+      ASSERT_EQ(all.size(), 6u);
+      for (int r = 0; r < 6; ++r) ASSERT_DOUBLE_EQ(all[r], 1.0 * r);
+    });
+  }
+  EXPECT_EQ(world.jobs_run(), 100u);
+  EXPECT_EQ(pool.threads_created(), warm);
+}
+
+TEST(WorkerPool, WorldsShareOneProcessPool) {
+  // Sequential Worlds of the same size lease the same parked threads from
+  // the shared pool rather than spawning their own.
+  { World warmup(4); }
+  const std::uint64_t before = WorkerPool::shared().threads_created();
+  for (int i = 0; i < 10; ++i) {
+    World world(4);
+    world.run([](Comm& comm) { comm.barrier(); });
+  }
+  EXPECT_EQ(WorkerPool::shared().threads_created(), before);
+}
+
+TEST(JobQueue, DrainsJobsInOrderWithScopedCosts) {
+  WorkerPool pool;
+  World world(4, pool);
+  JobQueue queue(world);
+  // Job 1: every rank sends 3 words to its successor. Job 2: 5 words.
+  for (const int words : {3, 5}) {
+    queue.enqueue("ring" + std::to_string(words), [words](Comm& comm) {
+      const int p = comm.size();
+      const int dst = (comm.rank() + 1) % p;
+      const int src = (comm.rank() + p - 1) % p;
+      comm.send(dst, 0, std::vector<double>(words, 1.0));
+      auto got = comm.recv(src, 0);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(words));
+    });
+  }
+  ASSERT_EQ(queue.pending(), 2u);
+  auto results = queue.drain();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(queue.pending(), 0u);
+
+  EXPECT_EQ(results[0].name, "ring3");
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].cost.total.words_sent, 12u);  // 4 ranks x 3 words
+  EXPECT_EQ(results[0].cost.max.msgs_sent, 1u);
+  EXPECT_EQ(results[1].cost.total.words_sent, 20u);  // scoped: not 12+20
+  // The world's cumulative ledger still holds both jobs.
+  EXPECT_EQ(world.ledger().summary().total.words_sent, 32u);
+}
+
+TEST(JobQueue, FailingJobPoisonsOnlyItself) {
+  WorkerPool pool;
+  World world(5, pool);
+  const std::uint64_t warm = pool.threads_created();
+  JobQueue queue(world);
+  queue.enqueue("ok-before", [](Comm& comm) { comm.barrier(); });
+  queue.enqueue("boom", [](Comm& comm) {
+    if (comm.rank() == 2) throw std::runtime_error("rank 2 failed");
+    // Peers block in a collective and must unwind via poisoning.
+    comm.all_gather(std::vector<double>{1.0});
+  });
+  queue.enqueue("ok-after", [](Comm& comm) {
+    auto all = comm.all_gather(std::vector<double>{2.0});
+    ASSERT_EQ(all.size(), 5u);
+  });
+  auto results = queue.drain();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_THROW(results[1].rethrow(), std::runtime_error);
+  EXPECT_TRUE(results[2].ok());
+  // The pool survived the poisoned job: same threads, still reusable.
+  EXPECT_EQ(pool.threads_created(), warm);
+  world.run([](Comm& comm) { comm.barrier(); });
+}
+
+TEST(JobQueue, WarmQueueCostsMatchFreshWorlds) {
+  // Per-job ledger scoping on a reused world reports exactly what a fresh
+  // world per job would: same words, same messages, per job.
+  auto body = [](int words) {
+    return [words](Comm& comm) {
+      std::vector<double> data(static_cast<std::size_t>(words) *
+                               static_cast<std::size_t>(comm.size()));
+      auto mine = comm.reduce_scatter_equal(data);
+      auto all = comm.all_gather(mine);
+      ASSERT_EQ(all.size(), data.size());
+    };
+  };
+  const int kJobs[] = {2, 7, 3, 7, 2};
+
+  std::vector<CostSummary> fresh;
+  for (int words : kJobs) {
+    World world(6);
+    world.run(body(words));
+    fresh.push_back(world.ledger().summary());
+  }
+
+  World warm(6);
+  JobQueue queue(warm);
+  for (int words : kJobs) queue.enqueue(body(words));
+  auto results = queue.drain();
+  ASSERT_EQ(results.size(), std::size(kJobs));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].cost.total, fresh[i].total) << "job " << i;
+    EXPECT_EQ(results[i].cost.max, fresh[i].max) << "job " << i;
+  }
+}
+
+TEST(JobQueue, AutoNamesAreSequential) {
+  WorkerPool pool;
+  World world(2, pool);
+  JobQueue queue(world);
+  queue.enqueue([](Comm& comm) { comm.barrier(); });
+  queue.enqueue("named", [](Comm& comm) { comm.barrier(); });
+  queue.enqueue([](Comm& comm) { comm.barrier(); });
+  auto results = queue.drain();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].name, "job0");
+  EXPECT_EQ(results[1].name, "named");
+  EXPECT_EQ(results[2].name, "job2");
+}
+
+TEST(LedgerSnapshots, SinceDiffsAreExact) {
+  CostLedger ledger(2);
+  ledger.set_phase(0, "a");
+  ledger.record_send(0, 10);
+  auto snap = ledger.snapshot();
+  ledger.record_send(0, 7);
+  ledger.set_phase(1, "b");
+  ledger.record_recv(1, 4);
+
+  const auto since = ledger.summary_since(snap);
+  EXPECT_EQ(since.total.words_sent, 7u);
+  EXPECT_EQ(since.total.words_recv, 4u);
+  EXPECT_EQ(ledger.summary().total.words_sent, 17u);
+
+  const auto phase_a = ledger.summary_since(snap, "a");
+  EXPECT_EQ(phase_a.total.words_sent, 7u);
+  const auto per_rank = ledger.per_rank_since(snap);
+  ASSERT_EQ(per_rank.size(), 2u);
+  EXPECT_EQ(per_rank[0].words_sent, 7u);
+  EXPECT_EQ(per_rank[1].words_recv, 4u);
+}
+
+}  // namespace
+}  // namespace parsyrk::comm

@@ -15,9 +15,9 @@
 #include "bounds/syr2k_bounds.hpp"
 #include "core/cholesky.hpp"
 #include "core/memory.hpp"
+#include "core/session.hpp"
 #include "core/symm.hpp"
 #include "core/syr2k.hpp"
-#include "core/syrk.hpp"
 #include "matrix/factor.hpp"
 #include "matrix/io.hpp"
 #include "matrix/kernels.hpp"
@@ -62,6 +62,35 @@ void report(comm::World& world, double err, double bound_comm) {
                      4)
               << "\n";
   }
+}
+
+/// Per-phase report for a unified-API run: request-scoped summaries.
+int report_run(const core::SyrkRun& run, double err) {
+  Table t({"phase", "max words/rank", "max msgs/rank"});
+  const std::pair<const char*, const comm::CostSummary*> phases[] = {
+      {"scatter_A", &run.scatter_a},
+      {"gather_A", &run.gather_a},
+      {"reduce_C", &run.reduce_c},
+  };
+  for (const auto& [name, s] : phases) {
+    if (s->max.words_sent == 0 && s->max.msgs_sent == 0) continue;
+    t.add_row({name, std::to_string(s->max.words_sent),
+               std::to_string(s->max.msgs_sent)});
+  }
+  t.add_row({"total", std::to_string(run.total.max.words_sent),
+             std::to_string(run.total.max.msgs_sent)});
+  t.print(std::cout);
+  std::cout << "max |result - reference| = " << err << "\n";
+  if (run.bound.communicated > 0) {
+    std::cout << "lower bound = " << fmt_double(run.bound.communicated, 6)
+              << " words; measured/bound = "
+              << fmt_double(
+                     static_cast<double>(run.total.critical_path_words()) /
+                         run.bound.communicated,
+                     4)
+              << "\n";
+  }
+  return err < 1e-8 ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
 }  // namespace
@@ -114,7 +143,8 @@ int main(int argc, char** argv) {
     if (a.empty()) a = random_matrix(n1, n2, seed);
 
     if (op == "syrk" && algo == "auto" && memory == 0) {
-      const auto run = core::syrk_auto(a, procs);
+      core::Session session(static_cast<int>(procs));
+      const auto run = core::syrk(session, core::SyrkRequest(a));
       std::cout << "Plan: " << run.plan << "\n";
       const double err =
           max_abs_diff(run.c.view(), syrk_reference(a.view()).view());
@@ -153,54 +183,44 @@ int main(int argc, char** argv) {
       return c_flag;
     };
     if (op == "syrk") {
+      core::SyrkRequest req(a);
       if (algo == "1d") {
-        comm::World world(static_cast<int>(procs));
-        Matrix c = core::syrk_1d(world, a);
-        report(world,
-               max_abs_diff(c.view(), syrk_reference(a.view()).view()),
-               bounds::syrk_lower_bound(n1, n2, procs).communicated);
-        return EXIT_SUCCESS;
+        req.use_1d();
+      } else if (algo == "2d") {
+        req.use_2d(need_c());
+      } else if (algo == "3d") {
+        req.use_3d(need_c(), p2_flag);
+      } else {
+        PARSYRK_REQUIRE(false, "unknown --algo ", algo);
       }
-      if (algo == "2d") {
-        const auto c = need_c();
-        comm::World world(static_cast<int>(c * (c + 1)));
-        Matrix out = core::syrk_2d(world, a, c);
-        report(world,
-               max_abs_diff(out.view(), syrk_reference(a.view()).view()),
-               bounds::syrk_lower_bound(n1, n2, c * (c + 1)).communicated);
-        return EXIT_SUCCESS;
-      }
-      if (algo == "3d") {
-        const auto c = need_c();
-        comm::World world(static_cast<int>(c * (c + 1) * p2_flag));
-        Matrix out = core::syrk_3d(world, a, c, p2_flag);
-        report(world,
-               max_abs_diff(out.view(), syrk_reference(a.view()).view()),
-               bounds::syrk_lower_bound(n1, n2, c * (c + 1) * p2_flag)
-                   .communicated);
-        return EXIT_SUCCESS;
-      }
-      PARSYRK_REQUIRE(false, "unknown --algo ", algo);
+      // The session is sized to the request: procs for 1D, the grid's rank
+      // count for 2D/3D.
+      const std::uint64_t ranks =
+          algo == "1d" ? procs : c_flag * (c_flag + 1) * (algo == "3d" ? p2_flag : 1);
+      core::Session session(static_cast<int>(ranks));
+      const auto run = core::syrk(session, req);
+      return report_run(
+          run, max_abs_diff(run.c.view(), syrk_reference(a.view()).view()));
     }
     if (op == "syr2k") {
       Matrix b = random_matrix(n1, n2, seed + 1);
       Matrix ref = syr2k_reference(a.view(), b.view());
       if (algo == "2d" || algo == "auto") {
         const auto c = need_c();
-        comm::World world(static_cast<int>(c * (c + 1)));
-        Matrix out = core::syr2k_2d(world, a, b, c);
-        report(world, max_abs_diff(out.view(), ref.view()),
+        core::Session session(static_cast<int>(c * (c + 1)));
+        Matrix out = core::syr2k_2d(session.world(), a, b, c);
+        report(session.world(), max_abs_diff(out.view(), ref.view()),
                bounds::syr2k_lower_bound(n1, n2, c * (c + 1)).communicated);
       } else if (algo == "1d") {
-        comm::World world(static_cast<int>(procs));
-        Matrix out = core::syr2k_1d(world, a, b);
-        report(world, max_abs_diff(out.view(), ref.view()),
+        core::Session session(static_cast<int>(procs));
+        Matrix out = core::syr2k_1d(session.world(), a, b);
+        report(session.world(), max_abs_diff(out.view(), ref.view()),
                bounds::syr2k_lower_bound(n1, n2, procs).communicated);
       } else {
         const auto c = need_c();
-        comm::World world(static_cast<int>(c * (c + 1) * p2_flag));
-        Matrix out = core::syr2k_3d(world, a, b, c, p2_flag);
-        report(world, max_abs_diff(out.view(), ref.view()),
+        core::Session session(static_cast<int>(c * (c + 1) * p2_flag));
+        Matrix out = core::syr2k_3d(session.world(), a, b, c, p2_flag);
+        report(session.world(), max_abs_diff(out.view(), ref.view()),
                bounds::syr2k_lower_bound(n1, n2, c * (c + 1) * p2_flag)
                    .communicated);
       }
@@ -215,21 +235,21 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < n1; ++i) {
         g(i, i) += static_cast<double>(n1);
       }
-      comm::World world(static_cast<int>(grid * grid));
+      core::Session session(static_cast<int>(grid * grid));
       const std::size_t tile =
           std::max<std::size_t>(1, n1 / (2 * grid));
-      Matrix l = core::parallel_cholesky(world, g, grid, tile);
+      Matrix l = core::parallel_cholesky(session.world(), g, grid, tile);
       Matrix ref = cholesky_lower(g.view());
-      report(world, max_abs_diff(l.view(), ref.view()), 0.0);
+      report(session.world(), max_abs_diff(l.view(), ref.view()), 0.0);
       return EXIT_SUCCESS;
     }
     if (op == "symm") {
       const auto c = need_c();
       Matrix s = syrk_reference(random_matrix(n1, 8, seed + 2).view());
       Matrix b = random_matrix(n1, n2, seed + 3);
-      comm::World world(static_cast<int>(c * (c + 1)));
-      Matrix out = core::symm_2d(world, s, b, c);
-      report(world,
+      core::Session session(static_cast<int>(c * (c + 1)));
+      Matrix out = core::symm_2d(session.world(), s, b, c);
+      report(session.world(),
              max_abs_diff(out.view(), symm_reference(s.view(), b.view()).view()),
              0.0);
       return EXIT_SUCCESS;
