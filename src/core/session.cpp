@@ -76,6 +76,7 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
   }
 
   comm::World& world = session.world();
+  if (req.trace) world.enable_tracing();
   const comm::CostLedger::Snapshot before = world.ledger().snapshot();
   Matrix c_full(a.rows(), a.rows());
   const int active_ranks = static_cast<int>(plan.procs);
@@ -106,6 +107,7 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
   run.reduce_c = ledger.summary_since(before, internal::kPhaseReduceC);
   run.scatter_a = ledger.summary_since(before, internal::kPhaseScatterA);
   run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), plan.procs);
+  if (req.trace) run.trace = world.trace_sink()->drain(/*poisoned=*/false);
   return run;
 }
 

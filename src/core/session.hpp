@@ -44,6 +44,15 @@ class Session {
   /// SPMD jobs (e.g. a Cholesky on the SYRK output) on the same warm pool.
   comm::World& world() { return world_; }
 
+  /// Enables per-message tracing on the session's world; subsequent traced
+  /// requests (SyrkRequest::with_trace) drain their job's events into
+  /// SyrkRun::trace. Requests that opt in enable this automatically, so
+  /// calling it explicitly is only needed to size the ring buffers.
+  void enable_tracing(
+      std::size_t capacity_per_rank = comm::TraceSink::kDefaultCapacity) {
+    world_.enable_tracing(capacity_per_rank);
+  }
+
  private:
   comm::World world_;
 };
@@ -105,6 +114,12 @@ struct SyrkRequest {
     options.exchange = kind;
     return *this;
   }
+  /// Records a per-message trace of this request's job into SyrkRun::trace
+  /// (enabling tracing on the session's world if it is not already on).
+  SyrkRequest& with_trace() {
+    trace = true;
+    return *this;
+  }
 
   const Matrix* a = nullptr;
   std::optional<Algorithm> algorithm;          // unset -> planner
@@ -113,6 +128,7 @@ struct SyrkRequest {
   std::optional<std::uint64_t> procs_1d;       // 1D rank-count override
   std::optional<std::uint64_t> max_procs;      // planner cap
   std::optional<std::uint64_t> memory_limit_words;  // memory-aware planning
+  bool trace = false;                          // drain a JobTrace into the run
   SyrkOptions options;
 };
 

@@ -120,6 +120,10 @@ struct SyrkRun {
   comm::CostSummary reduce_c;      // "reduce_C" phase
   comm::CostSummary scatter_a;     // "scatter_A" ingestion (root requests)
   bounds::SyrkBound bound;         // Theorem 1 at the plan's processor count
+  /// Per-message event trace of this request's job, present when the
+  /// request opted in via with_trace(). Feed to trace::write_chrome_json /
+  /// write_binary / Rollup / BoundAuditor.
+  std::optional<comm::JobTrace> trace;
 };
 
 /// Plans and executes SYRK on an internally created world of plan.procs

@@ -29,7 +29,15 @@ World::World(int num_ranks, WorkerPool& pool) : ledger_(std::max(num_ranks, 1)) 
 
 World::~World() = default;
 
+void World::enable_tracing(std::size_t capacity_per_rank) {
+  if (trace_sink_) return;
+  trace_sink_ = std::make_unique<TraceSink>(size(), capacity_per_rank);
+}
+
+void World::disable_tracing() { trace_sink_.reset(); }
+
 void World::begin_job() {
+  if (trace_sink_) trace_sink_->begin_job(jobs_run_ + 1);
   std::fill(world_group_->handle_gen.begin(), world_group_->handle_gen.end(),
             0u);
   std::lock_guard lock(groups_mu_);
@@ -125,13 +133,23 @@ std::shared_ptr<detail::Group> World::intern_group(
 
 void Comm::set_phase(const std::string& phase) {
   world_->ledger().set_phase(world_rank(), phase);
+  if (TraceSink* sink = world_->trace_sink()) {
+    sink->set_phase(world_rank(), phase);
+  }
 }
 
 void Comm::send_tagged(int dst, std::int64_t tag,
                        std::span<const double> data) {
   PARSYRK_CHECK_MSG(dst >= 0 && dst < size() && dst != rank_,
                     "bad destination ", dst, " from rank ", rank_);
-  if (!mute_ledger_) world_->ledger().record_send(world_rank(), data.size());
+  if (!mute_ledger_) {
+    world_->ledger().record_send(world_rank(), data.size());
+    if (TraceSink* sink = world_->trace_sink()) {
+      sink->record(world_rank(), group_->world_ranks[dst],
+                   op_kind_.value_or(OpKind::kPointToPoint), TraceDir::kSend,
+                   data.size());
+    }
+  }
   Message msg;
   msg.env = Envelope{group_->id, rank_, tag};
   msg.payload.assign(data.begin(), data.end());
@@ -143,7 +161,14 @@ std::vector<double> Comm::recv_tagged(int src, std::int64_t tag) {
                     "bad source ", src, " at rank ", rank_);
   auto payload =
       world_->mailbox(world_rank()).pop(Envelope{group_->id, src, tag});
-  if (!mute_ledger_) world_->ledger().record_recv(world_rank(), payload.size());
+  if (!mute_ledger_) {
+    world_->ledger().record_recv(world_rank(), payload.size());
+    if (TraceSink* sink = world_->trace_sink()) {
+      sink->record(world_rank(), group_->world_ranks[src],
+                   op_kind_.value_or(OpKind::kPointToPoint), TraceDir::kRecv,
+                   payload.size());
+    }
+  }
   return payload;
 }
 
@@ -178,6 +203,7 @@ void Comm::barrier() {
 
 std::vector<std::vector<double>> Comm::all_to_all_v(
     const std::vector<std::vector<double>>& send) {
+  OpScope scope(*this, OpKind::kAllToAllV);
   const int p = size();
   PARSYRK_REQUIRE(static_cast<int>(send.size()) == p,
                   "all_to_all_v needs one block per rank; got ", send.size(),
@@ -197,6 +223,7 @@ std::vector<std::vector<double>> Comm::all_to_all_v(
 
 std::vector<double> Comm::reduce_scatter(
     std::span<const double> data, const std::vector<std::size_t>& sizes) {
+  OpScope scope(*this, OpKind::kReduceScatter);
   const int p = size();
   PARSYRK_REQUIRE(static_cast<int>(sizes.size()) == p,
                   "reduce_scatter needs one block size per rank");
@@ -228,11 +255,13 @@ std::vector<double> Comm::reduce_scatter_equal(std::span<const double> data) {
 }
 
 std::vector<double> Comm::all_reduce(std::span<const double> data) {
+  OpScope scope(*this, OpKind::kAllReduce);
   auto mine = reduce_scatter_equal(data);
   return all_gather(mine);
 }
 
 std::vector<double> Comm::all_gather(std::span<const double> mine) {
+  OpScope scope(*this, OpKind::kAllGather);
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
@@ -251,6 +280,7 @@ std::vector<double> Comm::all_gather(std::span<const double> mine) {
 
 std::vector<std::vector<double>> Comm::all_gather_v(
     std::span<const double> mine) {
+  OpScope scope(*this, OpKind::kAllGatherV);
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
@@ -270,6 +300,7 @@ std::vector<std::vector<double>> Comm::all_gather_v(
 // ---------------------------------------------------------------------------
 
 std::vector<double> Comm::all_gather_bruck(std::span<const double> mine) {
+  OpScope scope(*this, OpKind::kAllGatherBruck);
   const int p = size();
   const std::size_t n = mine.size();
   const std::int64_t tag0 = next_op_tag();
@@ -304,6 +335,7 @@ std::vector<double> Comm::all_gather_bruck(std::span<const double> mine) {
 }
 
 std::vector<double> Comm::reduce_scatter_bruck(std::span<const double> data) {
+  OpScope scope(*this, OpKind::kReduceScatterBruck);
   const int p = size();
   PARSYRK_REQUIRE(data.size() % p == 0, "buffer of ", data.size(),
                   " words is not divisible by ", p, " ranks");
@@ -347,6 +379,7 @@ std::vector<double> Comm::reduce_scatter_bruck(std::span<const double> data) {
 
 std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
                                                std::size_t block) {
+  OpScope scope(*this, OpKind::kAllToAllButterfly);
   const int p = size();
   PARSYRK_REQUIRE(send.size() == block * p,
                   "butterfly all-to-all needs p equal blocks");
@@ -393,6 +426,7 @@ std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
 // ---------------------------------------------------------------------------
 
 void Comm::bcast(std::span<double> data, int root) {
+  OpScope scope(*this, OpKind::kBcast);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad bcast root ", root);
   const std::int64_t tag0 = next_op_tag();
@@ -419,6 +453,7 @@ void Comm::bcast(std::span<double> data, int root) {
 }
 
 std::vector<double> Comm::reduce(std::span<const double> data, int root) {
+  OpScope scope(*this, OpKind::kReduce);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad reduce root ", root);
   const std::int64_t tag0 = next_op_tag();
@@ -444,6 +479,7 @@ std::vector<double> Comm::reduce(std::span<const double> data, int root) {
 
 std::vector<std::vector<double>> Comm::gather(std::span<const double> mine,
                                               int root) {
+  OpScope scope(*this, OpKind::kGather);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad gather root ", root);
   const std::int64_t tag0 = next_op_tag();
@@ -462,6 +498,7 @@ std::vector<std::vector<double>> Comm::gather(std::span<const double> mine,
 
 std::vector<double> Comm::scatter(
     const std::vector<std::vector<double>>& parts, int root) {
+  OpScope scope(*this, OpKind::kScatter);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad scatter root ", root);
   const std::int64_t tag0 = next_op_tag();

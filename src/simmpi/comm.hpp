@@ -15,12 +15,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "simmpi/ledger.hpp"
 #include "simmpi/mailbox.hpp"
+#include "simmpi/trace.hpp"
 #include "simmpi/worker_pool.hpp"
 #include "support/check.hpp"
 
@@ -166,11 +168,33 @@ class Comm {
   static constexpr std::int64_t kTagStride = 4096;
   static constexpr std::int64_t kOpsPerHandle = std::int64_t{1} << 20;
 
+  /// Labels the traced messages of one collective with its kind; the
+  /// outermost operation wins (an All-Reduce's inner Reduce-Scatter stays
+  /// labelled all_reduce). Collective methods open one on entry.
+  class OpScope {
+   public:
+    OpScope(Comm& comm, OpKind kind) : comm_(comm), outer_(comm.op_kind_) {
+      if (!outer_) comm_.op_kind_ = kind;
+    }
+    ~OpScope() {
+      if (!outer_) comm_.op_kind_.reset();
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    Comm& comm_;
+    std::optional<OpKind> outer_;
+  };
+
   World* world_;
   std::shared_ptr<detail::Group> group_;
   int rank_;
   std::int64_t tag_base_ = 0;  // handle_gen · kOpsPerHandle
   std::int64_t op_seq_ = 0;  // advances identically on all ranks (collectives)
+  // The collective this rank is currently inside, for trace attribution;
+  // empty between collectives (point-to-point traffic).
+  std::optional<OpKind> op_kind_;
   // Communicator setup (split's color/key exchange) is bookkeeping, not
   // algorithm traffic; it is excluded from the cost ledger, matching the
   // paper's accounting where the processor grid exists a priori.
@@ -196,6 +220,20 @@ class World {
   CostLedger& ledger() { return ledger_; }
   /// Jobs executed by this world so far (each run() is one job).
   std::uint64_t jobs_run() const { return jobs_run_; }
+
+  // ---- Per-message tracing (opt-in; see simmpi/trace.hpp) ----
+
+  /// Starts recording every ledger-counted message into per-rank ring
+  /// buffers. Idempotent (a second call keeps the existing sink). Must be
+  /// called between jobs. When off, the communication path pays a single
+  /// null-pointer branch.
+  void enable_tracing(std::size_t capacity_per_rank = TraceSink::kDefaultCapacity);
+  /// Stops recording and discards any undrained events. Between jobs only.
+  void disable_tracing();
+  bool tracing() const { return trace_sink_ != nullptr; }
+  /// The sink while tracing is enabled (nullptr otherwise). Drain between
+  /// jobs to collect the last job's events.
+  TraceSink* trace_sink() { return trace_sink_.get(); }
 
   /// Executes `body` as one job: the SPMD bodies are handed to the size()
   /// already-parked pool workers (condition-variable handoff — no thread is
@@ -228,6 +266,7 @@ class World {
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CostLedger ledger_;
+  std::unique_ptr<TraceSink> trace_sink_;
   WorkerPool::Lease lease_;
   std::shared_ptr<detail::Group> world_group_;
   std::uint64_t jobs_run_ = 0;

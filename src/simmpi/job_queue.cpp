@@ -24,6 +24,9 @@ std::vector<JobQueue::JobResult> JobQueue::drain() {
       res.error = std::current_exception();
     }
     res.cost = world_.ledger().summary_since(before);
+    if (TraceSink* sink = world_.trace_sink()) {
+      res.trace = sink->drain(res.error != nullptr);
+    }
     results.push_back(std::move(res));
   }
   pending_.clear();

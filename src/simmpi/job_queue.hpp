@@ -13,11 +13,13 @@
 
 #include <exception>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "simmpi/comm.hpp"
+#include "simmpi/trace.hpp"
 
 namespace parsyrk::comm {
 
@@ -29,6 +31,10 @@ class JobQueue {
     std::string name;
     CostSummary cost;           // this job's traffic only
     std::exception_ptr error;   // set when the job's body threw
+    /// This job's message trace, drained at the same boundary as the ledger
+    /// snapshot diff. Present iff tracing was enabled on the world; for a
+    /// failed job the trace is still flushed, with `poisoned` set.
+    std::optional<JobTrace> trace;
 
     bool ok() const { return error == nullptr; }
     /// Rethrows the job's error (no-op when the job succeeded).

@@ -1,0 +1,165 @@
+// Per-message communication tracing: the raw event model under src/trace.
+//
+// When tracing is enabled on a World, every ledger-counted send and receive
+// additionally appends one fixed-size TraceEvent to a lock-free single-
+// producer/single-consumer ring buffer owned by that rank. The producer is
+// the rank's leased pool worker; the consumer (TraceSink::drain) only runs
+// between jobs, at the same points where the ledger is snapshotted, so a
+// drain never races a push. Draining yields a JobTrace: the job's events
+// merged in (rank, ordinal) order with a canonicalized phase table, which is
+// what the exporters and the golden-trace regression format consume.
+//
+// Ordinals are logical per-rank timestamps (the runtime has no meaningful
+// wall clock across simulated ranks); they reset at every job start, so a
+// warm world's JobTrace is bitwise identical to a fresh world's — the same
+// guarantee the tag-generation reset gives the message schedule itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parsyrk::comm {
+
+/// Which communicator operation a message belongs to. The outermost
+/// operation wins: the Reduce-Scatter inside an All-Reduce is labelled
+/// kAllReduce. Values are part of the binary golden-trace format — append
+/// only, never renumber.
+enum class OpKind : std::uint8_t {
+  kPointToPoint = 0,
+  kAllToAllV = 1,
+  kReduceScatter = 2,
+  kAllGather = 3,
+  kAllGatherV = 4,
+  kAllReduce = 5,
+  kAllGatherBruck = 6,
+  kReduceScatterBruck = 7,
+  kAllToAllButterfly = 8,
+  kBcast = 9,
+  kReduce = 10,
+  kGather = 11,
+  kScatter = 12,
+};
+
+const char* op_kind_name(OpKind k);
+
+/// Message direction, from the recording rank's point of view.
+enum class TraceDir : std::uint8_t { kSend = 0, kRecv = 1 };
+
+/// One traced message, as seen by one endpoint. Two endpoints of the same
+/// message each record their own event (a send on the sender, a recv on the
+/// receiver), mirroring the ledger's two-sided accounting.
+struct TraceEvent {
+  std::uint64_t ordinal = 0;  // per-rank logical timestamp, resets per job
+  std::uint64_t words = 0;    // payload size in doubles
+  std::int32_t rank = 0;      // recording world rank
+  std::int32_t peer = 0;      // the other endpoint's world rank
+  std::uint32_t phase = 0;    // index into JobTrace::phases
+  OpKind kind = OpKind::kPointToPoint;
+  TraceDir dir = TraceDir::kSend;
+
+  /// Bytes on the wire (the runtime moves doubles).
+  std::uint64_t bytes() const { return words * sizeof(double); }
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Everything recorded for one job: events of all ranks merged in
+/// (rank, ordinal) order, plus the phase-name table the events index.
+/// Phase ids are canonical (lexicographically sorted names), so two traces
+/// of the same schedule compare equal regardless of which rank happened to
+/// intern a phase first.
+struct JobTrace {
+  std::uint64_t job_id = 0;   // World::jobs_run() of the traced job
+  std::uint32_t ranks = 0;
+  bool poisoned = false;      // a rank threw mid-job; sends may be unmatched
+  std::uint64_t dropped = 0;  // events lost to ring-buffer overflow
+  std::vector<std::string> phases;
+  std::vector<TraceEvent> events;
+
+  const std::string& phase_name(const TraceEvent& e) const {
+    return phases[e.phase];
+  }
+};
+
+namespace detail {
+
+/// Fixed-capacity single-producer/single-consumer event ring. The producer
+/// is the owning rank's worker thread; the consumer is the between-jobs
+/// drain. Overflow drops the event and counts it — tracing never blocks or
+/// reallocates on the communication path.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool try_push(const TraceEvent& e);
+
+  /// Consumer side: appends every pending event (ordinal order) to `out`.
+  void drain(std::vector<TraceEvent>& out);
+
+  /// Drops since the last reset_dropped().
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void reset_dropped() { dropped_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  // consumer index
+  std::atomic<std::uint64_t> tail_{0};  // producer index
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace detail
+
+/// Per-world trace state: one ring, current phase, and ordinal counter per
+/// rank. Owned by World when tracing is enabled; record() is called from
+/// rank threads (each touching only its own slot), begin_job()/drain() only
+/// between jobs.
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 15;
+
+  TraceSink(int num_ranks, std::size_t capacity_per_rank);
+
+  /// Starts a job epoch: discards undrained events, resets ordinals and
+  /// phases to a fresh world's state, and stamps subsequent events with
+  /// `job_id`.
+  void begin_job(std::uint64_t job_id);
+
+  /// Attributes subsequent events of `rank` to `phase` (interned).
+  void set_phase(int rank, const std::string& phase);
+
+  /// Records one message endpoint. Called only by `rank`'s worker thread.
+  void record(int rank, int peer, OpKind kind, TraceDir dir,
+              std::uint64_t words);
+
+  /// Collects everything recorded since begin_job() as one JobTrace with a
+  /// canonical phase table. Must not run concurrently with a job.
+  JobTrace drain(bool poisoned);
+
+  int ranks() const { return static_cast<int>(per_rank_.size()); }
+
+ private:
+  struct PerRank {
+    explicit PerRank(std::size_t capacity) : ring(capacity) {}
+    detail::TraceRing ring;
+    std::uint32_t phase = 0;      // written only by the owning rank
+    std::uint64_t ordinal = 0;    // written only by the owning rank
+  };
+
+  std::uint32_t intern(const std::string& phase);
+
+  std::vector<std::unique_ptr<PerRank>> per_rank_;
+  std::uint64_t job_id_ = 0;
+
+  std::mutex phases_mu_;
+  std::vector<std::string> phase_names_;  // id -> name, first-use order
+  std::map<std::string, std::uint32_t> phase_ids_;
+};
+
+}  // namespace parsyrk::comm

@@ -1,0 +1,98 @@
+// Runtime auditing of measured communication against Theorem 1.
+//
+// A finished SYRK run carries its request-scoped ledger summaries and the
+// Theorem 1 bound at the plan's processor count. The auditor turns that into
+// a verdict:
+//   - measured words (busiest rank) must not BEAT the lower bound — a run
+//     that communicates less than the proven minimum indicates an accounting
+//     bug (a message the ledger missed), by definition of a lower bound;
+//   - measured words must not EXCEED the algorithm's own closed-form cost
+//     (paper eqs. (3)/(10)/(12)) by more than a tolerance — that is a
+//     regression in the message schedule.
+// Both comparisons carry slack for the lower-order terms the closed forms
+// drop (the case formulas of Theorem 1 are leading-order; at small n1/n2/P
+// an optimal schedule can sit slightly on either side of them).
+//
+// When the run was traced, the auditor additionally cross-checks the trace
+// rollup against the ledger: every word and message the ledger charged must
+// be accounted for by exactly one trace event, per rank.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bounds/syrk_bounds.hpp"
+#include "core/syrk.hpp"
+#include "simmpi/trace.hpp"
+
+namespace parsyrk::trace {
+
+struct AuditOptions {
+  /// Measured below (1 − bound_slack)·bound is flagged as beating the lower
+  /// bound. The slack absorbs the lower-order terms dropped by the
+  /// Theorem 1 case formulas (e.g. the −n1·n2/P start-data credit).
+  double bound_slack = 0.10;
+  /// Measured above (1 + model_tolerance)·modeled (plus `procs` words of
+  /// absolute slack for collective padding) is flagged as a regression.
+  double model_tolerance = 0.02;
+};
+
+enum class AuditVerdict {
+  kOk,               // bound ≤ measured ≤ model, within tolerances
+  kBeatsLowerBound,  // measured < bound: ledger/trace accounting bug
+  kExceedsModel,     // measured > modeled algorithm cost: schedule regression
+};
+
+const char* audit_verdict_name(AuditVerdict v);
+
+/// One row of the per-phase breakdown.
+struct PhaseAudit {
+  std::string phase;
+  std::uint64_t max_words = 0;  // busiest rank's words sent in this phase
+  std::uint64_t max_msgs = 0;
+  std::uint64_t total_words = 0;  // summed over ranks
+};
+
+struct AuditReport {
+  core::Plan plan;
+  bounds::SyrkBound bound;      // Theorem 1 at the plan's processor count
+  double measured_words = 0.0;  // critical-path words (max over ranks)
+  double modeled_words = 0.0;   // the algorithm's closed-form cost
+  double ratio_vs_bound = 0.0;  // measured / bound.communicated
+  double ratio_vs_model = 0.0;  // measured / modeled
+  std::vector<PhaseAudit> phases;
+  AuditVerdict verdict = AuditVerdict::kOk;
+
+  /// Trace/ledger cross-check; trace_consistent is meaningful only when a
+  /// trace was supplied (trace_checked).
+  bool trace_checked = false;
+  bool trace_consistent = true;
+
+  bool ok() const {
+    return verdict == AuditVerdict::kOk && (!trace_checked || trace_consistent);
+  }
+};
+
+class BoundAuditor {
+ public:
+  explicit BoundAuditor(AuditOptions opts = {}) : opts_(opts) {}
+
+  /// Audits one finished run of `core::syrk` for A of shape n1×n2. Pass the
+  /// run's JobTrace (run.trace) to additionally verify trace/ledger
+  /// consistency.
+  AuditReport audit(std::uint64_t n1, std::uint64_t n2,
+                    const core::SyrkRun& run,
+                    const comm::JobTrace* trace = nullptr) const;
+
+  const AuditOptions& options() const { return opts_; }
+
+ private:
+  AuditOptions opts_;
+};
+
+/// The human-readable audit table the CLI's --audit flag prints.
+void print_audit(std::ostream& os, const AuditReport& report);
+
+}  // namespace parsyrk::trace

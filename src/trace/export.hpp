@@ -1,0 +1,73 @@
+// Trace exporters and rollups.
+//
+// Three consumers of a drained JobTrace:
+//   1. write_chrome_json — `chrome://tracing` / Perfetto "Trace Event
+//      Format" JSON: one complete ("X") event per traced message, pid 0,
+//      tid = rank, ts = the per-rank logical ordinal. Load the file in a
+//      trace viewer to see the message schedule per rank, colored by phase.
+//   2. write_binary / read_binary — the compact golden-trace format used by
+//      regression tests: little-endian, fixed-width, no absolute job ids or
+//      timestamps, so two runs of the same schedule (fresh world or warm
+//      pool, today or in CI) serialize to identical bytes.
+//   3. Rollup — per-phase × per-rank Counters recomputed from the events,
+//      the cross-check that the trace agrees with the CostLedger.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simmpi/ledger.hpp"
+#include "simmpi/trace.hpp"
+
+namespace parsyrk::trace {
+
+/// Writes the Trace Event Format JSON document for one job.
+void write_chrome_json(std::ostream& os, const comm::JobTrace& trace);
+/// Convenience: the JSON document as a string.
+std::string to_chrome_json(const comm::JobTrace& trace);
+
+/// Serializes the job trace in the golden regression format. Equal traces
+/// (same events, phases, ranks, poisoned flag) produce equal bytes; the
+/// job id is deliberately excluded so a warm world's Nth job can be compared
+/// against a fresh world's first.
+void write_binary(std::ostream& os, const comm::JobTrace& trace);
+std::string to_binary(const comm::JobTrace& trace);
+
+/// Parses a golden-format trace; throws InvalidArgument on a malformed or
+/// version-mismatched stream. The job id reads back as 0.
+comm::JobTrace read_binary(std::istream& is);
+comm::JobTrace from_binary(const std::string& bytes);
+
+/// Per-phase / per-rank totals recomputed from the raw events.
+class Rollup {
+ public:
+  explicit Rollup(const comm::JobTrace& trace);
+
+  /// Phases seen in the trace, in canonical (sorted) order.
+  const std::vector<std::string>& phases() const { return phases_; }
+  /// Per-rank counters of one phase (zeros if the phase never ran).
+  std::vector<comm::Counters> per_rank(const std::string& phase) const;
+  /// Per-rank counters over all phases.
+  std::vector<comm::Counters> per_rank() const;
+  /// Aggregate of one phase, in the ledger's CostSummary shape.
+  comm::CostSummary summary(const std::string& phase) const;
+  /// Aggregate over all phases.
+  comm::CostSummary summary() const;
+
+  /// True when the rollup matches a ledger-derived per-rank reading: same
+  /// rank count and identical counters per rank. The consistency invariant
+  /// the auditor checks — the trace must account for exactly the words and
+  /// messages the ledger charged.
+  bool matches(const std::vector<comm::Counters>& ledger_per_rank) const;
+
+ private:
+  std::uint32_t ranks_;
+  std::vector<std::string> phases_;
+  // phase id -> per-rank counters
+  std::vector<std::vector<comm::Counters>> by_phase_;
+};
+
+}  // namespace parsyrk::trace

@@ -1,0 +1,208 @@
+// BoundAuditor property tests: randomized problem/grid sweeps across all
+// three Theorem 1 regimes (1D small-P, 2D c(c+1) prime grids, 3D
+// c(c+1)×p2 grids) must always audit clean — measured never below the
+// lower bound (minus the documented slack), never above the algorithm's
+// closed-form cost (plus tolerance) — while fabricated violations and
+// tampered traces must be flagged.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
+#include "matrix/random.hpp"
+#include "support/rng.hpp"
+#include "trace/audit.hpp"
+#include "trace/export.hpp"
+
+namespace parsyrk {
+namespace {
+
+using trace::AuditReport;
+using trace::AuditVerdict;
+using trace::BoundAuditor;
+
+/// Runs one traced request and audits it (trace cross-check included).
+AuditReport run_and_audit(core::SyrkRequest& req, int session_ranks,
+                          std::uint64_t n1, std::uint64_t n2) {
+  core::Session session(session_ranks);
+  req.with_trace();
+  const auto run = core::syrk(session, req);
+  return BoundAuditor().audit(n1, n2, run,
+                              run.trace ? &*run.trace : nullptr);
+}
+
+void expect_clean(const AuditReport& rep, const char* what) {
+  EXPECT_EQ(rep.verdict, AuditVerdict::kOk)
+      << what << ": " << audit_verdict_name(rep.verdict)
+      << " measured=" << rep.measured_words
+      << " bound=" << rep.bound.communicated
+      << " modeled=" << rep.modeled_words;
+  EXPECT_TRUE(rep.trace_checked) << what;
+  EXPECT_TRUE(rep.trace_consistent) << what;
+  EXPECT_GT(rep.measured_words, 0.0) << what;
+  EXPECT_GT(rep.ratio_vs_bound, 0.0) << what;
+}
+
+class AuditSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditSweep, RandomizedProblemsAuditCleanInEveryRegime) {
+  Rng rng(GetParam());
+  std::set<bounds::Regime> seen;
+
+  // Family 1 — Alg. 1 on small P (Theorem 1 case 1: n1 <= n2 and
+  // P <= n2/sqrt(n1(n1-1)), so n2 >= P·n1 pins the regime).
+  for (int i = 0; i < 3; ++i) {
+    const auto p = static_cast<int>(rng.uniform_int(2, 8));
+    const auto n1 = static_cast<std::uint64_t>(rng.uniform_int(4, 10));
+    const std::uint64_t n2 =
+        static_cast<std::uint64_t>(p) * n1 *
+        static_cast<std::uint64_t>(rng.uniform_int(1, 2));
+    Matrix a = random_matrix(n1, n2, rng.uniform_int(1, 1 << 20));
+    core::SyrkRequest req(a);
+    req.use_1d();
+    const AuditReport rep = run_and_audit(req, p, n1, n2);
+    expect_clean(rep, "1d");
+    seen.insert(rep.bound.regime);
+  }
+
+  // Family 2 — Alg. 2 on P = c(c+1), c prime (case 2 territory: n1 > n2).
+  for (const std::uint64_t c : {2, 3, 5}) {
+    const auto p = static_cast<int>(c * (c + 1));
+    const std::uint64_t n1 =
+        c * c * static_cast<std::uint64_t>(rng.uniform_int(2, 6));
+    const std::uint64_t n2 =
+        static_cast<std::uint64_t>(rng.uniform_int(2, 6));
+    Matrix a = random_matrix(n1, n2, rng.uniform_int(1, 1 << 20));
+    core::SyrkRequest req(a);
+    req.use_2d(c);
+    const AuditReport rep = run_and_audit(req, p, n1, n2);
+    expect_clean(rep, "2d");
+    seen.insert(rep.bound.regime);
+  }
+
+  // Family 3 — Alg. 3 on c(c+1) × p2 grids (case 3 territory: large P).
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t c = rng.uniform_int(0, 1) == 0 ? 2 : 3;
+    const auto p2 = static_cast<std::uint64_t>(rng.uniform_int(2, 3));
+    const auto p = static_cast<int>(c * (c + 1) * p2);
+    const std::uint64_t n1 =
+        c * c * static_cast<std::uint64_t>(rng.uniform_int(2, 5));
+    const std::uint64_t n2 = p2 * static_cast<std::uint64_t>(
+                                      rng.uniform_int(2, 6));
+    Matrix a = random_matrix(n1, n2, rng.uniform_int(1, 1 << 20));
+    core::SyrkRequest req(a);
+    req.use_3d(c, p2);
+    const AuditReport rep = run_and_audit(req, p, n1, n2);
+    expect_clean(rep, "3d");
+    seen.insert(rep.bound.regime);
+  }
+
+  // The sweep's shapes are chosen to exercise every Theorem 1 case.
+  EXPECT_TRUE(seen.count(bounds::Regime::kOneD)) << "case 1 never hit";
+  EXPECT_TRUE(seen.count(bounds::Regime::kTwoD)) << "case 2 never hit";
+  EXPECT_TRUE(seen.count(bounds::Regime::kThreeD)) << "case 3 never hit";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditSweep, ::testing::Values(41, 42, 43));
+
+TEST(TraceAudit, PlannerRequestsAuditClean) {
+  // The §5.4 planner's own choices across a few shapes, trace included.
+  const struct {
+    std::size_t n1, n2;
+    int procs;
+  } cases[] = {{24, 48, 6}, {48, 8, 6}, {36, 24, 12}};
+  for (const auto& cs : cases) {
+    Matrix a = random_matrix(cs.n1, cs.n2, 3);
+    core::SyrkRequest req(a);
+    const AuditReport rep = run_and_audit(req, cs.procs, cs.n1, cs.n2);
+    expect_clean(rep, "planner");
+  }
+}
+
+TEST(TraceAudit, RootScatterIngestionIsModeled) {
+  // from_root adds n1·n2·(1−1/P) scatter words; the auditor must fold that
+  // into the modeled cost or every root request would flag kExceedsModel.
+  Matrix a = random_matrix(16, 24, 5);
+  core::SyrkRequest req(a);
+  req.use_1d().from_root(0);
+  const AuditReport rep = run_and_audit(req, 4, 16, 24);
+  expect_clean(rep, "from_root");
+  bool saw_scatter = false;
+  for (const auto& ph : rep.phases) saw_scatter |= ph.phase == "scatter_A";
+  EXPECT_TRUE(saw_scatter);
+}
+
+/// A real audited run to fabricate violations from.
+core::SyrkRun baseline_run(core::Session& session, const Matrix& a) {
+  return core::syrk(session, core::SyrkRequest(a).use_1d().with_trace());
+}
+
+TEST(TraceAudit, FlagsMeasuredBelowLowerBound) {
+  Matrix a = random_matrix(16, 32, 7);
+  core::Session session(4);
+  core::SyrkRun run = baseline_run(session, a);
+  // Pretend the busiest rank moved almost nothing: a ledger that misses
+  // messages "beats" the proven lower bound, which is impossible for a
+  // correct accounting.
+  run.total.max.words_sent = 1;
+  run.total.max.words_recv = 1;
+  const AuditReport rep = BoundAuditor().audit(16, 32, run);
+  EXPECT_EQ(rep.verdict, AuditVerdict::kBeatsLowerBound);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_LT(rep.ratio_vs_bound, 1.0);
+}
+
+TEST(TraceAudit, FlagsMeasuredAboveModeledCost) {
+  Matrix a = random_matrix(16, 32, 7);
+  core::Session session(4);
+  core::SyrkRun run = baseline_run(session, a);
+  run.total.max.words_sent *= 10;  // schedule regression: 10x the traffic
+  const AuditReport rep = BoundAuditor().audit(16, 32, run);
+  EXPECT_EQ(rep.verdict, AuditVerdict::kExceedsModel);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GT(rep.ratio_vs_model, 1.0);
+}
+
+TEST(TraceAudit, FlagsTraceLedgerDisagreement) {
+  Matrix a = random_matrix(16, 32, 7);
+  core::Session session(4);
+  core::SyrkRun run = baseline_run(session, a);
+  ASSERT_TRUE(run.trace.has_value());
+  const AuditReport clean = BoundAuditor().audit(16, 32, run, &*run.trace);
+  EXPECT_TRUE(clean.trace_checked);
+  EXPECT_TRUE(clean.trace_consistent);
+  EXPECT_TRUE(clean.ok());
+
+  run.trace->events.front().words += 1;  // one word the ledger never saw
+  const AuditReport tampered =
+      BoundAuditor().audit(16, 32, run, &*run.trace);
+  EXPECT_TRUE(tampered.trace_checked);
+  EXPECT_FALSE(tampered.trace_consistent);
+  EXPECT_FALSE(tampered.ok());
+}
+
+TEST(TraceAudit, SlackOptionsWiden) {
+  // Tight slack flags what default slack tolerates: rerun the below-bound
+  // fabrication with bound_slack = 0 and a measured value just under the
+  // bound.
+  Matrix a = random_matrix(16, 32, 7);
+  core::Session session(4);
+  core::SyrkRun run = baseline_run(session, a);
+  const auto just_under =
+      static_cast<std::uint64_t>(run.bound.communicated * 0.97);
+  run.total.max.words_sent = just_under;
+  run.total.max.words_recv = just_under;
+  trace::AuditOptions tight;
+  tight.bound_slack = 0.0;
+  EXPECT_EQ(BoundAuditor(tight).audit(16, 32, run).verdict,
+            AuditVerdict::kBeatsLowerBound);
+  trace::AuditOptions loose;
+  loose.bound_slack = 0.10;
+  EXPECT_EQ(BoundAuditor(loose).audit(16, 32, run).verdict,
+            AuditVerdict::kOk);
+}
+
+}  // namespace
+}  // namespace parsyrk

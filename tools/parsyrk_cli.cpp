@@ -9,7 +9,10 @@
 //   parsyrk --op syr2k --n1 100 --n2 12 --procs 30 --algo 2d --c 5
 //   parsyrk --op symm  --n1 100 --n2 12 --procs 30 --c 5
 //   parsyrk --op bound --n1 1000 --n2 1000 --procs 4096
+//   parsyrk --op syrk  --n1 128 --n2 2048 --procs 24 --audit
+//   parsyrk --op syrk  --n1 144 --n2 96 --procs 12 --trace-out run.json
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "bounds/syr2k_bounds.hpp"
@@ -24,6 +27,8 @@
 #include "matrix/random.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "trace/audit.hpp"
+#include "trace/export.hpp"
 
 using namespace parsyrk;
 
@@ -93,6 +98,30 @@ int report_run(const core::SyrkRun& run, double err) {
   return err < 1e-8 ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
+/// --audit / --trace-out handling for a finished (traced) SYRK run.
+/// Returns EXIT_FAILURE when the audit flags a violation.
+int report_trace(const core::SyrkRun& run, std::uint64_t n1, std::uint64_t n2,
+                 bool audit, const std::string& trace_out) {
+  int rc = EXIT_SUCCESS;
+  if (audit) {
+    trace::BoundAuditor auditor;
+    const auto rep = auditor.audit(
+        n1, n2, run, run.trace ? &run.trace.value() : nullptr);
+    trace::print_audit(std::cout, rep);
+    if (!rep.ok()) rc = EXIT_FAILURE;
+  }
+  if (!trace_out.empty()) {
+    PARSYRK_REQUIRE(run.trace.has_value(),
+                    "--trace-out needs a traced run (internal error)");
+    std::ofstream out(trace_out);
+    PARSYRK_REQUIRE(out.good(), "cannot open ", trace_out, " for writing");
+    trace::write_chrome_json(out, *run.trace);
+    std::cout << "trace (" << run.trace->events.size() << " events) -> "
+              << trace_out << "\n";
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +139,10 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "RNG seed for the synthetic input", "1");
   cli.add_flag("input", "read A from a MatrixMarket file instead of "
                "synthesizing it (overrides --n1/--n2)", std::nullopt);
+  cli.add_flag("audit", "audit the measured words against the Theorem 1 "
+               "bound and the algorithm's modeled cost (syrk only)");
+  cli.add_flag("trace-out", "write the run's per-message trace as Chrome "
+               "tracing JSON to this file (syrk only)", std::nullopt);
   cli.add_flag("help", "print this help");
   try {
     cli.parse(argc, argv);
@@ -142,9 +175,16 @@ int main(int argc, char** argv) {
 
     if (a.empty()) a = random_matrix(n1, n2, seed);
 
+    const bool audit = cli.has("audit") && cli.get("audit") == "true";
+    const std::string trace_out =
+        cli.has("trace-out") ? cli.get("trace-out") : std::string();
+    const bool tracing = audit || !trace_out.empty();
+
     if (op == "syrk" && algo == "auto" && memory == 0) {
       core::Session session(static_cast<int>(procs));
-      const auto run = core::syrk(session, core::SyrkRequest(a));
+      core::SyrkRequest req(a);
+      if (tracing) req.with_trace();
+      const auto run = core::syrk(session, req);
       std::cout << "Plan: " << run.plan << "\n";
       const double err =
           max_abs_diff(run.c.view(), syrk_reference(a.view()).view());
@@ -155,7 +195,8 @@ int main(int argc, char** argv) {
       t.print(std::cout);
       std::cout << "max |C - AAᵀ| = " << err << "; bound = "
                 << fmt_double(run.bound.communicated, 6) << " words\n";
-      return err < 1e-8 ? EXIT_SUCCESS : EXIT_FAILURE;
+      const int trc = report_trace(run, n1, n2, audit, trace_out);
+      return err < 1e-8 ? trc : EXIT_FAILURE;
     }
     if (op == "syrk" && memory != 0) {
       const auto choice =
@@ -184,6 +225,7 @@ int main(int argc, char** argv) {
     };
     if (op == "syrk") {
       core::SyrkRequest req(a);
+      if (tracing) req.with_trace();
       if (algo == "1d") {
         req.use_1d();
       } else if (algo == "2d") {
@@ -199,8 +241,10 @@ int main(int argc, char** argv) {
           algo == "1d" ? procs : c_flag * (c_flag + 1) * (algo == "3d" ? p2_flag : 1);
       core::Session session(static_cast<int>(ranks));
       const auto run = core::syrk(session, req);
-      return report_run(
+      const int rc = report_run(
           run, max_abs_diff(run.c.view(), syrk_reference(a.view()).view()));
+      const int trc = report_trace(run, n1, n2, audit, trace_out);
+      return rc != EXIT_SUCCESS ? rc : trc;
     }
     if (op == "syr2k") {
       Matrix b = random_matrix(n1, n2, seed + 1);
