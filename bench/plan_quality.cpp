@@ -1,0 +1,105 @@
+// Plan-quality sweep for the cost-model-driven enumerator: for every
+// P = 1..512 and three aspect ratios (tall, square, wide), runs the full
+// plan search and records (a) that the chosen plan never over-allocates
+// (procs <= P), (b) how far the chosen plan sits from the best enumerated
+// (the zero-idle preference may displace the argmin by at most the 10%
+// utilization slack), and (c) how often the search reaches for padding and
+// folding. Emits one JSON document on stdout for dashboard ingestion.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "core/planner.hpp"
+#include "core/syrk.hpp"
+#include "support/table.hpp"
+
+using namespace parsyrk;
+
+namespace {
+
+struct ShapeStats {
+  std::string label;
+  std::uint64_t n1 = 0, n2 = 0;
+  std::uint64_t one_d = 0, two_d = 0, three_d = 0;
+  std::uint64_t folded = 0, padded = 0, zero_idle = 0;
+  std::uint64_t over_allocations = 0;   // procs > P (must stay 0)
+  std::uint64_t slack_violations = 0;   // chosen/best > 1.10 (must stay 0)
+  double worst_ratio = 1.0;
+  std::uint64_t worst_ratio_p = 0;
+};
+
+constexpr std::uint64_t kMaxProcs = 512;
+constexpr double kSlack = 1.10;
+
+ShapeStats sweep(const std::string& label, std::uint64_t n1, std::uint64_t n2) {
+  ShapeStats s;
+  s.label = label;
+  s.n1 = n1;
+  s.n2 = n2;
+  for (std::uint64_t p = 1; p <= kMaxProcs; ++p) {
+    const auto report = core::enumerate_syrk_plans(n1, n2, p);
+    const core::Plan plan = report.plan();
+    if (plan.procs > p) ++s.over_allocations;
+    const double ratio = report.chosen_vs_best();
+    if (ratio > kSlack + 1e-12) ++s.slack_violations;
+    if (ratio > s.worst_ratio) {
+      s.worst_ratio = ratio;
+      s.worst_ratio_p = p;
+    }
+    switch (plan.algorithm) {
+      case core::Algorithm::kOneD: ++s.one_d; break;
+      case core::Algorithm::kTwoD: ++s.two_d; break;
+      case core::Algorithm::kThreeD: ++s.three_d; break;
+    }
+    if (plan.folded()) ++s.folded;
+    if (plan.padded_n1 != 0) ++s.padded;
+    if (plan.procs == p) ++s.zero_idle;
+  }
+  return s;
+}
+
+void emit_json(std::ostream& os, const ShapeStats& s, bool last) {
+  os << "    {\"shape\": \"" << s.label << "\", \"n1\": " << s.n1
+     << ", \"n2\": " << s.n2 << ", \"sweep_max_procs\": " << kMaxProcs
+     << ",\n     \"chosen_1d\": " << s.one_d << ", \"chosen_2d\": " << s.two_d
+     << ", \"chosen_3d\": " << s.three_d << ",\n     \"folded\": " << s.folded
+     << ", \"padded\": " << s.padded << ", \"zero_idle\": " << s.zero_idle
+     << ",\n     \"worst_chosen_vs_best\": " << fmt_double(s.worst_ratio, 6)
+     << ", \"worst_chosen_vs_best_at_p\": " << s.worst_ratio_p
+     << ",\n     \"over_allocations\": " << s.over_allocations
+     << ", \"slack_violations\": " << s.slack_violations << "}"
+     << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main() {
+  const ShapeStats stats[] = {
+      sweep("tall", 3600, 16),
+      sweep("square", 720, 720),
+      sweep("wide", 64, 4096),
+  };
+
+  std::cout << "{\n  \"bench\": \"plan_quality\", \"utilization_slack\": "
+            << fmt_double(kSlack - 1.0, 2) << ",\n  \"shapes\": [\n";
+  bool ok = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    emit_json(std::cout, stats[i], i == 2);
+    ok = ok && stats[i].over_allocations == 0 && stats[i].slack_violations == 0;
+  }
+  std::cout << "  ],\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+
+  // Human-readable summary on stderr so stdout stays valid JSON.
+  Table t({"shape", "1D", "2D", "3D", "folded", "padded", "zero-idle",
+           "worst chosen/best", "at P"});
+  for (const auto& s : stats) {
+    t.add_row({s.label, std::to_string(s.one_d), std::to_string(s.two_d),
+               std::to_string(s.three_d), std::to_string(s.folded),
+               std::to_string(s.padded), std::to_string(s.zero_idle),
+               fmt_double(s.worst_ratio, 4), std::to_string(s.worst_ratio_p)});
+  }
+  t.print(std::cerr);
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,234 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/prime.hpp"
+#include "support/table.hpp"
+
+namespace parsyrk::core {
+
+namespace {
+
+/// Modeled runtime of one candidate: the closed-form collective cost plus
+/// the leading-order local flops, times the fold factor (co-resident logical
+/// ranks serialize on their shared physical rank).
+double score_candidate(const costmodel::CollectiveCost& cost,
+                       const costmodel::SyrkShape& shape,
+                       std::uint64_t logical_ranks, std::uint64_t fold,
+                       const costmodel::Machine& m) {
+  const double flops = costmodel::syrk_flops_per_rank(shape, logical_ranks);
+  return static_cast<double>(fold) * (cost.seconds(m) + flops * m.gamma);
+}
+
+/// Candidate constructor shared by the 2D/3D enumeration: grid (c, p2) on
+/// `max_procs` physical ranks, folded when the logical grid is larger.
+/// Returns false when the grid needs a fold beyond opts.max_fold.
+bool make_grid_candidate(std::uint64_t n1, std::uint64_t n2,
+                         std::uint64_t max_procs, std::uint64_t c,
+                         std::uint64_t p2, std::uint64_t exec_n1,
+                         const PlanSearchOptions& opts, PlanCandidate* out) {
+  const std::uint64_t p1 = c * (c + 1);
+  const std::uint64_t logical = p1 * p2;
+  Plan plan;
+  plan.algorithm = p2 == 1 ? Algorithm::kTwoD : Algorithm::kThreeD;
+  plan.c = c;
+  plan.p1 = p1;
+  plan.p2 = p2;
+  plan.padded_n1 = exec_n1 == n1 ? 0 : exec_n1;
+  std::uint64_t fold = 1;
+  if (logical <= max_procs) {
+    plan.procs = logical;
+  } else {
+    if (!opts.allow_folding) return false;
+    fold = (logical + max_procs - 1) / max_procs;
+    if (fold > opts.max_fold) return false;
+    plan.procs = max_procs;
+    plan.logical = logical;
+  }
+  plan.regime = bounds::syrk_lower_bound(n1, n2, plan.procs).regime;
+
+  const costmodel::SyrkShape shape{exec_n1, n2};
+  out->plan = plan;
+  out->cost = p2 == 1 ? costmodel::syrk_2d_cost(shape, c)
+                      : costmodel::syrk_3d_cost(shape, c, p2);
+  out->score = score_candidate(out->cost, shape, logical, fold, opts.machine);
+  out->idle_ranks = max_procs - plan.procs;
+  std::string note;
+  if (plan.padded_n1 != 0) {
+    note = "padded n1 " + std::to_string(n1) + "->" + std::to_string(exec_n1);
+  }
+  if (plan.folded()) {
+    if (!note.empty()) note += ", ";
+    note += "folded " + std::to_string(logical) + " logical on " +
+            std::to_string(max_procs) + " (x" + std::to_string(fold) + ")";
+  }
+  out->note = std::move(note);
+  return true;
+}
+
+/// Enumerates the 2D/3D lattice for one prime c at execution row count
+/// `exec_n1` (== n1 for exact grids, the next multiple of c² for padded).
+void enumerate_grids_for_c(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t max_procs, std::uint64_t c,
+                           std::uint64_t exec_n1,
+                           const PlanSearchOptions& opts,
+                           std::vector<PlanCandidate>* out) {
+  const std::uint64_t p1 = c * (c + 1);
+  const std::uint64_t fold_room =
+      opts.allow_folding ? max_procs * opts.max_fold : max_procs;
+  // p2 >= 2 slices each own at least one column of A; p2 = 1 is the 2D plan.
+  const std::uint64_t p2_max = std::min(n2, fold_room / p1);
+  for (std::uint64_t p2 = 1; p2 <= std::max<std::uint64_t>(1, p2_max); ++p2) {
+    if (p1 * p2 > fold_room) break;
+    PlanCandidate cand;
+    if (make_grid_candidate(n1, n2, max_procs, c, p2, exec_n1, opts, &cand)) {
+      out->push_back(std::move(cand));
+    }
+  }
+}
+
+}  // namespace
+
+PlanReport enumerate_syrk_plans(std::uint64_t n1, std::uint64_t n2,
+                                std::uint64_t max_procs,
+                                const PlanSearchOptions& opts) {
+  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && max_procs >= 1,
+                  "plan needs n1 >= 2, n2 >= 1, max_procs >= 1");
+  PARSYRK_REQUIRE(opts.max_fold >= 1, "max_fold must be >= 1");
+  PlanReport report;
+  report.n1 = n1;
+  report.n2 = n2;
+  report.max_procs = max_procs;
+  report.options = opts;
+
+  // 1D at exactly P: always valid, always zero-idle — the baseline every
+  // grid has to beat.
+  {
+    PlanCandidate cand;
+    cand.plan.algorithm = Algorithm::kOneD;
+    cand.plan.procs = max_procs;
+    cand.plan.c = 0;
+    cand.plan.p1 = 1;
+    cand.plan.p2 = max_procs;
+    cand.plan.regime = bounds::syrk_lower_bound(n1, n2, max_procs).regime;
+    const costmodel::SyrkShape shape{n1, n2};
+    cand.cost = costmodel::syrk_1d_cost(shape, max_procs);
+    cand.score = score_candidate(cand.cost, shape, max_procs, 1, opts.machine);
+    cand.idle_ranks = 0;
+    report.candidates.push_back(std::move(cand));
+  }
+
+  // 2D/3D lattice over every usable prime c. Primes come from the sieve
+  // (one O(c_max log log c_max) pass) instead of per-candidate trial
+  // division.
+  const std::uint64_t fold_room =
+      opts.allow_folding ? max_procs * opts.max_fold : max_procs;
+  const std::uint64_t c_max = isqrt(fold_room);  // c(c+1) <= fold_room
+  bool have_exact_grid = false;
+  std::vector<std::uint64_t> padded_primes;
+  for (std::uint64_t c : primes_up_to(c_max)) {
+    if (c * (c + 1) > fold_room) break;
+    if (n1 % (c * c) == 0) {
+      enumerate_grids_for_c(n1, n2, max_procs, c, n1, opts,
+                            &report.candidates);
+      have_exact_grid = true;
+    } else if (opts.allow_padding) {
+      padded_primes.push_back(c);
+    }
+  }
+  // Padded grids: always in the race when the caller waived divisibility;
+  // otherwise only as a fallback so an awkward n1 still gets a 2D/3D plan
+  // instead of silently dropping to 1D.
+  if (!opts.n1_divisibility || !have_exact_grid) {
+    for (std::uint64_t c : padded_primes) {
+      const std::uint64_t c2 = c * c;
+      const std::uint64_t exec_n1 = (n1 + c2 - 1) / c2 * c2;
+      enumerate_grids_for_c(n1, n2, max_procs, c, exec_n1, opts,
+                            &report.candidates);
+    }
+  }
+
+  std::stable_sort(report.candidates.begin(), report.candidates.end(),
+                   [](const PlanCandidate& a, const PlanCandidate& b) {
+                     return a.score < b.score;
+                   });
+
+  // Selection: argmin, unless a zero-idle candidate sits within the
+  // utilization slack — then every physical rank works for (at most) a
+  // slack-bounded modeled-cost premium.
+  report.chosen_index = 0;
+  const double limit =
+      report.candidates.front().score * (1.0 + opts.utilization_slack);
+  if (report.candidates.front().idle_ranks > 0) {
+    for (std::size_t i = 1; i < report.candidates.size(); ++i) {
+      if (report.candidates[i].score > limit) break;
+      if (report.candidates[i].idle_ranks == 0) {
+        report.chosen_index = i;
+        break;
+      }
+    }
+  }
+  report.candidates[report.chosen_index].chosen = true;
+  return report;
+}
+
+PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t max_procs, const Plan& plan,
+                           std::string note) {
+  PlanReport report;
+  report.n1 = n1;
+  report.n2 = n2;
+  report.max_procs = max_procs;
+  PlanCandidate cand;
+  cand.plan = plan;
+  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
+  switch (plan.algorithm) {
+    case Algorithm::kOneD:
+      cand.cost = costmodel::syrk_1d_cost(shape, plan.procs);
+      break;
+    case Algorithm::kTwoD:
+      cand.cost = costmodel::syrk_2d_cost(shape, plan.c);
+      break;
+    case Algorithm::kThreeD:
+      cand.cost = costmodel::syrk_3d_cost(shape, plan.c, plan.p2);
+      break;
+  }
+  cand.score = score_candidate(cand.cost, shape, plan.logical_ranks(),
+                               plan.fold_factor(), report.options.machine);
+  cand.idle_ranks = max_procs > plan.procs ? max_procs - plan.procs : 0;
+  cand.chosen = true;
+  cand.note = std::move(note);
+  report.candidates.push_back(std::move(cand));
+  report.chosen_index = 0;
+  return report;
+}
+
+void PlanReport::explain(std::ostream& os) const {
+  os << "SYRK plan search: n1=" << n1 << " n2=" << n2
+     << " max_procs=" << max_procs << " ("
+     << (options.n1_divisibility ? "exact grids preferred"
+                                 : "padded grids compete")
+     << ", folding " << (options.allow_folding ? "on" : "off") << ")\n";
+  Table t({"", "plan", "procs", "idle", "msgs", "words", "score(s)", "note"});
+  for (const auto& cand : candidates) {
+    std::ostringstream plan_os;
+    plan_os << algorithm_name(cand.plan.algorithm);
+    if (cand.plan.c != 0) {
+      plan_os << " c=" << cand.plan.c << " p2=" << cand.plan.p2;
+    }
+    t.add_row({cand.chosen ? "->" : "", plan_os.str(),
+               std::to_string(cand.plan.procs),
+               std::to_string(cand.idle_ranks),
+               fmt_double(cand.cost.messages, 6), fmt_double(cand.cost.words, 8),
+               fmt_double(cand.score, 4), cand.note});
+  }
+  t.print(os);
+  os << "chosen/best modeled-cost ratio: " << fmt_double(chosen_vs_best(), 4)
+     << "\n";
+}
+
+}  // namespace parsyrk::core

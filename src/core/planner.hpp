@@ -1,0 +1,123 @@
+// Cost-model-driven SYRK plan search.
+//
+// The paper's optimal algorithms each want a cooperative processor count —
+// 1D runs at any P, 2D at exactly c(c+1) with c prime, 3D at c(c+1)·p2 with
+// the §5.4 grid — but a real deployment hands the planner an arbitrary
+// max_procs. Instead of mapping P onto those shapes greedily, the planner
+// enumerates every candidate plan and scores each with the closed-form §5
+// costs under the α-β-γ machine model (messages, words, reduction adds, and
+// the n1²n2/2P local flops), picking the cheapest:
+//
+//   - 1D at exactly P;
+//   - 2D at every prime pronic c(c+1) <= P;
+//   - 3D over the whole (c, p2) lattice with c(c+1)·p2 <= P and p2 <= n2
+//     (the §5.4 target grid is one lattice point; at awkward aspect ratios
+//     a neighbour is often cheaper);
+//   - padded variants (n1 rounded up to the next multiple of c²) — always
+//     competing when n1_divisibility is off, and as a fallback when it is
+//     on but no exactly divisible grid exists;
+//   - folded variants: a logical grid of c(c+1)·p2 > P ranks executed on P
+//     physical ranks round-robin (simmpi's virtual-rank folding), scored at
+//     fold_factor × the logical grid's cost. Folding gives awkward P (e.g.
+//     P = 4, 5, 7...) access to communication-optimal 2D/3D grids that no
+//     unfolded plan reaches, with zero physical ranks left idle.
+//
+// Tie-breaking: the pure argmin wins, except that a candidate leaving zero
+// physical ranks idle is preferred when its score is within
+// `utilization_slack` of the argmin — modeled cost within the slack, but
+// every rank the caller paid for does work.
+//
+// enumerate_syrk_plans returns the full ranking (chosen plus rejected
+// candidates) for observability: SyrkRequest::explain_plan() and the CLI's
+// --explain-plan surface it, and bench/plan_quality tracks the chosen-vs-
+// best ratio across sweeps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/syrk.hpp"
+#include "costmodel/algorithm_costs.hpp"
+#include "costmodel/model.hpp"
+
+namespace parsyrk::core {
+
+/// One enumerated plan with its modeled cost.
+struct PlanCandidate {
+  Plan plan;
+  /// Closed-form cost of the logical grid on the (possibly padded) shape:
+  /// messages, words, and reduction adds per rank (§5 eqs. (3)/(10)/(12)).
+  costmodel::CollectiveCost cost;
+  /// Modeled runtime in seconds: cost.seconds(machine) plus the local
+  /// n1²n2/2P flops, all multiplied by the fold factor. The quantity the
+  /// argmin minimizes.
+  double score = 0.0;
+  /// Physical ranks (out of max_procs) this plan leaves without work.
+  std::uint64_t idle_ranks = 0;
+  bool chosen = false;
+  /// Human-readable qualifier: "", "padded", "folded", ...
+  std::string note;
+};
+
+/// Search knobs. Defaults match plan_syrk(n1, n2, max_procs).
+struct PlanSearchOptions {
+  /// When true, grids with n1 % c² != 0 are considered (padded) only if no
+  /// exactly divisible grid exists; when false, padded grids always compete.
+  bool n1_divisibility = true;
+  /// Allow zero-row padding of A up to the next multiple of c².
+  bool allow_padding = true;
+  /// Allow logical grids larger than max_procs, folded round-robin.
+  bool allow_folding = true;
+  /// Cap on the fold factor (logical ranks per physical rank, ceiling).
+  std::uint64_t max_fold = 4;
+  /// A zero-idle candidate within this relative slack of the argmin's score
+  /// is chosen over it.
+  double utilization_slack = 0.10;
+  /// Machine the scores are evaluated on.
+  costmodel::Machine machine;
+};
+
+/// The full result of one plan search: every candidate, ranked by score.
+struct PlanReport {
+  std::uint64_t n1 = 0;
+  std::uint64_t n2 = 0;
+  std::uint64_t max_procs = 0;
+  PlanSearchOptions options;
+  /// All enumerated candidates in ascending score order. Never empty (the
+  /// 1D plan at P always exists).
+  std::vector<PlanCandidate> candidates;
+  /// Index into `candidates` of the selected plan (0 unless the zero-idle
+  /// preference displaced the argmin).
+  std::size_t chosen_index = 0;
+
+  const PlanCandidate& chosen() const { return candidates[chosen_index]; }
+  const PlanCandidate& best() const { return candidates.front(); }
+  Plan plan() const { return chosen().plan; }
+  /// Modeled-cost ratio of the chosen plan vs the best enumerated
+  /// (1.0 unless the zero-idle preference displaced the argmin; always
+  /// <= 1 + options.utilization_slack).
+  double chosen_vs_best() const {
+    return best().score > 0.0 ? chosen().score / best().score : 1.0;
+  }
+
+  /// The human-readable decision table behind the CLI's --explain-plan.
+  void explain(std::ostream& os) const;
+};
+
+/// Enumerates and scores every candidate plan for A of shape n1×n2 on up to
+/// `max_procs` physical ranks. The chosen plan always satisfies
+/// plan.procs <= max_procs.
+PlanReport enumerate_syrk_plans(std::uint64_t n1, std::uint64_t n2,
+                                std::uint64_t max_procs,
+                                const PlanSearchOptions& opts = {});
+
+/// Wraps an externally determined plan (explicit algorithm/grid, memory-
+/// aware planning) as a single-candidate report with its modeled cost, so
+/// explain-plan output exists uniformly whether or not a search ran.
+PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
+                           std::uint64_t max_procs, const Plan& plan,
+                           std::string note);
+
+}  // namespace parsyrk::core

@@ -8,6 +8,20 @@
 
 namespace parsyrk::core {
 
+comm::World& Session::world_for(const Plan& plan) {
+  if (!plan.folded()) return world_;
+  const auto key = std::make_pair(static_cast<int>(plan.logical_ranks()),
+                                  static_cast<int>(plan.procs));
+  auto it = folded_worlds_.find(key);
+  if (it == folded_worlds_.end()) {
+    it = folded_worlds_
+             .emplace(key, std::make_unique<comm::World>(key.first, key.second,
+                                                         *pool_))
+             .first;
+  }
+  return *it->second;
+}
+
 Plan resolve_plan(const Session& session, const SyrkRequest& req) {
   PARSYRK_REQUIRE(req.a != nullptr, "request has no input matrix");
   const std::uint64_t n1 = req.a->rows();
@@ -60,6 +74,22 @@ Plan resolve_plan(const Session& session, const SyrkRequest& req) {
   return plan;
 }
 
+PlanReport resolve_plan_report(const Session& session, const SyrkRequest& req) {
+  PARSYRK_REQUIRE(req.a != nullptr, "request has no input matrix");
+  const std::uint64_t n1 = req.a->rows();
+  const std::uint64_t n2 = req.a->cols();
+  const std::uint64_t cap =
+      req.max_procs.value_or(static_cast<std::uint64_t>(session.size()));
+  if (!req.algorithm && !req.memory_limit_words) {
+    return enumerate_syrk_plans(n1, n2, cap);
+  }
+  // No search ran: wrap the externally determined plan as a one-row report
+  // so --explain-plan output exists uniformly.
+  return report_for_plan(n1, n2, cap, resolve_plan(session, req),
+                         req.algorithm ? "explicitly requested"
+                                       : "memory-aware choice");
+}
+
 SyrkRun syrk(Session& session, const SyrkRequest& req) {
   const Matrix& a = *req.a;
   const Plan plan = resolve_plan(session, req);
@@ -75,16 +105,28 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
                     "bad root ", *req.options.root);
   }
 
-  comm::World& world = session.world();
+  // Folded plans execute on a dedicated cached world of logical_ranks()
+  // ranks folded onto plan.procs physical ranks; everything else runs on
+  // the session's own world.
+  comm::World& world = session.world_for(plan);
   if (req.trace) world.enable_tracing();
   const comm::CostLedger::Snapshot before = world.ledger().snapshot();
-  Matrix c_full(a.rows(), a.rows());
-  const int active_ranks = static_cast<int>(plan.procs);
-  if (active_ranks == session.size()) {
-    // Full-size plan: run directly on the world communicator (no per-job
-    // split on the hot path).
+  const std::uint64_t exec_n1 = plan.exec_n1(a.rows());
+  const Matrix* exec_a = &a;
+  Matrix a_pad;
+  if (exec_n1 != a.rows()) {
+    a_pad = internal::pad_rows(a, exec_n1);
+    exec_a = &a_pad;
+  }
+  Matrix c_exec(exec_n1, exec_n1);
+  const int active_ranks = static_cast<int>(plan.logical_ranks());
+  if (active_ranks == world.size()) {
+    // Full-size plan (and every folded plan — the folded world is sized to
+    // the logical grid exactly): run directly on the world communicator (no
+    // per-job split on the hot path).
     world.run([&](comm::Comm& wc) {
-      internal::run_syrk_plan_rank(wc, a.view(), plan, req.options, c_full);
+      internal::run_syrk_plan_rank(wc, exec_a->view(), plan, req.options,
+                                   c_exec);
     });
   } else {
     world.run([&](comm::Comm& wc) {
@@ -94,13 +136,14 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
       // plan.procs ranks); idle ranks then sit the job out.
       comm::Comm sub = wc.split(active ? 0 : 1, wc.rank());
       if (!active) return;
-      internal::run_syrk_plan_rank(sub, a.view(), plan, req.options, c_full);
+      internal::run_syrk_plan_rank(sub, exec_a->view(), plan, req.options,
+                                   c_exec);
     });
   }
 
   SyrkRun run;
   run.plan = plan;
-  run.c = std::move(c_full);
+  run.c = internal::truncate_result(std::move(c_exec), a.rows());
   const comm::CostLedger& ledger = world.ledger();
   run.total = ledger.summary_since(before);
   run.gather_a = ledger.summary_since(before, internal::kPhaseGatherA);

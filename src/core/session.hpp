@@ -18,8 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 
+#include "core/planner.hpp"
 #include "core/syrk.hpp"
 #include "matrix/matrix.hpp"
 #include "simmpi/comm.hpp"
@@ -32,9 +36,11 @@ namespace parsyrk::core {
 class Session {
  public:
   /// Leases `num_ranks` workers from the process-wide shared pool.
-  explicit Session(int num_ranks) : world_(num_ranks) {}
+  explicit Session(int num_ranks)
+      : world_(num_ranks), pool_(&comm::WorkerPool::shared()) {}
   /// Leases from a caller-owned pool (tests/benches isolate pools this way).
-  Session(int num_ranks, comm::WorkerPool& pool) : world_(num_ranks, pool) {}
+  Session(int num_ranks, comm::WorkerPool& pool)
+      : world_(num_ranks, pool), pool_(&pool) {}
 
   int size() const { return world_.size(); }
   /// Requests executed so far (each syrk() call is one job on the world).
@@ -43,6 +49,14 @@ class Session {
   /// The underlying runtime, for callers that mix syrk() with their own
   /// SPMD jobs (e.g. a Cholesky on the SYRK output) on the same warm pool.
   comm::World& world() { return world_; }
+
+  /// The world `plan` executes on: the session's own world for unfolded
+  /// plans, or — when the planner folded a logical grid onto fewer physical
+  /// ranks — a dedicated folded world of plan.logical_ranks() ranks on
+  /// plan.procs physical ranks, leased from the same pool. Folded worlds
+  /// are cached by (logical, physical), so repeated folded requests stay
+  /// warm just like unfolded ones.
+  comm::World& world_for(const Plan& plan);
 
   /// Enables per-message tracing on the session's world; subsequent traced
   /// requests (SyrkRequest::with_trace) drain their job's events into
@@ -55,6 +69,8 @@ class Session {
 
  private:
   comm::World world_;
+  comm::WorkerPool* pool_;
+  std::map<std::pair<int, int>, std::unique_ptr<comm::World>> folded_worlds_;
 };
 
 /// One SYRK problem plus how to run it. The matrix is referenced, not
@@ -135,6 +151,14 @@ struct SyrkRequest {
 /// Resolves the request to an executable Plan against the session size
 /// (without running anything). Exposed for planning-only callers and tests.
 Plan resolve_plan(const Session& session, const SyrkRequest& req);
+
+/// The full plan-search ranking behind resolve_plan: every candidate the
+/// enumerator scored, chosen plus rejected, for observability (the CLI's
+/// --explain-plan prints PlanReport::explain). Explicit-algorithm and
+/// memory-aware requests yield a single-candidate report, since no search
+/// ran. resolve_plan(session, req) == resolve_plan_report(session,
+/// req).plan() always.
+PlanReport resolve_plan_report(const Session& session, const SyrkRequest& req);
 
 /// Executes one request as one job on the session's warm world and returns
 /// the result with request-scoped measured costs and the Theorem 1 bound at

@@ -1,15 +1,15 @@
 #include "core/syrk.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <ostream>
+#include <utility>
 
+#include "core/planner.hpp"
 #include "core/syrk_internal.hpp"
 #include "distribution/block1d.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/packed.hpp"
 #include "support/check.hpp"
-#include "support/prime.hpp"
 
 namespace parsyrk::core {
 
@@ -138,22 +138,53 @@ void run_syrk_plan_rank(comm::Comm& comm, const ConstMatrixView& a,
   }
 }
 
+Matrix pad_rows(const Matrix& a, std::uint64_t rows) {
+  PARSYRK_CHECK(rows >= a.rows());
+  Matrix padded(rows, a.cols());  // zero rows contribute nothing to A·Aᵀ
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) padded(i, j) = a(i, j);
+  }
+  return padded;
+}
+
+Matrix truncate_result(Matrix c_exec, std::uint64_t n1) {
+  if (c_exec.rows() == n1) return c_exec;
+  Matrix c(n1, n1);
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = 0; j < n1; ++j) c(i, j) = c_exec(i, j);
+  }
+  return c;
+}
+
 Matrix run_syrk_plan(comm::World& world, const Matrix& a, const Plan& plan,
                      const SyrkOptions& opts) {
-  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == plan.procs,
-                  algorithm_name(plan.algorithm), " plan needs ", plan.procs,
-                  " ranks; world has ", world.size());
+  PARSYRK_REQUIRE(
+      static_cast<std::uint64_t>(world.size()) == plan.logical_ranks(),
+      algorithm_name(plan.algorithm), " plan needs ", plan.logical_ranks(),
+      " ranks; world has ", world.size());
+  PARSYRK_REQUIRE(
+      !plan.folded() ||
+          static_cast<std::uint64_t>(world.physical_size()) == plan.procs,
+      "folded plan needs ", plan.procs, " physical ranks; world has ",
+      world.physical_size());
   if (opts.root) {
     PARSYRK_REQUIRE(plan.algorithm == Algorithm::kOneD,
                     "root-held input is only supported with the 1D algorithm");
     PARSYRK_REQUIRE(*opts.root >= 0 && *opts.root < world.size(), "bad root ",
                     *opts.root);
   }
-  Matrix c_full(a.rows(), a.rows());
+  const std::uint64_t exec_n1 = plan.exec_n1(a.rows());
+  const Matrix* exec_a = &a;
+  Matrix padded;
+  if (exec_n1 != a.rows()) {
+    padded = pad_rows(a, exec_n1);
+    exec_a = &padded;
+  }
+  Matrix c_exec(exec_n1, exec_n1);
   world.run([&](comm::Comm& comm) {
-    run_syrk_plan_rank(comm, a.view(), plan, opts, c_full);
+    run_syrk_plan_rank(comm, exec_a->view(), plan, opts, c_exec);
   });
-  return c_full;
+  return truncate_result(std::move(c_exec), a.rows());
 }
 
 }  // namespace internal
@@ -227,93 +258,28 @@ const char* algorithm_name(Algorithm a) {
   return "?";
 }
 
-namespace {
-
-/// Largest usable triangle-distribution prime c with c(c+1) <= p and
-/// (optionally) n1 % c² == 0; nullopt when none exists.
-std::optional<std::uint64_t> best_c_at_most(std::uint64_t p, std::uint64_t n1,
-                                            bool divisible) {
-  std::optional<std::uint64_t> best;
-  for (std::uint64_t c = 2; c * (c + 1) <= p; ++c) {
-    if (!is_prime(c)) continue;
-    if (divisible && n1 % (c * c) != 0) continue;
-    best = c;
-  }
-  return best;
-}
-
-}  // namespace
-
 Plan plan_syrk(std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
                bool n1_divisibility) {
-  PARSYRK_REQUIRE(n1 >= 2 && n2 >= 1 && max_procs >= 1,
-                  "plan needs n1 >= 2, n2 >= 1, max_procs >= 1");
-  const auto bound = bounds::syrk_lower_bound(n1, n2, max_procs);
-  Plan plan;
-  plan.regime = bound.regime;
-
-  auto fall_back_1d = [&] {
-    plan.algorithm = Algorithm::kOneD;
-    plan.procs = max_procs;
-    plan.c = 0;
-    plan.p1 = 1;
-    plan.p2 = max_procs;
-  };
-
-  switch (bound.regime) {
-    case bounds::Regime::kOneD:
-      fall_back_1d();
-      break;
-    case bounds::Regime::kTwoD: {
-      auto c = best_c_at_most(max_procs, n1, n1_divisibility);
-      if (!c) {
-        fall_back_1d();
-        break;
-      }
-      plan.algorithm = Algorithm::kTwoD;
-      plan.c = *c;
-      plan.p1 = *c * (*c + 1);
-      plan.p2 = 1;
-      plan.procs = plan.p1;
-      break;
-    }
-    case bounds::Regime::kThreeD: {
-      // §5.4: p1 = (n1/n2)^{2/3}·P^{2/3}, p2 = (n2/n1)^{2/3}·P^{1/3},
-      // rounded to a usable c(c+1) grid.
-      const double pd = static_cast<double>(max_procs);
-      const double ratio = static_cast<double>(n1) / static_cast<double>(n2);
-      const double p1_target = std::pow(ratio, 2.0 / 3.0) * std::pow(pd, 2.0 / 3.0);
-      auto c = best_c_at_most(
-          static_cast<std::uint64_t>(std::max(1.0, p1_target)), n1,
-          n1_divisibility);
-      if (!c) {
-        fall_back_1d();
-        break;
-      }
-      plan.algorithm = Algorithm::kThreeD;
-      plan.c = *c;
-      plan.p1 = *c * (*c + 1);
-      plan.p2 = std::max<std::uint64_t>(1, max_procs / plan.p1);
-      plan.procs = plan.p1 * plan.p2;
-      if (plan.p2 == 1) plan.algorithm = Algorithm::kTwoD;
-      break;
-    }
-  }
-  return plan;
+  PlanSearchOptions opts;
+  opts.n1_divisibility = n1_divisibility;
+  return enumerate_syrk_plans(n1, n2, max_procs, opts).plan();
 }
 
 std::ostream& operator<<(std::ostream& os, const Plan& plan) {
   os << "Plan{" << algorithm_name(plan.algorithm) << ", P=" << plan.procs;
   if (plan.c != 0) os << ", c=" << plan.c << ", p1=" << plan.p1;
-  os << ", p2=" << plan.p2
-     << ", bound case=" << bounds::regime_name(plan.regime) << "}";
+  os << ", p2=" << plan.p2;
+  if (plan.folded()) os << ", folded " << plan.logical << "->" << plan.procs;
+  if (plan.padded_n1 != 0) os << ", padded n1=" << plan.padded_n1;
+  os << ", bound case=" << bounds::regime_name(plan.regime) << "}";
   return os;
 }
 
 SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs) {
   SyrkRun run;
   run.plan = plan_syrk(a.rows(), a.cols(), max_procs);
-  comm::World world(static_cast<int>(run.plan.procs));
+  comm::World world(static_cast<int>(run.plan.logical_ranks()),
+                    static_cast<int>(run.plan.procs));
   run.c = internal::run_syrk_plan(world, a, run.plan, SyrkOptions{});
   run.total = world.ledger().summary();
   run.gather_a = world.ledger().summary(internal::kPhaseGatherA);

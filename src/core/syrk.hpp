@@ -91,21 +91,46 @@ enum class Algorithm { kOneD, kTwoD, kThreeD };
 
 const char* algorithm_name(Algorithm a);
 
-/// An executable algorithm + grid choice for a given problem, following the
-/// optimal selection rules of §5.4 (with processor counts rounded to the
-/// nearest usable c(c+1) grid).
+/// An executable algorithm + grid choice for a given problem. Selected by
+/// the cost-model-driven enumerator (core/planner.hpp), which scores every
+/// candidate grid with the closed-form §5 costs and may pad n1 up to the
+/// next multiple of c² or fold a logical grid onto fewer physical ranks.
 struct Plan {
   Algorithm algorithm = Algorithm::kOneD;
-  bounds::Regime regime = bounds::Regime::kOneD;  // bound case at max_procs
-  std::uint64_t procs = 1;  // total ranks the plan uses (<= max_procs)
+  bounds::Regime regime = bounds::Regime::kOneD;  // bound case at `procs`
+  std::uint64_t procs = 1;  // physical ranks the plan occupies (<= max_procs)
   std::uint64_t c = 0;      // triangle-distribution prime (2D/3D)
   std::uint64_t p1 = 1;     // = c(c+1) for 2D/3D
   std::uint64_t p2 = 1;     // slice count (3D), or procs (1D)
+  /// Execution row count when the planner padded A with zero rows so that
+  /// c² | n1 (0 = no padding). The result is truncated back to n1×n1.
+  std::uint64_t padded_n1 = 0;
+  /// Logical grid size when the plan folds p1·p2 > procs logical ranks onto
+  /// `procs` physical ranks round-robin (0 = unfolded). Folding lets the
+  /// planner keep the communication-optimal grid at awkward physical P.
+  std::uint64_t logical = 0;
+
+  /// Ranks the SPMD body runs on (the world size the plan needs).
+  std::uint64_t logical_ranks() const { return logical != 0 ? logical : procs; }
+  bool folded() const { return logical != 0; }
+  /// Logical ranks co-resident on the busiest physical rank.
+  std::uint64_t fold_factor() const {
+    return logical != 0 ? (logical + procs - 1) / procs : 1;
+  }
+  /// The row count the algorithm actually runs on.
+  std::uint64_t exec_n1(std::uint64_t n1) const {
+    return padded_n1 != 0 ? padded_n1 : n1;
+  }
 };
 
-/// Chooses algorithm and grid per §5.4 for up to `max_procs` ranks.
-/// `n1_divisibility` — when true (default), only grids with n1 % c² == 0
-/// are considered so the run communicates exactly the analyzed volumes.
+/// Chooses algorithm and grid for up to `max_procs` physical ranks by
+/// enumerating every candidate plan (1D at P; 2D at each prime pronic; 3D
+/// over the (c, p2) lattice, including padded and folded variants) and
+/// picking the cheapest under the α-β-γ cost model — see core/planner.hpp
+/// for the full search, and enumerate_syrk_plans() for the rejected
+/// candidates. `n1_divisibility` — when true (default), grids with
+/// n1 % c² != 0 are only considered (with zero-padding) when no exactly
+/// divisible grid exists; when false, padded grids always compete.
 Plan plan_syrk(std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
                bool n1_divisibility = true);
 
@@ -135,15 +160,26 @@ SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs);
 namespace internal {
 
 /// Per-rank body of an executable plan: dispatches to the 1D/2D/3D SPMD
-/// routines on `comm` (a communicator of exactly plan.procs ranks — the
-/// world itself or an active-ranks sub-communicator) and assembles this
-/// rank's share of the result into `c_full` via shared memory (free).
+/// routines on `comm` (a communicator of exactly plan.logical_ranks() ranks
+/// — the world itself or an active-ranks sub-communicator) and assembles
+/// this rank's share of the result into `c_full` via shared memory (free).
+/// `a` and `c_full` must already be at the plan's execution size
+/// (plan.exec_n1 rows); padding/truncation happens in the caller.
 void run_syrk_plan_rank(comm::Comm& comm, const ConstMatrixView& a,
                         const Plan& plan, const SyrkOptions& opts,
                         Matrix& c_full);
 
-/// Executes `plan` as one job on a world of exactly plan.procs ranks. The
-/// single execution path behind every public entry point.
+/// Copies `a` into the top rows of a `rows`-row zero matrix (planner
+/// padding: the zero rows contribute nothing to A·Aᵀ).
+Matrix pad_rows(const Matrix& a, std::uint64_t rows);
+
+/// Top-left n1×n1 corner of a padded result (pass-through when sizes match).
+Matrix truncate_result(Matrix c_exec, std::uint64_t n1);
+
+/// Executes `plan` as one job on a world of exactly plan.logical_ranks()
+/// ranks (folded onto plan.procs physical ranks when the plan folds),
+/// applying the plan's zero-row padding and truncating the result back to
+/// n1×n1. The single execution path behind every public entry point.
 Matrix run_syrk_plan(comm::World& world, const Matrix& a, const Plan& plan,
                      const SyrkOptions& opts);
 

@@ -10,11 +10,25 @@ namespace parsyrk::comm {
 // World
 // ---------------------------------------------------------------------------
 
-World::World(int num_ranks) : World(num_ranks, WorkerPool::shared()) {}
+World::World(int num_ranks) : World(num_ranks, num_ranks, WorkerPool::shared()) {}
 
-World::World(int num_ranks, WorkerPool& pool) : ledger_(std::max(num_ranks, 1)) {
+World::World(int num_ranks, WorkerPool& pool)
+    : World(num_ranks, num_ranks, pool) {}
+
+World::World(int num_ranks, int physical)
+    : World(num_ranks, physical, WorkerPool::shared()) {}
+
+World::World(int num_ranks, int physical, WorkerPool& pool)
+    : physical_(physical), ledger_(std::max(num_ranks, 1)) {
   PARSYRK_REQUIRE(num_ranks >= 1, "world size must be positive, got ",
                   num_ranks);
+  PARSYRK_REQUIRE(physical >= 1 && physical <= num_ranks,
+                  "folded world needs 1 <= physical <= num_ranks; got ",
+                  physical, " physical for ", num_ranks, " logical ranks");
+  ledger_.set_fold(physical);
+  // One OS thread per *logical* rank: co-folded ranks run concurrently (the
+  // blocking collectives would deadlock a sequential interleaving); the
+  // physical machine is modelled in the accounting, not the thread count.
   lease_ = pool.acquire(num_ranks);
   mailboxes_.reserve(num_ranks);
   for (int i = 0; i < num_ranks; ++i) {
@@ -31,7 +45,8 @@ World::~World() = default;
 
 void World::enable_tracing(std::size_t capacity_per_rank) {
   if (trace_sink_) return;
-  trace_sink_ = std::make_unique<TraceSink>(size(), capacity_per_rank);
+  trace_sink_ = std::make_unique<TraceSink>(size(), capacity_per_rank,
+                                            folded() ? physical_ : 0);
 }
 
 void World::disable_tracing() { trace_sink_.reset(); }
@@ -142,7 +157,10 @@ void Comm::send_tagged(int dst, std::int64_t tag,
                        std::span<const double> data) {
   PARSYRK_CHECK_MSG(dst >= 0 && dst < size() && dst != rank_,
                     "bad destination ", dst, " from rank ", rank_);
-  if (!mute_ledger_) {
+  // Co-located endpoints (same physical rank under folding) move data within
+  // one processor's memory: delivered, but not communication.
+  if (!mute_ledger_ &&
+      !world_->colocated(world_rank(), group_->world_ranks[dst])) {
     world_->ledger().record_send(world_rank(), data.size());
     if (TraceSink* sink = world_->trace_sink()) {
       sink->record(world_rank(), group_->world_ranks[dst],
@@ -161,7 +179,8 @@ std::vector<double> Comm::recv_tagged(int src, std::int64_t tag) {
                     "bad source ", src, " at rank ", rank_);
   auto payload =
       world_->mailbox(world_rank()).pop(Envelope{group_->id, src, tag});
-  if (!mute_ledger_) {
+  if (!mute_ledger_ &&
+      !world_->colocated(world_rank(), group_->world_ranks[src])) {
     world_->ledger().record_recv(world_rank(), payload.size());
     if (TraceSink* sink = world_->trace_sink()) {
       sink->record(world_rank(), group_->world_ranks[src],

@@ -204,6 +204,17 @@ class Comm {
 /// Owns the mailboxes, ledger, and group registry; runs SPMD bodies on
 /// workers leased once from a WorkerPool (the process-shared pool by
 /// default), so repeated runs reuse the same warm, parked threads.
+///
+/// A World may be *folded*: num_ranks logical ranks modelled on a smaller
+/// machine of `physical` processors, logical rank r living on physical rank
+/// r % physical. The SPMD body still runs one OS thread per logical rank
+/// (co-folded ranks executed sequentially would deadlock on blocking
+/// collectives — the threads are simulation substrate, not the machine
+/// model), but the *accounting* is physical: messages between co-located
+/// logical ranks are intra-processor moves and skip the ledger and trace,
+/// and CostSummary aggregates per physical rank. This is what lets the
+/// planner run a communication-optimal c(c+1)·p2 grid on an awkward
+/// physical processor count.
 class World {
  public:
   /// Leases size() workers from the process-wide shared pool.
@@ -211,12 +222,27 @@ class World {
   /// Leases from a caller-owned pool (benchmarks and tests use this to
   /// model the old fresh-threads-per-job execution, or to isolate pools).
   World(int num_ranks, WorkerPool& pool);
+  /// Folded world: num_ranks logical ranks on `physical` physical ranks
+  /// (1 <= physical <= num_ranks), round-robin.
+  World(int num_ranks, int physical);
+  World(int num_ranks, int physical, WorkerPool& pool);
   ~World();
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
+  /// Physical processor count the accounting folds onto (== size() when
+  /// unfolded).
+  int physical_size() const { return physical_; }
+  bool folded() const { return physical_ < size(); }
+  /// Physical rank hosting logical rank r.
+  int fold(int logical_rank) const { return logical_rank % physical_; }
+  /// Whether two logical ranks share a physical rank (their traffic is
+  /// intra-processor and not communication).
+  bool colocated(int a, int b) const {
+    return a % physical_ == b % physical_;
+  }
   CostLedger& ledger() { return ledger_; }
   /// Jobs executed by this world so far (each run() is one job).
   std::uint64_t jobs_run() const { return jobs_run_; }
@@ -265,6 +291,7 @@ class World {
   void reset_after_failure();
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  int physical_ = 1;  // physical ranks the accounting folds onto
   CostLedger ledger_;
   std::unique_ptr<TraceSink> trace_sink_;
   WorkerPool::Lease lease_;

@@ -72,6 +72,13 @@ class CostLedger {
 
   explicit CostLedger(int num_ranks);
 
+  /// Folds the *summaries* onto `physical` processors: logical rank i's
+  /// traffic lands in bucket i % physical before the per-field max is taken,
+  /// and CostSummary::ranks reports the physical count. Recording and
+  /// per_rank()/per_rank_since() stay logical-indexed. Defaults to
+  /// num_ranks (unfolded). Set once, before any job runs.
+  void set_fold(int physical);
+
   /// Sets the phase label subsequent traffic of `rank` is attributed to.
   void set_phase(int rank, std::string phase);
 
@@ -113,6 +120,7 @@ class CostLedger {
 
   mutable std::mutex mu_;
   std::vector<RankState> ranks_;
+  int physical_;  // summary fold target; == ranks_.size() when unfolded
   std::vector<std::string> phase_order_;
 };
 

@@ -60,7 +60,9 @@ void TraceRing::drain(std::vector<TraceEvent>& out) {
 
 }  // namespace detail
 
-TraceSink::TraceSink(int num_ranks, std::size_t capacity_per_rank) {
+TraceSink::TraceSink(int num_ranks, std::size_t capacity_per_rank,
+                     std::uint32_t physical_ranks)
+    : physical_ranks_(physical_ranks) {
   PARSYRK_CHECK(num_ranks >= 1);
   per_rank_.reserve(num_ranks);
   for (int r = 0; r < num_ranks; ++r) {
@@ -114,6 +116,7 @@ JobTrace TraceSink::drain(bool poisoned) {
   JobTrace t;
   t.job_id = job_id_;
   t.ranks = static_cast<std::uint32_t>(per_rank_.size());
+  t.physical_ranks = physical_ranks_;
   t.poisoned = poisoned;
   for (auto& pr : per_rank_) {
     pr->ring.drain(t.events);  // per-ring ordinal order, ranks appended in order

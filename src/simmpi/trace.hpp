@@ -75,7 +75,12 @@ struct TraceEvent {
 /// intern a phase first.
 struct JobTrace {
   std::uint64_t job_id = 0;   // World::jobs_run() of the traced job
-  std::uint32_t ranks = 0;
+  std::uint32_t ranks = 0;    // logical ranks (event rank/peer indices)
+  /// Physical processors the job's ranks were folded onto (0 = unfolded).
+  /// Events between co-located logical ranks are never recorded, so the
+  /// event stream already reflects inter-processor traffic only. Runtime
+  /// metadata — not part of the binary golden-trace format.
+  std::uint32_t physical_ranks = 0;
   bool poisoned = false;      // a rank threw mid-job; sends may be unmatched
   std::uint64_t dropped = 0;  // events lost to ring-buffer overflow
   std::vector<std::string> phases;
@@ -124,7 +129,10 @@ class TraceSink {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 15;
 
-  TraceSink(int num_ranks, std::size_t capacity_per_rank);
+  /// `physical_ranks` stamps drained JobTraces with the world's fold target
+  /// (0 = unfolded).
+  TraceSink(int num_ranks, std::size_t capacity_per_rank,
+            std::uint32_t physical_ranks = 0);
 
   /// Starts a job epoch: discards undrained events, resets ordinals and
   /// phases to a fresh world's state, and stamps subsequent events with
@@ -155,6 +163,7 @@ class TraceSink {
   std::uint32_t intern(const std::string& phase);
 
   std::vector<std::unique_ptr<PerRank>> per_rank_;
+  std::uint32_t physical_ranks_ = 0;
   std::uint64_t job_id_ = 0;
 
   std::mutex phases_mu_;

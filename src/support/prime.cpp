@@ -1,10 +1,25 @@
 #include "support/prime.hpp"
 
-#include <cmath>
-
 #include "support/check.hpp"
 
 namespace parsyrk {
+
+std::uint64_t isqrt(std::uint64_t n) {
+  if (n < 2) return n;
+  // Newton's method on x -> (x + n/x)/2, seeded above the root so the
+  // iteration descends monotonically; converges in a handful of steps.
+  // Seed with n/2 + 1 >= sqrt(n) for n >= 2, not (n + 1)/2 of n itself: the
+  // latter overflows to 0 at n = 2^64 - 1 and the next step divides by zero.
+  std::uint64_t x = n / 2 + 1;
+  std::uint64_t y = (x + n / x) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  // x = floor(sqrt(n)) exactly: the loop invariant keeps x >= floor(sqrt(n))
+  // and stops at the first non-decreasing step.
+  return x;
+}
 
 bool is_prime(std::uint64_t n) {
   if (n < 2) return false;
@@ -30,22 +45,35 @@ std::optional<std::uint64_t> prev_prime(std::uint64_t n) {
   return c;
 }
 
+namespace {
+
+/// c(c+1) <= p, computed without the 64-bit overflow c·(c+1) risks for c
+/// near 2^32 (p near 2^64): c(c+1) <= p  ⇔  c <= floor(p / (c+1)).
+bool pronic_at_most(std::uint64_t c, std::uint64_t p) {
+  return c <= p / (c + 1);
+}
+
+}  // namespace
+
 std::optional<std::uint64_t> as_prime_pronic(std::uint64_t p) {
-  // Solve c(c+1) = p: c = floor((sqrt(4p+1)-1)/2), then verify.
+  // If p = c(c+1) then c² <= p < (c+1)², so c = isqrt(p) exactly — no
+  // floating-point recovery (the old sqrt(4p+1) double path could be off by
+  // one near 2^53 and overflows 4p+1 near 2^62).
   if (p < 6) return std::nullopt;
-  auto c = static_cast<std::uint64_t>(
-      (std::sqrt(4.0 * static_cast<double>(p) + 1.0) - 1.0) / 2.0);
-  for (std::uint64_t cand = (c > 1 ? c - 1 : 1); cand <= c + 1; ++cand) {
-    if (cand * (cand + 1) == p && is_prime(cand)) return cand;
-  }
-  return std::nullopt;
+  const std::uint64_t c = isqrt(p);
+  if (p / (c + 1) != c || p % (c + 1) != 0) return std::nullopt;  // p != c(c+1)
+  if (!is_prime(c)) return std::nullopt;
+  return c;
 }
 
 std::optional<std::uint64_t> largest_prime_pronic_at_most(std::uint64_t p) {
   if (p < 6) return std::nullopt;
-  auto cmax = static_cast<std::uint64_t>(
-      (std::sqrt(4.0 * static_cast<double>(p) + 1.0) - 1.0) / 2.0);
-  while (cmax >= 2 && (cmax * (cmax + 1) > p || !is_prime(cmax))) --cmax;
+  // isqrt(p) is either the answer's c or one too large (when p falls in
+  // [c², c(c+1)) the pronic at isqrt(p) overshoots); then scan down to a
+  // prime.
+  std::uint64_t cmax = isqrt(p);
+  if (!pronic_at_most(cmax, p)) --cmax;
+  while (cmax >= 2 && !is_prime(cmax)) --cmax;
   if (cmax < 2) return std::nullopt;
   return cmax * (cmax + 1);
 }

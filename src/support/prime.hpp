@@ -12,6 +12,11 @@
 
 namespace parsyrk {
 
+/// Floor of the square root of n, computed in integer arithmetic (Newton's
+/// method). `std::sqrt` in double precision is wrong for some n near 2^53
+/// and above — recovering c from c(c+1) at large pronic p needs exactness.
+std::uint64_t isqrt(std::uint64_t n);
+
 /// Deterministic primality test for 64-bit integers (trial division up to
 /// sqrt; the c values used by the distribution are tiny, so this is plenty).
 bool is_prime(std::uint64_t n);

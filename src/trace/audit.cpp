@@ -24,10 +24,16 @@ namespace {
 /// The closed-form words of the plan's algorithm, including the root-scatter
 /// ingestion term when the run used one (the root pushes out all of A but
 /// its own block: n1·n2·(1 − 1/P) words, outside eq. (3)'s accounting).
+///
+/// Padded plans are modeled at the execution shape (the algorithm ran on
+/// exec_n1 rows, zero-filled or not); folded plans at fold_factor × the
+/// logical grid's per-rank cost — the busiest physical rank hosts
+/// fold_factor logical ranks, and co-located traffic (which the ledger
+/// skips) only pulls the measurement below this envelope.
 double modeled_words(std::uint64_t n1, std::uint64_t n2,
                      const core::SyrkRun& run) {
-  const costmodel::SyrkShape shape{n1, n2};
   const core::Plan& plan = run.plan;
+  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
   double words = 0.0;
   switch (plan.algorithm) {
     case core::Algorithm::kOneD:
@@ -40,9 +46,10 @@ double modeled_words(std::uint64_t n1, std::uint64_t n2,
       words = costmodel::syrk_3d_cost(shape, plan.c, plan.p2).words;
       break;
   }
+  words *= static_cast<double>(plan.fold_factor());
   if (run.scatter_a.max.words_sent > 0) {
     const double p = static_cast<double>(plan.procs);
-    words += static_cast<double>(n1) * static_cast<double>(n2) *
+    words += static_cast<double>(shape.n1) * static_cast<double>(n2) *
              (1.0 - 1.0 / p);
   }
   return words;
@@ -110,8 +117,11 @@ AuditReport BoundAuditor::audit(std::uint64_t n1, std::uint64_t n2,
 
 void print_audit(std::ostream& os, const AuditReport& rep) {
   os << "Audit: " << core::algorithm_name(rep.plan.algorithm) << " plan on "
-     << rep.plan.procs << " ranks, Theorem 1 case "
-     << bounds::regime_name(rep.bound.regime) << "\n";
+     << rep.plan.procs << " ranks";
+  if (rep.plan.folded()) {
+    os << " (" << rep.plan.logical_ranks() << " logical, folded)";
+  }
+  os << ", Theorem 1 case " << bounds::regime_name(rep.bound.regime) << "\n";
   Table t({"phase", "max words/rank", "max msgs/rank", "total words"});
   for (const auto& ph : rep.phases) {
     t.add_row({ph.phase, std::to_string(ph.max_words),

@@ -190,7 +190,9 @@ comm::JobTrace from_binary(const std::string& bytes) {
 // ---------------------------------------------------------------------------
 
 Rollup::Rollup(const comm::JobTrace& trace)
-    : ranks_(trace.ranks), phases_(trace.phases) {
+    : ranks_(trace.ranks),
+      physical_(trace.physical_ranks != 0 ? trace.physical_ranks : trace.ranks),
+      phases_(trace.phases) {
   by_phase_.assign(phases_.size(), std::vector<comm::Counters>(ranks_));
   for (const auto& e : trace.events) {
     PARSYRK_CHECK_MSG(e.phase < by_phase_.size() &&
@@ -224,25 +226,35 @@ std::vector<comm::Counters> Rollup::per_rank() const {
 }
 
 namespace {
-comm::CostSummary summarize(const std::vector<comm::Counters>& per_rank) {
+// Logical rank i's counters land in physical bucket i % physical before the
+// per-field max (critical path belongs to the busiest *processor*); with
+// physical == per_rank.size() this is the plain unfolded summary.
+comm::CostSummary summarize(const std::vector<comm::Counters>& per_rank,
+                            std::uint32_t physical) {
   comm::CostSummary s;
-  s.ranks = per_rank.size();
-  for (const auto& c : per_rank) {
-    s.total += c;
-    s.max.words_sent = std::max(s.max.words_sent, c.words_sent);
-    s.max.words_recv = std::max(s.max.words_recv, c.words_recv);
-    s.max.msgs_sent = std::max(s.max.msgs_sent, c.msgs_sent);
-    s.max.msgs_recv = std::max(s.max.msgs_recv, c.msgs_recv);
+  s.ranks = physical;
+  std::vector<comm::Counters> buckets(physical);
+  for (std::size_t i = 0; i < per_rank.size(); ++i) {
+    s.total += per_rank[i];
+    buckets[i % physical] += per_rank[i];
+  }
+  for (const auto& b : buckets) {
+    s.max.words_sent = std::max(s.max.words_sent, b.words_sent);
+    s.max.words_recv = std::max(s.max.words_recv, b.words_recv);
+    s.max.msgs_sent = std::max(s.max.msgs_sent, b.msgs_sent);
+    s.max.msgs_recv = std::max(s.max.msgs_recv, b.msgs_recv);
   }
   return s;
 }
 }  // namespace
 
 comm::CostSummary Rollup::summary(const std::string& phase) const {
-  return summarize(per_rank(phase));
+  return summarize(per_rank(phase), physical_);
 }
 
-comm::CostSummary Rollup::summary() const { return summarize(per_rank()); }
+comm::CostSummary Rollup::summary() const {
+  return summarize(per_rank(), physical_);
+}
 
 bool Rollup::matches(const std::vector<comm::Counters>& ledger_per_rank) const {
   if (ledger_per_rank.size() != ranks_) return false;

@@ -52,7 +52,10 @@ class Rollup {
   std::vector<comm::Counters> per_rank(const std::string& phase) const;
   /// Per-rank counters over all phases.
   std::vector<comm::Counters> per_rank() const;
-  /// Aggregate of one phase, in the ledger's CostSummary shape.
+  /// Aggregate of one phase, in the ledger's CostSummary shape. When the
+  /// trace came from a folded world (JobTrace::physical_ranks != 0) the
+  /// per-field max is taken over physical processors (logical rank r folded
+  /// onto r % physical_ranks), matching CostLedger's folded summaries.
   comm::CostSummary summary(const std::string& phase) const;
   /// Aggregate over all phases.
   comm::CostSummary summary() const;
@@ -65,6 +68,7 @@ class Rollup {
 
  private:
   std::uint32_t ranks_;
+  std::uint32_t physical_;  // summary fold target; == ranks_ when unfolded
   std::vector<std::string> phases_;
   // phase id -> per-rank counters
   std::vector<std::vector<comm::Counters>> by_phase_;

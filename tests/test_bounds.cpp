@@ -168,6 +168,34 @@ TEST(Theorem1, BoundCaseMatchesLemma6Case) {
   }
 }
 
+TEST(Theorem1, RegimeBoundaryTallSkinny) {
+  // n1 > n2: the case-2/case-3 boundary sits at P = n1(n1-1)/n2². For
+  // (4, 1) that is exactly 12 — the boundary processor count itself must
+  // classify as case 2 (the theorem's conditions are inclusive), the next
+  // integer as case 3.
+  EXPECT_EQ(syrk_lower_bound(4, 1, 12).regime, Regime::kTwoD);
+  EXPECT_EQ(syrk_lower_bound(4, 1, 13).regime, Regime::kThreeD);
+}
+
+TEST(Theorem1, RegimeBoundaryShortWide) {
+  // n1 <= n2: the case-1/case-3 boundary sits at P = n2/sqrt(n1(n1-1)),
+  // irrational for every n1 >= 2 (n1(n1-1) is never a perfect square), so
+  // integers can only bracket it: (2, 10) has threshold 10/sqrt(2) ≈ 7.07.
+  EXPECT_EQ(syrk_lower_bound(2, 10, 7).regime, Regime::kOneD);
+  EXPECT_EQ(syrk_lower_bound(2, 10, 8).regime, Regime::kThreeD);
+}
+
+TEST(Theorem1, RegimeBoundaryAtSquareSeam) {
+  // n1 == n2 takes the short-wide branch: threshold 16/sqrt(16·15) ≈ 1.03,
+  // so only P = 1 is case 1.
+  EXPECT_EQ(syrk_lower_bound(16, 16, 1).regime, Regime::kOneD);
+  EXPECT_EQ(syrk_lower_bound(16, 16, 2).regime, Regime::kThreeD);
+  // One extra row tips into the tall branch: threshold 17·16/16² = 1.0625,
+  // and P = 1 becomes case 2 instead.
+  EXPECT_EQ(syrk_lower_bound(17, 16, 1).regime, Regime::kTwoD);
+  EXPECT_EQ(syrk_lower_bound(17, 16, 2).regime, Regime::kThreeD);
+}
+
 // ---------------------------------------------------------------------------
 // Factor-2 headline: SYRK bound vs GEMM bound
 // ---------------------------------------------------------------------------

@@ -281,12 +281,18 @@ TEST(Planner, TallSkinnyChoosesTwoDWithPronicGrid) {
 }
 
 TEST(Planner, DivisibilityConstraintChangesGrid) {
-  // n1 = 63: 3² divides 63 but 5² and 2² do not.
+  // n1 = 63: 3² divides 63 but 5² and 2² do not. With divisibility enforced
+  // the exact c = 3 grid wins (padded grids stay out of the race).
   const auto plan = plan_syrk(63, 2, 35, /*n1_divisibility=*/true);
   EXPECT_EQ(plan.algorithm, Algorithm::kTwoD);
   EXPECT_EQ(plan.c, 3u);
+  EXPECT_EQ(plan.padded_n1, 0u);
+  // Loosened, padded grids compete on modeled cost and the cheap c = 2 grid
+  // (n1 padded 63 -> 64, only 6 ranks busy) beats every exact choice.
   const auto loose = plan_syrk(63, 2, 35, /*n1_divisibility=*/false);
-  EXPECT_EQ(loose.c, 5u);
+  EXPECT_EQ(loose.c, 2u);
+  EXPECT_EQ(loose.padded_n1, 64u);
+  EXPECT_EQ(loose.procs, 6u);
 }
 
 TEST(Planner, LargePChoosesThreeD) {
@@ -298,10 +304,17 @@ TEST(Planner, LargePChoosesThreeD) {
   EXPECT_LE(plan.procs, 24u);
 }
 
-TEST(Planner, TinyWorldFallsBackToOneD) {
-  const auto plan = plan_syrk(1000, 2, 4);  // regime 2 but no c(c+1) <= 4
-  EXPECT_EQ(plan.algorithm, Algorithm::kOneD);
+TEST(Planner, TinyWorldFoldsTwoDGrid) {
+  // No pronic c(c+1) fits in P = 4, which used to strand this tall-skinny
+  // problem on the 1D algorithm (≈25x the communication). Virtual-rank
+  // folding runs the c = 2 grid's 6 logical ranks on the 4 physical ones.
+  const auto plan = plan_syrk(1000, 2, 4);
+  EXPECT_EQ(plan.algorithm, Algorithm::kTwoD);
+  EXPECT_EQ(plan.c, 2u);
   EXPECT_EQ(plan.procs, 4u);
+  EXPECT_TRUE(plan.folded());
+  EXPECT_EQ(plan.logical_ranks(), 6u);
+  EXPECT_EQ(plan.fold_factor(), 2u);
 }
 
 TEST(Planner, PlanPrints) {

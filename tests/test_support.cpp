@@ -69,6 +69,49 @@ TEST(Prime, LargestPrimePronicAtMost) {
   EXPECT_EQ(largest_prime_pronic_at_most(1000).value(), 31u * 32u);
 }
 
+TEST(Prime, IsqrtExact) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(2), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  for (std::uint64_t r = 1; r <= 2000; ++r) {
+    EXPECT_EQ(isqrt(r * r), r);
+    EXPECT_EQ(isqrt(r * r - 1), r - 1);
+    EXPECT_EQ(isqrt(r * r + 1), r);
+  }
+}
+
+TEST(Prime, IsqrtBeyondDoublePrecision) {
+  // Above 2^53 a double cannot represent every integer, so std::sqrt-based
+  // recovery can be off by one around perfect squares. Newton's method in
+  // integer arithmetic must stay exact all the way to 2^64 - 1.
+  const std::uint64_t roots[] = {(1ull << 26) + 1, (1ull << 31) - 1,
+                                 (1ull << 32) - 1, 3037000499ull};
+  for (const std::uint64_t r : roots) {
+    EXPECT_EQ(isqrt(r * r), r);
+    EXPECT_EQ(isqrt(r * r - 1), r - 1);
+    EXPECT_EQ(isqrt(r * r + 1), r);
+  }
+  EXPECT_EQ(isqrt(~0ull), (1ull << 32) - 1);  // floor(sqrt(2^64 - 1))
+}
+
+TEST(Prime, PronicRecoveryAtLargeValues) {
+  // c = 2^31 - 1 (a Mersenne prime); p = c(c+1) ≈ 4.6e18 is near the top of
+  // the uint64 range, where the old sqrt(4p+1) recovery both overflowed
+  // (4p + 1 > 2^64) and lost precision. The pronic boundary must be exact:
+  // p itself recovers c, p ± 1 do not.
+  const std::uint64_t c = 2147483647ull;
+  const std::uint64_t p = c * (c + 1);
+  EXPECT_EQ(as_prime_pronic(p).value(), c);
+  EXPECT_FALSE(as_prime_pronic(p - 1).has_value());
+  EXPECT_FALSE(as_prime_pronic(p + 1).has_value());
+  EXPECT_EQ(largest_prime_pronic_at_most(p).value(), p);
+  EXPECT_EQ(largest_prime_pronic_at_most(p - 1).value(),
+            2147483629ull * 2147483630ull);  // next prime below 2^31 - 1
+  EXPECT_EQ(largest_prime_pronic_at_most(p + 12345).value(), p);
+}
+
 TEST(Prime, PrimesUpTo) {
   EXPECT_TRUE(primes_up_to(1).empty());
   EXPECT_EQ(primes_up_to(10), (std::vector<std::uint64_t>{2, 3, 5, 7}));

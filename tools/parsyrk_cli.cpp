@@ -139,6 +139,8 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "RNG seed for the synthetic input", "1");
   cli.add_flag("input", "read A from a MatrixMarket file instead of "
                "synthesizing it (overrides --n1/--n2)", std::nullopt);
+  cli.add_flag("explain-plan", "print the planner's full candidate ranking "
+               "(chosen and rejected plans with modeled costs; syrk only)");
   cli.add_flag("audit", "audit the measured words against the Theorem 1 "
                "bound and the algorithm's modeled cost (syrk only)");
   cli.add_flag("trace-out", "write the run's per-message trace as Chrome "
@@ -176,6 +178,8 @@ int main(int argc, char** argv) {
     if (a.empty()) a = random_matrix(n1, n2, seed);
 
     const bool audit = cli.has("audit") && cli.get("audit") == "true";
+    const bool explain =
+        cli.has("explain-plan") && cli.get("explain-plan") == "true";
     const std::string trace_out =
         cli.has("trace-out") ? cli.get("trace-out") : std::string();
     const bool tracing = audit || !trace_out.empty();
@@ -184,6 +188,7 @@ int main(int argc, char** argv) {
       core::Session session(static_cast<int>(procs));
       core::SyrkRequest req(a);
       if (tracing) req.with_trace();
+      if (explain) core::resolve_plan_report(session, req).explain(std::cout);
       const auto run = core::syrk(session, req);
       std::cout << "Plan: " << run.plan << "\n";
       const double err =
@@ -240,6 +245,7 @@ int main(int argc, char** argv) {
       const std::uint64_t ranks =
           algo == "1d" ? procs : c_flag * (c_flag + 1) * (algo == "3d" ? p2_flag : 1);
       core::Session session(static_cast<int>(ranks));
+      if (explain) core::resolve_plan_report(session, req).explain(std::cout);
       const auto run = core::syrk(session, req);
       const int rc = report_run(
           run, max_abs_diff(run.c.view(), syrk_reference(a.view()).view()));
