@@ -1,10 +1,14 @@
 // Shared helpers for the experiment harnesses in bench/.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "matrix/kernels.hpp"
+#include "matrix/random.hpp"
 #include "support/table.hpp"
 
 namespace parsyrk::bench {
@@ -15,6 +19,32 @@ inline void heading(const std::string& title) {
 
 inline std::string ratio_str(double measured, double bound) {
   return fmt_double(measured / bound, 4);
+}
+
+/// Measured seconds per multiply-add of a local SYRK kernel — the machine
+/// gamma of the alpha-beta-gamma model, in the unit the model's flop counts
+/// use (n1²n2/2 MACs for the lower triangle). Times `kernel` on an n x k
+/// local block and keeps the best rate over ~0.2 s of repeats.
+template <typename KernelFn>
+double measured_gamma_syrk(KernelFn&& kernel, std::size_t n = 512,
+                           std::size_t k = 128) {
+  using Clock = std::chrono::steady_clock;
+  Matrix a = random_matrix(n, k, 17);
+  Matrix c(n, n);
+  kernel(a.view(), c.view());  // warm-up: dispatch resolution, arena growth
+  const double macs = static_cast<double>(n) * static_cast<double>(n) *
+                      static_cast<double>(k) / 2.0;
+  double best_rate = 0.0;
+  double elapsed = 0.0;
+  while (elapsed < 0.2) {
+    c.fill(0.0);
+    const auto t0 = Clock::now();
+    kernel(a.view(), c.view());
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    elapsed += dt.count();
+    best_rate = std::max(best_rate, macs / dt.count());
+  }
+  return 1.0 / best_rate;  // seconds per MAC
 }
 
 }  // namespace parsyrk::bench

@@ -9,9 +9,11 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench/bench_util.hpp"
 #include "core/session.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
+#include "matrix/ukernel.hpp"
 #include "simmpi/worker_pool.hpp"
 #include "support/table.hpp"
 
@@ -105,6 +107,20 @@ int main(int argc, char** argv) {
   }
   const double traced_sec = seconds_since(t_traced);
 
+  // Local-kernel time: the gamma the planner's cost model should use on this
+  // host, for both kernel tiers (docs/PLANNING.md records the calibration).
+  const double gamma_packed = bench::measured_gamma_syrk(
+      [](const ConstMatrixView& av, const MatrixView& cv) {
+        syrk_lower(av, cv);
+      });
+  const double gamma_blocked = bench::measured_gamma_syrk(
+      [](const ConstMatrixView& av, const MatrixView& cv) {
+        syrk_lower_blocked(av, cv);
+      });
+  std::cout << "local kernel gamma (s/MAC, 512x128 syrk_lower): packed "
+            << gamma_packed << " (" << kern::active_ukernel().name
+            << " ukernel), blocked " << gamma_blocked << "\n\n";
+
   const double fresh_jps = jobs / fresh_sec;
   const double warm_jps = jobs / warm_sec;
   const double traced_jps = jobs / traced_sec;
@@ -133,7 +149,10 @@ int main(int argc, char** argv) {
             << ",\"warm_threads_created\":" << warm_threads
             << ",\"traced_jobs_per_sec\":" << traced_jps
             << ",\"trace_overhead_pct\":" << trace_overhead_pct
-            << ",\"traced_events\":" << traced_events << "}\n";
+            << ",\"traced_events\":" << traced_events
+            << ",\"gamma_packed\":" << gamma_packed
+            << ",\"gamma_blocked\":" << gamma_blocked
+            << ",\"ukernel\":\"" << kern::active_ukernel().name << "\"}\n";
 
   return (fresh_err < 1e-9 && warm_err < 1e-9 && traced_err < 1e-9)
              ? EXIT_SUCCESS

@@ -1,11 +1,15 @@
 // E13 — google-benchmark microbenchmarks of the local kernels and runtime
 // collectives. Not a paper claim (the paper's results are communication
-// volumes); this is the engineering sanity layer: blocked kernels must beat
-// naive, and collective wall time must scale with volume.
+// volumes); this is the engineering sanity layer: the perf trajectory
+// naive < blocked < packed must hold, and collective wall time must scale
+// with volume. Items processed = multiply-adds, so the rate column reads as
+// MAC/s across all three tiers.
 #include <benchmark/benchmark.h>
 
 #include "matrix/kernels.hpp"
+#include "matrix/pack.hpp"
 #include "matrix/random.hpp"
+#include "matrix/ukernel.hpp"
 #include "simmpi/comm.hpp"
 #include "sparse/csr.hpp"
 #include "support/rng.hpp"
@@ -14,68 +18,107 @@ namespace {
 
 using namespace parsyrk;
 
-void BM_GemmNtNaive(benchmark::State& state) {
+// --- GEMM-NT tiers: C (n×n) += A·Bᵀ, k = n. MACs = n³. ---
+
+template <void (*Kernel)(const ConstMatrixView&, const ConstMatrixView&,
+                         const MatrixView&)>
+void BM_GemmNtTier(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Matrix a = random_matrix(n, n, 1);
   Matrix b = random_matrix(n, n, 2);
   Matrix c(n, n);
   for (auto _ : state) {
     c.fill(0.0);
-    gemm_nt_naive(a.view(), b.view(), c.view());
+    Kernel(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_GemmNtNaive)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmNtTier<gemm_nt_naive>)
+    ->Name("BM_GemmNtNaive")->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmNtTier<gemm_nt_blocked>)
+    ->Name("BM_GemmNtBlocked")->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmNtTier<gemm_nt>)
+    ->Name("BM_GemmNtPacked")->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_GemmNtBlocked(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Matrix a = random_matrix(n, n, 1);
-  Matrix b = random_matrix(n, n, 2);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    c.fill(0.0);
-    gemm_nt(a.view(), b.view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_GemmNtBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+// --- SYRK tiers: C (n×n lower) += A·Aᵀ, k = n/4. MACs = n²k/2. ---
 
-void BM_SyrkLower(benchmark::State& state) {
+template <void (*Kernel)(const ConstMatrixView&, const MatrixView&)>
+void BM_SyrkTier(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Matrix a = random_matrix(n, n / 4, 3);
   Matrix c(n, n);
+  kern::reset_pack_bytes();
   for (auto _ : state) {
     c.fill(0.0);
-    syrk_lower(a.view(), c.view());
+    Kernel(a.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * (n / 4) / 2);
+  state.counters["pack_bytes_per_iter"] = benchmark::Counter(
+      static_cast<double>(kern::pack_bytes()) /
+      static_cast<double>(state.iterations()));
 }
-BENCHMARK(BM_SyrkLower)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_SyrkTier<syrk_lower_naive>)
+    ->Name("BM_SyrkLowerNaive")->Arg(128)->Arg(256);
+BENCHMARK(BM_SyrkTier<syrk_lower_blocked>)
+    ->Name("BM_SyrkLower")->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_SyrkTier<syrk_lower>)
+    ->Name("BM_SyrkLowerPacked")->Arg(128)->Arg(256)->Arg(512);
 
-void BM_Syr2kLower(benchmark::State& state) {
+// --- SYR2K tiers: C (n×n lower) += A·Bᵀ + B·Aᵀ, k = n/4. MACs = n²k. ---
+
+template <void (*Kernel)(const ConstMatrixView&, const ConstMatrixView&,
+                         const MatrixView&)>
+void BM_Syr2kTier(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Matrix a = random_matrix(n, n / 4, 4);
   Matrix b = random_matrix(n, n / 4, 5);
   Matrix c(n, n);
   for (auto _ : state) {
     c.fill(0.0);
-    syr2k_lower(a.view(), b.view(), c.view());
+    Kernel(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * (n / 4));
 }
-BENCHMARK(BM_Syr2kLower)->Arg(128)->Arg(256);
+BENCHMARK(BM_Syr2kTier<syr2k_lower_naive>)
+    ->Name("BM_Syr2kLowerNaive")->Arg(128)->Arg(256);
+BENCHMARK(BM_Syr2kTier<syr2k_lower_blocked>)
+    ->Name("BM_Syr2kLower")->Arg(128)->Arg(256);
+BENCHMARK(BM_Syr2kTier<syr2k_lower>)
+    ->Name("BM_Syr2kLowerPacked")->Arg(128)->Arg(256)->Arg(512);
+
+// --- SYMM tiers: C (n×m) += S·B, S n×n symmetric, m = n. MACs = n²m. ---
+
+template <void (*Kernel)(const ConstMatrixView&, const ConstMatrixView&,
+                         const MatrixView&)>
+void BM_SymmTier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix s = random_matrix(n, n, 7);
+  Matrix b = random_matrix(n, n, 8);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    Kernel(s.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SymmTier<symm_lower_left_naive>)
+    ->Name("BM_SymmLowerLeftNaive")->Arg(128)->Arg(256);
+BENCHMARK(BM_SymmTier<symm_lower_left>)
+    ->Name("BM_SymmLowerLeftPacked")->Arg(128)->Arg(256)->Arg(512);
 
 void BM_SparseSyrk(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const double fill = static_cast<double>(state.range(1)) / 100.0;
   Matrix m(n, 2 * n);
   Rng rng(6);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (rng.uniform() < fill) m.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 2 * n; ++j) {
+      if (rng.uniform() < fill) m(i, j) = rng.uniform(-1, 1);
+    }
   }
   const sparse::Csr s = sparse::Csr::from_dense(m.view());
   Matrix c(n, n);
@@ -122,4 +165,10 @@ BENCHMARK(BM_ReduceScatter)->Args({4, 1024})->Args({8, 1024})->Args({16, 1024});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ukernel", kern::active_ukernel().name);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   // Ground truth: observations y = Aᵀ·x* + noise.
   Rng rng(4242);
   Matrix a(d, n);
-  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
   std::vector<double> x_true(d);
   for (auto& x : x_true) x = rng.uniform(-3, 3);
   std::vector<double> y(n);

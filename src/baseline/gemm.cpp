@@ -42,7 +42,7 @@ Matrix gather_panel(comm::Comm& along, const ConstMatrixView& m,
   for (int q = 0; q < parts; ++q) {
     const std::size_t qlo = dist::chunk_begin(flat, parts, q);
     PARSYRK_CHECK(gathered[q].size() == dist::chunk_size(flat, parts, q));
-    std::copy(gathered[q].begin(), gathered[q].end(), panel.data() + qlo);
+    flat_assign(panel.view(), qlo, gathered[q]);
   }
   return panel;
 }
@@ -102,7 +102,7 @@ Matrix gemm_1d(comm::World& world, const Matrix& a, const Matrix& b) {
     comm.set_phase(kPhaseReduceC);
     std::vector<std::size_t> sizes(p);
     for (int q = 0; q < p; ++q) sizes[q] = dist::chunk_size(n1 * n1, p, q);
-    auto mine = comm.reduce_scatter(cbar.span(), sizes);
+    auto mine = comm.reduce_scatter(flat_copy(cbar.view()), sizes);
     std::size_t t = dist::chunk_begin(n1 * n1, p, rk);
     for (double v : mine) {
       c_full(t / n1, t % n1) = v;
@@ -155,7 +155,7 @@ Matrix gemm_3d(comm::World& world, const Matrix& a, const Matrix& b,
       sizes[q] = dist::chunk_size(flat, static_cast<int>(slices),
                                   static_cast<int>(q));
     }
-    auto mine = depth.reduce_scatter(gb.block.span(), sizes);
+    auto mine = depth.reduce_scatter(flat_copy(gb.block.view()), sizes);
     std::size_t t = dist::chunk_begin(flat, static_cast<int>(slices), s);
     for (double v : mine) {
       c_full(gb.row0 + t / gb.cols, gb.col0 + t % gb.cols) = v;

@@ -103,7 +103,7 @@ Matrix parallel_cholesky(comm::World& world, const Matrix& g,
         col_comm.bcast(diag, /*root=*/ko);
       }
       Matrix lkk(nbk, nbk);
-      std::copy(diag.begin(), diag.end(), lkk.data());
+      flat_assign(lkk.view(), 0, diag);
 
       // --- 2. Panel solves on grid column ko.
       // Tiles bi > k with bi ≡ pi owned by (pi, ko).
@@ -138,8 +138,8 @@ Matrix parallel_cholesky(comm::World& world, const Matrix& g,
         std::size_t off = 0;
         for (std::size_t bi : my_rows) {
           Matrix t(tsize(bi), nbk);
-          std::copy(row_buf.begin() + off, row_buf.begin() + off + t.size(),
-                    t.data());
+          flat_assign(t.view(), 0,
+                      std::span<const double>(row_buf.data() + off, t.size()));
           off += t.size();
           l_row.emplace(bi, std::move(t));
         }
@@ -159,7 +159,8 @@ Matrix parallel_cholesky(comm::World& world, const Matrix& g,
         std::size_t off = 0;
         for (std::size_t bj : col_rows) {
           const auto& t = l_row.at(bj);  // pi == pj ⟹ bj ≡ pi as well
-          std::copy(t.data(), t.data() + t.size(), col_buf.begin() + off);
+          const auto tmp = flat_copy(t.view());
+          std::copy(tmp.begin(), tmp.end(), col_buf.begin() + off);
           off += t.size();
         }
       }
@@ -169,8 +170,8 @@ Matrix parallel_cholesky(comm::World& world, const Matrix& g,
         std::size_t off = 0;
         for (std::size_t bj : col_rows) {
           Matrix t(tsize(bj), nbk);
-          std::copy(col_buf.begin() + off, col_buf.begin() + off + t.size(),
-                    t.data());
+          flat_assign(t.view(), 0,
+                      std::span<const double>(col_buf.data() + off, t.size()));
           off += t.size();
           l_col.emplace(bj, std::move(t));
         }

@@ -140,11 +140,11 @@ Matrix symm_2d(comm::World& world, const Matrix& s, const Matrix& b,
         const auto [lo, hi] = read_chunk(i, k2);
         if (k2 == k) {
           for (std::size_t t = lo; t < hi; ++t) {
-            bi.data()[t] = b(i * nb + t / m, t % m);
+            bi(t / m, t % m) = b(i * nb + t / m, t % m);
           }
         } else {
           PARSYRK_CHECK(recvbuf[k2].size() == hi - lo);
-          std::copy(recvbuf[k2].begin(), recvbuf[k2].end(), bi.data() + lo);
+          flat_assign(bi.view(), lo, recvbuf[k2]);
         }
       }
       local_b.push_back(std::move(bi));
@@ -189,16 +189,15 @@ Matrix symm_2d(comm::World& world, const Matrix& s, const Matrix& b,
       for (std::size_t pos = 0; pos < q.size(); ++pos) {
         if (q[pos] == k) continue;
         const auto [lo, hi] = chunk_range(pos);
-        comm.send(static_cast<int>(q[pos]), tag_of(i),
-                  std::span<const double>(mine.data() + lo, hi - lo));
+        const auto payload = flat_copy(mine.view(), lo, hi);
+        comm.send(static_cast<int>(q[pos]), tag_of(i), payload);
       }
     }
     for (std::uint64_t i : rk) {
       const auto& q = d.processor_set(i);
       const std::size_t my_pos = d.chunk_index(i, k);
       const auto [lo, hi] = chunk_range(my_pos);
-      std::vector<double> acc(partial[index_of(i)].data() + lo,
-                              partial[index_of(i)].data() + hi);
+      std::vector<double> acc = flat_copy(partial[index_of(i)].view(), lo, hi);
       for (std::uint64_t k2 : q) {
         if (k2 == k) continue;
         auto in = comm.recv(static_cast<int>(k2), tag_of(i));

@@ -76,14 +76,16 @@ TriangleBlocks syr2k_2d_spmd(comm::Comm& comm,
       const std::size_t hi = dist::chunk_end(flat, parts, q);
       if (k2 == k) {
         for (std::size_t t = lo; t < hi; ++t) {
-          ai.data()[t] = a(i * nb + t / n2, t % n2);
-          bi.data()[t] = b(i * nb + t / n2, t % n2);
+          ai(t / n2, t % n2) = a(i * nb + t / n2, t % n2);
+          bi(t / n2, t % n2) = b(i * nb + t / n2, t % n2);
         }
       } else {
         const auto& chunk = recvbuf[k2];
         PARSYRK_CHECK(chunk.size() == 2 * (hi - lo));
-        std::copy(chunk.begin(), chunk.begin() + (hi - lo), ai.data() + lo);
-        std::copy(chunk.begin() + (hi - lo), chunk.end(), bi.data() + lo);
+        flat_assign(ai.view(), lo,
+                    std::span<const double>(chunk.data(), hi - lo));
+        flat_assign(bi.view(), lo,
+                    std::span<const double>(chunk.data() + (hi - lo), hi - lo));
       }
     }
     local_a.push_back(std::move(ai));

@@ -56,7 +56,7 @@ void run_1d_rank(comm::Comm& comm, const ConstMatrixView& a,
   const std::size_t cw = dist::chunk_size(n2, p, r);
   PARSYRK_CHECK(mine.size() == n1 * cw);
   Matrix local(n1, cw);
-  std::copy(mine.begin(), mine.end(), local.data());
+  flat_assign(local.view(), 0, mine);
 
   // Alg. 1 on the scattered block. The packed-triangle chunks are uneven,
   // so the reduction is the pairwise (variable-size) Reduce-Scatter.

@@ -133,14 +133,14 @@ TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
       const std::size_t hi = dist::chunk_end(flat, parts, q);
       if (k2 == k) {
         for (std::size_t t = lo; t < hi; ++t) {
-          ai.data()[t] = a(i * nb + t / n2, t % n2);
+          ai(t / n2, t % n2) = a(i * nb + t / n2, t % n2);
         }
       } else {
         const auto& chunk = recvbuf[k2];
         PARSYRK_CHECK_MSG(chunk.size() == hi - lo, "rank ", k,
                           " expected a chunk of ", hi - lo, " words from ", k2,
                           ", got ", chunk.size());
-        std::copy(chunk.begin(), chunk.end(), ai.data() + lo);
+        flat_assign(ai.view(), lo, chunk);
       }
     }
     local_a.push_back(std::move(ai));
@@ -179,7 +179,7 @@ std::vector<double> flatten_triangle_blocks(const TriangleBlocks& b) {
   }
   flat.reserve(total);
   for (const auto& m : b.off_blocks) {
-    flat.insert(flat.end(), m.data(), m.data() + m.size());
+    flat_append(m.view(), flat);
   }
   if (b.diag_index) {
     for (std::size_t r = 0; r < nb; ++r) {

@@ -2,17 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "matrix/arena.hpp"
+#include "matrix/pack.hpp"
+#include "matrix/ukernel.hpp"
 
 namespace parsyrk {
 
 namespace {
-// Tile sizes chosen so one C tile plus the corresponding A/B panels fit in L1
-// on commodity cores; the experiments measure words, not cycles, so these are
-// not load-bearing for the reproduction.
+
+// Tile sizes of the previous-generation _blocked kernels, kept verbatim as
+// the mid-tier reference of the perf trajectory.
 constexpr std::size_t kTileM = 64;
 constexpr std::size_t kTileN = 64;
 constexpr std::size_t kTileK = 256;
+
+using kern::kKC;
+using kern::kMC;
+using kern::kMR;
+using kern::kNR;
+
+constexpr std::size_t strips_of(std::size_t n) { return (n + kMR - 1) / kMR; }
+
+/// C block (i0.., j0..) += acc tile, clipped to me x ne.
+inline void add_tile(const double* acc, const MatrixView& c, std::size_t i0,
+                     std::size_t j0, std::size_t me, std::size_t ne) {
+  for (std::size_t i = 0; i < me; ++i) {
+    double* crow = c.data() + (i0 + i) * c.ld() + j0;
+    const double* arow = acc + i * kNR;
+    for (std::size_t j = 0; j < ne; ++j) crow[j] += arow[j];
+  }
+}
+
+/// Same, but only entries with global row >= global column (the diagonal
+/// micro-tiles of syrk_lower / syr2k_lower; i0 == j0 there).
+inline void add_tile_lower(const double* acc, const MatrixView& c,
+                           std::size_t i0, std::size_t j0, std::size_t me,
+                           std::size_t ne) {
+  for (std::size_t i = 0; i < me; ++i) {
+    const std::size_t gi = i0 + i;
+    double* crow = c.data() + gi * c.ld() + j0;
+    const double* arow = acc + i * kNR;
+    const std::size_t jend = gi >= j0 ? std::min(ne, gi - j0 + 1) : 0;
+    for (std::size_t j = 0; j < jend; ++j) crow[j] += arow[j];
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Naive oracles (unchanged)
+// ---------------------------------------------------------------------------
 
 void gemm_nt_naive(const ConstMatrixView& a, const ConstMatrixView& b,
                    const MatrixView& c) {
@@ -27,8 +68,54 @@ void gemm_nt_naive(const ConstMatrixView& a, const ConstMatrixView& b,
   }
 }
 
-void gemm_nt(const ConstMatrixView& a, const ConstMatrixView& b,
-             const MatrixView& c) {
+void syrk_lower_naive(const ConstMatrixView& a, const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * a(j, k);
+      c(i, j) += acc;
+    }
+  }
+}
+
+void syr2k_lower_naive(const ConstMatrixView& a, const ConstMatrixView& b,
+                       const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows() &&
+                b.rows() == a.rows() && b.cols() == a.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a(i, k) * b(j, k) + b(i, k) * a(j, k);
+      }
+      c(i, j) += acc;
+    }
+  }
+}
+
+void symm_lower_left_naive(const ConstMatrixView& s_lower,
+                           const ConstMatrixView& b, const MatrixView& c) {
+  PARSYRK_CHECK(s_lower.rows() == s_lower.cols() &&
+                b.rows() == s_lower.rows() && c.rows() == s_lower.rows() &&
+                c.cols() == b.cols());
+  const std::size_t n = s_lower.rows(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double s = j <= i ? s_lower(i, j) : s_lower(j, i);
+      const double* brow = b.data() + j * b.ld();
+      double* crow = c.data() + i * c.ld();
+      for (std::size_t t = 0; t < m; ++t) crow[t] += s * brow[t];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Previous-generation blocked kernels (perf-trajectory reference)
+// ---------------------------------------------------------------------------
+
+void gemm_nt_blocked(const ConstMatrixView& a, const ConstMatrixView& b,
+                     const MatrixView& c) {
   PARSYRK_CHECK(a.rows() == c.rows() && b.rows() == c.cols() &&
                 a.cols() == b.cols());
   const std::size_t m = c.rows(), n = c.cols(), kk = a.cols();
@@ -53,18 +140,7 @@ void gemm_nt(const ConstMatrixView& a, const ConstMatrixView& b,
   }
 }
 
-void syrk_lower_naive(const ConstMatrixView& a, const MatrixView& c) {
-  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
-  for (std::size_t i = 0; i < c.rows(); ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * a(j, k);
-      c(i, j) += acc;
-    }
-  }
-}
-
-void syrk_lower(const ConstMatrixView& a, const MatrixView& c) {
+void syrk_lower_blocked(const ConstMatrixView& a, const MatrixView& c) {
   PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
   const std::size_t m = c.rows(), kk = a.cols();
   for (std::size_t i0 = 0; i0 < m; i0 += kTileM) {
@@ -89,23 +165,8 @@ void syrk_lower(const ConstMatrixView& a, const MatrixView& c) {
   }
 }
 
-void syr2k_lower_naive(const ConstMatrixView& a, const ConstMatrixView& b,
-                       const MatrixView& c) {
-  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows() &&
-                b.rows() == a.rows() && b.cols() == a.cols());
-  for (std::size_t i = 0; i < c.rows(); ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        acc += a(i, k) * b(j, k) + b(i, k) * a(j, k);
-      }
-      c(i, j) += acc;
-    }
-  }
-}
-
-void syr2k_lower(const ConstMatrixView& a, const ConstMatrixView& b,
-                 const MatrixView& c) {
+void syr2k_lower_blocked(const ConstMatrixView& a, const ConstMatrixView& b,
+                         const MatrixView& c) {
   PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows() &&
                 b.rows() == a.rows() && b.cols() == a.cols());
   const std::size_t m = c.rows(), kk = a.cols();
@@ -135,11 +196,114 @@ void syr2k_lower(const ConstMatrixView& a, const ConstMatrixView& b,
   }
 }
 
-Matrix syr2k_reference(const ConstMatrixView& a, const ConstMatrixView& b) {
-  Matrix c(a.rows(), a.rows());
-  syr2k_lower_naive(a, b, c.view());
-  symmetrize_from_lower(c);
-  return c;
+// ---------------------------------------------------------------------------
+// Packed micro-kernel engine
+// ---------------------------------------------------------------------------
+
+void gemm_nt(const ConstMatrixView& a, const ConstMatrixView& b,
+             const MatrixView& c) {
+  PARSYRK_CHECK(a.rows() == c.rows() && b.rows() == c.cols() &&
+                a.cols() == b.cols());
+  const std::size_t m = c.rows(), n = c.cols(), kk = a.cols();
+  if (m == 0 || n == 0 || kk == 0) return;
+  const auto uk = kern::active_ukernel().fn;
+  kern::KernelArena& arena = kern::KernelArena::current();
+  const std::size_t nsb = strips_of(n);
+  alignas(kMatrixAlignment) double acc[kMR * kNR];
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKC) {
+    const std::size_t kc = std::min(kKC, kk - k0);
+    double* bbuf = arena.buffer(kern::KernelArena::kSlotPackB,
+                                kern::packed_panel_doubles(n, kc));
+    kern::pack_rows(b, 0, n, k0, kc, bbuf);
+    for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
+      const std::size_t mc = std::min(kMC, m - i0);
+      double* abuf = arena.buffer(kern::KernelArena::kSlotPackA,
+                                  kern::packed_panel_doubles(mc, kc));
+      kern::pack_rows(a, i0, mc, k0, kc, abuf);
+      const std::size_t nsa = strips_of(mc);
+      for (std::size_t ir = 0; ir < nsa; ++ir) {
+        const std::size_t ib = i0 + ir * kMR;
+        const std::size_t me = std::min(kMR, m - ib);
+        for (std::size_t jr = 0; jr < nsb; ++jr) {
+          const std::size_t jb = jr * kNR;
+          std::memset(acc, 0, sizeof(acc));
+          uk(kc, abuf + ir * kMR * kc, bbuf + jr * kNR * kc, acc);
+          add_tile(acc, c, ib, jb, me, std::min(kNR, n - jb));
+        }
+      }
+    }
+  }
+}
+
+void syrk_lower(const ConstMatrixView& a, const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows());
+  const std::size_t m = c.rows(), kk = a.cols();
+  if (m == 0 || kk == 0) return;
+  const auto uk = kern::active_ukernel().fn;
+  kern::KernelArena& arena = kern::KernelArena::current();
+  const std::size_t ns = strips_of(m);
+  alignas(kMatrixAlignment) double acc[kMR * kNR];
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKC) {
+    const std::size_t kc = std::min(kKC, kk - k0);
+    // One pack of the whole A panel serves as BOTH operands of every C tile
+    // — the cache-level mirror of the paper's halved communication.
+    double* abuf = arena.buffer(kern::KernelArena::kSlotPackA,
+                                kern::packed_panel_doubles(m, kc));
+    kern::pack_rows(a, 0, m, k0, kc, abuf);
+    for (std::size_t ir = 0; ir < ns; ++ir) {
+      const std::size_t ib = ir * kMR;
+      const std::size_t me = std::min(kMR, m - ib);
+      for (std::size_t jr = 0; jr <= ir; ++jr) {
+        const std::size_t jb = jr * kNR;
+        std::memset(acc, 0, sizeof(acc));
+        uk(kc, abuf + ir * kMR * kc, abuf + jr * kNR * kc, acc);
+        const std::size_t ne = std::min(kNR, m - jb);
+        if (ir == jr) {
+          add_tile_lower(acc, c, ib, jb, me, ne);
+        } else {
+          add_tile(acc, c, ib, jb, me, ne);
+        }
+      }
+    }
+  }
+}
+
+void syr2k_lower(const ConstMatrixView& a, const ConstMatrixView& b,
+                 const MatrixView& c) {
+  PARSYRK_CHECK(c.rows() == c.cols() && a.rows() == c.rows() &&
+                b.rows() == a.rows() && b.cols() == a.cols());
+  const std::size_t m = c.rows(), kk = a.cols();
+  if (m == 0 || kk == 0) return;
+  const auto uk = kern::active_ukernel().fn;
+  kern::KernelArena& arena = kern::KernelArena::current();
+  const std::size_t ns = strips_of(m);
+  alignas(kMatrixAlignment) double acc[kMR * kNR];
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKC) {
+    const std::size_t kc = std::min(kKC, kk - k0);
+    // Both panels packed once; each is reused as left and right operand.
+    double* abuf = arena.buffer(kern::KernelArena::kSlotPackA,
+                                kern::packed_panel_doubles(m, kc));
+    double* bbuf = arena.buffer(kern::KernelArena::kSlotPackB,
+                                kern::packed_panel_doubles(m, kc));
+    kern::pack_rows(a, 0, m, k0, kc, abuf);
+    kern::pack_rows(b, 0, m, k0, kc, bbuf);
+    for (std::size_t ir = 0; ir < ns; ++ir) {
+      const std::size_t ib = ir * kMR;
+      const std::size_t me = std::min(kMR, m - ib);
+      for (std::size_t jr = 0; jr <= ir; ++jr) {
+        const std::size_t jb = jr * kNR;
+        std::memset(acc, 0, sizeof(acc));
+        uk(kc, abuf + ir * kMR * kc, bbuf + jr * kNR * kc, acc);
+        uk(kc, bbuf + ir * kMR * kc, abuf + jr * kNR * kc, acc);
+        const std::size_t ne = std::min(kNR, m - jb);
+        if (ir == jr) {
+          add_tile_lower(acc, c, ib, jb, me, ne);
+        } else {
+          add_tile(acc, c, ib, jb, me, ne);
+        }
+      }
+    }
+  }
 }
 
 void symm_lower_left(const ConstMatrixView& s_lower, const ConstMatrixView& b,
@@ -148,18 +312,51 @@ void symm_lower_left(const ConstMatrixView& s_lower, const ConstMatrixView& b,
                 b.rows() == s_lower.rows() && c.rows() == s_lower.rows() &&
                 c.cols() == b.cols());
   const std::size_t n = s_lower.rows(), m = b.cols();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const double s = j <= i ? s_lower(i, j) : s_lower(j, i);
-      for (std::size_t t = 0; t < m; ++t) c(i, t) += s * b(j, t);
+  if (n == 0 || m == 0) return;
+  const auto uk = kern::active_ukernel().fn;
+  kern::KernelArena& arena = kern::KernelArena::current();
+  const std::size_t nsb = strips_of(m);
+  alignas(kMatrixAlignment) double acc[kMR * kNR];
+  for (std::size_t k0 = 0; k0 < n; k0 += kKC) {  // reduction over S columns
+    const std::size_t kc = std::min(kKC, n - k0);
+    double* bbuf = arena.buffer(kern::KernelArena::kSlotPackB,
+                                kern::packed_panel_doubles(m, kc));
+    kern::pack_cols(b, 0, m, k0, kc, bbuf);
+    for (std::size_t i0 = 0; i0 < n; i0 += kMC) {
+      const std::size_t mc = std::min(kMC, n - i0);
+      double* abuf = arena.buffer(kern::KernelArena::kSlotPackA,
+                                  kern::packed_panel_doubles(mc, kc));
+      kern::pack_rows_symm(s_lower, i0, mc, k0, kc, abuf);
+      const std::size_t nsa = strips_of(mc);
+      for (std::size_t ir = 0; ir < nsa; ++ir) {
+        const std::size_t ib = i0 + ir * kMR;
+        const std::size_t me = std::min(kMR, n - ib);
+        for (std::size_t jr = 0; jr < nsb; ++jr) {
+          const std::size_t jb = jr * kNR;
+          std::memset(acc, 0, sizeof(acc));
+          uk(kc, abuf + ir * kMR * kc, bbuf + jr * kNR * kc, acc);
+          add_tile(acc, c, ib, jb, me, std::min(kNR, m - jb));
+        }
+      }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Oracles and utilities
+// ---------------------------------------------------------------------------
+
+Matrix syr2k_reference(const ConstMatrixView& a, const ConstMatrixView& b) {
+  Matrix c(a.rows(), a.rows());
+  syr2k_lower_naive(a, b, c.view());
+  symmetrize_from_lower(c);
+  return c;
 }
 
 Matrix symm_reference(const ConstMatrixView& s_lower,
                       const ConstMatrixView& b) {
   Matrix c(b.rows(), b.cols());
-  symm_lower_left(s_lower, b, c.view());
+  symm_lower_left_naive(s_lower, b, c.view());
   return c;
 }
 

@@ -3,8 +3,17 @@
 // Each SPMD rank of the parallel algorithms calls these on its local blocks:
 //   * gemm_nt:    C += A · Bᵀ          (paper Alg. 2, line 16 "Local-GEMM")
 //   * syrk_lower: C += A · Aᵀ (lower)  (paper Algs. 1–2, "Local-SYRK")
-// The blocked variants use register/cache tiling; the naive variants are the
-// oracle the tests compare against.
+//
+// Three tiers per kernel:
+//   * the unsuffixed kernels run the packed micro-kernel engine (pack.hpp +
+//     ukernel.hpp): BLIS-style packed panels, a register-blocked FMA
+//     micro-tile, per-worker arena scratch (arena.hpp) — the production
+//     path every SPMD rank executes;
+//   * the _blocked variants are the previous generation (cache tiling over
+//     the raw row-major operands, no packing) kept as the mid-tier
+//     reference point of the BENCH_KERNELS.json perf trajectory;
+//   * the _naive variants are the triple-loop oracles the tests compare
+//     everything against.
 #pragma once
 
 #include <cstddef>
@@ -13,17 +22,25 @@
 
 namespace parsyrk {
 
-/// C (m×n) += A (m×k) · Bᵀ where B is n×k. Cache-blocked.
+/// C (m×n) += A (m×k) · Bᵀ where B is n×k. Packed micro-kernel engine.
 void gemm_nt(const ConstMatrixView& a, const ConstMatrixView& b,
              const MatrixView& c);
+
+/// Previous-generation cache-blocked gemm_nt (no packing).
+void gemm_nt_blocked(const ConstMatrixView& a, const ConstMatrixView& b,
+                     const MatrixView& c);
 
 /// Reference implementation of gemm_nt (triple loop, no tiling).
 void gemm_nt_naive(const ConstMatrixView& a, const ConstMatrixView& b,
                    const MatrixView& c);
 
 /// C (m×m, lower triangle incl. diagonal) += A (m×k) · Aᵀ.
-/// Entries strictly above the diagonal of C are not touched.
+/// Entries strictly above the diagonal of C are not touched. The engine
+/// packs the A panel once per k block and uses it as both operands.
 void syrk_lower(const ConstMatrixView& a, const MatrixView& c);
+
+/// Previous-generation cache-blocked syrk_lower (no packing).
+void syrk_lower_blocked(const ConstMatrixView& a, const MatrixView& c);
 
 /// Reference implementation of syrk_lower.
 void syrk_lower_naive(const ConstMatrixView& a, const MatrixView& c);
@@ -32,6 +49,10 @@ void syrk_lower_naive(const ConstMatrixView& a, const MatrixView& c);
 /// (the SYR2K local kernel — §6's first extension target).
 void syr2k_lower(const ConstMatrixView& a, const ConstMatrixView& b,
                  const MatrixView& c);
+
+/// Previous-generation cache-blocked syr2k_lower (no packing).
+void syr2k_lower_blocked(const ConstMatrixView& a, const ConstMatrixView& b,
+                         const MatrixView& c);
 
 /// Reference implementation of syr2k_lower.
 void syr2k_lower_naive(const ConstMatrixView& a, const ConstMatrixView& b,
@@ -42,9 +63,15 @@ Matrix syr2k_reference(const ConstMatrixView& a, const ConstMatrixView& b);
 
 /// C (m×n) += S·B where S is m×m symmetric given by its lower triangle
 /// (entries above the diagonal of `s_lower` are ignored) and B is m×n
-/// (the SYMM local kernel — §6's second extension target).
+/// (the SYMM local kernel — §6's second extension target). The engine packs
+/// S rows with diagonal reflection, so the product never materializes the
+/// full square S.
 void symm_lower_left(const ConstMatrixView& s_lower, const ConstMatrixView& b,
                      const MatrixView& c);
+
+/// Reference implementation of symm_lower_left (branchy triple loop).
+void symm_lower_left_naive(const ConstMatrixView& s_lower,
+                           const ConstMatrixView& b, const MatrixView& c);
 
 /// Full serial SYMM oracle.
 Matrix symm_reference(const ConstMatrixView& s_lower,

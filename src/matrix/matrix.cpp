@@ -19,22 +19,32 @@ Matrix Matrix::from_rows(
   return m;
 }
 
+bool Matrix::operator==(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * ld_;
+    const double* b = other.data_.data() + i * other.ld_;
+    if (!std::equal(a, a + cols_, b)) return false;
+  }
+  return true;
+}
+
 MatrixView Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
                          std::size_t nc) {
   PARSYRK_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
-  return {data_.data() + r0 * cols_ + c0, nr, nc, cols_};
+  return {data_.data() + r0 * ld_ + c0, nr, nc, ld_};
 }
 
 ConstMatrixView Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
                               std::size_t nc) const {
   PARSYRK_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
-  return {data_.data() + r0 * cols_ + c0, nr, nc, cols_};
+  return {data_.data() + r0 * ld_ + c0, nr, nc, ld_};
 }
 
-MatrixView Matrix::view() { return {data_.data(), rows_, cols_, cols_}; }
+MatrixView Matrix::view() { return {data_.data(), rows_, cols_, ld_}; }
 
 ConstMatrixView Matrix::view() const {
-  return {data_.data(), rows_, cols_, cols_};
+  return {data_.data(), rows_, cols_, ld_};
 }
 
 void MatrixView::assign(const ConstMatrixView& src) const {
@@ -55,9 +65,56 @@ Matrix ConstMatrixView::to_matrix() const {
   Matrix m(rows_, cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* s = p_ + i * ld_;
-    std::copy(s, s + cols_, m.data() + i * cols_);
+    std::copy(s, s + cols_, m.data() + i * m.ld());
   }
   return m;
+}
+
+std::vector<double> flat_copy(const ConstMatrixView& m) {
+  return flat_copy(m, 0, m.rows() * m.cols());
+}
+
+std::vector<double> flat_copy(const ConstMatrixView& m, std::size_t lo,
+                              std::size_t hi) {
+  PARSYRK_CHECK(lo <= hi && hi <= m.rows() * m.cols());
+  std::vector<double> out;
+  out.reserve(hi - lo);
+  const std::size_t nc = m.cols();
+  std::size_t t = lo;
+  while (t < hi) {
+    const std::size_t i = t / nc;
+    const std::size_t j = t % nc;
+    const std::size_t run = std::min(nc - j, hi - t);
+    const double* row = m.data() + i * m.ld() + j;
+    out.insert(out.end(), row, row + run);
+    t += run;
+  }
+  return out;
+}
+
+void flat_append(const ConstMatrixView& m, std::vector<double>& out) {
+  out.reserve(out.size() + m.rows() * m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.ld();
+    out.insert(out.end(), row, row + m.cols());
+  }
+}
+
+void flat_assign(const MatrixView& m, std::size_t lo,
+                 std::span<const double> src) {
+  const std::size_t hi = lo + src.size();
+  PARSYRK_CHECK(hi <= m.rows() * m.cols());
+  const std::size_t nc = m.cols();
+  std::size_t t = lo;
+  const double* s = src.data();
+  while (t < hi) {
+    const std::size_t i = t / nc;
+    const std::size_t j = t % nc;
+    const std::size_t run = std::min(nc - j, hi - t);
+    std::copy(s, s + run, m.data() + i * m.ld() + j);
+    s += run;
+    t += run;
+  }
 }
 
 }  // namespace parsyrk

@@ -4,6 +4,13 @@
 // paper analyzes is dtype-agnostic; communication volumes are measured in
 // words). Views carry a leading dimension so sub-blocks of a distributed
 // matrix can be addressed without copies.
+//
+// Storage is 64-byte aligned with the leading dimension rounded up to the
+// vector granule (align.hpp), so every row starts on a cache-line boundary
+// and the packed kernel engine can use full-width vector loads. The padding
+// is never part of the logical matrix: size() counts rows()*cols(), equality
+// compares logical entries, and communication paths flatten logically via
+// the flat_* helpers below — never by walking raw storage.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "matrix/align.hpp"
 #include "support/check.hpp"
 
 namespace parsyrk {
@@ -18,34 +26,38 @@ namespace parsyrk {
 class MatrixView;
 class ConstMatrixView;
 
-/// Owning dense matrix, row-major.
+/// Owning dense matrix, row-major, 64-byte aligned, ld() >= cols().
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows),
+        cols_(cols),
+        ld_(padded_ld(cols)),
+        data_(rows * padded_ld(cols), fill) {}
 
   static Matrix from_rows(
       std::initializer_list<std::initializer_list<double>> rows);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  /// Row stride of the aligned storage; >= cols(), multiple of kLdGranule.
+  std::size_t ld() const { return ld_; }
+  /// Logical element count rows()*cols() — excludes alignment padding.
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
 
   double& operator()(std::size_t i, std::size_t j) {
     PARSYRK_CHECK(i < rows_ && j < cols_);
-    return data_[i * cols_ + j];
+    return data_[i * ld_ + j];
   }
   double operator()(std::size_t i, std::size_t j) const {
     PARSYRK_CHECK(i < rows_ && j < cols_);
-    return data_[i * cols_ + j];
+    return data_[i * ld_ + j];
   }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  std::span<double> span() { return {data_.data(), data_.size()}; }
-  std::span<const double> span() const { return {data_.data(), data_.size()}; }
 
   /// Mutable view of the sub-block [r0, r0+nr) x [c0, c0+nc).
   MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
@@ -57,12 +69,14 @@ class Matrix {
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
-  bool operator==(const Matrix& other) const = default;
+  /// Logical equality: same shape, same entries (padding ignored).
+  bool operator==(const Matrix& other) const;
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::size_t ld_ = 0;
+  AlignedVector data_;
 };
 
 /// Non-owning mutable view with a leading dimension (row stride).
@@ -133,6 +147,28 @@ class ConstMatrixView {
   const double* p_;
   std::size_t rows_, cols_, ld_;
 };
+
+// --- Logical (row-major) flat addressing -----------------------------------
+//
+// The SPMD algorithms address matrices by flat index t <-> (t/cols, t%cols)
+// when chunking them for collectives. With padded storage that mapping no
+// longer coincides with raw memory, so every such walk goes through these
+// helpers; the values (and therefore every communication ledger and golden
+// trace) are identical to the historical contiguous layout.
+
+/// Row-major flatten of the whole view.
+std::vector<double> flat_copy(const ConstMatrixView& m);
+
+/// Row-major flatten of flat indices [lo, hi).
+std::vector<double> flat_copy(const ConstMatrixView& m, std::size_t lo,
+                              std::size_t hi);
+
+/// Appends the row-major flatten of `m` to `out`.
+void flat_append(const ConstMatrixView& m, std::vector<double>& out);
+
+/// Writes `src` into the view at flat indices [lo, lo + src.size()).
+void flat_assign(const MatrixView& m, std::size_t lo,
+                 std::span<const double> src);
 
 /// Fills `m` with uniform random entries using the given seed.
 class Rng;

@@ -1,0 +1,79 @@
+#include "matrix/pack.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parsyrk::kern {
+
+namespace {
+thread_local std::uint64_t tls_pack_bytes = 0;
+}  // namespace
+
+std::uint64_t pack_bytes() { return tls_pack_bytes; }
+void reset_pack_bytes() { tls_pack_bytes = 0; }
+
+void pack_rows(const ConstMatrixView& m, std::size_t r0, std::size_t nrows,
+               std::size_t k0, std::size_t kc, double* buf) {
+  PARSYRK_CHECK(r0 + nrows <= m.rows() && k0 + kc <= m.cols());
+  const std::size_t strips = (nrows + kMR - 1) / kMR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    double* dst = buf + s * kMR * kc;
+    const std::size_t rows_here = std::min(kMR, nrows - s * kMR);
+    for (std::size_t i = 0; i < rows_here; ++i) {
+      const double* src = m.data() + (r0 + s * kMR + i) * m.ld() + k0;
+      for (std::size_t k = 0; k < kc; ++k) dst[k * kMR + i] = src[k];
+    }
+    for (std::size_t i = rows_here; i < kMR; ++i) {
+      for (std::size_t k = 0; k < kc; ++k) dst[k * kMR + i] = 0.0;
+    }
+  }
+  tls_pack_bytes += strips * kMR * kc * sizeof(double);
+}
+
+void pack_cols(const ConstMatrixView& m, std::size_t c0, std::size_t ncols,
+               std::size_t k0, std::size_t kc, double* buf) {
+  PARSYRK_CHECK(c0 + ncols <= m.cols() && k0 + kc <= m.rows());
+  const std::size_t strips = (ncols + kNR - 1) / kNR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    double* dst = buf + s * kNR * kc;
+    const std::size_t cols_here = std::min(kNR, ncols - s * kNR);
+    for (std::size_t k = 0; k < kc; ++k) {
+      const double* src = m.data() + (k0 + k) * m.ld() + c0 + s * kNR;
+      std::size_t j = 0;
+      for (; j < cols_here; ++j) dst[k * kNR + j] = src[j];
+      for (; j < kNR; ++j) dst[k * kNR + j] = 0.0;
+    }
+  }
+  tls_pack_bytes += strips * kNR * kc * sizeof(double);
+}
+
+void pack_rows_symm(const ConstMatrixView& s_lower, std::size_t r0,
+                    std::size_t nrows, std::size_t k0, std::size_t kc,
+                    double* buf) {
+  PARSYRK_CHECK(s_lower.rows() == s_lower.cols());
+  PARSYRK_CHECK(r0 + nrows <= s_lower.rows() && k0 + kc <= s_lower.cols());
+  const std::size_t strips = (nrows + kMR - 1) / kMR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    double* dst = buf + s * kMR * kc;
+    const std::size_t rows_here = std::min(kMR, nrows - s * kMR);
+    for (std::size_t i = 0; i < rows_here; ++i) {
+      const std::size_t r = r0 + s * kMR + i;
+      // Row r of the full symmetric matrix splits at the diagonal: columns
+      // j <= r read the stored row r (contiguous), columns j > r reflect to
+      // the stored column r (stride ld).
+      const std::size_t row_end = std::min(kc, r >= k0 ? r - k0 + 1 : 0);
+      const double* row = s_lower.data() + r * s_lower.ld() + k0;
+      for (std::size_t k = 0; k < row_end; ++k) dst[k * kMR + i] = row[k];
+      for (std::size_t k = row_end; k < kc; ++k) {
+        dst[k * kMR + i] = s_lower(k0 + k, r);
+      }
+    }
+    for (std::size_t i = rows_here; i < kMR; ++i) {
+      for (std::size_t k = 0; k < kc; ++k) dst[k * kMR + i] = 0.0;
+    }
+  }
+  tls_pack_bytes += strips * kMR * kc * sizeof(double);
+}
+
+}  // namespace parsyrk::kern

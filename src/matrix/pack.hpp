@@ -1,0 +1,54 @@
+// Panel packing for the micro-kernel engine.
+//
+// Every packed panel is a sequence of strips of width kMR (== kNR): strip s
+// covers R consecutive rows (or columns) and occupies R*kc contiguous
+// doubles laid out k-major — for each k step, the R values the micro-kernel
+// consumes with one aligned vector load. Rows beyond the operand edge are
+// zero-padded inside the strip, so the micro-kernel never needs an edge
+// case; the store path clips instead.
+//
+// Because kMR == kNR, a packed panel serves as either operand. SYRK exploits
+// this: its single A panel is packed once per k block and used as both the
+// left and the right operand of every C tile — halving pack traffic exactly
+// the way the paper's algorithms halve communication by computing only the
+// lower triangle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "matrix/ukernel.hpp"
+
+namespace parsyrk::kern {
+
+/// Doubles a packed panel of `count` rows/cols by `kc` k-steps occupies.
+constexpr std::size_t packed_panel_doubles(std::size_t count, std::size_t kc) {
+  return (count + kMR - 1) / kMR * kMR * kc;
+}
+
+/// Packs rows [r0, r0+nrows) x cols [k0, k0+kc) of `m` into kMR-strips.
+/// `buf` must hold packed_panel_doubles(nrows, kc).
+void pack_rows(const ConstMatrixView& m, std::size_t r0, std::size_t nrows,
+               std::size_t k0, std::size_t kc, double* buf);
+
+/// Packs cols [c0, c0+ncols) x rows [k0, k0+kc) of `m` into kNR-strips with
+/// the rows as the k dimension (the right operand of a non-transposed
+/// product, e.g. B in SYMM's S·B).
+void pack_cols(const ConstMatrixView& m, std::size_t c0, std::size_t ncols,
+               std::size_t k0, std::size_t kc, double* buf);
+
+/// Packs rows [r0, r0+nrows) x cols [k0, k0+kc) of the symmetric matrix
+/// whose lower triangle is stored in `s_lower`: element (i, j) reads
+/// s_lower(i, j) when j <= i and s_lower(j, i) otherwise. Entries strictly
+/// above the diagonal of `s_lower` are never read.
+void pack_rows_symm(const ConstMatrixView& s_lower, std::size_t r0,
+                    std::size_t nrows, std::size_t k0, std::size_t kc,
+                    double* buf);
+
+/// Bytes written into pack buffers by the calling thread since the last
+/// reset (bench instrumentation for the BENCH_KERNELS.json trajectory).
+std::uint64_t pack_bytes();
+void reset_pack_bytes();
+
+}  // namespace parsyrk::kern

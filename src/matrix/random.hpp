@@ -13,7 +13,11 @@ inline Matrix random_matrix(std::size_t rows, std::size_t cols,
                             std::uint64_t seed) {
   Matrix m(rows, cols);
   Rng rng(seed);
-  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-1, 1);
+  // Logical row-major draw order: entry values are independent of the padded
+  // leading dimension, so golden traces survive layout changes.
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
   return m;
 }
 

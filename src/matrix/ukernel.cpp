@@ -1,0 +1,53 @@
+#include "matrix/ukernel.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace parsyrk::kern {
+
+namespace {
+
+#define PARSYRK_UK_RESTRICT __restrict__
+#define PARSYRK_UKERNEL_NAME ukernel_f64_generic
+#include "matrix/ukernel_body.inc"
+#undef PARSYRK_UKERNEL_NAME
+
+}  // namespace
+
+#if defined(PARSYRK_HAVE_NATIVE_UKERNEL)
+namespace detail {
+// Defined in ukernel_native.cpp (compiled with -march=native).
+MicroKernelFn native_ukernel_fn();
+bool native_host_supported();
+}  // namespace detail
+#endif
+
+bool native_ukernel_available() {
+#if defined(PARSYRK_HAVE_NATIVE_UKERNEL)
+  return detail::native_host_supported();
+#else
+  return false;
+#endif
+}
+
+const Ukernel& active_ukernel() {
+  static const Ukernel chosen = [] {
+    const Ukernel generic{&ukernel_f64_generic, "generic"};
+#if defined(PARSYRK_HAVE_NATIVE_UKERNEL)
+    const Ukernel native{detail::native_ukernel_fn(), "native"};
+    const char* force = std::getenv("PARSYRK_UKERNEL");
+    if (force != nullptr) {
+      if (std::strcmp(force, "generic") == 0) return generic;
+      if (std::strcmp(force, "native") == 0) return native;
+    }
+    if (detail::native_host_supported()) return native;
+#else
+    const char* force = std::getenv("PARSYRK_UKERNEL");
+    (void)force;  // only "generic" exists in this binary
+#endif
+    return generic;
+  }();
+  return chosen;
+}
+
+}  // namespace parsyrk::kern

@@ -1,0 +1,52 @@
+// Register-blocked micro-kernel with runtime ISA dispatch.
+//
+// The local-kernel engine (kernels.cpp) tiles every dense kernel down to
+// kMR x kNR accumulator tiles fed from packed panels (pack.hpp) and calls
+// one micro-kernel in the innermost position. Two implementations of that
+// micro-kernel can exist in the binary:
+//
+//   * generic — compiled with the project's baseline flags; portable.
+//   * native  — the same C++ body compiled in its own translation unit with
+//     -march=native (CMake option PARSYRK_NATIVE=ON), so the autovectorizer
+//     emits the widest FMA the build machine supports.
+//
+// Selection happens once, at first use: the native kernel is chosen only if
+// it was compiled in AND the running CPU reports (via CPUID) every ISA
+// feature the native TU was compiled to assume — a binary built on an
+// AVX-512 box therefore still runs (on the generic path) on an SSE2 box.
+// PARSYRK_UKERNEL=generic|native in the environment overrides the choice
+// (used by tests to cross-check both paths bit-for-bit... numerically).
+#pragma once
+
+#include <cstddef>
+
+namespace parsyrk::kern {
+
+/// Micro-tile rows. Equal to kNR so a symmetric pack (SYRK/SYR2K) serves as
+/// both the left and the right operand panel.
+inline constexpr std::size_t kMR = 8;
+/// Micro-tile columns.
+inline constexpr std::size_t kNR = 8;
+/// k-dimension cache block (doubles): one kMR/kNR strip pair stays in L1.
+inline constexpr std::size_t kKC = 256;
+/// m-dimension cache block: the left-operand pack (kMC x kKC) stays in L2.
+inline constexpr std::size_t kMC = 512;
+
+/// C tile (kMR x kNR, row-major accumulator) += Apanel · Bpanelᵀ over kc
+/// packed k-steps. Panels are packed strips (pack.hpp).
+using MicroKernelFn = void (*)(std::size_t kc, const double* a,
+                               const double* b, double* acc);
+
+struct Ukernel {
+  MicroKernelFn fn;
+  const char* name;  // "generic" or "native"
+};
+
+/// The micro-kernel selected for this process (resolved once, thread-safe).
+const Ukernel& active_ukernel();
+
+/// True when the binary contains the -march=native translation unit AND the
+/// running CPU supports it (regardless of any PARSYRK_UKERNEL override).
+bool native_ukernel_available();
+
+}  // namespace parsyrk::kern

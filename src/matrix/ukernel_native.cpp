@@ -1,0 +1,150 @@
+// The -march=native instantiation of the micro-kernel. This translation unit
+// is only added to the build when PARSYRK_NATIVE=ON; everything else in the
+// library keeps the baseline ISA, so the binary stays runnable on older
+// machines — ukernel.cpp checks native_host_supported() before dispatching
+// here.
+//
+// Unlike the generic TU, the hot path here is written with intrinsics: GCC's
+// autovectorizer spills the 8x8 accumulator block of the portable body to the
+// stack, which caps it near the blocked kernels. The explicit forms keep all
+// eight accumulator rows in registers for the whole k loop.
+#include "matrix/ukernel.hpp"
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace parsyrk::kern {
+
+namespace {
+
+#if defined(__AVX512F__)
+
+// 8 zmm accumulator rows; each k step is one b-row load plus eight FMAs with
+// an embedded broadcast of a[k*8+i] — FMA-throughput bound.
+void ukernel_f64_native(std::size_t kc, const double* __restrict__ a,
+                        const double* __restrict__ b,
+                        double* __restrict__ acc) {
+  static_assert(kMR == 8 && kNR == 8);
+  __m512d c0 = _mm512_loadu_pd(acc + 0 * 8);
+  __m512d c1 = _mm512_loadu_pd(acc + 1 * 8);
+  __m512d c2 = _mm512_loadu_pd(acc + 2 * 8);
+  __m512d c3 = _mm512_loadu_pd(acc + 3 * 8);
+  __m512d c4 = _mm512_loadu_pd(acc + 4 * 8);
+  __m512d c5 = _mm512_loadu_pd(acc + 5 * 8);
+  __m512d c6 = _mm512_loadu_pd(acc + 6 * 8);
+  __m512d c7 = _mm512_loadu_pd(acc + 7 * 8);
+  for (std::size_t k = 0; k < kc; ++k) {
+    const __m512d bv = _mm512_loadu_pd(b + k * 8);
+    const double* ak = a + k * 8;
+    c0 = _mm512_fmadd_pd(_mm512_set1_pd(ak[0]), bv, c0);
+    c1 = _mm512_fmadd_pd(_mm512_set1_pd(ak[1]), bv, c1);
+    c2 = _mm512_fmadd_pd(_mm512_set1_pd(ak[2]), bv, c2);
+    c3 = _mm512_fmadd_pd(_mm512_set1_pd(ak[3]), bv, c3);
+    c4 = _mm512_fmadd_pd(_mm512_set1_pd(ak[4]), bv, c4);
+    c5 = _mm512_fmadd_pd(_mm512_set1_pd(ak[5]), bv, c5);
+    c6 = _mm512_fmadd_pd(_mm512_set1_pd(ak[6]), bv, c6);
+    c7 = _mm512_fmadd_pd(_mm512_set1_pd(ak[7]), bv, c7);
+  }
+  _mm512_storeu_pd(acc + 0 * 8, c0);
+  _mm512_storeu_pd(acc + 1 * 8, c1);
+  _mm512_storeu_pd(acc + 2 * 8, c2);
+  _mm512_storeu_pd(acc + 3 * 8, c3);
+  _mm512_storeu_pd(acc + 4 * 8, c4);
+  _mm512_storeu_pd(acc + 5 * 8, c5);
+  _mm512_storeu_pd(acc + 6 * 8, c6);
+  _mm512_storeu_pd(acc + 7 * 8, c7);
+}
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+// Two passes of 4 rows x 8 cols: 8 ymm accumulators + 2 b vectors + 1
+// broadcast stay inside the 16 ymm registers.
+void ukernel_f64_native(std::size_t kc, const double* __restrict__ a,
+                        const double* __restrict__ b,
+                        double* __restrict__ acc) {
+  static_assert(kMR == 8 && kNR == 8);
+  for (std::size_t half = 0; half < 2; ++half) {
+    const double* arow = a + half * 4;
+    double* crow = acc + half * 4 * 8;
+    __m256d c00 = _mm256_loadu_pd(crow + 0), c01 = _mm256_loadu_pd(crow + 4);
+    __m256d c10 = _mm256_loadu_pd(crow + 8), c11 = _mm256_loadu_pd(crow + 12);
+    __m256d c20 = _mm256_loadu_pd(crow + 16), c21 = _mm256_loadu_pd(crow + 20);
+    __m256d c30 = _mm256_loadu_pd(crow + 24), c31 = _mm256_loadu_pd(crow + 28);
+    for (std::size_t k = 0; k < kc; ++k) {
+      const __m256d b0 = _mm256_loadu_pd(b + k * 8);
+      const __m256d b1 = _mm256_loadu_pd(b + k * 8 + 4);
+      const double* ak = arow + k * 8;
+      __m256d ai = _mm256_set1_pd(ak[0]);
+      c00 = _mm256_fmadd_pd(ai, b0, c00);
+      c01 = _mm256_fmadd_pd(ai, b1, c01);
+      ai = _mm256_set1_pd(ak[1]);
+      c10 = _mm256_fmadd_pd(ai, b0, c10);
+      c11 = _mm256_fmadd_pd(ai, b1, c11);
+      ai = _mm256_set1_pd(ak[2]);
+      c20 = _mm256_fmadd_pd(ai, b0, c20);
+      c21 = _mm256_fmadd_pd(ai, b1, c21);
+      ai = _mm256_set1_pd(ak[3]);
+      c30 = _mm256_fmadd_pd(ai, b0, c30);
+      c31 = _mm256_fmadd_pd(ai, b1, c31);
+    }
+    _mm256_storeu_pd(crow + 0, c00);
+    _mm256_storeu_pd(crow + 4, c01);
+    _mm256_storeu_pd(crow + 8, c10);
+    _mm256_storeu_pd(crow + 12, c11);
+    _mm256_storeu_pd(crow + 16, c20);
+    _mm256_storeu_pd(crow + 20, c21);
+    _mm256_storeu_pd(crow + 24, c30);
+    _mm256_storeu_pd(crow + 28, c31);
+  }
+}
+
+#else
+
+// -march=native resolved to an ISA without AVX2/AVX-512 (or a non-x86
+// architecture): fall back to the portable body under native flags.
+#define PARSYRK_UK_RESTRICT __restrict__
+#define PARSYRK_UKERNEL_NAME ukernel_f64_native
+#include "matrix/ukernel_body.inc"
+#undef PARSYRK_UKERNEL_NAME
+
+#endif
+
+}  // namespace
+
+namespace detail {
+
+MicroKernelFn native_ukernel_fn() { return &ukernel_f64_native; }
+
+// The feature tests mirror what this TU was actually compiled to assume:
+// the __AVX…__ macros are defined from this file's own -march flags, and
+// __builtin_cpu_supports checks the running CPU. x86 only; on other
+// architectures -march=native implies the build host's ISA with no runtime
+// probe available here, so be conservative and require an explicit opt-in
+// via PARSYRK_UKERNEL=native.
+bool native_host_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__AVX512F__)
+  if (!__builtin_cpu_supports("avx512f")) return false;
+#endif
+#if defined(__AVX512VL__)
+  if (!__builtin_cpu_supports("avx512vl")) return false;
+#endif
+#if defined(__AVX2__)
+  if (!__builtin_cpu_supports("avx2")) return false;
+#endif
+#if defined(__FMA__)
+  if (!__builtin_cpu_supports("fma")) return false;
+#endif
+#if defined(__AVX__)
+  if (!__builtin_cpu_supports("avx")) return false;
+#endif
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace detail
+
+}  // namespace parsyrk::kern

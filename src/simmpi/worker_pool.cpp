@@ -29,6 +29,7 @@ void CompletionLatch::wait() {
 namespace {
 
 void worker_main(PoolWorker* w) {
+  kern::KernelArena::set_current(&w->arena);
   std::unique_lock lock(w->mu);
   for (;;) {
     w->cv.wait(lock, [&] { return w->task != nullptr || w->stop; });
@@ -99,6 +100,20 @@ std::uint64_t WorkerPool::threads_created() const {
 int WorkerPool::idle() const {
   std::lock_guard lock(mu_);
   return static_cast<int>(free_.size());
+}
+
+std::uint64_t WorkerPool::arena_grow_count() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->arena.grow_count();
+  return total;
+}
+
+std::size_t WorkerPool::arena_doubles_reserved() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& w : workers_) total += w->arena.doubles_reserved();
+  return total;
 }
 
 void WorkerPool::release_workers(std::vector<detail::PoolWorker*>& workers) {

@@ -18,17 +18,23 @@
 #include <thread>
 #include <vector>
 
+#include "matrix/arena.hpp"
+
 namespace parsyrk::comm {
 
 namespace detail {
 
 /// One parked OS thread. The worker sleeps on `cv` until a task is handed
 /// over (or `stop` is set at pool shutdown), runs it, and parks again.
+/// Each worker owns a KernelArena, installed as the thread's current arena
+/// for its whole lifetime: pack buffers grow to the job's panel sizes on the
+/// first run and are reused — warm jobs allocate nothing in the kernels.
 struct PoolWorker {
   std::mutex mu;
   std::condition_variable cv;
   std::function<void()> task;  // nonempty while a task is pending/running
   bool stop = false;
+  kern::KernelArena arena;
   std::thread thread;
 };
 
@@ -101,6 +107,14 @@ class WorkerPool {
 
   /// Workers currently parked and unleased.
   int idle() const;
+
+  /// Sum of every worker's KernelArena grow count (monotonic). Tests assert
+  /// this stays flat across warm same-shape jobs — the "no kernel scratch
+  /// allocation on the hot path" guarantee.
+  std::uint64_t arena_grow_count() const;
+
+  /// Sum of every worker's reserved arena scratch, in doubles.
+  std::size_t arena_doubles_reserved() const;
 
  private:
   void release_workers(std::vector<detail::PoolWorker*>& workers);

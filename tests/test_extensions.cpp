@@ -49,8 +49,8 @@ TEST(Syr2kKernel, SyrkIsHalfOfSyr2kWithSelf) {
   // SYR2K(A, A) = 2·SYRK(A).
   Matrix a = random_matrix(15, 6, 605);
   Matrix two_syrk = syrk_reference(a.view());
-  for (std::size_t i = 0; i < two_syrk.size(); ++i) {
-    two_syrk.data()[i] *= 2.0;
+  for (std::size_t i = 0; i < two_syrk.rows(); ++i) {
+    for (std::size_t j = 0; j < two_syrk.cols(); ++j) two_syrk(i, j) *= 2.0;
   }
   Matrix r2k = syr2k_reference(a.view(), a.view());
   EXPECT_LT(max_abs_diff(two_syrk.view(), r2k.view()), 1e-12);
@@ -453,8 +453,10 @@ TEST(Distributed, AccumulateAlphaBetaScaling) {
   Matrix r1 = syrk_reference(a1.view());
   Matrix r2 = syrk_reference(a2.view());
   Matrix expected(n1, n1);
-  for (std::size_t i = 0; i < expected.size(); ++i) {
-    expected.data()[i] = 0.5 * r1.data()[i] + 2.0 * r2.data()[i];
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = 0; j < n1; ++j) {
+      expected(i, j) = 0.5 * r1(i, j) + 2.0 * r2(i, j);
+    }
   }
   EXPECT_LT(max_abs_diff(result.assemble().view(), expected.view()), kTol);
 }

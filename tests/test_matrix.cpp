@@ -34,8 +34,42 @@ TEST(Matrix, RowMajorLayout) {
   auto m = Matrix::from_rows({{1, 2}, {3, 4}});
   EXPECT_DOUBLE_EQ(m.data()[0], 1);
   EXPECT_DOUBLE_EQ(m.data()[1], 2);
-  EXPECT_DOUBLE_EQ(m.data()[2], 3);
-  EXPECT_DOUBLE_EQ(m.data()[3], 4);
+  EXPECT_DOUBLE_EQ(m.data()[m.ld()], 3);
+  EXPECT_DOUBLE_EQ(m.data()[m.ld() + 1], 4);
+}
+
+TEST(Matrix, StorageIsAlignedAndPadded) {
+  for (std::size_t cols : {1u, 2u, 7u, 8u, 9u, 100u}) {
+    Matrix m(3, cols);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kMatrixAlignment,
+              0u)
+        << "cols=" << cols;
+    EXPECT_GE(m.ld(), cols);
+    EXPECT_EQ(m.ld() % kLdGranule, 0u) << "cols=" << cols;
+    EXPECT_EQ(m.size(), 3 * cols);  // logical size, padding excluded
+  }
+}
+
+TEST(Matrix, FlatHelpersUseLogicalOrder) {
+  Matrix m = indexed_matrix(3, 5);  // ld() > cols once padded
+  auto flat = flat_copy(m.view());
+  ASSERT_EQ(flat.size(), 15u);
+  for (std::size_t t = 0; t < flat.size(); ++t) {
+    EXPECT_DOUBLE_EQ(flat[t], m(t / 5, t % 5));
+  }
+  auto mid = flat_copy(m.view(), 4, 11);
+  ASSERT_EQ(mid.size(), 7u);
+  for (std::size_t t = 0; t < mid.size(); ++t) {
+    EXPECT_DOUBLE_EQ(mid[t], flat[4 + t]);
+  }
+  std::vector<double> appended;
+  flat_append(m.view(), appended);
+  EXPECT_EQ(appended, flat);
+  Matrix r(3, 5);
+  flat_assign(r.view(), 4, mid);
+  for (std::size_t t = 4; t < 11; ++t) {
+    EXPECT_DOUBLE_EQ(r(t / 5, t % 5), flat[t]);
+  }
 }
 
 TEST(MatrixView, BlockViewAliasesStorage) {

@@ -23,7 +23,12 @@ namespace {
 /// exactly the arithmetic of a fresh world).
 bool bitwise_equal(const Matrix& x, const Matrix& y) {
   if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
-  return std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* xr = x.data() + i * x.ld();
+    const double* yr = y.data() + i * y.ld();
+    if (std::memcmp(xr, yr, x.cols() * sizeof(double)) != 0) return false;
+  }
+  return true;
 }
 
 TEST(Session, PlannerRequestMatchesSyrkAuto) {

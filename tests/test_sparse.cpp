@@ -21,8 +21,10 @@ Matrix sparse_dense(std::size_t rows, std::size_t cols, double fill,
                     std::uint64_t seed) {
   Matrix m(rows, cols);
   Rng rng(seed);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (rng.uniform() < fill) m.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.uniform() < fill) m(i, j) = rng.uniform(-1, 1);
+    }
   }
   return m;
 }
