@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "costmodel/algorithm_costs.hpp"
 #include "matrix/kernels.hpp"
@@ -27,11 +28,11 @@ int main() {
            "meas/eq3", "meas/bound", "correct"});
   bool ok = true;
   for (int p : {2, 4, 8, 16, 32, 64}) {
-    comm::World world(p);
-    Matrix c = core::syrk_1d(world, a);
-    const double err = max_abs_diff(c.view(), ref.view());
-    const auto measured = static_cast<double>(
-        world.ledger().summary().critical_path_words());
+    core::Session session(p);
+    const auto run = core::syrk(session, core::SyrkRequest(a).use_1d());
+    const double err = max_abs_diff(run.c.view(), ref.view());
+    const auto measured =
+        static_cast<double>(run.total.critical_path_words());
     const double eq3 = costmodel::syrk_1d_cost({n1, n2}, p).words;
     const auto bound = bounds::syrk_lower_bound(n1, n2, p);
     const double r_eq3 = measured / eq3;

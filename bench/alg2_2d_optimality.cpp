@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "costmodel/algorithm_costs.hpp"
 #include "matrix/kernels.hpp"
@@ -32,11 +33,11 @@ int main() {
     const auto p = static_cast<int>(c * (c + 1));
     Matrix a = random_matrix(n1, n2, 2);
     Matrix ref = syrk_reference(a.view());
-    comm::World world(p);
-    Matrix out = core::syrk_2d(world, a, c);
-    const double err = max_abs_diff(out.view(), ref.view());
-    const auto measured = static_cast<double>(
-        world.ledger().summary().critical_path_words());
+    core::Session session(p);
+    const auto run = core::syrk(session, core::SyrkRequest(a).use_2d(c));
+    const double err = max_abs_diff(run.c.view(), ref.view());
+    const auto measured =
+        static_cast<double>(run.total.critical_path_words());
     const double eq10 = costmodel::syrk_2d_cost({n1, n2}, c).words;
     const auto bound = bounds::syrk_lower_bound(n1, n2, p);
     const double r_eq10 = measured / eq10;

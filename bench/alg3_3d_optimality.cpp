@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "costmodel/algorithm_costs.hpp"
 #include "matrix/kernels.hpp"
@@ -42,11 +43,12 @@ int main() {
     const auto p = static_cast<int>(p1 * cfg.p2);
     Matrix a = random_matrix(cfg.n1, cfg.n2, 3);
     Matrix ref = syrk_reference(a.view());
-    comm::World world(p);
-    Matrix out = core::syrk_3d(world, a, cfg.c, cfg.p2);
-    const double err = max_abs_diff(out.view(), ref.view());
-    const auto measured = static_cast<double>(
-        world.ledger().summary().critical_path_words());
+    core::Session session(p);
+    const auto run =
+        core::syrk(session, core::SyrkRequest(a).use_3d(cfg.c, cfg.p2));
+    const double err = max_abs_diff(run.c.view(), ref.view());
+    const auto measured =
+        static_cast<double>(run.total.critical_path_words());
     const double eq12 =
         costmodel::syrk_3d_cost({cfg.n1, cfg.n2}, cfg.c, cfg.p2).words;
     const auto bound = bounds::syrk_lower_bound(cfg.n1, cfg.n2, p);

@@ -35,7 +35,11 @@ int main(int argc, char** argv) {
   const int jobs = argc > 4 ? std::atoi(argv[4]) : 200;
 
   Matrix a = random_matrix(n1, n2, /*seed=*/5);
-  Matrix ref = core::syrk_auto(a, static_cast<std::uint64_t>(procs)).c;
+  Matrix ref;
+  {
+    core::Session ref_session(procs);
+    ref = core::syrk(ref_session, core::SyrkRequest(a)).c;
+  }
 
   std::cout << "Executor throughput: " << jobs << " jobs of " << n1 << "x"
             << n2 << " 1D SYRK at P = " << procs << "\n\n";
@@ -72,9 +76,9 @@ int main(int argc, char** argv) {
   const auto t_fresh = Clock::now();
   for (int j = 0; j < jobs; ++j) {
     comm::WorkerPool pool;
-    comm::World world(procs, pool);
-    Matrix c = core::syrk_1d(world, a);
-    fresh_err = std::max(fresh_err, max_abs_diff(c.view(), ref.view()));
+    core::Session throwaway(procs, pool);
+    const auto run = core::syrk(throwaway, core::SyrkRequest(a).use_1d());
+    fresh_err = std::max(fresh_err, max_abs_diff(run.c.view(), ref.view()));
     fresh_threads += pool.threads_created();
   }
   const double fresh_sec = seconds_since(t_fresh);

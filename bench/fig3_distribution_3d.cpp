@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "core/syrk_internal.hpp"
 #include "distribution/render.hpp"
@@ -22,15 +23,15 @@ int main() {
   // Execute on the pictured grid.
   const std::size_t n1 = 24, n2 = 12;
   Matrix a = random_matrix(n1, n2, 33);
-  comm::World world(18);
-  Matrix c = core::syrk_3d(world, a, /*c=*/2, /*p2=*/3);
+  core::Session session(18);
+  const auto run =
+      core::syrk(session, core::SyrkRequest(a).use_3d(/*prime_c=*/2,
+                                                      /*slices=*/3));
   Matrix ref = syrk_reference(a.view());
-  const double err = max_abs_diff(c.view(), ref.view());
+  const double err = max_abs_diff(run.c.view(), ref.view());
 
-  const auto gather =
-      world.ledger().summary(core::internal::kPhaseGatherA);
-  const auto reduce =
-      world.ledger().summary(core::internal::kPhaseReduceC);
+  const auto& gather = run.gather_a;
+  const auto& reduce = run.reduce_c;
   std::cout << "Executed 3D SYRK on the pictured grid (n1=" << n1
             << ", n2=" << n2 << "):\n";
   Table t({"phase", "max words/rank", "max msgs/rank"});

@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "costmodel/algorithm_costs.hpp"
 #include "matrix/kernels.hpp"
@@ -42,12 +43,12 @@ int main() {
     const std::uint64_t p2 = budget / p1;
     if (p2 == 0) continue;
     const auto p = static_cast<int>(p1 * p2);
-    comm::World world(p);
-    Matrix out = core::syrk_3d(world, a, c, p2);
-    const bool correct = max_abs_diff(out.view(), ref.view()) < 1e-9;
+    core::Session session(p);
+    const auto run = core::syrk(session, core::SyrkRequest(a).use_3d(c, p2));
+    const bool correct = max_abs_diff(run.c.view(), ref.view()) < 1e-9;
     all_correct = all_correct && correct;
-    const auto measured = static_cast<double>(
-        world.ledger().summary().critical_path_words());
+    const auto measured =
+        static_cast<double>(run.total.critical_path_words());
     const double eq12 = costmodel::syrk_3d_cost({n1, n2}, c, p2).words;
     const auto bound = bounds::syrk_lower_bound(n1, n2, p);
     if (measured < best_words) {

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "costmodel/model.hpp"
 #include "matrix/kernels.hpp"
@@ -30,13 +31,17 @@ int main() {
     const auto p = static_cast<int>(c * (c + 1));
     Matrix a = random_matrix(n1, n2, 41);
     Matrix ref = syrk_reference(a.view());
-    comm::World wp(p), wb(p);
-    Matrix cp = core::syrk_2d(wp, a, c, core::ExchangeKind::kPairwise);
-    Matrix cb = core::syrk_2d(wb, a, c, core::ExchangeKind::kButterfly);
-    const bool correct = max_abs_diff(cp.view(), ref.view()) < 1e-9 &&
-                         max_abs_diff(cb.view(), ref.view()) < 1e-9;
-    const auto sp = wp.ledger().summary();
-    const auto sb = wb.ledger().summary();
+    core::Session session(p);
+    const auto runp = core::syrk(
+        session, core::SyrkRequest(a).use_2d(c).with_exchange(
+                     core::ExchangeKind::kPairwise));
+    const auto runb = core::syrk(
+        session, core::SyrkRequest(a).use_2d(c).with_exchange(
+                     core::ExchangeKind::kButterfly));
+    const bool correct = max_abs_diff(runp.c.view(), ref.view()) < 1e-9 &&
+                         max_abs_diff(runb.c.view(), ref.view()) < 1e-9;
+    const auto& sp = runp.total;
+    const auto& sb = runb.total;
     ok = ok && correct && sb.max.msgs_sent < sp.max.msgs_sent &&
          sb.max.words_sent > sp.max.words_sent;
     rows.push_back({static_cast<std::uint64_t>(p),

@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/memory.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -41,23 +42,15 @@ int main() {
     }
     // Execute the chosen plan and confirm it is correct and within budget.
     Matrix a = random_matrix(n1, n2, 51);
-    comm::World world(static_cast<int>(choice->plan.procs));
-    Matrix c;
-    switch (choice->plan.algorithm) {
-      case core::Algorithm::kOneD:
-        c = core::syrk_1d(world, a);
-        break;
-      case core::Algorithm::kTwoD:
-        c = core::syrk_2d(world, a, choice->plan.c);
-        break;
-      case core::Algorithm::kThreeD:
-        c = core::syrk_3d(world, a, choice->plan.c, choice->plan.p2);
-        break;
-    }
+    core::Session session(static_cast<int>(p));
+    const auto run =
+        core::syrk(session, core::SyrkRequest(a).with_memory_limit(mem));
     const bool correct =
-        max_abs_diff(c.view(), syrk_reference(a.view()).view()) < 1e-9;
-    const double executed = static_cast<double>(
-        world.ledger().summary().critical_path_words());
+        max_abs_diff(run.c.view(), syrk_reference(a.view()).view()) < 1e-9 &&
+        run.plan.algorithm == choice->plan.algorithm &&
+        run.plan.procs == choice->plan.procs;
+    const double executed =
+        static_cast<double>(run.total.critical_path_words());
     ok = ok && correct && choice->footprint_words <= static_cast<double>(mem);
     last = choice->plan.algorithm;
     t.add_row({fmt_count(mem),

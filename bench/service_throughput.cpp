@@ -1,0 +1,358 @@
+// Service throughput snapshot: replays a mixed small/medium SYRK workload
+// through service::SyrkService twice — serialized (batching off: one job
+// per scheduled round) and batched (the scheduler packs queued jobs onto
+// disjoint rank subsets of one round) — and reports requests/sec, p50/p99
+// latency (modeled and measured), and the plan cache's hit/miss counters
+// against the number of enumerator runs. Emits the machine-readable
+// snapshot committed as BENCH_SERVICE.json.
+//
+//   service_throughput [--out FILE] [--jobs N] [--procs P]
+//       runs the workload and writes the JSON snapshot (stdout if no
+//       --out).
+//
+//   service_throughput --smoke [--factor F]
+//       cheap perf gate for ctest: asserts batched throughput beats the
+//       serialized baseline by at least F (default 1.3) on the
+//       dispatch-dominated workload AND that every batched job's result
+//       matrix and ledger counters are bitwise-identical to the same
+//       request run solo. Exits nonzero otherwise.
+//
+// Why batching wins even on this simulated runtime: every scheduled round
+// pays one condition-variable dispatch handoff to the session's parked
+// worker threads. Serialized, k jobs pay k handoffs; batched, jobs that
+// fit side by side share one. The jobs themselves are tiny, so the
+// handoff dominates — the same regime a real service is in when flooded
+// with small requests.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/session.hpp"
+#include "matrix/random.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace parsyrk;
+using Clock = std::chrono::steady_clock;
+
+struct Shape {
+  std::uint64_t n1, n2, cap;
+};
+
+/// The replayed mixed workload: distinct shapes × rank caps chosen so the
+/// planner (folding disabled) yields unfolded 1D plans at 2/3/4/6 ranks —
+/// jobs that pack 2–6 to a 12-rank round.
+std::vector<Shape> workload_shapes() {
+  return {
+      {16, 64, 2}, {24, 96, 3}, {32, 64, 4},
+      {48, 96, 6}, {16, 96, 3}, {24, 64, 4},
+  };
+}
+
+service::ServiceOptions service_options(int procs, bool batching) {
+  service::ServiceOptions opts;
+  opts.procs = procs;
+  opts.batching = batching;
+  // Folded plans cannot share a round; keep the whole workload packable.
+  opts.plan_options.allow_folding = false;
+  // Generous round budget: let rank capacity, not modeled cost, limit
+  // packing (the workload's jobs are communication-tiny).
+  opts.admission.modeled_seconds_per_round = 10.0;
+  opts.admission.max_jobs_per_round = 16;
+  return opts;
+}
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (std::memcmp(x.data() + i * x.ld(), y.data() + i * y.ld(),
+                    x.cols() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ModeResult {
+  double seconds = 0.0;
+  std::vector<service::SyrkResult> results;
+  service::ServiceStats stats;
+};
+
+/// Submits the whole workload asynchronously, waits for every ticket, and
+/// returns wall time + per-request results.
+ModeResult run_mode(const std::vector<Shape>& shapes,
+                    const std::vector<Matrix>& inputs, int procs,
+                    bool batching) {
+  service::SyrkService svc(service_options(procs, batching));
+  ModeResult out;
+  const auto t0 = Clock::now();
+  std::vector<service::SyrkTicket> tickets;
+  tickets.reserve(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    const Shape& s = shapes[j % shapes.size()];
+    tickets.push_back(
+        svc.submit(core::SyrkRequest(inputs[j]).on_procs(s.cap)));
+  }
+  out.results.reserve(tickets.size());
+  for (auto& t : tickets) out.results.push_back(t.wait());
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.stats = svc.stats();
+  return out;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::vector<double> totals(const ModeResult& m) {
+  std::vector<double> v;
+  v.reserve(m.results.size());
+  for (const auto& r : m.results) v.push_back(r.latency.total_seconds);
+  return v;
+}
+
+/// Solo references: every request executed alone on a plain session with
+/// the same plan options. Batched results must match these bitwise.
+std::vector<core::SyrkRun> solo_references(const std::vector<Shape>& shapes,
+                                           const std::vector<Matrix>& inputs,
+                                           int procs) {
+  core::Session session(procs);
+  core::PlanSearchOptions plan_options;
+  plan_options.allow_folding = false;
+  session.set_plan_options(plan_options);
+  std::vector<core::SyrkRun> refs;
+  refs.reserve(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    const Shape& s = shapes[j % shapes.size()];
+    refs.push_back(
+        core::syrk(session, core::SyrkRequest(inputs[j]).on_procs(s.cap)));
+  }
+  return refs;
+}
+
+/// Counts batched-vs-solo mismatches (result bits or ledger counters).
+int equivalence_failures(const ModeResult& batched,
+                         const std::vector<core::SyrkRun>& refs) {
+  int failures = 0;
+  for (std::size_t j = 0; j < batched.results.size(); ++j) {
+    const auto& run = batched.results[j].run;
+    const auto& ref = refs[j];
+    const bool ok = bitwise_equal(run.c, ref.c) &&
+                    run.total.total == ref.total.total &&
+                    run.total.max == ref.total.max &&
+                    run.gather_a.total == ref.gather_a.total &&
+                    run.reduce_c.total == ref.reduce_c.total;
+    if (!ok) {
+      ++failures;
+      std::cerr << "equivalence failure at request " << j << "\n";
+    }
+  }
+  return failures;
+}
+
+/// Measures the enumeration cost a cache hit skips: wall time of a cold
+/// enumerate_syrk_plans call vs a warm PlanCache::resolve of the same key.
+struct CacheTiming {
+  double enumerate_us = 0.0;
+  double hit_us = 0.0;
+};
+
+CacheTiming measure_cache_timing(const Shape& s) {
+  core::PlanSearchOptions opts;
+  opts.allow_folding = false;
+  CacheTiming out;
+  const int reps = 1000;
+  {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      core::enumerate_syrk_plans(s.n1, s.n2, s.cap, opts);
+    }
+    out.enumerate_us =
+        std::chrono::duration<double>(Clock::now() - t0).count() * 1e6 / reps;
+  }
+  {
+    service::PlanCache cache;
+    cache.resolve(s.n1, s.n2, s.cap, opts);  // prime: the one miss
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) cache.resolve(s.n1, s.n2, s.cap, opts);
+    out.hit_us =
+        std::chrono::duration<double>(Clock::now() - t0).count() * 1e6 / reps;
+  }
+  return out;
+}
+
+int run_bench(int jobs, int procs, const std::string& out_path, bool smoke,
+              double factor) {
+  const auto shapes = workload_shapes();
+  std::vector<Matrix> inputs;
+  inputs.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    const Shape& s = shapes[static_cast<std::size_t>(j) % shapes.size()];
+    inputs.push_back(
+        random_matrix(s.n1, s.n2, 900 + static_cast<std::uint64_t>(j)));
+  }
+
+  // Warm the shared pool once so neither mode pays thread creation.
+  run_mode(shapes, inputs, procs, /*batching=*/false);
+
+  // Best-of-3 per mode: the workload is dispatch-dominated, so a single
+  // descheduling blip would otherwise dominate the ratio.
+  ModeResult serialized, batched;
+  double best_serial = 1e30, best_batched = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto s = run_mode(shapes, inputs, procs, /*batching=*/false);
+    if (s.seconds < best_serial) {
+      best_serial = s.seconds;
+      serialized = std::move(s);
+    }
+    auto b = run_mode(shapes, inputs, procs, /*batching=*/true);
+    if (b.seconds < best_batched) {
+      best_batched = b.seconds;
+      batched = std::move(b);
+    }
+  }
+
+  const auto refs = solo_references(shapes, inputs, procs);
+  const int eq_failures = equivalence_failures(batched, refs);
+
+  const double n = static_cast<double>(jobs);
+  const double rps_serial = n / serialized.seconds;
+  const double rps_batched = n / batched.seconds;
+  const double speedup = serialized.seconds / batched.seconds;
+  // Timed on the workload's largest rank cap — the widest candidate
+  // lattice, i.e. the most representative enumeration cost a hit skips.
+  const auto cache_timing = measure_cache_timing(shapes[3]);
+
+  std::vector<double> modeled;
+  modeled.reserve(batched.results.size());
+  for (const auto& r : batched.results) {
+    modeled.push_back(r.latency.modeled_seconds);
+  }
+
+  std::cout << "service throughput (" << jobs << " requests, " << procs
+            << "-rank service):\n"
+            << "  serialized: " << serialized.seconds * 1e3 << " ms ("
+            << rps_serial << " req/s, " << serialized.stats.rounds
+            << " rounds)\n"
+            << "  batched:    " << batched.seconds * 1e3 << " ms ("
+            << rps_batched << " req/s, " << batched.stats.rounds
+            << " rounds, " << batched.stats.batched_rounds
+            << " carrying >= 2 jobs)\n"
+            << "  speedup:    " << speedup << "x\n"
+            << "  plan cache: " << batched.stats.plan_cache.hits << " hits, "
+            << batched.stats.plan_cache.misses
+            << " misses (enumerator runs) for " << shapes.size()
+            << " distinct shapes\n"
+            << "  cache-hit resolve " << cache_timing.hit_us
+            << " us vs enumeration " << cache_timing.enumerate_us << " us\n"
+            << "  batched-vs-solo equivalence failures: " << eq_failures
+            << "\n";
+
+  bool ok = eq_failures == 0;
+  // The cache must have enumerated once per distinct shape, no more.
+  if (batched.stats.plan_cache.misses != shapes.size()) {
+    std::cerr << "FAIL: expected " << shapes.size()
+              << " enumerator runs (one per distinct shape), measured "
+              << batched.stats.plan_cache.misses << "\n";
+    ok = false;
+  }
+  if (cache_timing.hit_us >= cache_timing.enumerate_us) {
+    std::cerr << "FAIL: cache hit (" << cache_timing.hit_us
+              << " us) not cheaper than enumeration ("
+              << cache_timing.enumerate_us << " us)\n";
+    ok = false;
+  }
+  if (smoke) {
+    if (speedup < factor) {
+      std::cerr << "FAIL: batched speedup " << speedup << "x < " << factor
+                << "x\n";
+      ok = false;
+    }
+    std::cout << (ok ? "OK\n" : "") << std::flush;
+    return ok ? 0 : 1;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"workload\": {\"requests\": " << jobs
+     << ", \"distinct_shapes\": " << shapes.size()
+     << ", \"service_ranks\": " << procs << "},\n";
+  os << "  \"serialized\": {\"seconds\": " << serialized.seconds
+     << ", \"requests_per_sec\": " << rps_serial
+     << ", \"rounds\": " << serialized.stats.rounds << "},\n";
+  os << "  \"batched\": {\"seconds\": " << batched.seconds
+     << ", \"requests_per_sec\": " << rps_batched
+     << ", \"rounds\": " << batched.stats.rounds
+     << ", \"batched_rounds\": " << batched.stats.batched_rounds
+     << ", \"batched_jobs\": " << batched.stats.batched_jobs << "},\n";
+  os << "  \"speedup\": " << speedup << ",\n";
+  os << "  \"latency_seconds\": {\"modeled_p50\": "
+     << percentile(modeled, 0.50)
+     << ", \"modeled_p99\": " << percentile(modeled, 0.99)
+     << ", \"serialized_total_p50\": " << percentile(totals(serialized), 0.50)
+     << ", \"serialized_total_p99\": " << percentile(totals(serialized), 0.99)
+     << ", \"batched_total_p50\": " << percentile(totals(batched), 0.50)
+     << ", \"batched_total_p99\": " << percentile(totals(batched), 0.99)
+     << "},\n";
+  os << "  \"plan_cache\": {\"hits\": " << batched.stats.plan_cache.hits
+     << ", \"misses\": " << batched.stats.plan_cache.misses
+     << ", \"hit_resolve_us\": " << cache_timing.hit_us
+     << ", \"enumerate_us\": " << cache_timing.enumerate_us << "},\n";
+  os << "  \"batched_vs_solo_equivalence_failures\": " << eq_failures << "\n";
+  os << "}\n";
+
+  if (out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream f(out_path);
+    f << os.str();
+    if (!f) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  int jobs = 48;
+  int procs = 12;
+  bool smoke = false;
+  double factor = 1.3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--procs" && i + 1 < argc) {
+      procs = std::atoi(argv[++i]);
+    } else if (arg == "--factor" && i + 1 < argc) {
+      factor = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: service_throughput [--out FILE] [--jobs N] "
+                   "[--procs P] [--smoke [--factor F]]\n";
+      return 2;
+    }
+  }
+  return run_bench(jobs, procs, out, smoke, factor);
+}

@@ -9,6 +9,7 @@
 #include "baseline/gemm.hpp"
 #include "bench/bench_util.hpp"
 #include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -31,6 +32,10 @@ double max_words(comm::World& w) {
   return static_cast<double>(w.ledger().summary().critical_path_words());
 }
 
+double max_words(const core::SyrkRun& run) {
+  return static_cast<double>(run.total.critical_path_words());
+}
+
 }  // namespace
 
 int main() {
@@ -45,14 +50,15 @@ int main() {
     const int p = 16;
     Matrix a = random_matrix(n1, n2, 4);
     Matrix ref = syrk_reference(a.view());
-    comm::World ws(p), wg(p);
-    Matrix cs = core::syrk_1d(ws, a);
+    core::Session ss(p);
+    const auto rs = core::syrk(ss, core::SyrkRequest(a).use_1d());
+    comm::World wg(p);
     Matrix cg = baseline::gemm_1d(wg, a, a);
-    const bool correct = max_abs_diff(cs.view(), ref.view()) < 1e-9 &&
+    const bool correct = max_abs_diff(rs.c.view(), ref.view()) < 1e-9 &&
                          max_abs_diff(cg.view(), ref.view()) < 1e-9;
     const auto bs = bounds::syrk_lower_bound(n1, n2, p);
     const auto bg = bounds::gemm_lower_bound(n1, n2, p);
-    rows.push_back({"1 (1D)", "P=16, n1=128, n2=16384", max_words(ws),
+    rows.push_back({"1 (1D)", "P=16, n1=128, n2=16384", max_words(rs),
                     max_words(wg), bg.communicated / bs.communicated,
                     correct});
   }
@@ -62,22 +68,23 @@ int main() {
     const std::size_t n1 = 484, n2 = 12;
     Matrix a = random_matrix(n1, n2, 5);
     Matrix ref = syrk_reference(a.view());
-    comm::World wt(132), wg(121), wsc(121);
-    Matrix ct = core::syrk_2d(wt, a, 11);
+    core::Session st(132);
+    const auto rt = core::syrk(st, core::SyrkRequest(a).use_2d(11));
+    comm::World wg(121), wsc(121);
     Matrix cg = baseline::gemm_2d(wg, a, a, 11);
     Matrix csc = baseline::scalapack_syrk(wsc, a, 11);
-    const bool correct = max_abs_diff(ct.view(), ref.view()) < 1e-9 &&
+    const bool correct = max_abs_diff(rt.c.view(), ref.view()) < 1e-9 &&
                          max_abs_diff(cg.view(), ref.view()) < 1e-9 &&
                          max_abs_diff(csc.view(), ref.view()) < 1e-9;
     const auto bs = bounds::syrk_lower_bound(n1, n2, 132);
     const auto bg = bounds::gemm_lower_bound(n1, n2, 121);
     rows.push_back({"2 (2D)", "triangle P=132 vs grid 11x11",
-                    max_words(wt), max_words(wg),
+                    max_words(rt), max_words(wg),
                     bg.communicated / bs.communicated, correct});
     std::cout << "ScaLAPACK-style SYRK words/rank: " << max_words(wsc)
               << " (equal to GEMM: "
               << (max_words(wsc) == max_words(wg) ? "yes" : "no")
-              << "), triangle SYRK words/rank: " << max_words(wt) << "\n";
+              << "), triangle SYRK words/rank: " << max_words(rt) << "\n";
   }
   {
     // Regime 3 (large P, square): 3D SYRK (p1=30, p2=5, P=150) vs 3D GEMM
@@ -85,14 +92,15 @@ int main() {
     const std::size_t n1 = 300, n2 = 300;
     Matrix a = random_matrix(n1, n2, 6);
     Matrix ref = syrk_reference(a.view());
-    comm::World ws(150), wg(150);
-    Matrix cs = core::syrk_3d(ws, a, 5, 5);
+    core::Session ss(150);
+    const auto rs = core::syrk(ss, core::SyrkRequest(a).use_3d(5, 5));
+    comm::World wg(150);
     Matrix cg = baseline::gemm_3d(wg, a, a, 5, 6);
-    const bool correct = max_abs_diff(cs.view(), ref.view()) < 1e-9 &&
+    const bool correct = max_abs_diff(rs.c.view(), ref.view()) < 1e-9 &&
                          max_abs_diff(cg.view(), ref.view()) < 1e-9;
     const auto bs = bounds::syrk_lower_bound(n1, n2, 150);
     const auto bg = bounds::gemm_lower_bound(n1, n2, 150);
-    rows.push_back({"3 (3D)", "P=150: 30x5 vs 5x5x6", max_words(ws),
+    rows.push_back({"3 (3D)", "P=150: 30x5 vs 5x5x6", max_words(rs),
                     max_words(wg), bg.communicated / bs.communicated,
                     correct});
   }

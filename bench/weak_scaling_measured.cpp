@@ -10,6 +10,7 @@
 #include "baseline/gemm.hpp"
 #include "bench/bench_util.hpp"
 #include "bounds/syrk_bounds.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -43,13 +44,15 @@ int main() {
     PARSYRK_CHECK(static_cast<std::uint64_t>(p) == cfg.gr * cfg.gr * cfg.gt);
     Matrix a = random_matrix(cfg.n, cfg.n, 71);
     Matrix ref = syrk_reference(a.view());
-    comm::World ws(p), wg(p);
-    Matrix cs = core::syrk_3d(ws, a, cfg.c, cfg.p2);
+    core::Session ss(p);
+    const auto rs =
+        core::syrk(ss, core::SyrkRequest(a).use_3d(cfg.c, cfg.p2));
+    comm::World wg(p);
     Matrix cg = baseline::gemm_3d(wg, a, a, cfg.gr, cfg.gt);
-    const bool correct = max_abs_diff(cs.view(), ref.view()) < 1e-9 &&
+    const bool correct = max_abs_diff(rs.c.view(), ref.view()) < 1e-9 &&
                          max_abs_diff(cg.view(), ref.view()) < 1e-9;
-    const double sw = static_cast<double>(
-        ws.ledger().summary().critical_path_words());
+    const double sw =
+        static_cast<double>(rs.total.critical_path_words());
     const double gw = static_cast<double>(
         wg.ledger().summary().critical_path_words());
     const double flops = static_cast<double>(cfg.n) * cfg.n * cfg.n / 2.0 / p;

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   core::Session session(128);
   for (std::uint64_t p : {1, 2, 4, 8, 16, 32, 64, 128}) {
     const auto run =
-        core::syrk(session, core::SyrkRequest(a).with_max_procs(p));
+        core::syrk(session, core::SyrkRequest(a).on_procs(p));
     const double err = max_abs_diff(run.c.view(), ref.view());
     const double measured =
         static_cast<double>(run.total.critical_path_words());

@@ -176,6 +176,29 @@ PlanReport enumerate_syrk_plans(std::uint64_t n1, std::uint64_t n2,
   return report;
 }
 
+costmodel::CollectiveCost plan_collective_cost(std::uint64_t n1,
+                                               std::uint64_t n2,
+                                               const Plan& plan) {
+  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
+  switch (plan.algorithm) {
+    case Algorithm::kOneD:
+      return costmodel::syrk_1d_cost(shape, plan.procs);
+    case Algorithm::kTwoD:
+      return costmodel::syrk_2d_cost(shape, plan.c);
+    case Algorithm::kThreeD:
+      return costmodel::syrk_3d_cost(shape, plan.c, plan.p2);
+  }
+  return {};
+}
+
+double plan_modeled_seconds(std::uint64_t n1, std::uint64_t n2,
+                            const Plan& plan,
+                            const costmodel::Machine& machine) {
+  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
+  return score_candidate(plan_collective_cost(n1, n2, plan), shape,
+                         plan.logical_ranks(), plan.fold_factor(), machine);
+}
+
 PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
                            std::uint64_t max_procs, const Plan& plan,
                            std::string note) {
@@ -185,20 +208,9 @@ PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
   report.max_procs = max_procs;
   PlanCandidate cand;
   cand.plan = plan;
-  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
-  switch (plan.algorithm) {
-    case Algorithm::kOneD:
-      cand.cost = costmodel::syrk_1d_cost(shape, plan.procs);
-      break;
-    case Algorithm::kTwoD:
-      cand.cost = costmodel::syrk_2d_cost(shape, plan.c);
-      break;
-    case Algorithm::kThreeD:
-      cand.cost = costmodel::syrk_3d_cost(shape, plan.c, plan.p2);
-      break;
-  }
-  cand.score = score_candidate(cand.cost, shape, plan.logical_ranks(),
-                               plan.fold_factor(), report.options.machine);
+  cand.cost = plan_collective_cost(n1, n2, plan);
+  cand.score =
+      plan_modeled_seconds(n1, n2, plan, report.options.machine);
   cand.idle_ranks = max_procs > plan.procs ? max_procs - plan.procs : 0;
   cand.chosen = true;
   cand.note = std::move(note);

@@ -120,4 +120,19 @@ PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
                            std::uint64_t max_procs, const Plan& plan,
                            std::string note);
 
+/// The closed-form §5 collective cost of `plan` on A of shape n1×n2 (at the
+/// plan's execution row count when padded).
+costmodel::CollectiveCost plan_collective_cost(std::uint64_t n1,
+                                               std::uint64_t n2,
+                                               const Plan& plan);
+
+/// Modeled runtime of `plan` on A of shape n1×n2: the same score the
+/// enumerator minimizes — collective cost in seconds plus the local
+/// n1²n2/2P flops, times the fold factor. This is the currency the service
+/// layer's admission control and batch bin-packing budget in, so a cached
+/// or explicitly constructed plan prices identically to an enumerated one.
+double plan_modeled_seconds(std::uint64_t n1, std::uint64_t n2,
+                            const Plan& plan,
+                            const costmodel::Machine& machine = {});
+
 }  // namespace parsyrk::core

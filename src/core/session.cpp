@@ -59,7 +59,11 @@ Plan resolve_plan(const Session& session, const SyrkRequest& req) {
         break;
       }
     }
-    plan.regime = bounds::syrk_lower_bound(n1, n2, plan.procs).regime;
+    // Theorem 1 is stated for n1 >= 2; a 1-row C is communication-trivial
+    // and keeps the Plan's default regime.
+    if (n1 >= 2) {
+      plan.regime = bounds::syrk_lower_bound(n1, n2, plan.procs).regime;
+    }
   } else if (req.memory_limit_words) {
     auto aware = plan_syrk_memory_aware(n1, n2,
                                         req.max_procs.value_or(session_procs),
@@ -69,7 +73,16 @@ Plan resolve_plan(const Session& session, const SyrkRequest& req) {
                     " words of per-rank memory");
     plan = aware->plan;
   } else {
-    plan = plan_syrk(n1, n2, req.max_procs.value_or(session_procs));
+    // Planner path: consult the session's resolver (the service layer's
+    // plan cache) when installed, so repeated shapes skip the enumerator.
+    const std::uint64_t cap = req.max_procs.value_or(session_procs);
+    if (const PlanResolver& resolver = session.plan_resolver()) {
+      auto report = resolver(n1, n2, cap, session.plan_options());
+      PARSYRK_REQUIRE(report != nullptr, "plan resolver returned no report");
+      plan = report->plan();
+    } else {
+      plan = enumerate_syrk_plans(n1, n2, cap, session.plan_options()).plan();
+    }
   }
   return plan;
 }
@@ -81,7 +94,12 @@ PlanReport resolve_plan_report(const Session& session, const SyrkRequest& req) {
   const std::uint64_t cap =
       req.max_procs.value_or(static_cast<std::uint64_t>(session.size()));
   if (!req.algorithm && !req.memory_limit_words) {
-    return enumerate_syrk_plans(n1, n2, cap);
+    if (const PlanResolver& resolver = session.plan_resolver()) {
+      auto report = resolver(n1, n2, cap, session.plan_options());
+      PARSYRK_REQUIRE(report != nullptr, "plan resolver returned no report");
+      return *report;
+    }
+    return enumerate_syrk_plans(n1, n2, cap, session.plan_options());
   }
   // No search ran: wrap the externally determined plan as a one-row report
   // so --explain-plan output exists uniformly.
@@ -149,7 +167,9 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
   run.gather_a = ledger.summary_since(before, internal::kPhaseGatherA);
   run.reduce_c = ledger.summary_since(before, internal::kPhaseReduceC);
   run.scatter_a = ledger.summary_since(before, internal::kPhaseScatterA);
-  run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), plan.procs);
+  if (a.rows() >= 2) {
+    run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), plan.procs);
+  }
   if (req.trace) run.trace = world.trace_sink()->drain(/*poisoned=*/false);
   return run;
 }

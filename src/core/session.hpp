@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -29,6 +30,17 @@
 #include "simmpi/comm.hpp"
 
 namespace parsyrk::core {
+
+/// Customization point for plan-search resolution: given the problem shape,
+/// the effective processor cap, and the search options, produce the full
+/// PlanReport. The service layer's plan cache installs one of these on its
+/// Session so repeated shapes skip the enumerator; the default (no resolver)
+/// runs enumerate_syrk_plans directly. A resolver is only consulted for
+/// planner-path requests — explicit algorithms and memory-aware planning
+/// never go through it.
+using PlanResolver = std::function<std::shared_ptr<const PlanReport>(
+    std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+    const PlanSearchOptions& options)>;
 
 /// Owns a warm world of a fixed rank count. Construct once, issue many
 /// requests; requests may use up to size() ranks (smaller plans run on an
@@ -67,10 +79,30 @@ class Session {
     world_.enable_tracing(capacity_per_rank);
   }
 
+  /// Default search options for planner-path requests on this session (and
+  /// the options handed to the plan resolver). Set before issuing requests.
+  void set_plan_options(PlanSearchOptions options) {
+    plan_options_ = std::move(options);
+  }
+  const PlanSearchOptions& plan_options() const { return plan_options_; }
+
+  /// Installs (or clears, with nullptr) the plan-search resolver consulted
+  /// by resolve_plan_report()/syrk() on the planner path. The caller is
+  /// responsible for invalidating any cached reports the resolver holds if
+  /// they were computed for a different physical worker count — fold
+  /// factors in a cached report are only valid for the max_procs they were
+  /// enumerated at.
+  void set_plan_resolver(PlanResolver resolver) {
+    plan_resolver_ = std::move(resolver);
+  }
+  const PlanResolver& plan_resolver() const { return plan_resolver_; }
+
  private:
   comm::World world_;
   comm::WorkerPool* pool_;
   std::map<std::pair<int, int>, std::unique_ptr<comm::World>> folded_worlds_;
+  PlanSearchOptions plan_options_;
+  PlanResolver plan_resolver_;
 };
 
 /// One SYRK problem plus how to run it. The matrix is referenced, not
@@ -103,7 +135,7 @@ struct SyrkRequest {
   // ---- Planner inputs (ignored when an algorithm is explicit) ----
 
   /// Caps the planner's processor count below the session size.
-  SyrkRequest& with_max_procs(std::uint64_t procs) {
+  SyrkRequest& on_procs(std::uint64_t procs) {
     max_procs = procs;
     return *this;
   }
@@ -136,6 +168,16 @@ struct SyrkRequest {
     trace = true;
     return *this;
   }
+  /// Requests a Theorem-1 bound audit of the run. Implies with_trace() (the
+  /// auditor cross-checks the event stream against the ledger). core::syrk
+  /// only records the flag and the trace; layers that link the trace
+  /// library — service::SyrkService and the CLI — run the BoundAuditor and
+  /// attach its report.
+  SyrkRequest& with_audit() {
+    audit = true;
+    trace = true;
+    return *this;
+  }
 
   const Matrix* a = nullptr;
   std::optional<Algorithm> algorithm;          // unset -> planner
@@ -145,6 +187,7 @@ struct SyrkRequest {
   std::optional<std::uint64_t> max_procs;      // planner cap
   std::optional<std::uint64_t> memory_limit_words;  // memory-aware planning
   bool trace = false;                          // drain a JobTrace into the run
+  bool audit = false;                          // audit the run (implies trace)
   SyrkOptions options;
 };
 

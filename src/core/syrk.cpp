@@ -189,66 +189,6 @@ Matrix run_syrk_plan(comm::World& world, const Matrix& a, const Plan& plan,
 
 }  // namespace internal
 
-namespace {
-
-/// The Plan an old-style entry point implies for a world of `procs` ranks.
-Plan explicit_plan(Algorithm algorithm, std::uint64_t procs, std::uint64_t c,
-                   std::uint64_t p2) {
-  Plan plan;
-  plan.algorithm = algorithm;
-  plan.procs = procs;
-  plan.c = c;
-  plan.p1 = (algorithm == Algorithm::kOneD) ? 1 : c * (c + 1);
-  plan.p2 = (algorithm == Algorithm::kOneD) ? procs : p2;
-  return plan;
-}
-
-}  // namespace
-
-Matrix syrk_1d(comm::World& world, const Matrix& a, ReduceKind reduce) {
-  SyrkOptions opts;
-  opts.reduce = reduce;
-  const auto p = static_cast<std::uint64_t>(world.size());
-  return internal::run_syrk_plan(world, a,
-                                 explicit_plan(Algorithm::kOneD, p, 0, p),
-                                 opts);
-}
-
-Matrix syrk_1d_from_root(comm::World& world, const Matrix& a, int root) {
-  PARSYRK_REQUIRE(root >= 0 && root < world.size(), "bad root ", root);
-  SyrkOptions opts;
-  opts.root = root;
-  const auto p = static_cast<std::uint64_t>(world.size());
-  return internal::run_syrk_plan(world, a,
-                                 explicit_plan(Algorithm::kOneD, p, 0, p),
-                                 opts);
-}
-
-Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
-               ExchangeKind exchange) {
-  dist::TriangleBlockDistribution d(c);
-  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == d.num_procs(),
-                  "2D SYRK with c = ", c, " needs ", d.num_procs(),
-                  " ranks; world has ", world.size());
-  SyrkOptions opts;
-  opts.exchange = exchange;
-  return internal::run_syrk_plan(
-      world, a, explicit_plan(Algorithm::kTwoD, d.num_procs(), c, 1), opts);
-}
-
-Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
-               std::uint64_t p2) {
-  dist::TriangleBlockDistribution d(c);
-  const std::uint64_t p1 = d.num_procs();
-  PARSYRK_REQUIRE(static_cast<std::uint64_t>(world.size()) == p1 * p2,
-                  "3D SYRK with c = ", c, ", p2 = ", p2, " needs ", p1 * p2,
-                  " ranks; world has ", world.size());
-  PARSYRK_REQUIRE(p2 >= 1, "p2 must be >= 1");
-  return internal::run_syrk_plan(
-      world, a, explicit_plan(Algorithm::kThreeD, p1 * p2, c, p2),
-      SyrkOptions{});
-}
-
 const char* algorithm_name(Algorithm a) {
   switch (a) {
     case Algorithm::kOneD: return "1D";
@@ -273,20 +213,6 @@ std::ostream& operator<<(std::ostream& os, const Plan& plan) {
   if (plan.padded_n1 != 0) os << ", padded n1=" << plan.padded_n1;
   os << ", bound case=" << bounds::regime_name(plan.regime) << "}";
   return os;
-}
-
-SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs) {
-  SyrkRun run;
-  run.plan = plan_syrk(a.rows(), a.cols(), max_procs);
-  comm::World world(static_cast<int>(run.plan.logical_ranks()),
-                    static_cast<int>(run.plan.procs));
-  run.c = internal::run_syrk_plan(world, a, run.plan, SyrkOptions{});
-  run.total = world.ledger().summary();
-  run.gather_a = world.ledger().summary(internal::kPhaseGatherA);
-  run.reduce_c = world.ledger().summary(internal::kPhaseReduceC);
-  run.scatter_a = world.ledger().summary(internal::kPhaseScatterA);
-  run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), run.plan.procs);
-  return run;
 }
 
 }  // namespace parsyrk::core

@@ -18,8 +18,10 @@
 // measured volumes, attributable by phase ("gather_A", "reduce_C",
 // "scatter_A").
 //
-// The older per-algorithm entry points below (syrk_1d/2d/3d/_from_root,
-// syrk_auto) remain as thin wrappers over the same execution path.
+// The pre-1.x per-algorithm entry points (syrk_1d/2d/3d/_from_root,
+// syrk_auto) are gone; docs/MIGRATION.md maps each one to its
+// Session/SyrkRequest spelling. Callers that drive raw Worlds directly can
+// still execute an explicit Plan via internal::run_syrk_plan.
 #pragma once
 
 #include <cstdint>
@@ -51,40 +53,6 @@ struct SyrkOptions {
   /// n1·n2·(1−1/P) words out of the root — visible and attributable.
   std::optional<int> root;
 };
-
-/// Alg. 1 (1D): partitions only the n2 dimension; A is block-column
-/// distributed, C is reduce-scattered. Optimal for n1 <= n2 and small P
-/// (Theorem 1 case 1). Uses world.size() ranks. With
-/// ReduceKind::kBruck the reduction is simultaneously bandwidth- and
-/// latency-optimal (§6's observation), making the whole 1D algorithm
-/// doubly optimal.
-/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_1d(...)).
-Matrix syrk_1d(comm::World& world, const Matrix& a,
-               ReduceKind reduce = ReduceKind::kPairwise);
-
-/// Alg. 2 (2D): partitions both n1 dimensions via the triangle-block
-/// distribution. Requires world.size() == c(c+1) with c prime and
-/// n1 % c² == 0. Optimal for n1 > n2 and moderate P (Theorem 1 case 2).
-/// `exchange` selects the §6 All-to-All realization (pairwise default;
-/// butterfly trades bandwidth for O(log P) latency and additionally needs
-/// (n1/c²)·n2 divisible by c+1).
-/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_2d(c)).
-Matrix syrk_2d(comm::World& world, const Matrix& a, std::uint64_t c,
-               ExchangeKind exchange = ExchangeKind::kPairwise);
-
-/// Real-world ingestion flow: A starts on `root` only. The root scatters
-/// the 1D column blocks (ledger phase "scatter_A"), then Alg. 1 runs on the
-/// scattered data.
-/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_1d().from_root(r)).
-Matrix syrk_1d_from_root(comm::World& world, const Matrix& a, int root);
-
-/// Alg. 3 (3D): p1 = c(c+1) by p2 grid; the 2D algorithm per column slice
-/// of A followed by a Reduce-Scatter of C across slices. Requires
-/// world.size() == c(c+1)·p2 and n1 % c² == 0. Optimal for large P
-/// (Theorem 1 case 3) with the §5.4 grid.
-/// Deprecated: prefer syrk(Session&, SyrkRequest(a).use_3d(c, p2)).
-Matrix syrk_3d(comm::World& world, const Matrix& a, std::uint64_t c,
-               std::uint64_t p2);
 
 /// Which algorithm a plan selects.
 enum class Algorithm { kOneD, kTwoD, kThreeD };
@@ -150,12 +118,6 @@ struct SyrkRun {
   /// write_binary / Rollup / BoundAuditor.
   std::optional<comm::JobTrace> trace;
 };
-
-/// Plans and executes SYRK on an internally created world of plan.procs
-/// ranks; fills in measured costs and the matching lower bound.
-/// Deprecated: prefer syrk(Session&, SyrkRequest) — a Session reuses its
-/// warm worker pool across calls instead of building a world per call.
-SyrkRun syrk_auto(const Matrix& a, std::uint64_t max_procs);
 
 namespace internal {
 

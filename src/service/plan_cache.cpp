@@ -1,0 +1,72 @@
+#include "service/plan_cache.hpp"
+
+#include <tuple>
+#include <utility>
+
+namespace parsyrk::service {
+
+bool PlanCache::Key::operator<(const Key& o) const {
+  return std::tie(n1, n2, max_procs, n1_divisibility, allow_padding,
+                  allow_folding, max_fold, utilization_slack, alpha, beta,
+                  gamma) < std::tie(o.n1, o.n2, o.max_procs,
+                                    o.n1_divisibility, o.allow_padding,
+                                    o.allow_folding, o.max_fold,
+                                    o.utilization_slack, o.alpha, o.beta,
+                                    o.gamma);
+}
+
+std::shared_ptr<const core::PlanReport> PlanCache::resolve(
+    std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+    const core::PlanSearchOptions& options) {
+  const Key key{n1,
+                n2,
+                max_procs,
+                options.n1_divisibility,
+                options.allow_padding,
+                options.allow_folding,
+                options.max_fold,
+                options.utilization_slack,
+                options.machine.alpha,
+                options.machine.beta,
+                options.machine.gamma};
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Enumerate outside the lock: a miss is the expensive path, and holding
+  // the lock across it would serialize unrelated lookups behind the search.
+  auto report = std::make_shared<const core::PlanReport>(
+      core::enumerate_syrk_plans(n1, n2, max_procs, options));
+  std::lock_guard lock(mu_);
+  ++stats_.misses;
+  auto [it, inserted] = entries_.emplace(key, std::move(report));
+  stats_.entries = entries_.size();
+  return it->second;  // a racing miss kept the first insert; share it
+}
+
+void PlanCache::invalidate() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  stats_.entries = 0;
+}
+
+void PlanCache::bind_worker_count(int procs) {
+  std::lock_guard lock(mu_);
+  if (bound_procs_ != 0 && bound_procs_ != procs) {
+    entries_.clear();
+    stats_.entries = 0;
+    ++stats_.invalidations;
+  }
+  bound_procs_ = procs;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace parsyrk::service

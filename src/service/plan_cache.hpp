@@ -1,0 +1,83 @@
+// Shape-keyed plan cache: the service layer's front end to the PR 3 plan
+// enumerator.
+//
+// Every planner-path request costs one enumerate_syrk_plans() — a sweep of
+// the whole (c, p2) candidate lattice. A service replaying a mixed workload
+// sees the same few shapes over and over, so the cache keys the full
+// PlanReport by (n1, n2, max_procs, search options) and hands out shared
+// ownership of the immutable report; repeated shapes skip the enumerator
+// entirely (the hit/miss counters in Stats make that measurable —
+// misses == enumerator runs).
+//
+// Correctness guard: a report's fold factors and idle-rank accounting are
+// only valid for the physical worker count the search ran against. The
+// cache is therefore bound to a worker count (bind_worker_count); rebinding
+// to a different count drops every entry, so a resized service can never
+// serve a stale folded plan. Stats::invalidations counts those drops.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/planner.hpp"
+
+namespace parsyrk::service {
+
+/// Thread-safe lookup-or-enumerate cache of PlanReports. One per
+/// SyrkService; usable standalone wherever repeated plan searches hurt.
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    /// Misses == times the enumerator actually ran.
+    std::uint64_t misses = 0;
+    /// Times rebinding the worker count dropped the cached entries.
+    std::uint64_t invalidations = 0;
+    std::uint64_t entries = 0;
+  };
+
+  /// Returns the cached report for this exact search, running
+  /// enumerate_syrk_plans on a miss. The returned report is immutable and
+  /// shared; it stays valid after invalidation for holders that already
+  /// have it.
+  std::shared_ptr<const core::PlanReport> resolve(
+      std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+      const core::PlanSearchOptions& options);
+
+  /// Drops every entry (counters keep accumulating).
+  void invalidate();
+
+  /// Binds the cache to the physical worker count its consumers run on.
+  /// Rebinding to a different count invalidates all entries — cached fold
+  /// factors are a hazard across a resize. The first bind sets the count
+  /// without invalidating.
+  void bind_worker_count(int procs);
+
+  Stats stats() const;
+
+ private:
+  struct Key {
+    std::uint64_t n1;
+    std::uint64_t n2;
+    std::uint64_t max_procs;
+    bool n1_divisibility;
+    bool allow_padding;
+    bool allow_folding;
+    std::uint64_t max_fold;
+    double utilization_slack;
+    double alpha;
+    double beta;
+    double gamma;
+
+    bool operator<(const Key& o) const;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const core::PlanReport>> entries_;
+  int bound_procs_ = 0;  // 0 = not yet bound
+  Stats stats_;
+};
+
+}  // namespace parsyrk::service

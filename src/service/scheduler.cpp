@@ -1,0 +1,47 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parsyrk::service {
+
+RoundPlan plan_round(const std::vector<JobSpec>& queue, int world_size,
+                     const AdmissionLimits& limits) {
+  PARSYRK_REQUIRE(!queue.empty(), "plan_round needs a non-empty queue");
+  PARSYRK_REQUIRE(world_size >= 1, "plan_round needs a world");
+  RoundPlan round;
+  const std::size_t max_jobs = std::max<std::size_t>(
+      std::size_t{1}, limits.max_jobs_per_round);
+
+  // The head is always admitted: admission bounds what rides along, it
+  // never blocks the front of the queue (that would starve, not protect).
+  std::uint64_t base = 0;
+  round.placements.push_back({0, 0});
+  round.modeled_sum_seconds = queue[0].modeled_seconds;
+  round.modeled_max_seconds = queue[0].modeled_seconds;
+  if (queue[0].solo) return round;
+  base = queue[0].ranks;
+
+  // FIFO prefix: stop at the first job that does not fit — by rank budget,
+  // job-count cap, modeled-cost budget, or because it must run solo.
+  // Skipping it to pack a later job would reorder completions.
+  for (std::size_t j = 1; j < queue.size(); ++j) {
+    const JobSpec& job = queue[j];
+    if (round.placements.size() >= max_jobs) break;
+    if (job.solo) break;
+    if (base + job.ranks > static_cast<std::uint64_t>(world_size)) break;
+    if (round.modeled_sum_seconds + job.modeled_seconds >
+        limits.modeled_seconds_per_round) {
+      break;
+    }
+    round.placements.push_back({j, static_cast<int>(base)});
+    base += job.ranks;
+    round.modeled_sum_seconds += job.modeled_seconds;
+    round.modeled_max_seconds =
+        std::max(round.modeled_max_seconds, job.modeled_seconds);
+  }
+  return round;
+}
+
+}  // namespace parsyrk::service

@@ -1,0 +1,75 @@
+// Batched-round scheduling: FIFO prefix packing of queued SYRK jobs onto
+// disjoint rank subsets of one world, sdpb-style.
+//
+// sdpb precomputes a Blas_Job_Schedule that maps many block SYRKs onto the
+// available ranks instead of serializing whole-pool runs; plan_round is the
+// analogous step here. Given the FIFO queue of admitted jobs — each already
+// priced by the planner's modeled αβγ cost — it packs the longest prefix of
+// the queue that fits side by side into the world:
+//
+//   - placement is contiguous: job k occupies ranks [base_k, base_k + P_k)
+//     with bases assigned left to right, so every job sees the same
+//     rank-relative structure it would see running solo;
+//   - strictly FIFO: packing stops at the first job that does not fit (no
+//     skipping ahead), which is what makes completion order match
+//     submission order — the fairness property test_service pins down;
+//   - admission-bounded: the summed modeled seconds of a round may not
+//     exceed the per-round budget, so one huge request cannot ride along
+//     and starve the queue behind it — except that the queue head is always
+//     admitted (alone if need be), so nothing starves forever;
+//   - solo jobs (folded plans, whose accounting needs a dedicated world)
+//     are never packed with others.
+//
+// plan_round is pure (no service state, no clocks) so the packing policy is
+// unit-testable without running a single job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parsyrk::service {
+
+/// Per-round admission limits. Defaults are sized for small/medium jobs on
+/// the modeled machine (alpha = 1us): a round of ~50ms modeled work packs
+/// dozens of small SYRKs but only a couple of medium ones.
+struct AdmissionLimits {
+  /// Summed modeled seconds a round may carry (queue head exempt).
+  double modeled_seconds_per_round = 0.05;
+  /// Cap on jobs per round regardless of modeled cost.
+  std::size_t max_jobs_per_round = 16;
+};
+
+/// One queued job as the packer sees it.
+struct JobSpec {
+  /// World ranks the job's plan occupies (plan.logical_ranks()).
+  std::uint64_t ranks = 0;
+  /// Planner-modeled runtime (core::plan_modeled_seconds).
+  double modeled_seconds = 0.0;
+  /// Must run alone on the session (folded plans).
+  bool solo = false;
+};
+
+/// One job's slot in a round: queue index and first world rank.
+struct Placement {
+  std::size_t job = 0;  // index into the queue plan_round was given
+  int base_rank = 0;
+};
+
+/// The schedule for one world job. Placements are in queue (FIFO) order and
+/// always form a prefix of the queue.
+struct RoundPlan {
+  std::vector<Placement> placements;
+  /// Summed modeled seconds of the placed jobs (the admission currency).
+  double modeled_sum_seconds = 0.0;
+  /// Max modeled seconds over placed jobs — the round's modeled makespan
+  /// (placed jobs run concurrently on disjoint ranks).
+  double modeled_max_seconds = 0.0;
+};
+
+/// Packs the longest admissible FIFO prefix of `queue` into a world of
+/// `world_size` ranks. `queue` must be non-empty; the head is always placed.
+RoundPlan plan_round(const std::vector<JobSpec>& queue, int world_size,
+                     const AdmissionLimits& limits);
+
+}  // namespace parsyrk::service

@@ -1,0 +1,439 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parsyrk::service {
+
+namespace detail {
+
+/// Shared state behind a SyrkTicket. The submitter writes request and
+/// submitted_at; the scheduler thread owns everything else until the status
+/// flips to kDone/kFailed under `mu`.
+struct TicketState {
+  explicit TicketState(core::SyrkRequest req) : request(std::move(req)) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  TicketStatus status = TicketStatus::kQueued;
+  SyrkResult result;
+  std::exception_ptr error;
+
+  core::SyrkRequest request;
+  std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point dispatched_at;
+
+  // Admission-time resolution (scheduler thread only). Sticky: a ticket is
+  // priced once, even if it waits several rounds for its turn.
+  bool admitted = false;
+  core::Plan plan;
+  double modeled_seconds = 0.0;
+};
+
+}  // namespace detail
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* ticket_status_name(TicketStatus s) {
+  switch (s) {
+    case TicketStatus::kQueued: return "queued";
+    case TicketStatus::kRunning: return "running";
+    case TicketStatus::kDone: return "done";
+    case TicketStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ---- SyrkTicket ----
+
+TicketStatus SyrkTicket::status() const {
+  PARSYRK_REQUIRE(state_ != nullptr, "status() on an empty ticket");
+  std::lock_guard lock(state_->mu);
+  return state_->status;
+}
+
+const SyrkResult& SyrkTicket::wait() {
+  PARSYRK_REQUIRE(state_ != nullptr, "wait() on an empty ticket");
+  detail::TicketState& s = *state_;
+  std::unique_lock lock(s.mu);
+  s.cv.wait(lock, [&] {
+    return s.status == TicketStatus::kDone || s.status == TicketStatus::kFailed;
+  });
+  if (s.status == TicketStatus::kFailed) std::rethrow_exception(s.error);
+  return s.result;
+}
+
+const SyrkResult* SyrkTicket::try_get() {
+  PARSYRK_REQUIRE(state_ != nullptr, "try_get() on an empty ticket");
+  detail::TicketState& s = *state_;
+  std::lock_guard lock(s.mu);
+  if (s.status == TicketStatus::kFailed) std::rethrow_exception(s.error);
+  return s.status == TicketStatus::kDone ? &s.result : nullptr;
+}
+
+// ---- SyrkService ----
+
+SyrkService::SyrkService(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool
+                                     : &comm::WorkerPool::shared()) {
+  PARSYRK_REQUIRE(options_.procs >= 1, "service needs at least one worker");
+  session_ = std::make_unique<core::Session>(options_.procs, *pool_);
+  cache_.bind_worker_count(options_.procs);
+  install_cache_resolver();
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+SyrkService::~SyrkService() {
+  drain();
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  scheduler_.join();
+}
+
+void SyrkService::install_cache_resolver() {
+  session_->set_plan_options(options_.plan_options);
+  session_->set_plan_resolver(
+      [this](std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
+             const core::PlanSearchOptions& opts) {
+        return cache_.resolve(n1, n2, max_procs, opts);
+      });
+}
+
+SyrkTicket SyrkService::submit(core::SyrkRequest request) {
+  PARSYRK_REQUIRE(request.a != nullptr, "request has no input matrix");
+  auto st = std::make_shared<detail::TicketState>(std::move(request));
+  st->submitted_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(mu_);
+    PARSYRK_REQUIRE(!stop_, "submit() on a stopped service");
+    queue_.push_back(st);
+    ++stats_.submitted;
+  }
+  work_cv_.notify_one();
+  return SyrkTicket(std::move(st));
+}
+
+SyrkResult SyrkService::syrk(core::SyrkRequest request) {
+  return submit(std::move(request)).wait();
+}
+
+void SyrkService::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !round_in_flight_; });
+}
+
+void SyrkService::resize(int procs) {
+  PARSYRK_REQUIRE(procs >= 1, "service needs at least one worker");
+  std::unique_lock lock(mu_);
+  // Wait out in-flight work: the scheduler only touches the session while a
+  // round is in flight or under this lock, so once idle the swap is safe.
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !round_in_flight_; });
+  options_.procs = procs;
+  session_ = std::make_unique<core::Session>(procs, *pool_);
+  // Stale-fold guard: plans enumerated for the old worker count may fold
+  // differently (or not at all) at the new one; rebinding drops them.
+  cache_.bind_worker_count(procs);
+  install_cache_resolver();
+}
+
+int SyrkService::procs() const {
+  std::lock_guard lock(mu_);
+  return session_->size();
+}
+
+ServiceStats SyrkService::stats() const {
+  std::lock_guard lock(mu_);
+  ServiceStats s = stats_;
+  s.plan_cache = cache_.stats();
+  return s;
+}
+
+bool SyrkService::admit(detail::TicketState& st) {
+  // Resolution goes through the session's resolver, i.e. the plan cache —
+  // this is the one resolve every request pays at admission. (Solo rounds
+  // re-resolve inside core::syrk; on the planner path that second lookup is
+  // a cache hit.)
+  try {
+    st.plan = core::resolve_plan(*session_, st.request);
+    PARSYRK_REQUIRE(
+        st.plan.procs <= static_cast<std::uint64_t>(session_->size()),
+        "request needs ", st.plan.procs, " ranks; service has ",
+        session_->size());
+    if (st.request.options.root) {
+      PARSYRK_REQUIRE(st.plan.algorithm == core::Algorithm::kOneD,
+                      "from_root is only supported with the 1D algorithm");
+      PARSYRK_REQUIRE(*st.request.options.root >= 0 &&
+                          static_cast<std::uint64_t>(
+                              *st.request.options.root) < st.plan.procs,
+                      "bad root ", *st.request.options.root);
+    }
+    st.modeled_seconds = core::plan_modeled_seconds(
+        st.request.a->rows(), st.request.a->cols(), st.plan,
+        options_.plan_options.machine);
+    st.admitted = true;
+    return true;
+  } catch (...) {
+    st.error = std::current_exception();
+    return false;
+  }
+}
+
+void SyrkService::scheduler_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+
+    // Admission: price the FIFO window the packer may look at. Requests
+    // that fail resolution (oversized plan, bad root, impossible memory
+    // limit) fail their ticket here and leave the queue.
+    const std::size_t window =
+        options_.batching
+            ? std::max<std::size_t>(1, options_.admission.max_jobs_per_round)
+            : 1;
+    std::vector<std::shared_ptr<detail::TicketState>> candidates;
+    std::vector<JobSpec> specs;
+    std::size_t i = 0;
+    while (i < queue_.size() && candidates.size() < window) {
+      std::shared_ptr<detail::TicketState> st = queue_[i];
+      if (!st->admitted && !admit(*st)) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.failed;
+        fail(st, std::move(st->error));
+        continue;
+      }
+      JobSpec spec;
+      spec.ranks = st->plan.logical_ranks();
+      spec.modeled_seconds = st->modeled_seconds;
+      spec.solo = st->plan.folded();
+      candidates.push_back(std::move(st));
+      specs.push_back(spec);
+      ++i;
+    }
+    if (candidates.empty()) {
+      if (queue_.empty()) idle_cv_.notify_all();
+      continue;
+    }
+
+    AdmissionLimits limits = options_.admission;
+    if (!options_.batching) limits.max_jobs_per_round = 1;
+    const RoundPlan round = plan_round(specs, session_->size(), limits);
+
+    // The placements are a prefix of the queue (strict FIFO): pop them,
+    // stamp dispatch time, and mark the tickets running.
+    std::vector<std::shared_ptr<detail::TicketState>> batch;
+    batch.reserve(round.placements.size());
+    const auto dispatched_at = std::chrono::steady_clock::now();
+    for (const Placement& p : round.placements) {
+      batch.push_back(candidates[p.job]);
+    }
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      queue_.pop_front();
+      batch[k]->dispatched_at = dispatched_at;
+      std::lock_guard ticket_lock(batch[k]->mu);
+      batch[k]->status = TicketStatus::kRunning;
+    }
+    round_in_flight_ = true;
+    ++stats_.rounds;
+    if (batch.size() >= 2) ++stats_.batched_rounds;
+
+    lock.unlock();
+    execute_round(std::move(batch), round);
+    lock.lock();
+    round_in_flight_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void SyrkService::execute_round(
+    std::vector<std::shared_ptr<detail::TicketState>> batch,
+    const RoundPlan& round) {
+  if (batch.size() == 1) {
+    run_solo(batch.front(), /*retry=*/false);
+    return;
+  }
+  run_batched(batch, round);
+}
+
+void SyrkService::run_solo(const std::shared_ptr<detail::TicketState>& st,
+                           bool retry) {
+  if (retry) {
+    std::lock_guard lock(mu_);
+    ++stats_.retried_jobs;
+  }
+  try {
+    core::SyrkRun run = core::syrk(*session_, st->request);
+    finish(st, std::move(run), /*batched=*/false, /*base_rank=*/0);
+  } catch (...) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.failed;
+    }
+    fail(st, std::current_exception());
+  }
+}
+
+/// Per-job execution state of one batched round.
+struct SyrkService::BatchJob {
+  detail::TicketState* st = nullptr;
+  int base = 0;
+  int procs = 0;
+  const Matrix* exec_a = nullptr;
+  Matrix a_pad;   // storage when the plan pads n1
+  Matrix c_exec;  // shared result assembly target, plan-execution-sized
+};
+
+void SyrkService::run_batched(
+    const std::vector<std::shared_ptr<detail::TicketState>>& batch,
+    const RoundPlan& round) {
+  comm::World& world = session_->world();
+  bool traced = false;
+  for (const auto& st : batch) traced = traced || st->request.trace;
+  if (traced) world.enable_tracing();
+
+  std::vector<BatchJob> jobs(batch.size());
+  std::vector<int> rank_to_job(static_cast<std::size_t>(world.size()), -1);
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    detail::TicketState& st = *batch[j];
+    BatchJob& job = jobs[j];
+    job.st = &st;
+    job.base = round.placements[j].base_rank;
+    job.procs = static_cast<int>(st.plan.logical_ranks());
+    const Matrix& a = *st.request.a;
+    const std::uint64_t exec_n1 = st.plan.exec_n1(a.rows());
+    job.exec_a = &a;
+    if (exec_n1 != a.rows()) {
+      job.a_pad = core::internal::pad_rows(a, exec_n1);
+      job.exec_a = &job.a_pad;
+    }
+    job.c_exec = Matrix(exec_n1, exec_n1);
+    for (int r = job.base; r < job.base + job.procs; ++r) {
+      rank_to_job[static_cast<std::size_t>(r)] = static_cast<int>(j);
+    }
+  }
+
+  const comm::CostLedger::Snapshot before = world.ledger().snapshot();
+  const int idle_color = static_cast<int>(jobs.size());
+  try {
+    world.run([&](comm::Comm& wc) {
+      const int j = rank_to_job[static_cast<std::size_t>(wc.rank())];
+      // One collective split partitions the world into the per-job groups
+      // (key = world rank, so sub ranks are world-rank-ordered exactly as
+      // the solo guard split orders them). The split is ledger-muted setup,
+      // so per-job measured volumes match a solo run bit for bit.
+      comm::Comm sub = wc.split(j >= 0 ? j : idle_color, wc.rank());
+      if (j < 0) return;
+      BatchJob& job = jobs[static_cast<std::size_t>(j)];
+      core::internal::run_syrk_plan_rank(sub, job.exec_a->view(),
+                                         job.st->plan,
+                                         job.st->request.options, job.c_exec);
+    });
+  } catch (...) {
+    // A rank failure poisons the whole world, taking the innocent
+    // batch-mates down with RankAborted. Re-run every job of the round
+    // solo: the guilty job reports its real error, the others complete
+    // normally (their solo ledger scope starts at a fresh snapshot, so the
+    // poisoned round's partial traffic never leaks into a result; the
+    // trace sink likewise discards undrained events at the next job start).
+    for (const auto& st : batch) run_solo(st, /*retry=*/true);
+    return;
+  }
+
+  std::optional<comm::JobTrace> round_trace;
+  if (traced) round_trace = world.trace_sink()->drain(/*poisoned=*/false);
+
+  const comm::CostLedger& ledger = world.ledger();
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    BatchJob& job = jobs[j];
+    const Matrix& a = *job.st->request.a;
+    const int lo = job.base;
+    const int hi = job.base + job.procs;
+    core::SyrkRun run;
+    run.plan = job.st->plan;
+    run.c = core::internal::truncate_result(std::move(job.c_exec), a.rows());
+    run.total = ledger.summary_since(before, lo, hi);
+    run.gather_a =
+        ledger.summary_since(before, core::internal::kPhaseGatherA, lo, hi);
+    run.reduce_c =
+        ledger.summary_since(before, core::internal::kPhaseReduceC, lo, hi);
+    run.scatter_a =
+        ledger.summary_since(before, core::internal::kPhaseScatterA, lo, hi);
+    if (a.rows() >= 2) {
+      run.bound =
+          bounds::syrk_lower_bound(a.rows(), a.cols(), run.plan.procs);
+    }
+    if (job.st->request.trace) {
+      run.trace = comm::extract_rank_range(*round_trace, lo, hi);
+    }
+    finish(batch[j], std::move(run), /*batched=*/true, job.base);
+  }
+}
+
+void SyrkService::finish(const std::shared_ptr<detail::TicketState>& st,
+                         core::SyrkRun run, bool batched, int base_rank) {
+  const auto now = std::chrono::steady_clock::now();
+  SyrkResult res;
+  res.run = std::move(run);
+  res.batched = batched;
+  res.base_rank = base_rank;
+  res.latency.queue_seconds = seconds_between(st->submitted_at,
+                                              st->dispatched_at);
+  res.latency.service_seconds = seconds_between(st->dispatched_at, now);
+  res.latency.total_seconds = seconds_between(st->submitted_at, now);
+  res.latency.modeled_seconds = st->modeled_seconds;
+  if (st->request.audit) {
+    const comm::JobTrace* tr =
+        res.run.trace.has_value() ? &*res.run.trace : nullptr;
+    res.audit = trace::BoundAuditor().audit(st->request.a->rows(),
+                                            st->request.a->cols(), res.run,
+                                            tr);
+  }
+  {
+    std::lock_guard lock(mu_);
+    res.completion_seq = ++completion_seq_;
+    ++stats_.completed;
+    if (batched) {
+      ++stats_.batched_jobs;
+    } else {
+      ++stats_.solo_jobs;
+    }
+    stats_.total_queue_seconds += res.latency.queue_seconds;
+    stats_.total_service_seconds += res.latency.service_seconds;
+  }
+  {
+    std::lock_guard lock(st->mu);
+    st->result = std::move(res);
+    st->status = TicketStatus::kDone;
+  }
+  st->cv.notify_all();
+}
+
+void SyrkService::fail(const std::shared_ptr<detail::TicketState>& st,
+                       std::exception_ptr error) {
+  {
+    std::lock_guard lock(st->mu);
+    st->error = std::move(error);
+    st->status = TicketStatus::kFailed;
+  }
+  st->cv.notify_all();
+}
+
+}  // namespace parsyrk::service

@@ -1,0 +1,213 @@
+// High-throughput SYRK service: an asynchronous, batching front end over
+// core::Session.
+//
+//   service::SyrkService svc({.procs = 12});
+//   auto t1 = svc.submit(core::SyrkRequest(a).on_procs(3));
+//   auto t2 = svc.submit(core::SyrkRequest(b).on_procs(6).with_trace());
+//   const SyrkResult& r1 = t1.wait();          // blocks until executed
+//
+// Three cooperating pieces (docs/SERVICE.md has the full architecture):
+//
+//   - a PlanCache installed as the session's plan resolver, so repeated
+//     shapes skip the PR 3 enumerator (hit/miss counters in stats());
+//   - a batch scheduler (scheduler.hpp) that packs queued small/medium
+//     requests onto disjoint rank subsets and runs them as ONE world job —
+//     a single dispatch handoff to the parked worker pool amortized over
+//     the whole round — while folded/full-size jobs run solo;
+//   - admission control bounding the modeled αβγ cost in flight per round,
+//     so a huge request cannot starve the small ones queued behind it.
+//
+// Every accounting guarantee of the solo path survives batching: a job
+// packed at any base rank produces bitwise-identical result matrices,
+// per-job ledger summaries (rank-range-restricted snapshot diffs), and
+// per-job traces (rank-range extraction with rebasing) to the same request
+// run solo on an equally sized session. test_service pins this down.
+//
+// Blocking use is submit+wait — SyrkService::syrk(req) is exactly that, and
+// core::syrk(session, req) remains the single underlying execution path
+// (the service's solo rounds call it directly; batched rounds share its
+// rank-level internals).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/session.hpp"
+#include "service/plan_cache.hpp"
+#include "service/scheduler.hpp"
+#include "trace/audit.hpp"
+
+namespace parsyrk::service {
+
+enum class TicketStatus {
+  kQueued,   // submitted, not yet dispatched into a round
+  kRunning,  // executing in the current round
+  kDone,     // result available
+  kFailed,   // wait()/try_get() rethrow the error
+};
+
+const char* ticket_status_name(TicketStatus s);
+
+/// Wall-clock latency decomposition of one request, plus its modeled cost.
+struct RequestLatency {
+  double queue_seconds = 0.0;    // submit -> round dispatch
+  double service_seconds = 0.0;  // round dispatch -> completion
+  double total_seconds = 0.0;    // submit -> completion
+  /// Planner-modeled runtime of the executed plan (admission currency).
+  double modeled_seconds = 0.0;
+};
+
+/// What a ticket resolves to.
+struct SyrkResult {
+  core::SyrkRun run;
+  /// Theorem-1 bound audit, present when the request asked with_audit().
+  std::optional<trace::AuditReport> audit;
+  RequestLatency latency;
+  /// Whether the job shared its round with others (solo otherwise).
+  bool batched = false;
+  /// First world rank of the job's subset within its round (0 for solo).
+  int base_rank = 0;
+  /// 1-based completion sequence number across the service's lifetime;
+  /// FIFO fairness means these come out in submission order.
+  std::uint64_t completion_seq = 0;
+};
+
+namespace detail {
+struct TicketState;
+}  // namespace detail
+
+/// Future-like handle to a submitted request. Cheap to copy; all copies
+/// observe the same state.
+class SyrkTicket {
+ public:
+  SyrkTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  TicketStatus status() const;
+
+  /// Blocks until the request completes; returns the result or rethrows
+  /// the request's failure. Idempotent.
+  const SyrkResult& wait();
+
+  /// Non-blocking: the result if done, nullptr while queued/running.
+  /// Rethrows if the request failed.
+  const SyrkResult* try_get();
+
+ private:
+  friend class SyrkService;
+  explicit SyrkTicket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+};
+
+struct ServiceOptions {
+  /// Worker (world) size of the service's session. Required.
+  int procs = 0;
+  /// When false, every job runs solo (the serialized baseline the
+  /// throughput bench compares against).
+  bool batching = true;
+  AdmissionLimits admission;
+  /// Plan-search options for planner-path requests (and the cache key).
+  /// Services that want maximal packing typically disable folding — folded
+  /// plans cannot share a round.
+  core::PlanSearchOptions plan_options;
+  /// Worker pool to lease from (nullptr = the process-shared pool).
+  comm::WorkerPool* pool = nullptr;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rounds = 0;          // world jobs dispatched
+  std::uint64_t batched_rounds = 0;  // rounds carrying >= 2 jobs
+  std::uint64_t batched_jobs = 0;
+  std::uint64_t solo_jobs = 0;
+  /// Jobs rerun solo after a batch-mate poisoned their round.
+  std::uint64_t retried_jobs = 0;
+  double total_queue_seconds = 0.0;
+  double total_service_seconds = 0.0;
+  PlanCache::Stats plan_cache;
+};
+
+/// The concurrent SYRK front end. submit() is thread-safe; one internal
+/// scheduler thread owns the session and executes rounds FIFO.
+class SyrkService {
+ public:
+  explicit SyrkService(ServiceOptions options);
+  /// Drains the queue (pending requests still execute), then stops.
+  ~SyrkService();
+
+  SyrkService(const SyrkService&) = delete;
+  SyrkService& operator=(const SyrkService&) = delete;
+
+  /// Enqueues one request and returns immediately. The request's matrix is
+  /// referenced, not copied — it must stay alive until the ticket
+  /// completes. Invalid requests (oversized plan, bad root, impossible
+  /// memory limit) fail at execution: the error surfaces at wait().
+  SyrkTicket submit(core::SyrkRequest request);
+
+  /// Blocking call: submit + wait. The service-side spelling of
+  /// core::syrk(session, request).
+  SyrkResult syrk(core::SyrkRequest request);
+
+  /// Blocks until every submitted request has completed or failed.
+  void drain();
+
+  /// Drains, then re-points the service at a session of `procs` workers.
+  /// Cached plans are invalidated (PlanCache::bind_worker_count): fold
+  /// factors enumerated for the old worker count are stale at the new one.
+  void resize(int procs);
+
+  int procs() const;
+  ServiceStats stats() const;
+  PlanCache& plan_cache() { return cache_; }
+
+  /// The underlying session. Only safe to touch when the queue is drained
+  /// (the scheduler thread owns it while requests are in flight).
+  core::Session& session() { return *session_; }
+
+ private:
+  struct BatchJob;
+
+  void scheduler_loop();
+  /// Resolves the ticket's plan/modeled cost against the current session.
+  /// Returns false (ticket failed) when the request is invalid.
+  bool admit(detail::TicketState& st);
+  void execute_round(std::vector<std::shared_ptr<detail::TicketState>> batch,
+                     const RoundPlan& round);
+  void run_solo(const std::shared_ptr<detail::TicketState>& st, bool retry);
+  void run_batched(
+      const std::vector<std::shared_ptr<detail::TicketState>>& batch,
+      const RoundPlan& round);
+  void finish(const std::shared_ptr<detail::TicketState>& st,
+              core::SyrkRun run, bool batched, int base_rank);
+  void fail(const std::shared_ptr<detail::TicketState>& st,
+            std::exception_ptr error);
+  void install_cache_resolver();
+
+  ServiceOptions options_;
+  comm::WorkerPool* pool_;
+  std::unique_ptr<core::Session> session_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // scheduler wakeup
+  std::condition_variable idle_cv_;  // drain() wakeup
+  std::deque<std::shared_ptr<detail::TicketState>> queue_;
+  bool round_in_flight_ = false;
+  bool stop_ = false;
+  ServiceStats stats_;
+  std::uint64_t completion_seq_ = 0;
+
+  std::thread scheduler_;  // last member: joins before the rest tears down
+};
+
+}  // namespace parsyrk::service

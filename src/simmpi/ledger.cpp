@@ -51,17 +51,25 @@ void CostLedger::reset() {
 }
 
 CostSummary CostLedger::summarize(const std::string* phase,
-                                  const Snapshot* since) const {
+                                  const Snapshot* since, int rank_begin,
+                                  int rank_end) const {
   std::lock_guard lock(mu_);
   PARSYRK_CHECK_MSG(since == nullptr || since->by_phase_.size() == ranks_.size(),
                     "ledger snapshot is from a different world");
+  PARSYRK_CHECK_MSG(rank_begin >= 0 && rank_begin <= rank_end &&
+                        rank_end <= static_cast<int>(ranks_.size()),
+                    "bad ledger rank range");
+  PARSYRK_CHECK_MSG(rank_begin == 0 ||
+                        rank_end == static_cast<int>(ranks_.size()) ||
+                        physical_ == static_cast<int>(ranks_.size()),
+                    "rank-range summaries need an unfolded world");
   CostSummary s;
   s.ranks = static_cast<std::uint64_t>(physical_);
   // Fold logical ranks onto their physical hosts (i % physical_) before
   // taking the per-field max: the critical path belongs to the busiest
   // *processor*, which under folding carries several logical ranks' traffic.
   std::vector<Counters> buckets(physical_);
-  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+  for (int i = rank_begin; i < rank_end; ++i) {
     Counters rank_total;
     for (const auto& [name, c] : ranks_[i].by_phase) {
       if (phase != nullptr && name != *phase) continue;
@@ -83,10 +91,12 @@ CostSummary CostLedger::summarize(const std::string* phase,
   return s;
 }
 
-CostSummary CostLedger::summary() const { return summarize(nullptr, nullptr); }
+CostSummary CostLedger::summary() const {
+  return summarize(nullptr, nullptr, 0, static_cast<int>(ranks_.size()));
+}
 
 CostSummary CostLedger::summary(const std::string& phase) const {
-  return summarize(&phase, nullptr);
+  return summarize(&phase, nullptr, 0, static_cast<int>(ranks_.size()));
 }
 
 CostLedger::Snapshot CostLedger::snapshot() const {
@@ -98,12 +108,23 @@ CostLedger::Snapshot CostLedger::snapshot() const {
 }
 
 CostSummary CostLedger::summary_since(const Snapshot& since) const {
-  return summarize(nullptr, &since);
+  return summarize(nullptr, &since, 0, static_cast<int>(ranks_.size()));
 }
 
 CostSummary CostLedger::summary_since(const Snapshot& since,
                                       const std::string& phase) const {
-  return summarize(&phase, &since);
+  return summarize(&phase, &since, 0, static_cast<int>(ranks_.size()));
+}
+
+CostSummary CostLedger::summary_since(const Snapshot& since, int rank_begin,
+                                      int rank_end) const {
+  return summarize(nullptr, &since, rank_begin, rank_end);
+}
+
+CostSummary CostLedger::summary_since(const Snapshot& since,
+                                      const std::string& phase,
+                                      int rank_begin, int rank_end) const {
+  return summarize(&phase, &since, rank_begin, rank_end);
 }
 
 std::vector<Counters> CostLedger::per_rank_since(const Snapshot& since) const {

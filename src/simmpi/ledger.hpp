@@ -106,6 +106,22 @@ class CostLedger {
   /// Per-phase variant of summary_since.
   CostSummary summary_since(const Snapshot& since,
                             const std::string& phase) const;
+
+  // ---- Rank-range accounting (batched-round support) ----
+  //
+  // When several jobs share one world job on disjoint rank ranges (the
+  // service layer's batched rounds), each job's traffic lives entirely in
+  // its range [rank_begin, rank_end). The range variants restrict the sum
+  // and the per-bucket max to that range while keeping CostSummary::ranks
+  // at the world's processor count — so a job placed at any base rank
+  // summarizes identically to the same job run solo on this world (where
+  // the ranks outside its active set record nothing). Unfolded worlds only.
+
+  CostSummary summary_since(const Snapshot& since, int rank_begin,
+                            int rank_end) const;
+  CostSummary summary_since(const Snapshot& since, const std::string& phase,
+                            int rank_begin, int rank_end) const;
+
   /// Per-rank counters (all phases) recorded after `since` was taken.
   std::vector<Counters> per_rank_since(const Snapshot& since) const;
 
@@ -115,8 +131,8 @@ class CostLedger {
     std::map<std::string, Counters> by_phase;
   };
 
-  CostSummary summarize(const std::string* phase,
-                        const Snapshot* since) const;
+  CostSummary summarize(const std::string* phase, const Snapshot* since,
+                        int rank_begin, int rank_end) const;
 
   mutable std::mutex mu_;
   std::vector<RankState> ranks_;

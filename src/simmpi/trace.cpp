@@ -25,6 +25,37 @@ const char* op_kind_name(OpKind k) {
   return "unknown";
 }
 
+JobTrace extract_rank_range(const JobTrace& round, int rank_begin,
+                            int rank_end) {
+  PARSYRK_CHECK(rank_begin >= 0 && rank_begin <= rank_end &&
+                rank_end <= static_cast<int>(round.ranks));
+  JobTrace t;
+  t.job_id = round.job_id;
+  t.ranks = round.ranks;
+  t.physical_ranks = round.physical_ranks;
+  t.poisoned = round.poisoned;
+  t.dropped = round.dropped;
+  std::vector<bool> used(round.phases.size(), false);
+  for (const TraceEvent& e : round.events) {
+    if (e.rank < rank_begin || e.rank >= rank_end) continue;
+    TraceEvent out = e;
+    out.rank -= rank_begin;
+    out.peer -= rank_begin;
+    t.events.push_back(out);
+    used[e.phase] = true;
+  }
+  // Rebuild the canonical phase table from the phases this range used; the
+  // round table is sorted by name, so the filtered subset stays sorted.
+  std::vector<std::uint32_t> remap(round.phases.size(), 0);
+  for (std::size_t i = 0; i < round.phases.size(); ++i) {
+    if (!used[i]) continue;
+    remap[i] = static_cast<std::uint32_t>(t.phases.size());
+    t.phases.push_back(round.phases[i]);
+  }
+  for (TraceEvent& e : t.events) e.phase = remap[e.phase];
+  return t;
+}
+
 namespace detail {
 
 namespace {

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "baseline/gemm.hpp"
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
@@ -114,11 +115,12 @@ TEST(BaselineCosts, Gemm1dMovesTwiceSyrk1d) {
   const std::size_t n1 = 64, n2 = 512;
   const int p = 8;
   Matrix a = random_matrix(n1, n2, 509);
-  comm::World wg(p), ws(p);
+  comm::World wg(p);
   gemm_1d(wg, a, a);
-  core::syrk_1d(ws, a);
+  core::Session ss(p);
+  const auto run = core::syrk(ss, core::SyrkRequest(a).use_1d());
   const double g = static_cast<double>(wg.ledger().summary().max.words_sent);
-  const double s = static_cast<double>(ws.ledger().summary().max.words_sent);
+  const double s = static_cast<double>(run.total.max.words_sent);
   EXPECT_NEAR(g / s, 2.0, 0.05);  // n1²/(n1(n1+1)/2) = 2n1/(n1+1)
 }
 
@@ -128,10 +130,11 @@ TEST(BaselineCosts, TriangleSyrkMovesHalfOfScalapack) {
   // as the grids grow (1.98 at c = r = 11).
   const std::size_t n1 = 242, n2 = 12;  // even chunking on both grids
   Matrix a = random_matrix(n1, n2, 510);
-  comm::World wt(132), ws(121);
-  core::syrk_2d(wt, a, 11);
+  core::Session st(132);
+  const auto run = core::syrk(st, core::SyrkRequest(a).use_2d(11));
+  comm::World ws(121);
   scalapack_syrk(ws, a, 11);
-  const double tri = static_cast<double>(wt.ledger().summary().max.words_sent);
+  const double tri = static_cast<double>(run.total.max.words_sent);
   const double sca = static_cast<double>(ws.ledger().summary().max.words_sent);
   EXPECT_NEAR(sca / tri, 2.0, 0.15);
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "core/session.hpp"
 #include "core/syrk.hpp"
 #include "core/syrk_internal.hpp"
 #include "costmodel/algorithm_costs.hpp"
@@ -29,10 +30,10 @@ class OneDShapes : public ::testing::TestWithParam<
 TEST_P(OneDShapes, MatchesReference) {
   const auto [n1, n2, p] = GetParam();
   Matrix a = random_matrix(n1, n2, 101);
-  comm::World world(p);
-  Matrix c = syrk_1d(world, a);
+  Session session(p);
+  const auto run = syrk(session, SyrkRequest(a).use_1d());
   Matrix ref = syrk_reference(a.view());
-  EXPECT_LT(max_abs_diff(c.view(), ref.view()), kTol);
+  EXPECT_LT(max_abs_diff(run.c.view(), ref.view()), kTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -50,18 +51,18 @@ TEST_P(OneDBruck, DoublyOptimalReductionIsCorrect) {
   const int p = GetParam();
   const std::size_t n1 = 23, n2 = 64;  // packed triangle NOT divisible by p
   Matrix a = random_matrix(n1, n2, 111);
-  comm::World wp(p), wb(p);
-  Matrix cp = syrk_1d(wp, a, ReduceKind::kPairwise);
-  Matrix cb = syrk_1d(wb, a, ReduceKind::kBruck);
-  EXPECT_LT(max_abs_diff(cp.view(), cb.view()), kTol);
+  Session session(p);
+  const auto pairwise =
+      syrk(session, SyrkRequest(a).use_1d().with_reduce(ReduceKind::kPairwise));
+  const auto bruck =
+      syrk(session, SyrkRequest(a).use_1d().with_reduce(ReduceKind::kBruck));
+  EXPECT_LT(max_abs_diff(pairwise.c.view(), bruck.c.view()), kTol);
   if (p > 1) {
-    const auto sb = wb.ledger().summary();
-    EXPECT_EQ(sb.max.msgs_sent,
+    EXPECT_EQ(bruck.total.max.msgs_sent,
               static_cast<std::uint64_t>(
                   std::ceil(std::log2(static_cast<double>(p)))));
     // Bandwidth within the padding slack of the pairwise volume.
-    const auto sp = wp.ledger().summary();
-    EXPECT_LE(sb.max.words_sent, sp.max.words_sent + p);
+    EXPECT_LE(bruck.total.max.words_sent, pairwise.total.max.words_sent + p);
   }
 }
 
@@ -73,10 +74,10 @@ TEST(OneD, CommunicationMatchesEq3) {
   const std::size_t n1 = 40, n2 = 640;
   const int p = 8;
   Matrix a = random_matrix(n1, n2, 102);
-  comm::World world(p);
-  syrk_1d(world, a);
+  Session session(p);
+  syrk(session, SyrkRequest(a).use_1d());
   const auto expected = costmodel::syrk_1d_cost({n1, n2}, p);
-  for (const auto& r : world.ledger().per_rank()) {
+  for (const auto& r : session.world().ledger().per_rank()) {
     EXPECT_NEAR(static_cast<double>(r.words_sent), expected.words, 1.0);
     EXPECT_EQ(static_cast<double>(r.msgs_sent), expected.messages);
   }
@@ -88,12 +89,12 @@ TEST(OneD, AttainsCase1BoundAsymptotically) {
   const std::size_t n1 = 60, n2 = 14400;
   const int p = 4;
   Matrix a = random_matrix(n1, n2, 103);
-  comm::World world(p);
-  syrk_1d(world, a);
+  Session session(p);
+  const auto run = syrk(session, SyrkRequest(a).use_1d());
   const auto bound = bounds::syrk_lower_bound(n1, n2, p);
   ASSERT_EQ(bound.regime, bounds::Regime::kOneD);
   const double measured =
-      static_cast<double>(world.ledger().summary().critical_path_words());
+      static_cast<double>(run.total.critical_path_words());
   EXPECT_GE(measured, bound.communicated * 0.999);
   EXPECT_LT(measured / bound.communicated, 1.10);  // (n1+1)/(n1-1) slack
 }
@@ -108,10 +109,10 @@ class TwoDShapes : public ::testing::TestWithParam<
 TEST_P(TwoDShapes, MatchesReference) {
   const auto [n1, n2, c] = GetParam();
   Matrix a = random_matrix(n1, n2, 201);
-  comm::World world(static_cast<int>(c * (c + 1)));
-  Matrix out = syrk_2d(world, a, c);
+  Session session(static_cast<int>(c * (c + 1)));
+  const auto run = syrk(session, SyrkRequest(a).use_2d(c));
   Matrix ref = syrk_reference(a.view());
-  EXPECT_LT(max_abs_diff(out.view(), ref.view()), kTol);
+  EXPECT_LT(max_abs_diff(run.c.view(), ref.view()), kTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -129,9 +130,9 @@ TEST(TwoD, CommunicationNearEq10) {
   const std::size_t n1 = 108, n2 = 24;  // n1 % c² == 0 and (c+1) | nb·n2
   const std::uint64_t c = 3;
   Matrix a = random_matrix(n1, n2, 202);
-  comm::World world(12);
-  syrk_2d(world, a, c);
-  const auto summary = world.ledger().summary();
+  Session session(12);
+  const auto run = syrk(session, SyrkRequest(a).use_2d(c));
+  const auto& summary = run.total;
   const double eq10 = costmodel::syrk_2d_cost({n1, n2}, c).words;
   const double measured = static_cast<double>(summary.critical_path_words());
   // Exactly c² chunks of (n1·n2/c)/P words each:
@@ -151,12 +152,12 @@ TEST(TwoD, AttainsCase2Bound) {
   const std::size_t n1 = 600, n2 = 6;
   const std::uint64_t c = 5;
   Matrix a = random_matrix(n1, n2, 203);
-  comm::World world(30);
-  syrk_2d(world, a, c);
+  Session session(30);
+  const auto run = syrk(session, SyrkRequest(a).use_2d(c));
   const auto bound = bounds::syrk_lower_bound(n1, n2, 30);
   ASSERT_EQ(bound.regime, bounds::Regime::kTwoD);
   const double measured =
-      static_cast<double>(world.ledger().summary().critical_path_words());
+      static_cast<double>(run.total.critical_path_words());
   const double ratio = measured / bound.communicated;
   EXPECT_GT(ratio, 0.95);
   EXPECT_LT(ratio, 1.35);
@@ -166,21 +167,19 @@ TEST(TwoD, GatherPhaseIsAllTraffic) {
   // The 2D algorithm communicates only A; no reduce phase exists.
   const std::size_t n1 = 36, n2 = 10;
   Matrix a = random_matrix(n1, n2, 204);
-  comm::World world(6);
-  syrk_2d(world, a, 2);
-  const auto gather = world.ledger().summary(internal::kPhaseGatherA);
-  const auto total = world.ledger().summary();
-  EXPECT_EQ(gather.total.words_sent, total.total.words_sent);
-  EXPECT_GT(total.total.words_sent, 0u);
+  Session session(6);
+  const auto run = syrk(session, SyrkRequest(a).use_2d(2));
+  EXPECT_EQ(run.gather_a.total.words_sent, run.total.total.words_sent);
+  EXPECT_GT(run.total.total.words_sent, 0u);
 }
 
-TEST(TwoD, RequiresMatchingWorldAndDivisibility) {
+TEST(TwoD, RequiresMatchingSessionAndDivisibility) {
   Matrix a = random_matrix(36, 8, 205);
-  comm::World wrong(7);
-  EXPECT_THROW(syrk_2d(wrong, a, 2), InvalidArgument);
+  Session small(5);  // c = 2 needs c(c+1) = 6 ranks
+  EXPECT_THROW(syrk(small, SyrkRequest(a).use_2d(2)), InvalidArgument);
   Matrix bad = random_matrix(37, 8, 206);  // 37 % 4 != 0
-  comm::World world(6);
-  EXPECT_THROW(syrk_2d(world, bad, 2), InvalidArgument);
+  Session session(6);
+  EXPECT_THROW(syrk(session, SyrkRequest(bad).use_2d(2)), InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -195,10 +194,10 @@ class ThreeDShapes
 TEST_P(ThreeDShapes, MatchesReference) {
   const auto [n1, n2, c, p2] = GetParam();
   Matrix a = random_matrix(n1, n2, 301);
-  comm::World world(static_cast<int>(c * (c + 1) * p2));
-  Matrix out = syrk_3d(world, a, c, p2);
+  Session session(static_cast<int>(c * (c + 1) * p2));
+  const auto run = syrk(session, SyrkRequest(a).use_3d(c, p2));
   Matrix ref = syrk_reference(a.view());
-  EXPECT_LT(max_abs_diff(out.view(), ref.view()), kTol);
+  EXPECT_LT(max_abs_diff(run.c.view(), ref.view()), kTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -216,10 +215,10 @@ TEST(ThreeD, CommunicationNearEq12) {
   const std::size_t n1 = 48, n2 = 36;
   const std::uint64_t c = 2, p2 = 3;
   Matrix a = random_matrix(n1, n2, 302);
-  comm::World world(18);
-  syrk_3d(world, a, c, p2);
-  const auto gather = world.ledger().summary(internal::kPhaseGatherA);
-  const auto reduce = world.ledger().summary(internal::kPhaseReduceC);
+  Session session(18);
+  const auto run = syrk(session, SyrkRequest(a).use_3d(c, p2));
+  const auto& gather = run.gather_a;
+  const auto& reduce = run.reduce_c;
   // Gather phase: c² chunks of (n1·(n2/p2)/c)/p1 words.
   const double slice_cols = static_cast<double>(n2) / p2;
   const double exact_gather =
@@ -238,12 +237,12 @@ TEST(ThreeD, AttainsCase3BoundWithOptimalGrid) {
   const std::size_t n1 = 120, n2 = 120;
   const std::uint64_t c = 2, p2 = 4;  // P = 24, p1 = 6 ≈ P^{2/3}·(n1/n2)^{2/3}
   Matrix a = random_matrix(n1, n2, 303);
-  comm::World world(24);
-  syrk_3d(world, a, c, p2);
+  Session session(24);
+  const auto run = syrk(session, SyrkRequest(a).use_3d(c, p2));
   const auto bound = bounds::syrk_lower_bound(n1, n2, 24);
   ASSERT_EQ(bound.regime, bounds::Regime::kThreeD);
   const double measured =
-      static_cast<double>(world.ledger().summary().critical_path_words());
+      static_cast<double>(run.total.critical_path_words());
   const double ratio = measured / bound.communicated;
   EXPECT_GT(ratio, 0.9);
   EXPECT_LT(ratio, 2.0);
@@ -252,12 +251,11 @@ TEST(ThreeD, AttainsCase3BoundWithOptimalGrid) {
 TEST(ThreeD, ReducesToTwoDWhenP2IsOne) {
   const std::size_t n1 = 36, n2 = 10;
   Matrix a = random_matrix(n1, n2, 304);
-  comm::World w3(6), w2(6);
-  Matrix c3 = syrk_3d(w3, a, 2, 1);
-  Matrix c2 = syrk_2d(w2, a, 2);
-  EXPECT_LT(max_abs_diff(c3.view(), c2.view()), kTol);
-  EXPECT_EQ(w3.ledger().summary().max.words_sent,
-            w2.ledger().summary().max.words_sent);
+  Session session(6);
+  const auto run3 = syrk(session, SyrkRequest(a).use_3d(2, 1));
+  const auto run2 = syrk(session, SyrkRequest(a).use_2d(2));
+  EXPECT_LT(max_abs_diff(run3.c.view(), run2.c.view()), kTol);
+  EXPECT_EQ(run3.total.max.words_sent, run2.total.max.words_sent);
 }
 
 // ---------------------------------------------------------------------------
@@ -324,7 +322,7 @@ TEST(Planner, PlanPrints) {
 }
 
 // ---------------------------------------------------------------------------
-// syrk_auto end-to-end
+// Planner-path syrk end-to-end
 // ---------------------------------------------------------------------------
 
 class AutoShapes : public ::testing::TestWithParam<
@@ -333,7 +331,8 @@ class AutoShapes : public ::testing::TestWithParam<
 TEST_P(AutoShapes, PlansRunsAndValidates) {
   const auto [n1, n2, p] = GetParam();
   Matrix a = random_matrix(n1, n2, 401);
-  const auto run = syrk_auto(a, p);
+  Session session(static_cast<int>(p));
+  const auto run = syrk(session, SyrkRequest(a));
   Matrix ref = syrk_reference(a.view());
   EXPECT_LT(max_abs_diff(run.c.view(), ref.view()), kTol);
   EXPECT_LE(run.plan.procs, p);
@@ -355,7 +354,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Auto, PhaseSummariesAreConsistent) {
   Matrix a = random_matrix(48, 48, 402);
-  const auto run = syrk_auto(a, 18);
+  Session session(18);
+  const auto run = syrk(session, SyrkRequest(a));
   EXPECT_EQ(run.gather_a.total.words_sent + run.reduce_c.total.words_sent,
             run.total.total.words_sent);
 }
@@ -369,7 +369,8 @@ TEST(Auto, RandomShapeFuzz) {
     const auto n2 = static_cast<std::size_t>(rng.uniform_int(1, 120));
     const auto p = static_cast<std::uint64_t>(rng.uniform_int(1, 40));
     Matrix a = random_matrix(n1, n2, 500 + trial);
-    const auto run = syrk_auto(a, p);
+    Session session(static_cast<int>(p));
+    const auto run = syrk(session, SyrkRequest(a));
     Matrix ref = syrk_reference(a.view());
     ASSERT_LT(max_abs_diff(run.c.view(), ref.view()), kTol)
         << "n1=" << n1 << " n2=" << n2 << " P=" << p << " plan=" << run.plan;
@@ -389,16 +390,17 @@ class ButterflyShapes
 TEST_P(ButterflyShapes, MatchesPairwiseResult) {
   const auto [n1, n2, c] = GetParam();
   Matrix a = random_matrix(n1, n2, 550);
-  comm::World wp(static_cast<int>(c * (c + 1)));
-  comm::World wb(static_cast<int>(c * (c + 1)));
-  Matrix cp = syrk_2d(wp, a, c, ExchangeKind::kPairwise);
-  Matrix cb = syrk_2d(wb, a, c, ExchangeKind::kButterfly);
-  EXPECT_LT(max_abs_diff(cp.view(), cb.view()), kTol);
+  Session session(static_cast<int>(c * (c + 1)));
+  const auto pairwise = syrk(
+      session, SyrkRequest(a).use_2d(c).with_exchange(ExchangeKind::kPairwise));
+  const auto butterfly = syrk(
+      session,
+      SyrkRequest(a).use_2d(c).with_exchange(ExchangeKind::kButterfly));
+  EXPECT_LT(max_abs_diff(pairwise.c.view(), butterfly.c.view()), kTol);
   // ceil(log2 P) messages.
   const double logp = std::ceil(
       std::log2(static_cast<double>(c * (c + 1))));
-  EXPECT_EQ(wb.ledger().summary().max.msgs_sent,
-            static_cast<std::uint64_t>(logp));
+  EXPECT_EQ(butterfly.total.max.msgs_sent, static_cast<std::uint64_t>(logp));
 }
 
 INSTANTIATE_TEST_SUITE_P(

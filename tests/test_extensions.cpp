@@ -11,6 +11,7 @@
 #include "bounds/syr2k_bounds.hpp"
 #include "core/distributed.hpp"
 #include "core/memory.hpp"
+#include "core/session.hpp"
 #include "core/symm.hpp"
 #include "core/syr2k.hpp"
 #include "core/syrk.hpp"
@@ -116,10 +117,11 @@ TEST(Syr2kParallel, TwoDMovesTwiceSyrk) {
   const std::size_t n1 = 108, n2 = 24;
   Matrix a = random_matrix(n1, n2, 617);
   Matrix b = random_matrix(n1, n2, 618);
-  comm::World w1(12), w2(12);
-  core::syrk_2d(w1, a, 3);
+  core::Session s1(12);
+  const auto syrk_run = core::syrk(s1, core::SyrkRequest(a).use_2d(3));
+  comm::World w2(12);
   core::syr2k_2d(w2, a, b, 3);
-  EXPECT_EQ(2 * w1.ledger().summary().max.words_sent,
+  EXPECT_EQ(2 * syrk_run.total.max.words_sent,
             w2.ledger().summary().max.words_sent);
 }
 
@@ -295,13 +297,19 @@ TEST(Butterfly, TwoDSyrkCorrectAndLowLatency) {
   const std::size_t n1 = 108, n2 = 24;  // flat = 12·24 divisible by c+1 = 4
   Matrix a = random_matrix(n1, n2, 641);
   Matrix ref = syrk_reference(a.view());
-  comm::World wp(12), wb(12);
-  Matrix cp = core::syrk_2d(wp, a, 3, core::ExchangeKind::kPairwise);
-  Matrix cb = core::syrk_2d(wb, a, 3, core::ExchangeKind::kButterfly);
-  EXPECT_LT(max_abs_diff(cp.view(), ref.view()), kTol);
-  EXPECT_LT(max_abs_diff(cb.view(), ref.view()), kTol);
-  const auto sp = wp.ledger().summary();
-  const auto sb = wb.ledger().summary();
+  core::Session session(12);
+  const auto runp = core::syrk(
+      session,
+      core::SyrkRequest(a).use_2d(3).with_exchange(
+          core::ExchangeKind::kPairwise));
+  const auto runb = core::syrk(
+      session,
+      core::SyrkRequest(a).use_2d(3).with_exchange(
+          core::ExchangeKind::kButterfly));
+  EXPECT_LT(max_abs_diff(runp.c.view(), ref.view()), kTol);
+  EXPECT_LT(max_abs_diff(runb.c.view(), ref.view()), kTol);
+  const auto& sp = runp.total;
+  const auto& sb = runb.total;
   EXPECT_EQ(sp.max.msgs_sent, 11u);  // P − 1
   EXPECT_EQ(sb.max.msgs_sent, 4u);   // ceil(log2 12)
   EXPECT_GT(sb.max.words_sent, sp.max.words_sent);  // the bandwidth price
@@ -309,9 +317,11 @@ TEST(Butterfly, TwoDSyrkCorrectAndLowLatency) {
 
 TEST(Butterfly, RejectsUnevenChunks) {
   Matrix a = random_matrix(18, 5, 642);  // flat = 2·5 = 10, not % (c+1) = 4
-  comm::World world(12);
-  EXPECT_THROW(core::syrk_2d(world, a, 3, core::ExchangeKind::kButterfly),
-               InvalidArgument);
+  core::Session session(12);
+  EXPECT_THROW(
+      core::syrk(session, core::SyrkRequest(a).use_2d(3).with_exchange(
+                              core::ExchangeKind::kButterfly)),
+      InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -473,24 +483,25 @@ TEST(Distributed, AccumulateRejectsMismatchedRows) {
 TEST(FromRoot, ScatterThenSyrkMatchesReference) {
   const std::size_t n1 = 20, n2 = 50;
   Matrix a = random_matrix(n1, n2, 660);
-  comm::World world(5);
-  Matrix c = core::syrk_1d_from_root(world, a, /*root=*/2);
-  EXPECT_LT(max_abs_diff(c.view(), syrk_reference(a.view()).view()), kTol);
+  core::Session session(5);
+  const auto run =
+      core::syrk(session, core::SyrkRequest(a).use_1d().from_root(2));
+  EXPECT_LT(max_abs_diff(run.c.view(), syrk_reference(a.view()).view()), kTol);
 }
 
 TEST(FromRoot, ScatterCostIsVisibleAndAttributed) {
   const std::size_t n1 = 16, n2 = 40;
   const int p = 8;
   Matrix a = random_matrix(n1, n2, 661);
-  comm::World world(p);
-  core::syrk_1d_from_root(world, a, 0);
-  const auto scatter = world.ledger().summary("scatter_A");
+  core::Session session(p);
+  const auto run =
+      core::syrk(session, core::SyrkRequest(a).use_1d().from_root(0));
+  const auto& scatter = run.scatter_a;
   // The root ships every column block but its own: n1·(n2 − n2/P) words.
   EXPECT_EQ(scatter.max.words_sent, n1 * (n2 - n2 / p));
   EXPECT_EQ(scatter.total.words_sent, scatter.max.words_sent);  // root only
   // The algorithm phase is unchanged by the ingestion.
-  const auto reduce = world.ledger().summary(core::internal::kPhaseReduceC);
-  EXPECT_GT(reduce.max.words_sent, 0u);
+  EXPECT_GT(run.reduce_c.max.words_sent, 0u);
 }
 
 TEST(Distributed, LocalBlocksFollowTheDistribution) {

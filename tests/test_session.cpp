@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "core/memory.hpp"
@@ -31,22 +32,52 @@ bool bitwise_equal(const Matrix& x, const Matrix& y) {
   return true;
 }
 
-TEST(Session, PlannerRequestMatchesSyrkAuto) {
+/// The Plan a pre-1.x explicit entry point implied for `procs` ranks.
+Plan explicit_plan(Algorithm algorithm, std::uint64_t procs, std::uint64_t c,
+                   std::uint64_t p2) {
+  Plan plan;
+  plan.algorithm = algorithm;
+  plan.procs = procs;
+  plan.c = c;
+  plan.p1 = (algorithm == Algorithm::kOneD) ? 1 : c * (c + 1);
+  plan.p2 = (algorithm == Algorithm::kOneD) ? procs : p2;
+  return plan;
+}
+
+/// Result + whole-world cost of `plan` executed on a fresh, exactly sized
+/// world — the reference a warm session must reproduce bitwise.
+struct FreshRun {
+  Matrix c;
+  comm::CostSummary cost;
+};
+
+FreshRun fresh_run(const Matrix& a, const Plan& plan,
+                   const SyrkOptions& opts = {}) {
+  comm::World w(static_cast<int>(plan.logical_ranks()),
+                static_cast<int>(plan.procs));
+  FreshRun out;
+  out.c = internal::run_syrk_plan(w, a, plan, opts);
+  out.cost = w.ledger().summary();
+  return out;
+}
+
+TEST(Session, PlannerRequestMatchesFreshWorldRun) {
   Matrix a = random_matrix(24, 48, 1);
-  const SyrkRun fresh = syrk_auto(a, 12);
+  const Plan plan = plan_syrk(24, 48, 12);
+  const FreshRun fresh = fresh_run(a, plan);
 
   Session session(12);
   const SyrkRun warm = syrk(session, SyrkRequest(a));
-  EXPECT_EQ(warm.plan.algorithm, fresh.plan.algorithm);
-  EXPECT_EQ(warm.plan.procs, fresh.plan.procs);
+  EXPECT_EQ(warm.plan.algorithm, plan.algorithm);
+  EXPECT_EQ(warm.plan.procs, plan.procs);
   EXPECT_TRUE(bitwise_equal(warm.c, fresh.c));
-  EXPECT_EQ(warm.total.total, fresh.total.total);
-  EXPECT_EQ(warm.total.max, fresh.total.max);
+  EXPECT_EQ(warm.total.total, fresh.cost.total);
+  EXPECT_EQ(warm.total.max, fresh.cost.max);
 }
 
 TEST(Session, HundredJobsBitwiseAndCostIdenticalToFreshWorlds) {
   // Four request kinds cycled 25x on one 12-rank session; references are
-  // computed once on fresh, exactly-sized worlds via the old entry points.
+  // computed once on fresh, exactly-sized worlds.
   Matrix a1 = random_matrix(24, 48, 7);   // planner -> 1D at P=12
   Matrix a2 = random_matrix(48, 16, 8);   // 2D, c=2 -> 6 ranks (guard split)
   Matrix a3 = random_matrix(24, 24, 9);   // 3D, c=2, p2=2 -> 12 ranks
@@ -55,24 +86,26 @@ TEST(Session, HundredJobsBitwiseAndCostIdenticalToFreshWorlds) {
   std::vector<Matrix> ref_c(kKinds);
   std::vector<comm::CostSummary> ref_cost(kKinds);
   {
-    comm::World w(12);
-    ref_c[0] = syrk_1d(w, a1);
-    ref_cost[0] = w.ledger().summary();
+    auto r = fresh_run(a1, explicit_plan(Algorithm::kOneD, 12, 0, 12));
+    ref_c[0] = std::move(r.c);
+    ref_cost[0] = r.cost;
   }
   {
-    comm::World w(6);
-    ref_c[1] = syrk_2d(w, a2, 2);
-    ref_cost[1] = w.ledger().summary();
+    auto r = fresh_run(a2, explicit_plan(Algorithm::kTwoD, 6, 2, 1));
+    ref_c[1] = std::move(r.c);
+    ref_cost[1] = r.cost;
   }
   {
-    comm::World w(12);
-    ref_c[2] = syrk_3d(w, a3, 2, 2);
-    ref_cost[2] = w.ledger().summary();
+    auto r = fresh_run(a3, explicit_plan(Algorithm::kThreeD, 12, 2, 2));
+    ref_c[2] = std::move(r.c);
+    ref_cost[2] = r.cost;
   }
   {
-    comm::World w(12);
-    ref_c[3] = syrk_1d_from_root(w, a1, 1);
-    ref_cost[3] = w.ledger().summary();
+    SyrkOptions opts;
+    opts.root = 1;
+    auto r = fresh_run(a1, explicit_plan(Algorithm::kOneD, 12, 0, 12), opts);
+    ref_c[3] = std::move(r.c);
+    ref_cost[3] = r.cost;
   }
 
   comm::WorkerPool pool;
@@ -121,16 +154,14 @@ TEST(Session, SmallerPlansRunOnActiveSubsetWithExactCosts) {
   // A 2D c=2 plan (6 ranks) on a 12-rank session must measure exactly what
   // a 6-rank world measures — the guard split is ledger-muted.
   Matrix a = random_matrix(16, 8, 4);
-  comm::World w6(6);
-  Matrix ref = syrk_2d(w6, a, 2);
-  const auto ref_cost = w6.ledger().summary();
+  const FreshRun ref = fresh_run(a, explicit_plan(Algorithm::kTwoD, 6, 2, 1));
 
   Session session(12);
   const SyrkRun run = syrk(session, SyrkRequest(a).use_2d(2));
   EXPECT_EQ(run.plan.procs, 6u);
-  EXPECT_TRUE(bitwise_equal(run.c, ref));
-  EXPECT_EQ(run.total.total, ref_cost.total);
-  EXPECT_EQ(run.total.max, ref_cost.max);
+  EXPECT_TRUE(bitwise_equal(run.c, ref.c));
+  EXPECT_EQ(run.total.total, ref.cost.total);
+  EXPECT_EQ(run.total.max, ref.cost.max);
 }
 
 TEST(Session, ResolvePlanHonorsExplicitGrids) {
@@ -143,7 +174,7 @@ TEST(Session, ResolvePlanHonorsExplicitGrids) {
   EXPECT_EQ(p1.p2, 10u);
   // Planner default caps at the session size.
   EXPECT_LE(resolve_plan(session, SyrkRequest(a)).procs, 24u);
-  EXPECT_LE(resolve_plan(session, SyrkRequest(a).with_max_procs(6)).procs,
+  EXPECT_LE(resolve_plan(session, SyrkRequest(a).on_procs(6)).procs,
             6u);
 }
 

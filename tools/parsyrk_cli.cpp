@@ -11,9 +11,12 @@
 //   parsyrk --op bound --n1 1000 --n2 1000 --procs 4096
 //   parsyrk --op syrk  --n1 128 --n2 2048 --procs 24 --audit
 //   parsyrk --op syrk  --n1 144 --n2 96 --procs 12 --trace-out run.json
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bounds/syr2k_bounds.hpp"
 #include "core/cholesky.hpp"
@@ -25,6 +28,7 @@
 #include "matrix/io.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/random.hpp"
+#include "service/service.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "trace/audit.hpp"
@@ -122,6 +126,102 @@ int report_trace(const core::SyrkRun& run, std::uint64_t n1, std::uint64_t n2,
   return rc;
 }
 
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// --serve: replay a deterministic mixed small/medium/large workload
+/// through service::SyrkService (async submit, batched rounds, plan cache)
+/// and print throughput, latency percentiles, and scheduler/cache stats.
+int run_serve(int procs, int jobs, std::uint64_t seed, bool audit) {
+  struct ShapeSpec {
+    std::uint64_t n1, n2, cap;
+  };
+  // Small jobs at caps that pack several to a round, plus a full-size job
+  // every few requests that must run solo.
+  const std::vector<ShapeSpec> mix = {
+      {16, 64, 2},
+      {24, 96, 3},
+      {32, 64, 4},
+      {48, 96, 6},
+      {64, 128, static_cast<std::uint64_t>(procs)},
+  };
+  service::ServiceOptions opts;
+  opts.procs = procs;
+  service::SyrkService svc(opts);
+
+  // The service references request matrices; reserve so growth never moves
+  // one under an in-flight ticket.
+  std::vector<Matrix> inputs;
+  inputs.reserve(static_cast<std::size_t>(jobs));
+  std::vector<service::SyrkTicket> tickets;
+  tickets.reserve(static_cast<std::size_t>(jobs));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int j = 0; j < jobs; ++j) {
+    const ShapeSpec& s = mix[static_cast<std::size_t>(j) % mix.size()];
+    inputs.push_back(
+        random_matrix(s.n1, s.n2, seed + static_cast<std::uint64_t>(j)));
+    core::SyrkRequest req(inputs.back());
+    req.on_procs(s.cap);
+    if (audit) req.with_audit();
+    tickets.push_back(svc.submit(std::move(req)));
+  }
+
+  double max_err = 0.0;
+  int audit_violations = 0;
+  bool fifo = true;
+  std::uint64_t prev_seq = 0;
+  std::vector<double> queue_s, total_s;
+  std::uint64_t batched = 0;
+  for (std::size_t j = 0; j < tickets.size(); ++j) {
+    const service::SyrkResult& r = tickets[j].wait();
+    max_err = std::max(max_err, max_abs_diff(
+        r.run.c.view(), syrk_reference(inputs[j].view()).view()));
+    if (r.audit && !r.audit->ok()) ++audit_violations;
+    if (r.completion_seq < prev_seq) fifo = false;
+    prev_seq = r.completion_seq;
+    queue_s.push_back(r.latency.queue_seconds);
+    total_s.push_back(r.latency.total_seconds);
+    if (r.batched) ++batched;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto st = svc.stats();
+  Table t({"metric", "value"});
+  t.add_row({"requests", std::to_string(st.completed)});
+  t.add_row({"throughput (req/s)",
+             fmt_double(static_cast<double>(jobs) / wall, 6)});
+  t.add_row({"rounds", std::to_string(st.rounds)});
+  t.add_row({"rounds with >= 2 jobs", std::to_string(st.batched_rounds)});
+  t.add_row({"jobs batched / solo", std::to_string(st.batched_jobs) + " / " +
+                                        std::to_string(st.solo_jobs)});
+  t.add_row({"plan cache hits / misses",
+             std::to_string(st.plan_cache.hits) + " / " +
+                 std::to_string(st.plan_cache.misses)});
+  t.add_row({"queue p50 / p99 (us)",
+             fmt_double(1e6 * percentile(queue_s, 0.5), 5) + " / " +
+                 fmt_double(1e6 * percentile(queue_s, 0.99), 5)});
+  t.add_row({"total p50 / p99 (us)",
+             fmt_double(1e6 * percentile(total_s, 0.5), 5) + " / " +
+                 fmt_double(1e6 * percentile(total_s, 0.99), 5)});
+  t.add_row({"completion order", fifo ? "FIFO" : "OUT OF ORDER"});
+  if (audit) {
+    t.add_row({"Theorem-1 audit violations",
+               std::to_string(audit_violations)});
+  }
+  t.print(std::cout);
+  std::cout << "max |C - AAᵀ| over all requests = " << max_err << "\n";
+  const bool ok =
+      max_err < 1e-8 && fifo && audit_violations == 0 && batched > 0;
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +245,10 @@ int main(int argc, char** argv) {
                "bound and the algorithm's modeled cost (syrk only)");
   cli.add_flag("trace-out", "write the run's per-message trace as Chrome "
                "tracing JSON to this file (syrk only)", std::nullopt);
+  cli.add_flag("serve", "replay a mixed synthetic SYRK workload through the "
+               "async batching service and print throughput, latency, and "
+               "plan-cache stats");
+  cli.add_flag("jobs", "request count for --serve", "60");
   cli.add_flag("help", "print this help");
   try {
     cli.parse(argc, argv);
@@ -169,6 +273,11 @@ int main(int argc, char** argv) {
     }
 
     if (op == "bound") return run_bound(n1, n2, procs);
+    if (cli.has("serve") && cli.get("serve") == "true") {
+      return run_serve(static_cast<int>(procs),
+                       static_cast<int>(cli.get_int("jobs")), seed,
+                       cli.has("audit") && cli.get("audit") == "true");
+    }
 
     const auto memory = static_cast<std::uint64_t>(cli.get_int("memory"));
     std::string algo = cli.get("algo");
@@ -187,7 +296,8 @@ int main(int argc, char** argv) {
     if (op == "syrk" && algo == "auto" && memory == 0) {
       core::Session session(static_cast<int>(procs));
       core::SyrkRequest req(a);
-      if (tracing) req.with_trace();
+      if (audit) req.with_audit();
+      else if (tracing) req.with_trace();
       if (explain) core::resolve_plan_report(session, req).explain(std::cout);
       const auto run = core::syrk(session, req);
       std::cout << "Plan: " << run.plan << "\n";
@@ -230,7 +340,8 @@ int main(int argc, char** argv) {
     };
     if (op == "syrk") {
       core::SyrkRequest req(a);
-      if (tracing) req.with_trace();
+      if (audit) req.with_audit();
+      else if (tracing) req.with_trace();
       if (algo == "1d") {
         req.use_1d();
       } else if (algo == "2d") {
