@@ -1,0 +1,338 @@
+// Pipelined-overlap snapshot: quantifies how far with_pipeline(chunks) moves
+// a communication-bound 3D SYRK from `comm + comp` toward the overlap lower
+// envelope `max(comm, comp)` — the schedule-side free lunch Theorem 1's
+// volume bounds leave on the table. Emits the machine-readable snapshot
+// committed as BENCH_PIPELINE.json.
+//
+//   pipeline_overlap [--out FILE]
+//       runs every pipelined configuration on a warm worker pool, verifies
+//       bitwise/volume equivalence and BoundAuditor + ledger cross-checks on
+//       each, replays the recorded overlap intervals into a measured
+//       makespan, and writes the JSON snapshot (stdout if no --out).
+//
+//   pipeline_overlap --smoke [--factor F]
+//       cheap perf gate for ctest: asserts the pipelined modeled time is
+//       at most F (default 0.9) of the blocking modeled time on the
+//       comm-bound shape, and that one chunked execution stays bitwise- and
+//       volume-identical to the blocking run with a green audit.
+//
+// Two quantities per configuration:
+//
+//   - modeled: plan_modeled_seconds_pipelined vs plan_modeled_seconds — the
+//     closed-form αβγ prediction, on a bandwidth-dominated machine
+//     (α = 1e-8 s): pipelining multiplies the latency term by the chunk
+//     count, so it only pays off when words·β dominates messages·α — the
+//     regime this bench (and any sane deployment of the knob) targets.
+//   - measured: the executed schedule's reduce-phase makespan, replayed
+//     from the overlap intervals the runtime actually recorded (per-chunk
+//     words sent+received and overlapped flops, with the warm pool —
+//     chunk boundaries as executed, not as predicted):
+//
+//       makespan(rank) = comp_0 + Σ_g max(comm_g, comp_{g+1})
+//
+//     where comp_0 (the pipe-fill compute of group 0, which nothing hides)
+//     is estimated as the mean recorded group compute — groups partition
+//     the output items contiguously, so sizes differ by at most one item.
+//     The acceptance check: max-over-ranks makespan within 15% of the
+//     max-over-ranks overlap bound max(Σ comm_g, comp).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/session.hpp"
+#include "costmodel/model.hpp"
+#include "matrix/random.hpp"
+#include "trace/audit.hpp"
+
+namespace {
+
+using namespace parsyrk;
+using Clock = std::chrono::steady_clock;
+
+// The comm-bound 3D shape: c = 3, p2 = 2 on 24 ranks, n1 = 1440, n2 = 32.
+// Per reduce-phase chunk the wire moves ~1.56x the words the overlapped
+// gemm can hide (cw = n2/p2 = 16 columns per k-slice), so the phase is
+// communication-bound and the exposed pipe-fill compute is comp/G — well
+// inside the 15% acceptance band at G = 6 groups per rank.
+constexpr std::uint64_t kN1 = 1440;
+constexpr std::uint64_t kN2 = 32;
+constexpr std::uint64_t kC = 3;
+constexpr std::uint64_t kP2 = 2;
+constexpr int kRanks = 24;  // c(c+1) * p2
+constexpr std::uint64_t kSeed = 77;
+
+/// Bandwidth-dominated machine the modeled numbers are priced on.
+costmodel::Machine bench_machine() {
+  costmodel::Machine m;
+  m.alpha = 1e-8;
+  return m;
+}
+
+struct RunResult {
+  core::SyrkRun run;
+  double wall_seconds = 0.0;
+};
+
+RunResult run_once(core::Session& session, const Matrix& a, int chunks) {
+  core::SyrkRequest req(a);
+  req.use_3d(kC, kP2).with_trace();
+  if (chunks > 0) req.with_pipeline(chunks);
+  RunResult out;
+  const auto t0 = Clock::now();
+  out.run = core::syrk(session, req);
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (std::memcmp(x.data() + i * x.ld(), y.data() + i * y.ld(),
+                    x.cols() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reduce-phase schedule replay from the recorded overlap intervals.
+struct Replay {
+  double makespan_seconds = 0.0;  // max over ranks of the replayed makespan
+  double bound_seconds = 0.0;     // max over ranks of max(comm, comp)
+  double comm_seconds = 0.0;      // busiest rank's summed chunk comm
+  double comp_seconds = 0.0;      // busiest rank's total (incl. est. comp_0)
+  int max_groups = 0;
+};
+
+Replay replay_overlaps(const comm::JobTrace& trace,
+                       const costmodel::Machine& m) {
+  std::map<std::int32_t, std::vector<comm::OverlapInterval>> by_rank;
+  for (const auto& o : trace.overlaps) by_rank[o.rank].push_back(o);
+  Replay out;
+  for (auto& [rank, intervals] : by_rank) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const comm::OverlapInterval& a,
+                 const comm::OverlapInterval& b) { return a.chunk < b.chunk; });
+    const int groups = static_cast<int>(intervals.size());
+    // comp_0: group 0's compute is recorded in no window (it fills the
+    // pipe before the first post) — estimate it as the mean group compute.
+    double comp_sum = 0.0;
+    int comp_n = 0;
+    for (const auto& o : intervals) {
+      if (o.flops > 0) {
+        comp_sum += static_cast<double>(o.flops) * m.gamma;
+        ++comp_n;
+      }
+    }
+    const double comp0 = comp_n > 0 ? comp_sum / comp_n : 0.0;
+    double makespan = comp0, comm = 0.0, comp = comp0 + comp_sum;
+    for (const auto& o : intervals) {
+      // Pairwise reduce-scatter over p2 ranks: p2 - 1 message rounds per
+      // chunk; the recorded words are the chunk's send+receive volume.
+      const double comm_g = static_cast<double>(o.words) * m.beta +
+                            static_cast<double>(kP2 - 1) * m.alpha;
+      const double comp_g = static_cast<double>(o.flops) * m.gamma;
+      comm += comm_g;
+      makespan += std::max(comm_g, comp_g);
+    }
+    const double bound = std::max(comm, comp);
+    if (makespan > out.makespan_seconds) {
+      out.makespan_seconds = makespan;
+      out.comm_seconds = comm;
+      out.comp_seconds = comp;
+    }
+    out.bound_seconds = std::max(out.bound_seconds, bound);
+    out.max_groups = std::max(out.max_groups, groups);
+  }
+  return out;
+}
+
+struct ConfigReport {
+  int chunks = 0;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  bool bitwise_equal_blocking = false;
+  bool words_equal = false;
+  bool audit_ok = false;
+  bool trace_consistent = false;
+  const char* verdict = "";
+};
+
+int run_bench(const std::string& out_path, bool smoke, double factor) {
+  const costmodel::Machine m = bench_machine();
+  Matrix a = random_matrix(kN1, kN2, kSeed);
+  core::Session session(kRanks);
+
+  // Warm the pool (thread creation + first-touch) before anything timed.
+  run_once(session, a, /*chunks=*/0);
+
+  const RunResult blocking = run_once(session, a, /*chunks=*/0);
+  const core::Plan plan = blocking.run.plan;
+  const double modeled_blocking =
+      core::plan_modeled_seconds(kN1, kN2, plan, m);
+  const costmodel::CollectiveCost cost =
+      core::plan_collective_cost(kN1, kN2, plan);
+  const double modeled_comm = static_cast<double>(cost.messages) * m.alpha +
+                              static_cast<double>(cost.words) * m.beta +
+                              cost.flops * m.gamma;
+  const double modeled_comp =
+      costmodel::syrk_flops_per_rank({kN1, kN2}, plan.logical_ranks()) *
+      m.gamma;
+  const bool comm_bound = modeled_comm > modeled_comp;
+
+  const std::vector<int> chunk_counts = smoke ? std::vector<int>{4}
+                                              : std::vector<int>{1, 2, 4, 6};
+  std::vector<ConfigReport> configs;
+  Replay replay;  // from the deepest-pipelined configuration
+  bool all_green = true;
+  for (int chunks : chunk_counts) {
+    const RunResult r = run_once(session, a, chunks);
+    ConfigReport rep;
+    rep.chunks = chunks;
+    rep.wall_seconds = r.wall_seconds;
+    rep.modeled_seconds =
+        core::plan_modeled_seconds_pipelined(kN1, kN2, plan, chunks, m);
+    rep.bitwise_equal_blocking = bitwise_equal(r.run.c, blocking.run.c);
+    rep.words_equal =
+        r.run.total.total.words_sent == blocking.run.total.total.words_sent &&
+        r.run.total.total.words_recv == blocking.run.total.total.words_recv &&
+        r.run.total.max.words_sent == blocking.run.total.max.words_sent;
+    const trace::AuditReport audit =
+        trace::BoundAuditor().audit(kN1, kN2, r.run, &*r.run.trace);
+    rep.audit_ok = audit.ok();
+    rep.trace_consistent = audit.trace_checked && audit.trace_consistent;
+    rep.verdict = trace::audit_verdict_name(audit.verdict);
+    if (!rep.bitwise_equal_blocking || !rep.words_equal || !rep.audit_ok ||
+        !rep.trace_consistent) {
+      std::cerr << "FAIL: chunks=" << chunks << " bitwise="
+                << rep.bitwise_equal_blocking << " words=" << rep.words_equal
+                << " audit=" << rep.audit_ok
+                << " trace=" << rep.trace_consistent << "\n";
+      all_green = false;
+    }
+    if (chunks > 1) replay = replay_overlaps(*r.run.trace, m);
+    configs.push_back(rep);
+  }
+
+  const double replay_ratio = replay.bound_seconds > 0.0
+                                  ? replay.makespan_seconds /
+                                        replay.bound_seconds
+                                  : 0.0;
+  const double best_piped_modeled =
+      configs.back().modeled_seconds;  // deepest pipeline
+  const double modeled_ratio = best_piped_modeled / modeled_blocking;
+
+  std::cout << "pipeline overlap (" << kN1 << "x" << kN2 << ", 3D c=" << kC
+            << " p2=" << kP2 << ", " << kRanks << " ranks, "
+            << (comm_bound ? "comm-bound" : "comp-bound") << "):\n"
+            << "  modeled blocking " << modeled_blocking * 1e6
+            << " us, pipelined " << best_piped_modeled * 1e6 << " us ("
+            << modeled_ratio << "x)\n"
+            << "  reduce-phase replay: makespan "
+            << replay.makespan_seconds * 1e6 << " us vs max(comm, comp) "
+            << replay.bound_seconds * 1e6 << " us (" << replay_ratio
+            << "x, " << replay.max_groups << " groups)\n";
+
+  bool ok = all_green;
+  if (!comm_bound) {
+    std::cerr << "FAIL: shape is not comm-bound (comm " << modeled_comm
+              << " s <= comp " << modeled_comp << " s)\n";
+    ok = false;
+  }
+  if (smoke) {
+    if (modeled_ratio > factor) {
+      std::cerr << "FAIL: pipelined modeled time " << modeled_ratio
+                << "x blocking > " << factor << "x\n";
+      ok = false;
+    }
+    std::cout << (ok ? "OK\n" : "") << std::flush;
+    return ok ? 0 : 1;
+  }
+  if (replay_ratio > 1.15 || replay_ratio <= 0.0) {
+    std::cerr << "FAIL: replayed makespan " << replay_ratio
+              << "x the overlap bound (want <= 1.15)\n";
+    ok = false;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"shape\": {\"n1\": " << kN1 << ", \"n2\": " << kN2
+     << ", \"algorithm\": \"3d\", \"c\": " << kC << ", \"p2\": " << kP2
+     << ", \"ranks\": " << kRanks << "},\n";
+  os << "  \"machine\": {\"alpha\": " << m.alpha << ", \"beta\": " << m.beta
+     << ", \"gamma\": " << m.gamma << "},\n";
+  os << "  \"modeled\": {\"blocking_seconds\": " << modeled_blocking
+     << ", \"comm_seconds\": " << modeled_comm
+     << ", \"comp_seconds\": " << modeled_comp
+     << ", \"comm_bound\": " << (comm_bound ? "true" : "false") << "},\n";
+  os << "  \"reduce_phase_replay\": {\"measured_makespan_seconds\": "
+     << replay.makespan_seconds
+     << ", \"overlap_bound_seconds\": " << replay.bound_seconds
+     << ", \"ratio_to_bound\": " << replay_ratio
+     << ", \"comm_seconds\": " << replay.comm_seconds
+     << ", \"comp_seconds\": " << replay.comp_seconds
+     << ", \"groups\": " << replay.max_groups
+     << ", \"comp0_estimated\": true},\n";
+  os << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ConfigReport& c = configs[i];
+    os << "    {\"chunks\": " << c.chunks
+       << ", \"wall_seconds\": " << c.wall_seconds
+       << ", \"modeled_seconds\": " << c.modeled_seconds
+       << ", \"modeled_vs_blocking\": " << c.modeled_seconds / modeled_blocking
+       << ", \"bitwise_equal_blocking\": "
+       << (c.bitwise_equal_blocking ? "true" : "false")
+       << ", \"words_equal\": " << (c.words_equal ? "true" : "false")
+       << ", \"audit_verdict\": \"" << c.verdict << "\""
+       << ", \"audit_ok\": " << (c.audit_ok ? "true" : "false")
+       << ", \"trace_consistent\": " << (c.trace_consistent ? "true" : "false")
+       << "}" << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+
+  if (out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream f(out_path);
+    f << os.str();
+    if (!f) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  bool smoke = false;
+  double factor = 0.9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--factor" && i + 1 < argc) {
+      factor = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: pipeline_overlap [--out FILE] "
+                   "[--smoke [--factor F]]\n";
+      return 2;
+    }
+  }
+  return run_bench(out, smoke, factor);
+}

@@ -199,6 +199,22 @@ double plan_modeled_seconds(std::uint64_t n1, std::uint64_t n2,
                          plan.logical_ranks(), plan.fold_factor(), machine);
 }
 
+double plan_modeled_seconds_pipelined(std::uint64_t n1, std::uint64_t n2,
+                                      const Plan& plan, int chunks,
+                                      const costmodel::Machine& machine) {
+  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
+  const costmodel::CollectiveCost cost = plan_collective_cost(n1, n2, plan);
+  const double s = chunks < 1 ? 1.0 : static_cast<double>(chunks);
+  // Reduction adds ride with the flight time; latency is paid per segment.
+  const double comm = cost.messages * machine.alpha * s +
+                      cost.words * machine.beta + cost.flops * machine.gamma;
+  const double comp =
+      costmodel::syrk_flops_per_rank(shape, plan.logical_ranks()) *
+      machine.gamma;
+  return static_cast<double>(plan.fold_factor()) *
+         costmodel::pipelined_seconds(comm, comp, chunks);
+}
+
 PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
                            std::uint64_t max_procs, const Plan& plan,
                            std::string note) {

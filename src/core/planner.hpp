@@ -135,4 +135,15 @@ double plan_modeled_seconds(std::uint64_t n1, std::uint64_t n2,
                             const Plan& plan,
                             const costmodel::Machine& machine = {});
 
+/// Modeled runtime of `plan` when executed pipelined in `chunks` segments
+/// (SyrkRequest::with_pipeline): the local flops overlap the k-phase
+/// collective's flight time, so steady state runs at max(comm, comp) with
+/// one segment of the smaller term exposed at each end of the pipe
+/// (costmodel::pipelined_seconds). The latency term scales with the chunk
+/// count — message count grows ×chunks while word volume is unchanged.
+/// chunks <= 1 equals plan_modeled_seconds exactly.
+double plan_modeled_seconds_pipelined(std::uint64_t n1, std::uint64_t n2,
+                                      const Plan& plan, int chunks,
+                                      const costmodel::Machine& machine = {});
+
 }  // namespace parsyrk::core

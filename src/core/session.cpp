@@ -122,6 +122,13 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
                             plan.procs,
                     "bad root ", *req.options.root);
   }
+  if (req.options.pipeline_chunks >= 1) {
+    PARSYRK_REQUIRE(!req.options.root,
+                    "with_pipeline does not support from_root ingestion");
+    PARSYRK_REQUIRE(req.options.reduce == ReduceKind::kPairwise &&
+                        req.options.exchange == ExchangeKind::kPairwise,
+                    "with_pipeline supports pairwise collectives only");
+  }
 
   // Folded plans execute on a dedicated cached world of logical_ranks()
   // ranks folded onto plan.procs physical ranks; everything else runs on

@@ -162,6 +162,16 @@ struct SyrkRequest {
     options.exchange = kind;
     return *this;
   }
+  /// Pipelined chunked execution: the k-phase collective runs as `chunks`
+  /// segments on nonblocking handles so local work overlaps flight time.
+  /// Results are bitwise-identical to blocking for any chunk count, and
+  /// chunks=1 replays the blocking schedule exactly (ledger AND trace);
+  /// chunks>1 keeps word volume identical while message count scales.
+  /// Requires pairwise collectives and no from_root ingestion.
+  SyrkRequest& with_pipeline(int chunks) {
+    options.pipeline_chunks = chunks;
+    return *this;
+  }
   /// Records a per-message trace of this request's job into SyrkRun::trace
   /// (enabling tracing on the session's world if it is not already on).
   SyrkRequest& with_trace() {

@@ -24,6 +24,10 @@ namespace {
 void run_1d_rank(comm::Comm& comm, const ConstMatrixView& a,
                  const SyrkOptions& opts, Matrix& c_full) {
   if (!opts.root) {
+    if (opts.pipeline_chunks >= 1) {
+      syrk_1d_spmd_pipelined(comm, a, opts.pipeline_chunks, c_full);
+      return;
+    }
     PackedChunk chunk = syrk_1d_spmd(comm, a, opts.reduce);
     // Assembly into the shared result: disjoint entries per rank, free.
     scatter_packed_to_full(chunk, c_full);
@@ -79,17 +83,19 @@ void run_2d_rank(comm::Comm& comm, const ConstMatrixView& a,
                  const Plan& plan, const SyrkOptions& opts, Matrix& c_full) {
   dist::TriangleBlockDistribution d(plan.c);
   const std::size_t nb = a.rows() / d.num_block_rows();
-  TriangleBlocks blocks = syrk_2d_spmd(comm, d, a, opts.exchange);
+  TriangleBlocks blocks =
+      syrk_2d_spmd(comm, d, a, opts.exchange, opts.pipeline_chunks);
   auto flat = flatten_triangle_blocks(blocks);
   scatter_flat_to_full(blocks, flat, 0, nb, c_full);
 }
 
 /// Alg. 3 per-rank driver.
 void run_3d_rank(comm::Comm& comm, const ConstMatrixView& a,
-                 const Plan& plan, Matrix& c_full) {
+                 const Plan& plan, const SyrkOptions& opts, Matrix& c_full) {
   dist::TriangleBlockDistribution d(plan.c);
   const std::uint64_t p1 = d.num_procs();
   const std::uint64_t p2 = plan.p2;
+  const int p2i = static_cast<int>(p2);
   const std::size_t n2 = a.cols();
   const std::size_t nb = a.rows() / d.num_block_rows();
   // Grid coordinates: rank w = k + p1·l.
@@ -100,9 +106,110 @@ void run_3d_rank(comm::Comm& comm, const ConstMatrixView& a,
   // Slice communicator Pi_{*l} runs the 2D algorithm on column block l
   // (Alg. 3 line 3).
   comm::Comm slice = comm.split(/*color=*/l, /*key=*/k);
-  const std::size_t c0 = dist::chunk_begin(n2, static_cast<int>(p2), l);
-  const std::size_t cw = dist::chunk_size(n2, static_cast<int>(p2), l);
+  const std::size_t c0 = dist::chunk_begin(n2, p2i, l);
+  const std::size_t cw = dist::chunk_size(n2, p2i, l);
   auto a_slice = a.block(0, c0, a.rows(), cw);
+
+  if (opts.pipeline_chunks >= 1) {
+    // Pipelined Alg. 3: gather/assemble the slice's row blocks, then
+    // compute the owned output blocks group by group, reduce-scattering
+    // each group across Pi_{k*} while the next group's GEMMs run. Whole
+    // blocks per group and ownership-range intersections per segment keep
+    // every entry's accumulation order identical to blocking, so results
+    // are bitwise-equal for ANY chunk count; chunks=1 additionally replays
+    // the blocking message schedule bitwise.
+    internal::AssembledRowBlocks rb =
+        syrk_2d_gather(slice, d, a_slice, ExchangeKind::kPairwise);
+    comm::Comm row = comm.split(/*color=*/k, /*key=*/l);
+    comm.set_phase(kPhaseReduceC);
+
+    // Output shape and flat layout; sizes are known before any block is
+    // computed, which is what lets segments post early.
+    TriangleBlocks shape;
+    shape.pairs = d.owned_pairs(static_cast<std::uint64_t>(k));
+    shape.diag_index = d.diagonal_block(static_cast<std::uint64_t>(k));
+    const std::size_t items =
+        shape.pairs.size() + (shape.diag_index ? 1 : 0);
+    std::vector<std::size_t> item_off(items + 1, 0);
+    for (std::size_t t = 0; t < items; ++t) {
+      const std::size_t sz =
+          t < shape.pairs.size() ? nb * nb : nb * (nb + 1) / 2;
+      item_off[t + 1] = item_off[t] + sz;
+    }
+    const std::size_t total = item_off[items];
+
+    // Computes output items [i0, i1) into `flat_out`, returning the flops.
+    auto compute_group = [&](std::size_t i0, std::size_t i1,
+                             std::vector<double>& flat_out) {
+      flat_out.clear();
+      std::uint64_t flops = 0;
+      for (std::size_t t = i0; t < i1; ++t) {
+        if (t < shape.pairs.size()) {
+          const auto [bi, bj] = shape.pairs[t];
+          Matrix cij(nb, nb);
+          gemm_nt(rb.block_of(bi).view(), rb.block_of(bj).view(), cij.view());
+          flat_append(cij.view(), flat_out);
+          flops += 2ull * nb * nb * cw;
+        } else {
+          Matrix diag(nb, nb);
+          syrk_lower(rb.block_of(*shape.diag_index).view(), diag.view());
+          for (std::size_t rr = 0; rr < nb; ++rr) {
+            for (std::size_t cc = 0; cc <= rr; ++cc) {
+              flat_out.push_back(diag(rr, cc));
+            }
+          }
+          flops += static_cast<std::uint64_t>(nb) * (nb + 1) * cw;
+        }
+      }
+      return flops;
+    };
+
+    const int G = static_cast<int>(std::clamp<std::size_t>(
+        static_cast<std::size_t>(opts.pipeline_chunks), 1,
+        std::max<std::size_t>(items, 1)));
+    std::vector<std::size_t> own_b(p2), own_e(p2);
+    for (int q = 0; q < p2i; ++q) {
+      own_b[q] = dist::chunk_begin(total, p2i, q);
+      own_e[q] = dist::chunk_end(total, p2i, q);
+    }
+    std::vector<comm::Request> reqs(G);
+    std::vector<std::uint64_t> tokens(G), words(G);
+    std::vector<std::size_t> my_lo(G);
+    std::vector<double> scratch;  // segment payloads are captured at post
+    auto post_group = [&](int g) {
+      const std::size_t i0 = dist::chunk_begin(items, G, g);
+      const std::size_t i1 = dist::chunk_end(items, G, g);
+      const std::size_t g_lo = item_off[i0];
+      const std::size_t g_hi = item_off[i1];
+      const std::uint64_t flops = compute_group(i0, i1, scratch);
+      std::vector<std::size_t> sizes(p2);
+      for (int q = 0; q < p2i; ++q) {
+        const std::size_t b = std::max(own_b[q], g_lo);
+        const std::size_t e = std::min(own_e[q], g_hi);
+        sizes[q] = e > b ? e - b : 0;
+      }
+      my_lo[g] = std::max(own_b[l], g_lo);
+      words[g] = (g_hi - g_lo - sizes[l]) +
+                 static_cast<std::uint64_t>(p2 - 1) * sizes[l];
+      tokens[g] = row.overlap_begin();
+      reqs[g] = row.ireduce_scatter(scratch, sizes);
+      reqs[g].test();  // kick the first round so peers can overlap
+      return flops;
+    };
+    post_group(0);  // group 0's compute has nothing to hide behind
+    for (int g = 0; g < G; ++g) {
+      std::uint64_t overlapped_flops = 0;
+      if (g + 1 < G) overlapped_flops = post_group(g + 1);
+      auto reduced = reqs[g].take();
+      if (G > 1) {
+        row.overlap_end(tokens[g], static_cast<std::uint32_t>(g), words[g],
+                        overlapped_flops);
+      }
+      scatter_flat_to_full(shape, reduced, my_lo[g], nb, c_full);
+    }
+    return;
+  }
+
   TriangleBlocks blocks = syrk_2d_spmd(slice, d, a_slice);
 
   // Reduce-Scatter of C_k across Pi_{k*} (Alg. 3 line 5).
@@ -111,12 +218,10 @@ void run_3d_rank(comm::Comm& comm, const ConstMatrixView& a,
   auto flat = flatten_triangle_blocks(blocks);
   std::vector<std::size_t> sizes(p2);
   for (std::uint64_t q = 0; q < p2; ++q) {
-    sizes[q] = dist::chunk_size(flat.size(), static_cast<int>(p2),
-                                static_cast<int>(q));
+    sizes[q] = dist::chunk_size(flat.size(), p2i, static_cast<int>(q));
   }
   auto reduced = row.reduce_scatter(flat, sizes);
-  const std::size_t lo =
-      dist::chunk_begin(flat.size(), static_cast<int>(p2), l);
+  const std::size_t lo = dist::chunk_begin(flat.size(), p2i, l);
   scatter_flat_to_full(blocks, reduced, lo, nb, c_full);
 }
 
@@ -133,7 +238,7 @@ void run_syrk_plan_rank(comm::Comm& comm, const ConstMatrixView& a,
       run_2d_rank(comm, a, plan, opts, c_full);
       break;
     case Algorithm::kThreeD:
-      run_3d_rank(comm, a, plan, c_full);
+      run_3d_rank(comm, a, plan, opts, c_full);
       break;
   }
 }
@@ -172,6 +277,13 @@ Matrix run_syrk_plan(comm::World& world, const Matrix& a, const Plan& plan,
                     "root-held input is only supported with the 1D algorithm");
     PARSYRK_REQUIRE(*opts.root >= 0 && *opts.root < world.size(), "bad root ",
                     *opts.root);
+  }
+  if (opts.pipeline_chunks >= 1) {
+    PARSYRK_REQUIRE(!opts.root,
+                    "pipelined execution does not support root-held ingestion");
+    PARSYRK_REQUIRE(opts.reduce == ReduceKind::kPairwise &&
+                        opts.exchange == ExchangeKind::kPairwise,
+                    "pipelined execution supports pairwise collectives only");
   }
   const std::uint64_t exec_n1 = plan.exec_n1(a.rows());
   const Matrix* exec_a = &a;

@@ -52,6 +52,17 @@ struct SyrkOptions {
   /// *distributed* copy of A; this makes the extra ingestion term —
   /// n1·n2·(1−1/P) words out of the root — visible and attributable.
   std::optional<int> root;
+  /// Pipelined chunked execution (0 = off, the historical blocking path).
+  /// When >= 1, the k-phase collective — the packed-triangle Reduce-Scatter
+  /// (1D), the All-to-All of A (2D), the per-slice Reduce-Scatter of C
+  /// (3D) — runs as this many segments driven by nonblocking handles, so
+  /// segment s's local work overlaps segment s+1's communication. Word
+  /// volume and every entry's accumulation order are identical to blocking
+  /// for ANY chunk count (results match bitwise); message count scales with
+  /// the chunk count; chunks=1 replays the blocking schedule bitwise
+  /// (ledger AND trace). Requires pairwise collectives and no root
+  /// ingestion. Clamped to the available segment count.
+  int pipeline_chunks = 0;
 };
 
 /// Which algorithm a plan selects.

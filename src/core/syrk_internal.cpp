@@ -51,9 +51,84 @@ PackedChunk syrk_1d_spmd(comm::Comm& comm, const ConstMatrixView& a,
   return out;
 }
 
-TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
-                            const dist::TriangleBlockDistribution& d,
-                            const ConstMatrixView& a, ExchangeKind exchange) {
+void syrk_1d_spmd_pipelined(comm::Comm& comm, const ConstMatrixView& a,
+                            int chunks, Matrix& c_full) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const std::size_t n1 = a.rows();
+  const std::size_t n2 = a.cols();
+
+  // Local SYRK, exactly as in the blocking body.
+  const std::size_t c0 = dist::chunk_begin(n2, p, r);
+  const std::size_t cw = dist::chunk_size(n2, p, r);
+  Matrix cbar(n1, n1);
+  if (cw > 0) syrk_lower(a.block(0, c0, n1, cw), cbar.view());
+  PackedLower packed = PackedLower::from_full(cbar.view());
+
+  // Segmented Reduce-Scatter: segment s of the packed triangle scatters
+  // into c_full while segment s+1 is in flight. Each segment's per-rank
+  // sizes are the intersections of the blocking ownership ranges with the
+  // segment, so summed words — and each entry's accumulation order — match
+  // the blocking path exactly.
+  comm.set_phase(kPhaseReduceC);
+  const std::size_t total = packed.size();
+  const int S = static_cast<int>(std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::max(chunks, 1)), 1,
+      std::max<std::size_t>(total, 1)));
+  std::vector<std::size_t> own_b(p), own_e(p);
+  for (int q = 0; q < p; ++q) {
+    own_b[q] = dist::chunk_begin(total, p, q);
+    own_e[q] = dist::chunk_end(total, p, q);
+  }
+  auto data = packed.span();
+  std::vector<comm::Request> reqs(S);
+  std::vector<std::uint64_t> tokens(S), words(S);
+  std::vector<std::size_t> my_lo(S);
+  auto post = [&](int s) {
+    const std::size_t lo = dist::chunk_begin(total, S, s);
+    const std::size_t hi = dist::chunk_end(total, S, s);
+    std::vector<std::size_t> sizes(p);
+    for (int q = 0; q < p; ++q) {
+      const std::size_t b = std::max(own_b[q], lo);
+      const std::size_t e = std::min(own_e[q], hi);
+      sizes[q] = e > b ? e - b : 0;
+    }
+    my_lo[s] = std::max(own_b[r], lo);
+    // Words this rank moves for the segment: every peer's share out, p−1
+    // partials of its own share in (logical volume; folding discounts
+    // co-located pairs in the ledger, not here).
+    words[s] = (hi - lo - sizes[r]) +
+               static_cast<std::uint64_t>(p - 1) * sizes[r];
+    tokens[s] = comm.overlap_begin();
+    reqs[s] = comm.ireduce_scatter(data.subspan(lo, hi - lo), sizes);
+    reqs[s].test();  // kick the first round so peers can overlap against it
+  };
+  post(0);
+  for (int s = 0; s < S; ++s) {
+    if (s + 1 < S) post(s + 1);
+    PackedChunk seg;
+    seg.offset = my_lo[s];
+    seg.data = reqs[s].take();
+    // A single segment has nothing in flight beside it: no overlap window,
+    // keeping chunks=1 traces bitwise identical to blocking ones.
+    if (S > 1) {
+      comm.overlap_end(tokens[s], static_cast<std::uint32_t>(s), words[s],
+                       /*flops=*/0);
+    }
+    scatter_packed_to_full(seg, c_full);
+  }
+}
+
+const Matrix& AssembledRowBlocks::block_of(std::uint64_t i) const {
+  auto it = std::lower_bound(indices.begin(), indices.end(), i);
+  PARSYRK_CHECK(it != indices.end() && *it == i);
+  return blocks[static_cast<std::size_t>(it - indices.begin())];
+}
+
+AssembledRowBlocks syrk_2d_gather(comm::Comm& comm,
+                                  const dist::TriangleBlockDistribution& d,
+                                  const ConstMatrixView& a,
+                                  ExchangeKind exchange, int pipeline_chunks) {
   const auto p = static_cast<std::uint64_t>(comm.size());
   PARSYRK_REQUIRE(p == d.num_procs(), "2D SYRK needs exactly c(c+1) = ",
                   d.num_procs(), " ranks; communicator has ", p);
@@ -96,6 +171,99 @@ TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
       sendbuf[k2] = mine;
     }
   }
+  // Chunk geometry per source: which assembled block a peer's chunk lands
+  // in, and where. Each pair of processors shares at most one row block.
+  struct SrcInfo {
+    std::size_t block_pos = 0;  // index into rk order
+    std::size_t lo = 0, hi = 0;  // flat range within the row block
+  };
+  std::vector<std::optional<SrcInfo>> src_info(p);
+  for (std::size_t bi = 0; bi < rk.size(); ++bi) {
+    const std::uint64_t i = rk[bi];
+    for (std::uint64_t k2 : d.processor_set(i)) {
+      if (k2 == k) continue;
+      const int q = static_cast<int>(d.chunk_index(i, k2));
+      src_info[k2] = SrcInfo{bi, dist::chunk_begin(flat, parts, q),
+                             dist::chunk_end(flat, parts, q)};
+    }
+  }
+
+  AssembledRowBlocks rb;
+  rb.indices.assign(rk.begin(), rk.end());
+  rb.blocks.reserve(rk.size());
+  for (std::uint64_t i : rk) {
+    Matrix ai(nb, n2);
+    // Own chunk: read straight from the shared view (free, local data).
+    const int q = static_cast<int>(d.chunk_index(i, k));
+    const std::size_t lo = dist::chunk_begin(flat, parts, q);
+    const std::size_t hi = dist::chunk_end(flat, parts, q);
+    for (std::size_t t = lo; t < hi; ++t) {
+      ai(t / n2, t % n2) = a(i * nb + t / n2, t % n2);
+    }
+    rb.blocks.push_back(std::move(ai));
+  }
+
+  if (pipeline_chunks >= 1) {
+    // Segmented nonblocking exchange: every payload is sliced into S
+    // contiguous segments (sender and receiver agree on the slicing because
+    // chunk sizes are distribution-determined), and segment s assembles
+    // while segment s+1 is in flight. Summed words are identical to the
+    // blocking exchange; only the message count scales with S.
+    PARSYRK_REQUIRE(exchange == ExchangeKind::kPairwise,
+                    "pipelined 2D exchange supports pairwise only");
+    const int S = pipeline_chunks;
+    std::vector<comm::Request> reqs(S);
+    std::vector<std::uint64_t> tokens(S), sent(S);
+    auto post = [&](int s) {
+      std::vector<std::vector<double>> seg(p);
+      std::uint64_t w = 0;
+      for (std::uint64_t k2 = 0; k2 < p; ++k2) {
+        const auto& full = sendbuf[k2];
+        const std::size_t lo = dist::chunk_begin(full.size(), S, s);
+        const std::size_t hi = dist::chunk_end(full.size(), S, s);
+        seg[k2].assign(full.begin() + lo, full.begin() + hi);
+        if (k2 != k) w += hi - lo;
+      }
+      sent[s] = w;
+      tokens[s] = comm.overlap_begin();
+      reqs[s] = comm.iall_to_all_v(seg);
+      reqs[s].test();  // kick the first round so peers can overlap
+    };
+    post(0);
+    for (int s = 0; s < S; ++s) {
+      if (s + 1 < S) post(s + 1);
+      auto seg_parts = reqs[s].take_parts();
+      std::uint64_t recvd = 0;
+      for (std::uint64_t k2 = 0; k2 < p; ++k2) {
+        if (k2 == k) continue;
+        recvd += seg_parts[k2].size();
+      }
+      if (S > 1) {
+        comm.overlap_end(tokens[s], static_cast<std::uint32_t>(s),
+                         sent[s] + recvd, /*flops=*/0);
+      }
+      // Assemble this segment (under the next segment's in-flight window).
+      for (std::uint64_t k2 = 0; k2 < p; ++k2) {
+        if (k2 == k) continue;
+        if (!src_info[k2]) {
+          PARSYRK_CHECK_MSG(seg_parts[k2].empty(), "rank ", k,
+                            " received an unexpected chunk from ", k2);
+          continue;
+        }
+        const SrcInfo& si = *src_info[k2];
+        const std::size_t len = si.hi - si.lo;
+        const std::size_t s_lo = dist::chunk_begin(len, S, s);
+        const std::size_t s_hi = dist::chunk_end(len, S, s);
+        PARSYRK_CHECK_MSG(seg_parts[k2].size() == s_hi - s_lo, "rank ", k,
+                          " expected a segment of ", s_hi - s_lo,
+                          " words from ", k2, ", got ", seg_parts[k2].size());
+        flat_assign(rb.blocks[si.block_pos].view(), si.lo + s_lo,
+                    seg_parts[k2]);
+      }
+    }
+    return rb;
+  }
+
   std::vector<std::vector<double>> recvbuf;
   if (exchange == ExchangeKind::kPairwise) {
     recvbuf = comm.all_to_all_v(sendbuf);
@@ -122,50 +290,47 @@ TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
     }
   }
 
-  // Assemble the full row blocks A_i, i in R_k, from own + received chunks.
-  std::vector<Matrix> local_a;  // in R_k order
-  local_a.reserve(rk.size());
-  for (std::uint64_t i : rk) {
-    Matrix ai(nb, n2);
-    for (std::uint64_t k2 : d.processor_set(i)) {
-      const int q = static_cast<int>(d.chunk_index(i, k2));
-      const std::size_t lo = dist::chunk_begin(flat, parts, q);
-      const std::size_t hi = dist::chunk_end(flat, parts, q);
-      if (k2 == k) {
-        for (std::size_t t = lo; t < hi; ++t) {
-          ai(t / n2, t % n2) = a(i * nb + t / n2, t % n2);
-        }
-      } else {
-        const auto& chunk = recvbuf[k2];
-        PARSYRK_CHECK_MSG(chunk.size() == hi - lo, "rank ", k,
-                          " expected a chunk of ", hi - lo, " words from ", k2,
-                          ", got ", chunk.size());
-        flat_assign(ai.view(), lo, chunk);
-      }
-    }
-    local_a.push_back(std::move(ai));
+  // Assemble the received chunks into the row blocks (own chunks were read
+  // during preallocation above).
+  for (std::uint64_t k2 = 0; k2 < p; ++k2) {
+    if (k2 == k || !src_info[k2]) continue;
+    const SrcInfo& si = *src_info[k2];
+    const auto& chunk = recvbuf[k2];
+    PARSYRK_CHECK_MSG(chunk.size() == si.hi - si.lo, "rank ", k,
+                      " expected a chunk of ", si.hi - si.lo, " words from ",
+                      k2, ", got ", chunk.size());
+    flat_assign(rb.blocks[si.block_pos].view(), si.lo, chunk);
   }
-  auto block_of = [&](std::uint64_t i) -> const Matrix& {
-    auto it = std::lower_bound(rk.begin(), rk.end(), i);
-    PARSYRK_CHECK(it != rk.end() && *it == i);
-    return local_a[static_cast<std::size_t>(it - rk.begin())];
-  };
+  return rb;
+}
 
-  // --- Local computation (Alg. 2 lines 15–20) ---
+TriangleBlocks syrk_2d_compute(const dist::TriangleBlockDistribution& d,
+                               std::uint64_t k,
+                               const AssembledRowBlocks& rb) {
+  const std::size_t nb = rb.blocks.empty() ? 0 : rb.blocks.front().rows();
   TriangleBlocks out;
   out.pairs = d.owned_pairs(k);
   out.off_blocks.reserve(out.pairs.size());
   for (const auto& [i, j] : out.pairs) {
     Matrix cij(nb, nb);
-    gemm_nt(block_of(i).view(), block_of(j).view(), cij.view());
+    gemm_nt(rb.block_of(i).view(), rb.block_of(j).view(), cij.view());
     out.off_blocks.push_back(std::move(cij));
   }
   if (auto di = d.diagonal_block(k)) {
     out.diag_index = *di;
     out.diag_block = Matrix(nb, nb);
-    syrk_lower(block_of(*di).view(), out.diag_block.view());
+    syrk_lower(rb.block_of(*di).view(), out.diag_block.view());
   }
   return out;
+}
+
+TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
+                            const dist::TriangleBlockDistribution& d,
+                            const ConstMatrixView& a, ExchangeKind exchange,
+                            int pipeline_chunks) {
+  AssembledRowBlocks rb =
+      syrk_2d_gather(comm, d, a, exchange, pipeline_chunks);
+  return syrk_2d_compute(d, static_cast<std::uint64_t>(comm.rank()), rb);
 }
 
 std::vector<double> flatten_triangle_blocks(const TriangleBlocks& b) {

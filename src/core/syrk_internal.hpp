@@ -39,6 +39,16 @@ struct PackedChunk {
 PackedChunk syrk_1d_spmd(comm::Comm& comm, const ConstMatrixView& a,
                          ReduceKind reduce = ReduceKind::kPairwise);
 
+/// Pipelined Alg. 1 body: the packed-triangle Reduce-Scatter is split into
+/// `chunks` contiguous segments driven by nonblocking handles, so segment
+/// s's result scatters into `c_full` while segment s+1 is in flight. Every
+/// segment's per-rank sizes are the intersections of the blocking ownership
+/// ranges with the segment, so the summed word volume — and each entry's
+/// accumulation order — is identical to the blocking path; chunks=1 replays
+/// the blocking schedule exactly (same tags, same event order).
+void syrk_1d_spmd_pipelined(comm::Comm& comm, const ConstMatrixView& a,
+                            int chunks, Matrix& c_full);
+
 /// How the 2D algorithm's All-to-All is realized (§6 trade-off):
 /// pairwise exchange is bandwidth-optimal with latency P−1; the butterfly
 /// (Bruck) variant has latency ceil(log2 P) at ~(log2 P)/2 times the words.
@@ -59,7 +69,32 @@ struct TriangleBlocks {
 TriangleBlocks syrk_2d_spmd(comm::Comm& comm,
                             const dist::TriangleBlockDistribution& d,
                             const ConstMatrixView& a,
-                            ExchangeKind exchange = ExchangeKind::kPairwise);
+                            ExchangeKind exchange = ExchangeKind::kPairwise,
+                            int pipeline_chunks = 0);
+
+/// Row blocks of A this rank assembled from the All-to-All (the output of
+/// the 2D gather stage, input to the compute stage).
+struct AssembledRowBlocks {
+  std::vector<std::uint64_t> indices;  // R_k, sorted
+  std::vector<Matrix> blocks;          // same order
+  const Matrix& block_of(std::uint64_t i) const;
+};
+
+/// Gather stage of Alg. 2 (lines 3–14): All-to-All exchange of row-block
+/// chunks plus assembly. With pipeline_chunks >= 1 the exchange runs as
+/// that many segmented nonblocking All-to-Alls (pairwise only): segment s
+/// assembles while segment s+1 is in flight. Word volume is identical for
+/// any chunk count; chunks <= 1 replays the blocking schedule exactly.
+AssembledRowBlocks syrk_2d_gather(comm::Comm& comm,
+                                  const dist::TriangleBlockDistribution& d,
+                                  const ConstMatrixView& a,
+                                  ExchangeKind exchange,
+                                  int pipeline_chunks = 0);
+
+/// Compute stage of Alg. 2 (lines 15–20) over assembled row blocks:
+/// GEMM per owned off-diagonal pair, SYRK for the diagonal block.
+TriangleBlocks syrk_2d_compute(const dist::TriangleBlockDistribution& d,
+                               std::uint64_t k, const AssembledRowBlocks& rb);
 
 /// Serializes the blocks a rank owns into the flat buffer the 3D algorithm
 /// reduce-scatters: off-diagonal blocks in pair order (row-major within a

@@ -91,6 +91,21 @@ inline CollectiveCost reduce_scatter_bruck(std::uint64_t p, double w) {
   return {std::ceil(std::log2(pd)), vol, vol};
 }
 
+/// Makespan of a software-pipelined phase: communication time `comm_s`
+/// overlapped against compute time `comp_s` in `chunks` equal segments.
+/// Steady state runs at the larger of the two; one segment of the smaller
+/// term is exposed at each end of the pipe (the first segment's compute has
+/// nothing to hide behind, the last segment's flight nothing to hide).
+/// chunks <= 1 degenerates to the serial sum comm_s + comp_s. Latency
+/// scaling (message count grows with the chunk count) is the caller's
+/// responsibility: fold messages·α·chunks into comm_s before calling.
+inline double pipelined_seconds(double comm_s, double comp_s, int chunks) {
+  if (chunks <= 1) return comm_s + comp_s;
+  const double s = static_cast<double>(chunks);
+  return (comm_s > comp_s ? comm_s : comp_s) +
+         (comm_s > comp_s ? comp_s : comm_s) / s;
+}
+
 /// Butterfly (Bruck) All-to-All (§6): latency ceil(log2 P) at the price of a
 /// bandwidth factor: (w/2)·ceil(log2 P) words.
 inline CollectiveCost all_to_all_butterfly(std::uint64_t p, double w) {

@@ -182,9 +182,24 @@ bool SyrkService::admit(detail::TicketState& st) {
                               *st.request.options.root) < st.plan.procs,
                       "bad root ", *st.request.options.root);
     }
-    st.modeled_seconds = core::plan_modeled_seconds(
-        st.request.a->rows(), st.request.a->cols(), st.plan,
-        options_.plan_options.machine);
+    if (st.request.options.pipeline_chunks >= 1) {
+      PARSYRK_REQUIRE(!st.request.options.root,
+                      "with_pipeline does not support from_root ingestion");
+      PARSYRK_REQUIRE(
+          st.request.options.reduce == core::ReduceKind::kPairwise &&
+              st.request.options.exchange == core::ExchangeKind::kPairwise,
+          "with_pipeline supports pairwise collectives only");
+      // Pipelined jobs are priced at their overlapped makespan, so the
+      // admission budget and batch bin-packing see the time they actually
+      // occupy the round.
+      st.modeled_seconds = core::plan_modeled_seconds_pipelined(
+          st.request.a->rows(), st.request.a->cols(), st.plan,
+          st.request.options.pipeline_chunks, options_.plan_options.machine);
+    } else {
+      st.modeled_seconds = core::plan_modeled_seconds(
+          st.request.a->rows(), st.request.a->cols(), st.plan,
+          options_.plan_options.machine);
+    }
     st.admitted = true;
     return true;
   } catch (...) {
@@ -415,6 +430,7 @@ void SyrkService::finish(const std::shared_ptr<detail::TicketState>& st,
     } else {
       ++stats_.solo_jobs;
     }
+    if (st->request.options.pipeline_chunks >= 1) ++stats_.pipelined_jobs;
     stats_.total_queue_seconds += res.latency.queue_seconds;
     stats_.total_service_seconds += res.latency.service_seconds;
   }

@@ -132,6 +132,8 @@ struct ServiceStats {
   std::uint64_t solo_jobs = 0;
   /// Jobs rerun solo after a batch-mate poisoned their round.
   std::uint64_t retried_jobs = 0;
+  /// Jobs executed with pipelined chunked collectives (with_pipeline).
+  std::uint64_t pipelined_jobs = 0;
   double total_queue_seconds = 0.0;
   double total_service_seconds = 0.0;
   PlanCache::Stats plan_cache;

@@ -217,32 +217,250 @@ void Comm::barrier() {
 }
 
 // ---------------------------------------------------------------------------
-// Pairwise-exchange collectives
+// Nonblocking engine
 // ---------------------------------------------------------------------------
+//
+// Every collective is described as a list of *rounds*: sends to post, then
+// receives to match, then a completion step (accumulate / place / reshape).
+// The blocking collectives build the same round lists and immediately
+// wait(), so blocking and nonblocking execution share one schedule — same
+// tags, same per-rank event order, same ledger volume. Payloads are either
+// captured eagerly at construction (pairwise schedules read only the input
+// buffer) or built lazily at post time (log-round schedules whose round-k
+// payload depends on rounds < k).
 
-std::vector<std::vector<double>> Comm::all_to_all_v(
-    const std::vector<std::vector<double>>& send) {
-  OpScope scope(*this, OpKind::kAllToAllV);
-  const int p = size();
-  PARSYRK_REQUIRE(static_cast<int>(send.size()) == p,
-                  "all_to_all_v needs one block per rank; got ", send.size(),
-                  " for ", p, " ranks");
-  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
-  const std::int64_t tag0 = next_op_tag();
-  std::vector<std::vector<double>> recv(p);
-  recv[rank_] = send[rank_];  // own block stays local; no cost
-  for (int r = 1; r < p; ++r) {
-    const int dst = (rank_ + r) % p;
-    const int src = (rank_ - r + p) % p;
-    send_tagged(dst, tag0 + r, send[dst]);
-    recv[src] = recv_tagged(src, tag0 + r);
+namespace detail {
+
+struct OpState {
+  struct Send {
+    int dst = 0;  // group rank
+    std::int64_t tag = 0;
+    std::vector<double> payload;                 // used when !build
+    std::function<std::vector<double>()> build;  // lazy payload
+  };
+  struct Recv {
+    int src = 0;  // group rank
+    std::int64_t tag = 0;
+    bool done = false;
+    std::vector<double> payload;
+  };
+  struct Round {
+    std::vector<Send> sends;
+    std::vector<Recv> recvs;
+    std::function<void(Round&)> on_complete;
+  };
+
+  // Posting context, captured when the operation is created. Messages the
+  // operation moves later are attributed to this context — not to whatever
+  // phase the rank has advanced to by completion time.
+  World* world = nullptr;
+  std::shared_ptr<Group> group;
+  int rank = 0;  // group rank of the posting side
+  OpKind kind = OpKind::kPointToPoint;
+  bool mute = false;
+  std::string phase;              // ledger phase at post time
+  std::uint32_t trace_phase = 0;  // trace phase id at post time
+
+  std::vector<Round> rounds;
+  std::size_t current = 0;
+  bool sends_posted = false;  // of rounds[current]
+
+  // Results, populated by completion steps.
+  std::vector<double> flat;                // RS / AG / irecv payload
+  std::vector<std::vector<double>> parts;  // per-rank results + scratch
+
+  int world_rank() const { return group->world_ranks[rank]; }
+  bool complete() const { return current >= rounds.size(); }
+
+  void post_send(Send& s) {
+    std::vector<double> payload = s.build ? s.build() : std::move(s.payload);
+    const int dst_world = group->world_ranks[s.dst];
+    if (!mute && !world->colocated(world_rank(), dst_world)) {
+      world->ledger().record_send(world_rank(), payload.size(), phase);
+      if (TraceSink* sink = world->trace_sink()) {
+        sink->record(world_rank(), dst_world, kind, TraceDir::kSend,
+                     payload.size(), trace_phase);
+      }
+    }
+    Message msg;
+    msg.env = Envelope{group->id, rank, s.tag};
+    msg.payload = std::move(payload);
+    world->mailbox(dst_world).push(std::move(msg));
   }
-  return recv;
+
+  void record_recv(int src, std::size_t words) {
+    const int src_world = group->world_ranks[src];
+    if (mute || world->colocated(world_rank(), src_world)) return;
+    world->ledger().record_recv(world_rank(), words, phase);
+    if (TraceSink* sink = world->trace_sink()) {
+      sink->record(world_rank(), src_world, kind, TraceDir::kRecv, words,
+                   trace_phase);
+    }
+  }
+
+  void post_current_sends() {
+    if (sends_posted) return;
+    sends_posted = true;
+    for (Send& s : rounds[current].sends) post_send(s);
+  }
+
+  void finish_round(Round& r) {
+    if (r.on_complete) r.on_complete(r);
+    r.sends.clear();
+    r.recvs.clear();
+    r.on_complete = nullptr;
+    ++current;
+    sends_posted = false;
+  }
+
+  /// Nonblocking progress: posts due sends, matches already-arrived
+  /// receives (out of order within the round is fine — completion steps run
+  /// only once the whole round is in, in round order, so results stay
+  /// deterministic under any test()/wait() interleaving). Returns complete().
+  bool try_progress() {
+    while (!complete()) {
+      Round& r = rounds[current];
+      post_current_sends();
+      bool ready = true;
+      for (Recv& rv : r.recvs) {
+        if (rv.done) continue;
+        auto got = world->mailbox(world_rank())
+                       .try_pop(Envelope{group->id, rv.src, rv.tag});
+        if (!got) {
+          ready = false;
+          continue;
+        }
+        record_recv(rv.src, got->size());
+        rv.payload = std::move(*got);
+        rv.done = true;
+      }
+      if (!ready) return false;
+      finish_round(r);
+    }
+    return true;
+  }
+
+  /// Blocking completion: receives are popped in listed order, so a wait()
+  /// immediately after creation replays exactly the historical blocking
+  /// schedule (golden traces depend on this).
+  void wait_all() {
+    while (!complete()) {
+      Round& r = rounds[current];
+      post_current_sends();
+      for (Recv& rv : r.recvs) {
+        if (rv.done) continue;
+        auto payload = world->mailbox(world_rank())
+                           .pop(Envelope{group->id, rv.src, rv.tag});
+        record_recv(rv.src, payload.size());
+        rv.payload = std::move(payload);
+        rv.done = true;
+      }
+      finish_round(r);
+    }
+  }
+};
+
+}  // namespace detail
+
+Request::Request(std::shared_ptr<detail::OpState> state)
+    : state_(std::move(state)) {
+  // Posting is eager: the first round's sends enter the mailboxes — and the
+  // ledger/trace, under the posting context — at handle creation, before
+  // the caller ever drives the handle. An in-flight (posted-but-incomplete)
+  // send crossing a ledger snapshot boundary is therefore attributed to the
+  // job and phase that posted it, never to whoever completes the handle.
+  // Per-rank event order is unchanged: a blocking wrapper waits immediately
+  // after creation, and round-0 sends precede every receive either way.
+  if (state_ && !state_->complete()) state_->post_current_sends();
 }
 
-std::vector<double> Comm::reduce_scatter(
-    std::span<const double> data, const std::vector<std::size_t>& sizes) {
-  OpScope scope(*this, OpKind::kReduceScatter);
+bool Request::done() const { return !state_ || state_->complete(); }
+
+bool Request::test() {
+  PARSYRK_CHECK_MSG(state_ != nullptr, "test() on an empty Request");
+  return state_->try_progress();
+}
+
+void Request::wait() {
+  PARSYRK_CHECK_MSG(state_ != nullptr, "wait() on an empty Request");
+  state_->wait_all();
+}
+
+std::vector<double> Request::take() {
+  wait();
+  return std::move(state_->flat);
+}
+
+std::vector<std::vector<double>> Request::take_parts() {
+  wait();
+  return std::move(state_->parts);
+}
+
+std::shared_ptr<detail::OpState> Comm::make_op(OpKind kind) const {
+  auto st = std::make_shared<detail::OpState>();
+  st->world = world_;
+  st->group = group_;
+  st->rank = rank_;
+  st->kind = op_kind_.value_or(kind);
+  st->mute = mute_ledger_;
+  st->phase = world_->ledger().current_phase(world_rank());
+  if (TraceSink* sink = world_->trace_sink()) {
+    st->trace_phase = sink->current_phase_id(world_rank());
+  }
+  return st;
+}
+
+std::uint64_t Comm::overlap_begin() const {
+  TraceSink* sink = world_->trace_sink();
+  return sink ? sink->ordinal(world_rank()) : 0;
+}
+
+void Comm::overlap_end(std::uint64_t token, std::uint32_t chunk,
+                       std::uint64_t words, std::uint64_t flops) const {
+  TraceSink* sink = world_->trace_sink();
+  if (sink == nullptr) return;
+  OverlapInterval o;
+  o.rank = world_rank();
+  o.chunk = chunk;
+  o.post_ordinal = token;
+  o.complete_ordinal = sink->ordinal(world_rank());
+  o.words = words;
+  o.flops = flops;
+  sink->record_overlap(o);
+}
+
+Request Comm::isend(int dst, int tag, std::span<const double> data) {
+  PARSYRK_REQUIRE(tag >= 0, "user tags must be non-negative, got ", tag);
+  PARSYRK_CHECK_MSG(dst >= 0 && dst < size() && dst != rank_,
+                    "bad destination ", dst, " from rank ", rank_);
+  auto st = make_op(OpKind::kPointToPoint);
+  // Eager buffered semantics: the payload is on its way immediately, so the
+  // handle is born complete.
+  detail::OpState::Send s;
+  s.dst = dst;
+  s.tag = tag;
+  s.payload.assign(data.begin(), data.end());
+  st->post_send(s);
+  return Request(std::move(st));
+}
+
+Request Comm::irecv(int src, int tag) {
+  PARSYRK_REQUIRE(tag >= 0, "user tags must be non-negative, got ", tag);
+  PARSYRK_CHECK_MSG(src >= 0 && src < size() && src != rank_,
+                    "bad source ", src, " at rank ", rank_);
+  auto st = make_op(OpKind::kPointToPoint);
+  detail::OpState* raw = st.get();
+  detail::OpState::Round round;
+  round.recvs.push_back({src, tag});
+  round.on_complete = [raw](detail::OpState::Round& r) {
+    raw->flat = std::move(r.recvs[0].payload);
+  };
+  st->rounds.push_back(std::move(round));
+  return Request(std::move(st));
+}
+
+Request Comm::ireduce_scatter(std::span<const double> data,
+                              const std::vector<std::size_t>& sizes) {
   const int p = size();
   PARSYRK_REQUIRE(static_cast<int>(sizes.size()) == p,
                   "reduce_scatter needs one block size per rank");
@@ -252,17 +470,104 @@ std::vector<double> Comm::reduce_scatter(
                   data.size(), " words but block sizes sum to ", offset[p]);
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
-  std::vector<double> acc(data.begin() + offset[rank_],
-                          data.begin() + offset[rank_ + 1]);
+  auto st = make_op(OpKind::kReduceScatter);
+  st->flat.assign(data.begin() + offset[rank_],
+                  data.begin() + offset[rank_ + 1]);
+  detail::OpState* raw = st.get();
+  st->rounds.reserve(p - 1);
   for (int r = 1; r < p; ++r) {
     const int dst = (rank_ + r) % p;
     const int src = (rank_ - r + p) % p;
-    send_tagged(dst, tag0 + r, data.subspan(offset[dst], sizes[dst]));
-    auto in = recv_tagged(src, tag0 + r);
-    PARSYRK_CHECK(in.size() == acc.size());
-    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + r;
+    s.payload.assign(data.begin() + offset[dst],
+                     data.begin() + offset[dst] + sizes[dst]);
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + r});
+    round.on_complete = [raw](detail::OpState::Round& rd) {
+      const auto& in = rd.recvs[0].payload;
+      PARSYRK_CHECK(in.size() == raw->flat.size());
+      for (std::size_t i = 0; i < in.size(); ++i) raw->flat[i] += in[i];
+    };
+    st->rounds.push_back(std::move(round));
   }
-  return acc;
+  return Request(std::move(st));
+}
+
+Request Comm::iall_gather(std::span<const double> mine) {
+  const int p = size();
+  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
+  const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kAllGather);
+  const std::size_t n = mine.size();
+  st->flat.assign(n * p, 0.0);
+  std::copy(mine.begin(), mine.end(), st->flat.begin() + rank_ * n);
+  detail::OpState* raw = st.get();
+  st->rounds.reserve(p - 1);
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank_ + r) % p;
+    const int src = (rank_ - r + p) % p;
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + r;
+    s.payload.assign(mine.begin(), mine.end());
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + r});
+    round.on_complete = [raw, src, n](detail::OpState::Round& rd) {
+      const auto& in = rd.recvs[0].payload;
+      PARSYRK_CHECK(in.size() == n);
+      std::copy(in.begin(), in.end(), raw->flat.begin() + src * n);
+    };
+    st->rounds.push_back(std::move(round));
+  }
+  return Request(std::move(st));
+}
+
+Request Comm::iall_to_all_v(const std::vector<std::vector<double>>& send) {
+  const int p = size();
+  PARSYRK_REQUIRE(static_cast<int>(send.size()) == p,
+                  "all_to_all_v needs one block per rank; got ", send.size(),
+                  " for ", p, " ranks");
+  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
+  const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kAllToAllV);
+  st->parts.resize(p);
+  st->parts[rank_] = send[rank_];  // own block stays local; no cost
+  detail::OpState* raw = st.get();
+  st->rounds.reserve(p - 1);
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank_ + r) % p;
+    const int src = (rank_ - r + p) % p;
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + r;
+    s.payload = send[dst];
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + r});
+    round.on_complete = [raw, src](detail::OpState::Round& rd) {
+      raw->parts[src] = std::move(rd.recvs[0].payload);
+    };
+    st->rounds.push_back(std::move(round));
+  }
+  return Request(std::move(st));
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise-exchange collectives (blocking wrappers over the engine)
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> Comm::all_to_all_v(
+    const std::vector<std::vector<double>>& send) {
+  return iall_to_all_v(send).take_parts();
+}
+
+std::vector<double> Comm::reduce_scatter(
+    std::span<const double> data, const std::vector<std::size_t>& sizes) {
+  return ireduce_scatter(data, sizes).take();
 }
 
 std::vector<double> Comm::reduce_scatter_equal(std::span<const double> data) {
@@ -280,38 +585,35 @@ std::vector<double> Comm::all_reduce(std::span<const double> data) {
 }
 
 std::vector<double> Comm::all_gather(std::span<const double> mine) {
-  OpScope scope(*this, OpKind::kAllGather);
-  const int p = size();
-  PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
-  const std::int64_t tag0 = next_op_tag();
-  std::vector<double> out(mine.size() * p);
-  std::copy(mine.begin(), mine.end(), out.begin() + rank_ * mine.size());
-  for (int r = 1; r < p; ++r) {
-    const int dst = (rank_ + r) % p;
-    const int src = (rank_ - r + p) % p;
-    send_tagged(dst, tag0 + r, mine);
-    auto in = recv_tagged(src, tag0 + r);
-    PARSYRK_CHECK(in.size() == mine.size());
-    std::copy(in.begin(), in.end(), out.begin() + src * mine.size());
-  }
-  return out;
+  return iall_gather(mine).take();
 }
 
 std::vector<std::vector<double>> Comm::all_gather_v(
     std::span<const double> mine) {
-  OpScope scope(*this, OpKind::kAllGatherV);
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
-  std::vector<std::vector<double>> out(p);
-  out[rank_].assign(mine.begin(), mine.end());
+  auto st = make_op(OpKind::kAllGatherV);
+  st->parts.resize(p);
+  st->parts[rank_].assign(mine.begin(), mine.end());
+  detail::OpState* raw = st.get();
+  st->rounds.reserve(p - 1);
   for (int r = 1; r < p; ++r) {
     const int dst = (rank_ + r) % p;
     const int src = (rank_ - r + p) % p;
-    send_tagged(dst, tag0 + r, mine);
-    out[src] = recv_tagged(src, tag0 + r);
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + r;
+    s.payload.assign(mine.begin(), mine.end());
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + r});
+    round.on_complete = [raw, src](detail::OpState::Round& rd) {
+      raw->parts[src] = std::move(rd.recvs[0].payload);
+    };
+    st->rounds.push_back(std::move(round));
   }
-  return out;
+  return Request(std::move(st)).take_parts();
 }
 
 // ---------------------------------------------------------------------------
@@ -319,125 +621,190 @@ std::vector<std::vector<double>> Comm::all_gather_v(
 // ---------------------------------------------------------------------------
 
 std::vector<double> Comm::all_gather_bruck(std::span<const double> mine) {
-  OpScope scope(*this, OpKind::kAllGatherBruck);
   const int p = size();
   const std::size_t n = mine.size();
   const std::int64_t tag0 = next_op_tag();
-  // rel[t] holds the contribution of rank (rank_ + t) mod p.
-  std::vector<std::vector<double>> rel;
-  rel.reserve(p);
-  rel.emplace_back(mine.begin(), mine.end());
-  int round = 0;
+  auto st = make_op(OpKind::kAllGatherBruck);
+  // parts[t] holds the contribution of rank (rank_ + t) mod p; round-k
+  // payloads flatten what earlier rounds delivered, so they are built
+  // lazily at post time.
+  st->parts.reserve(p);
+  st->parts.emplace_back(mine.begin(), mine.end());
+  detail::OpState* raw = st.get();
+  int round_idx = 0;
   for (int d = 1; d < p; d <<= 1) {
     const int count = std::min(d, p - d);
     const int dst = (rank_ - d + p) % p;
     const int src = (rank_ + d) % p;
-    std::vector<double> flat;
-    flat.reserve(count * n);
-    for (int t = 0; t < count; ++t) {
-      flat.insert(flat.end(), rel[t].begin(), rel[t].end());
-    }
-    send_tagged(dst, tag0 + round, flat);
-    auto in = recv_tagged(src, tag0 + round);
-    PARSYRK_CHECK(in.size() == static_cast<std::size_t>(count) * n);
-    for (int t = 0; t < count; ++t) {
-      rel.emplace_back(in.begin() + t * n, in.begin() + (t + 1) * n);
-    }
-    ++round;
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + round_idx;
+    s.build = [raw, count, n] {
+      std::vector<double> flat;
+      flat.reserve(count * n);
+      for (int t = 0; t < count; ++t) {
+        flat.insert(flat.end(), raw->parts[t].begin(), raw->parts[t].end());
+      }
+      return flat;
+    };
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + round_idx});
+    round.on_complete = [raw, count, n](detail::OpState::Round& rd) {
+      const auto& in = rd.recvs[0].payload;
+      PARSYRK_CHECK(in.size() == static_cast<std::size_t>(count) * n);
+      for (int t = 0; t < count; ++t) {
+        raw->parts.emplace_back(in.begin() + t * n, in.begin() + (t + 1) * n);
+      }
+    };
+    st->rounds.push_back(std::move(round));
+    ++round_idx;
   }
-  std::vector<double> out(n * p);
-  for (int t = 0; t < p; ++t) {
-    const int owner = (rank_ + t) % p;
-    std::copy(rel[t].begin(), rel[t].end(), out.begin() + owner * n);
-  }
-  return out;
+  // Final (message-free) round: unrotate the relative slots into rank order.
+  const int myrank = rank_;
+  detail::OpState::Round fin;
+  fin.on_complete = [raw, p, n, myrank](detail::OpState::Round&) {
+    raw->flat.assign(n * static_cast<std::size_t>(p), 0.0);
+    for (int t = 0; t < p; ++t) {
+      const int owner = (myrank + t) % p;
+      std::copy(raw->parts[t].begin(), raw->parts[t].end(),
+                raw->flat.begin() + owner * n);
+    }
+    raw->parts.clear();
+  };
+  st->rounds.push_back(std::move(fin));
+  return Request(std::move(st)).take();
 }
 
 std::vector<double> Comm::reduce_scatter_bruck(std::span<const double> data) {
-  OpScope scope(*this, OpKind::kReduceScatterBruck);
   const int p = size();
   PARSYRK_REQUIRE(data.size() % p == 0, "buffer of ", data.size(),
                   " words is not divisible by ", p, " ranks");
   const std::size_t n = data.size() / p;
   const std::int64_t tag0 = next_op_tag();
-  // rel[t] = my partial for rank (rank_ + t) mod p. The schedule is the
+  auto st = make_op(OpKind::kReduceScatterBruck);
+  // parts[t] = my partial for rank (rank_ + t) mod p. The schedule is the
   // exact reverse of all_gather_bruck with summation folded in: what the
   // gather copied outward, the reduce accumulates inward, so bandwidth
-  // (1−1/P)·w and latency ceil(log2 P) are both optimal (§6).
-  std::vector<std::vector<double>> rel(p);
+  // (1−1/P)·w and latency ceil(log2 P) are both optimal (§6). Payloads read
+  // partials mutated by earlier rounds, so they are built lazily.
+  st->parts.resize(p);
   for (int t = 0; t < p; ++t) {
     const int owner = (rank_ + t) % p;
-    rel[t].assign(data.begin() + owner * n, data.begin() + (owner + 1) * n);
+    st->parts[t].assign(data.begin() + owner * n,
+                        data.begin() + (owner + 1) * n);
   }
+  detail::OpState* raw = st.get();
   // Forward step distances, replayed in reverse.
   std::vector<int> steps;
   for (int d = 1; d < p; d <<= 1) steps.push_back(d);
-  int round = 0;
+  int round_idx = 0;
   for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
     const int d = *it;
     const int count = std::min(d, p - d);
     const int dst = (rank_ + d) % p;
     const int src = (rank_ - d + p) % p;
-    std::vector<double> flat;
-    flat.reserve(count * n);
-    for (int t = d; t < d + count; ++t) {
-      flat.insert(flat.end(), rel[t].begin(), rel[t].end());
-    }
-    send_tagged(dst, tag0 + round, flat);
-    auto in = recv_tagged(src, tag0 + round);
-    PARSYRK_CHECK(in.size() == static_cast<std::size_t>(count) * n);
-    for (int t = 0; t < count; ++t) {
-      for (std::size_t w = 0; w < n; ++w) {
-        rel[t][w] += in[t * n + w];
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + round_idx;
+    s.build = [raw, d, count, n] {
+      std::vector<double> flat;
+      flat.reserve(count * n);
+      for (int t = d; t < d + count; ++t) {
+        flat.insert(flat.end(), raw->parts[t].begin(), raw->parts[t].end());
       }
-    }
-    ++round;
+      return flat;
+    };
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + round_idx});
+    round.on_complete = [raw, count, n](detail::OpState::Round& rd) {
+      const auto& in = rd.recvs[0].payload;
+      PARSYRK_CHECK(in.size() == static_cast<std::size_t>(count) * n);
+      for (int t = 0; t < count; ++t) {
+        for (std::size_t w = 0; w < n; ++w) {
+          raw->parts[t][w] += in[t * n + w];
+        }
+      }
+    };
+    st->rounds.push_back(std::move(round));
+    ++round_idx;
   }
-  return rel[0];
+  detail::OpState::Round fin;
+  fin.on_complete = [raw](detail::OpState::Round&) {
+    raw->flat = std::move(raw->parts[0]);
+    raw->parts.clear();
+  };
+  st->rounds.push_back(std::move(fin));
+  return Request(std::move(st)).take();
 }
 
 std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
                                                std::size_t block) {
-  OpScope scope(*this, OpKind::kAllToAllButterfly);
   const int p = size();
   PARSYRK_REQUIRE(send.size() == block * p,
                   "butterfly all-to-all needs p equal blocks");
   const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kAllToAllButterfly);
   // Phase 1: local rotation so slot j holds the block destined to rank_+j.
-  std::vector<std::vector<double>> buf(p);
+  st->parts.resize(p);
   for (int j = 0; j < p; ++j) {
     const int dst = (rank_ + j) % p;
-    buf[j].assign(send.begin() + dst * block, send.begin() + (dst + 1) * block);
+    st->parts[j].assign(send.begin() + dst * block,
+                        send.begin() + (dst + 1) * block);
   }
+  detail::OpState* raw = st.get();
   // Phase 2: bit-wise exchanges; block j travels a total displacement of j.
-  int round = 0;
+  // Which slots move per round depends only on the bit, so the move lists
+  // are precomputed; the payloads read slots rewritten by earlier rounds
+  // and are built lazily.
+  int round_idx = 0;
   for (int bit = 1; bit < p; bit <<= 1) {
     const int dst = (rank_ + bit) % p;
     const int src = (rank_ - bit + p) % p;
-    std::vector<int> moved;
-    std::vector<double> flat;
+    auto moved = std::make_shared<std::vector<int>>();
     for (int j = 0; j < p; ++j) {
-      if ((j & bit) != 0) {
-        moved.push_back(j);
-        flat.insert(flat.end(), buf[j].begin(), buf[j].end());
+      if ((j & bit) != 0) moved->push_back(j);
+    }
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = dst;
+    s.tag = tag0 + round_idx;
+    s.build = [raw, moved, block] {
+      std::vector<double> flat;
+      flat.reserve(moved->size() * block);
+      for (int j : *moved) {
+        flat.insert(flat.end(), raw->parts[j].begin(), raw->parts[j].end());
       }
-    }
-    send_tagged(dst, tag0 + round, flat);
-    auto in = recv_tagged(src, tag0 + round);
-    PARSYRK_CHECK(in.size() == moved.size() * block);
-    for (std::size_t m = 0; m < moved.size(); ++m) {
-      buf[moved[m]].assign(in.begin() + m * block,
-                           in.begin() + (m + 1) * block);
-    }
-    ++round;
+      return flat;
+    };
+    round.sends.push_back(std::move(s));
+    round.recvs.push_back({src, tag0 + round_idx});
+    round.on_complete = [raw, moved, block](detail::OpState::Round& rd) {
+      const auto& in = rd.recvs[0].payload;
+      PARSYRK_CHECK(in.size() == moved->size() * block);
+      for (std::size_t m = 0; m < moved->size(); ++m) {
+        raw->parts[(*moved)[m]].assign(in.begin() + m * block,
+                                       in.begin() + (m + 1) * block);
+      }
+    };
+    st->rounds.push_back(std::move(round));
+    ++round_idx;
   }
   // Phase 3: slot j now holds the block from rank (rank_ - j); unrotate.
-  std::vector<double> out(block * p);
-  for (int j = 0; j < p; ++j) {
-    const int src = (rank_ - j + p) % p;
-    std::copy(buf[j].begin(), buf[j].end(), out.begin() + src * block);
-  }
-  return out;
+  const int myrank = rank_;
+  detail::OpState::Round fin;
+  fin.on_complete = [raw, p, block, myrank](detail::OpState::Round&) {
+    raw->flat.assign(block * static_cast<std::size_t>(p), 0.0);
+    for (int j = 0; j < p; ++j) {
+      const int src = (myrank - j + p) % p;
+      std::copy(raw->parts[j].begin(), raw->parts[j].end(),
+                raw->flat.begin() + src * block);
+    }
+    raw->parts.clear();
+  };
+  st->rounds.push_back(std::move(fin));
+  return Request(std::move(st)).take();
 }
 
 // ---------------------------------------------------------------------------
@@ -445,92 +812,151 @@ std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
 // ---------------------------------------------------------------------------
 
 void Comm::bcast(std::span<double> data, int root) {
-  OpScope scope(*this, OpKind::kBcast);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad bcast root ", root);
   const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kBcast);
   const int vrank = (rank_ - root + p) % p;
+  // Binomial tree: receive once (non-root), then forward down the tree. The
+  // forward payloads read the just-received data, so they are built lazily;
+  // `data` is the caller's buffer and outlives the blocking wait below.
   int mask = 1;
   while (mask < p) {
     if ((vrank & mask) != 0) {
       const int src = ((vrank - mask) + root) % p;
-      auto in = recv_tagged(src, tag0);
-      PARSYRK_CHECK(in.size() == data.size());
-      std::copy(in.begin(), in.end(), data.begin());
+      detail::OpState::Round round;
+      round.recvs.push_back({src, tag0});
+      round.on_complete = [data](detail::OpState::Round& rd) {
+        const auto& in = rd.recvs[0].payload;
+        PARSYRK_CHECK(in.size() == data.size());
+        std::copy(in.begin(), in.end(), data.begin());
+      };
+      st->rounds.push_back(std::move(round));
       break;
     }
     mask <<= 1;
   }
   mask >>= 1;
+  detail::OpState::Round fwd;
   while (mask > 0) {
     if (vrank + mask < p) {
       const int dst = ((vrank + mask) + root) % p;
-      send_tagged(dst, tag0, data);
+      detail::OpState::Send s;
+      s.dst = dst;
+      s.tag = tag0;
+      s.build = [data] { return std::vector<double>(data.begin(), data.end()); };
+      fwd.sends.push_back(std::move(s));
     }
     mask >>= 1;
   }
+  if (!fwd.sends.empty()) st->rounds.push_back(std::move(fwd));
+  Request(std::move(st)).wait();
 }
 
 std::vector<double> Comm::reduce(std::span<const double> data, int root) {
-  OpScope scope(*this, OpKind::kReduce);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad reduce root ", root);
   const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kReduce);
   const int vrank = (rank_ - root + p) % p;
-  std::vector<double> acc(data.begin(), data.end());
+  st->flat.assign(data.begin(), data.end());
+  detail::OpState* raw = st.get();
+  // Binomial tree: accumulate children in mask order, then (non-root) send
+  // the partial up — lazily, since it reads the accumulated result.
+  bool sender = false;
   int mask = 1;
   while (mask < p) {
     if ((vrank & mask) != 0) {
       const int dst = ((vrank - mask) + root) % p;
-      send_tagged(dst, tag0, acc);
-      return {};
+      detail::OpState::Round round;
+      detail::OpState::Send s;
+      s.dst = dst;
+      s.tag = tag0;
+      s.build = [raw] { return raw->flat; };
+      round.sends.push_back(std::move(s));
+      st->rounds.push_back(std::move(round));
+      sender = true;
+      break;
     }
     if (vrank + mask < p) {
       const int src = ((vrank + mask) + root) % p;
-      auto in = recv_tagged(src, tag0);
-      PARSYRK_CHECK(in.size() == acc.size());
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      detail::OpState::Round round;
+      round.recvs.push_back({src, tag0});
+      round.on_complete = [raw](detail::OpState::Round& rd) {
+        const auto& in = rd.recvs[0].payload;
+        PARSYRK_CHECK(in.size() == raw->flat.size());
+        for (std::size_t i = 0; i < in.size(); ++i) raw->flat[i] += in[i];
+      };
+      st->rounds.push_back(std::move(round));
     }
     mask <<= 1;
   }
-  return acc;
+  auto out = Request(std::move(st)).take();
+  return sender ? std::vector<double>{} : std::move(out);
 }
 
 std::vector<std::vector<double>> Comm::gather(std::span<const double> mine,
                                               int root) {
-  OpScope scope(*this, OpKind::kGather);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad gather root ", root);
   const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kGather);
+  detail::OpState* raw = st.get();
   if (rank_ != root) {
-    send_tagged(root, tag0, mine);
+    detail::OpState::Round round;
+    detail::OpState::Send s;
+    s.dst = root;
+    s.tag = tag0;
+    s.payload.assign(mine.begin(), mine.end());
+    round.sends.push_back(std::move(s));
+    st->rounds.push_back(std::move(round));
+    Request(std::move(st)).wait();
     return {};
   }
-  std::vector<std::vector<double>> out(p);
-  out[root].assign(mine.begin(), mine.end());
+  st->parts.resize(p);
+  st->parts[root].assign(mine.begin(), mine.end());
+  detail::OpState::Round round;
   for (int r = 0; r < p; ++r) {
     if (r == root) continue;
-    out[r] = recv_tagged(r, tag0);
+    round.recvs.push_back({r, tag0});
   }
-  return out;
+  round.on_complete = [raw](detail::OpState::Round& rd) {
+    for (auto& rv : rd.recvs) raw->parts[rv.src] = std::move(rv.payload);
+  };
+  st->rounds.push_back(std::move(round));
+  return Request(std::move(st)).take_parts();
 }
 
 std::vector<double> Comm::scatter(
     const std::vector<std::vector<double>>& parts, int root) {
-  OpScope scope(*this, OpKind::kScatter);
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad scatter root ", root);
   const std::int64_t tag0 = next_op_tag();
+  auto st = make_op(OpKind::kScatter);
+  detail::OpState* raw = st.get();
   if (rank_ == root) {
     PARSYRK_REQUIRE(static_cast<int>(parts.size()) == p,
                     "scatter needs one part per rank");
+    detail::OpState::Round round;
     for (int r = 0; r < p; ++r) {
       if (r == root) continue;
-      send_tagged(r, tag0, parts[r]);
+      detail::OpState::Send s;
+      s.dst = r;
+      s.tag = tag0;
+      s.payload = parts[r];
+      round.sends.push_back(std::move(s));
     }
-    return parts[root];
+    st->flat = parts[root];
+    st->rounds.push_back(std::move(round));
+    return Request(std::move(st)).take();
   }
-  return recv_tagged(root, tag0);
+  detail::OpState::Round round;
+  round.recvs.push_back({root, tag0});
+  round.on_complete = [raw](detail::OpState::Round& rd) {
+    raw->flat = std::move(rd.recvs[0].payload);
+  };
+  st->rounds.push_back(std::move(round));
+  return Request(std::move(st)).take();
 }
 
 // ---------------------------------------------------------------------------

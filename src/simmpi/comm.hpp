@@ -32,6 +32,56 @@ class World;
 
 namespace detail {
 
+/// State of one in-flight nonblocking operation (defined in comm.cpp): the
+/// posting context (world, group, rank, phase, op kind) captured at
+/// creation, plus the operation's round schedule and partial results.
+struct OpState;
+
+}  // namespace detail
+
+/// Handle to an in-flight nonblocking operation (isend/irecv/icollectives).
+/// Cheap to copy; all copies observe the same state. A handle must be
+/// driven to completion (wait(), or test() until true) before the SPMD body
+/// returns — an abandoned incomplete handle leaves its messages undrained.
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the operation has completed (no progress is attempted).
+  bool done() const;
+
+  /// Makes as much progress as possible without blocking (posts due sends,
+  /// matches any already-arrived receives — out-of-order completion within
+  /// the current round is fine) and returns whether the operation is now
+  /// complete. Safe to call in any interleaving across handles.
+  bool test();
+
+  /// Drives the operation to completion, blocking on outstanding receives.
+  /// Handles on one communicator must be waited in posting order
+  /// (non-overtaking): peers drive their handles in posting order too, so
+  /// overtaking can deadlock. Throws RankAborted when a peer rank failed.
+  void wait();
+
+  /// wait(), then moves out the flat result (reduce_scatter / all_gather /
+  /// irecv payload; empty for isend).
+  std::vector<double> take();
+
+  /// wait(), then moves out the per-rank result (all_to_all_v).
+  std::vector<std::vector<double>> take_parts();
+
+ private:
+  friend class Comm;
+  /// Posts the operation's first-round sends eagerly (MPI-style: posting
+  /// happens at handle creation, not when the handle is first driven).
+  explicit Request(std::shared_ptr<detail::OpState> state);
+
+  std::shared_ptr<detail::OpState> state_;
+};
+
+namespace detail {
+
 /// State shared by the member ranks of one communicator group.
 struct Group {
   std::uint64_t id = 0;
@@ -140,8 +190,58 @@ class Comm {
   /// group ordered by (key, rank). Collective over this communicator.
   Comm split(int color, int key);
 
+  // ---- Nonblocking primitives (the icollect engine) ----
+  //
+  // Every blocking collective above is a thin create-then-wait() wrapper
+  // over this engine, so blocking and nonblocking runs share one schedule:
+  // the same tags, the same per-rank message order, the same ledger volume.
+  // A handle captures its ledger phase, trace phase, and operation kind at
+  // POST time; every message it later moves is attributed to that posting
+  // context even if the rank has since changed phase or a ledger snapshot
+  // was taken at a job boundary (in-flight attribution).
+  //
+  // Completion discipline: handles on one communicator must be *waited* in
+  // posting order (non-overtaking) — peers drive theirs in posting order
+  // too, so overtaking a pending collective can deadlock. test() never
+  // blocks and is safe in any interleaving.
+
+  /// Eager nonblocking send: the payload is buffered immediately, so the
+  /// handle is born complete (wait() is a no-op). Exists for symmetry and
+  /// for fuzzing the handle lifecycle.
+  Request isend(int dst, int tag, std::span<const double> data);
+
+  /// Nonblocking receive; take() yields the payload.
+  Request irecv(int src, int tag);
+
+  /// Nonblocking pairwise reduce-scatter; take() yields this rank's summed
+  /// block. Block sizes as in reduce_scatter().
+  Request ireduce_scatter(std::span<const double> data,
+                          const std::vector<std::size_t>& sizes);
+
+  /// Nonblocking pairwise all-gather; take() yields the rank-order
+  /// concatenation.
+  Request iall_gather(std::span<const double> mine);
+
+  /// Nonblocking personalized all-to-all; take_parts() yields one vector
+  /// per source rank.
+  Request iall_to_all_v(const std::vector<std::vector<double>>& send);
+
+  // ---- Overlap windows (pipelined-execution trace support) ----
+
+  /// Marks the start of a comm/comp overlap window: returns this rank's
+  /// current trace ordinal (0 when tracing is off).
+  std::uint64_t overlap_begin() const;
+
+  /// Records the window [token, current ordinal) as pipelined chunk `chunk`
+  /// that moved `words` while `flops` of kernel work ran under it. No-op
+  /// when tracing is off.
+  void overlap_end(std::uint64_t token, std::uint32_t chunk,
+                   std::uint64_t words, std::uint64_t flops) const;
+
  private:
   friend class World;
+  friend class Request;
+  friend struct detail::OpState;
   Comm(World* world, std::shared_ptr<detail::Group> group, int rank,
        std::uint32_t handle_gen)
       : world_(world),
@@ -164,6 +264,11 @@ class Comm {
 
   void send_tagged(int dst, std::int64_t tag, std::span<const double> data);
   std::vector<double> recv_tagged(int src, std::int64_t tag);
+
+  /// Allocates engine state for one nonblocking operation, capturing the
+  /// posting context (kind honours an enclosing OpScope; phase labels are
+  /// snapshotted from the ledger/trace).
+  std::shared_ptr<detail::OpState> make_op(OpKind kind) const;
 
   static constexpr std::int64_t kTagStride = 4096;
   static constexpr std::int64_t kOpsPerHandle = std::int64_t{1} << 20;
@@ -272,6 +377,7 @@ class World {
 
  private:
   friend class Comm;
+  friend struct detail::OpState;  // the nonblocking engine posts/pops directly
 
   Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }
 

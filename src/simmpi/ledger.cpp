@@ -41,6 +41,28 @@ void CostLedger::record_recv(int rank, std::uint64_t words) {
   c.msgs_recv += 1;
 }
 
+void CostLedger::record_send(int rank, std::uint64_t words,
+                             const std::string& phase) {
+  std::lock_guard lock(mu_);
+  auto& c = ranks_[rank].by_phase[phase];
+  c.words_sent += words;
+  c.msgs_sent += 1;
+}
+
+void CostLedger::record_recv(int rank, std::uint64_t words,
+                             const std::string& phase) {
+  std::lock_guard lock(mu_);
+  auto& c = ranks_[rank].by_phase[phase];
+  c.words_recv += words;
+  c.msgs_recv += 1;
+}
+
+std::string CostLedger::current_phase(int rank) const {
+  std::lock_guard lock(mu_);
+  PARSYRK_CHECK(rank >= 0 && rank < static_cast<int>(ranks_.size()));
+  return ranks_[rank].phase;
+}
+
 void CostLedger::reset() {
   std::lock_guard lock(mu_);
   for (auto& r : ranks_) {

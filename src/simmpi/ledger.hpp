@@ -85,6 +85,22 @@ class CostLedger {
   void record_send(int rank, std::uint64_t words);
   void record_recv(int rank, std::uint64_t words);
 
+  // ---- Explicit-phase recording (nonblocking-operation support) ----
+  //
+  // A nonblocking operation captures the rank's phase when it is *posted*
+  // and records every message it later moves under that phase, even if the
+  // rank has since advanced to another phase (or another job's snapshot was
+  // taken at the boundary). This is what keeps in-flight traffic attributed
+  // to the posting job/phase rather than whatever label happened to be
+  // current at completion time.
+
+  void record_send(int rank, std::uint64_t words, const std::string& phase);
+  void record_recv(int rank, std::uint64_t words, const std::string& phase);
+
+  /// The phase label `rank`'s traffic is currently attributed to (what a
+  /// nonblocking operation captures at post time).
+  std::string current_phase(int rank) const;
+
   /// Clears all counters and phases.
   void reset();
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -65,6 +66,25 @@ class Mailbox {
       if (poisoned_) throw RankAborted();
       cv_.wait(lock);
     }
+  }
+
+  /// Non-blocking variant of pop(): removes and returns the payload of the
+  /// first message matching `env` if one is already queued, nullopt
+  /// otherwise. The nonblocking engine's test() path polls with this, so it
+  /// can make progress without ever parking the rank. A match is delivered
+  /// even on a poisoned mailbox only if it is already queued — otherwise the
+  /// poison surfaces as RankAborted, exactly as it would from pop().
+  std::optional<std::vector<double>> try_pop(const Envelope& env) {
+    std::lock_guard lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->env == env) {
+        std::vector<double> payload = std::move(it->payload);
+        queue_.erase(it);
+        return payload;
+      }
+    }
+    if (poisoned_) throw RankAborted();
+    return std::nullopt;
   }
 
   /// Wakes every blocked receiver with RankAborted (failure propagation).

@@ -44,6 +44,12 @@ JobTrace extract_rank_range(const JobTrace& round, int rank_begin,
     t.events.push_back(out);
     used[e.phase] = true;
   }
+  for (const OverlapInterval& o : round.overlaps) {
+    if (o.rank < rank_begin || o.rank >= rank_end) continue;
+    OverlapInterval out = o;
+    out.rank -= rank_begin;
+    t.overlaps.push_back(out);
+  }
   // Rebuild the canonical phase table from the phases this range used; the
   // round table is sorted by name, so the filtered subset stays sorted.
   std::vector<std::uint32_t> remap(round.phases.size(), 0);
@@ -111,6 +117,7 @@ void TraceSink::begin_job(std::uint64_t job_id) {
     pr->ring.reset_dropped();
     pr->phase = 0;  // back to "default", exactly as on a fresh world
     pr->ordinal = 0;
+    pr->overlaps.clear();
   }
 }
 
@@ -131,16 +138,25 @@ void TraceSink::set_phase(int rank, const std::string& phase) {
 
 void TraceSink::record(int rank, int peer, OpKind kind, TraceDir dir,
                        std::uint64_t words) {
+  record(rank, peer, kind, dir, words, per_rank_[rank]->phase);
+}
+
+void TraceSink::record(int rank, int peer, OpKind kind, TraceDir dir,
+                       std::uint64_t words, std::uint32_t phase_id) {
   PerRank& pr = *per_rank_[rank];
   TraceEvent e;
   e.ordinal = pr.ordinal++;
   e.words = words;
   e.rank = rank;
   e.peer = peer;
-  e.phase = pr.phase;
+  e.phase = phase_id;
   e.kind = kind;
   e.dir = dir;
   pr.ring.try_push(e);
+}
+
+void TraceSink::record_overlap(const OverlapInterval& interval) {
+  per_rank_[interval.rank]->overlaps.push_back(interval);
 }
 
 JobTrace TraceSink::drain(bool poisoned) {
@@ -153,6 +169,11 @@ JobTrace TraceSink::drain(bool poisoned) {
     pr->ring.drain(t.events);  // per-ring ordinal order, ranks appended in order
     t.dropped += pr->ring.dropped();
     pr->ring.reset_dropped();
+    // Overlap windows are appended in (rank, post_ordinal) order — each rank
+    // records its own in posting order.
+    t.overlaps.insert(t.overlaps.end(), pr->overlaps.begin(),
+                      pr->overlaps.end());
+    pr->overlaps.clear();
   }
   // Canonicalize the phase table: ids in the raw events reflect interning
   // order, which can differ run-to-run when ranks race to name phases. The

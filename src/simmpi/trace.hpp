@@ -68,6 +68,24 @@ struct TraceEvent {
   bool operator==(const TraceEvent&) const = default;
 };
 
+/// One comm/comp overlap window of a pipelined phase, as seen by one rank:
+/// a nonblocking chunk operation was in flight from post_ordinal until
+/// complete_ordinal (rank-local event ordinals bracket the window) while
+/// `flops` of local kernel work ran under it. Side data next to the event
+/// stream — the events themselves still carry the full volume accounting,
+/// so unpipelined traces have no overlaps and keep their byte-exact golden
+/// format.
+struct OverlapInterval {
+  std::int32_t rank = 0;            // recording world rank
+  std::uint32_t chunk = 0;          // chunk index within the pipelined phase
+  std::uint64_t post_ordinal = 0;   // rank ordinal when the op was posted
+  std::uint64_t complete_ordinal = 0;  // rank ordinal when it completed
+  std::uint64_t words = 0;          // words the chunk's collective moved
+  std::uint64_t flops = 0;          // kernel flops computed while in flight
+
+  bool operator==(const OverlapInterval&) const = default;
+};
+
 /// Everything recorded for one job: events of all ranks merged in
 /// (rank, ordinal) order, plus the phase-name table the events index.
 /// Phase ids are canonical (lexicographically sorted names), so two traces
@@ -85,6 +103,10 @@ struct JobTrace {
   std::uint64_t dropped = 0;  // events lost to ring-buffer overflow
   std::vector<std::string> phases;
   std::vector<TraceEvent> events;
+  /// Comm/comp overlap windows of pipelined runs, in (rank, post_ordinal)
+  /// order; empty for unpipelined jobs. Serialized by the binary exporter
+  /// only when non-empty, so committed unpipelined goldens are unchanged.
+  std::vector<OverlapInterval> overlaps;
 
   const std::string& phase_name(const TraceEvent& e) const {
     return phases[e.phase];
@@ -157,6 +179,26 @@ class TraceSink {
   void record(int rank, int peer, OpKind kind, TraceDir dir,
               std::uint64_t words);
 
+  /// Explicit-phase variant for nonblocking operations: the event is
+  /// stamped with `phase_id` (captured via current_phase_id() when the
+  /// operation was posted) instead of the rank's current phase.
+  void record(int rank, int peer, OpKind kind, TraceDir dir,
+              std::uint64_t words, std::uint32_t phase_id);
+
+  /// The interned id of `rank`'s current phase (post-time capture for
+  /// nonblocking operations). Called only by `rank`'s worker thread.
+  std::uint32_t current_phase_id(int rank) const {
+    return per_rank_[rank]->phase;
+  }
+
+  /// The next event ordinal `rank` will record (brackets overlap windows).
+  /// Called only by `rank`'s worker thread.
+  std::uint64_t ordinal(int rank) const { return per_rank_[rank]->ordinal; }
+
+  /// Records one comm/comp overlap window. Called only by `rank`'s worker
+  /// thread; drained into JobTrace::overlaps alongside the events.
+  void record_overlap(const OverlapInterval& interval);
+
   /// Collects everything recorded since begin_job() as one JobTrace with a
   /// canonical phase table. Must not run concurrently with a job.
   JobTrace drain(bool poisoned);
@@ -169,6 +211,9 @@ class TraceSink {
     detail::TraceRing ring;
     std::uint32_t phase = 0;      // written only by the owning rank
     std::uint64_t ordinal = 0;    // written only by the owning rank
+    // Overlap windows are rare (one per pipelined chunk), so a plain vector
+    // written by the owning rank and read by the between-jobs drain is safe.
+    std::vector<OverlapInterval> overlaps;
   };
 
   std::uint32_t intern(const std::string& phase);

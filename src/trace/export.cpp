@@ -47,6 +47,15 @@ void write_chrome_json(std::ostream& os, const comm::JobTrace& trace) {
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
        << ",\"args\":{\"name\":\"rank " << r << "\"}}";
   }
+  // Overlap lanes: one synthetic thread per rank (tid = ranks + rank) so the
+  // pipelined in-flight windows render beneath that rank's event lane.
+  if (!trace.overlaps.empty()) {
+    for (std::uint32_t r = 0; r < trace.ranks; ++r) {
+      os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+         << (trace.ranks + r) << ",\"args\":{\"name\":\"rank " << r
+         << " overlap\"}}";
+    }
+  }
   for (const auto& e : trace.events) {
     os << ",\n{\"name\":\"";
     json_escape(os, std::string(op_kind_name(e.kind)) +
@@ -59,6 +68,17 @@ void write_chrome_json(std::ostream& os, const comm::JobTrace& trace) {
        << ",\"phase\":\"";
     json_escape(os, trace.phase_name(e));
     os << "\"}}";
+  }
+  for (const auto& o : trace.overlaps) {
+    const std::uint64_t dur = o.complete_ordinal > o.post_ordinal
+                                  ? o.complete_ordinal - o.post_ordinal
+                                  : 1;
+    os << ",\n{\"name\":\"chunk " << o.chunk
+       << " in flight\",\"cat\":\"overlap\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << (trace.ranks + static_cast<std::uint32_t>(o.rank))
+       << ",\"ts\":" << o.post_ordinal << ",\"dur\":" << dur
+       << ",\"args\":{\"chunk\":" << o.chunk << ",\"words\":" << o.words
+       << ",\"flops\":" << o.flops << "}}";
   }
   os << "\n]}\n";
 }
@@ -131,6 +151,21 @@ void write_binary(std::ostream& os, const comm::JobTrace& trace) {
     put_u32(os, (static_cast<std::uint32_t>(e.kind) << 8) |
                     static_cast<std::uint32_t>(e.dir));
   }
+  // Overlap section: appended only when a pipelined run recorded intervals,
+  // so unpipelined traces stay byte-identical to the pre-overlap format
+  // (the reader peeks for EOF). Version stays 1 — the extension is purely
+  // additive.
+  if (!trace.overlaps.empty()) {
+    put_u64(os, trace.overlaps.size());
+    for (const auto& o : trace.overlaps) {
+      put_u32(os, static_cast<std::uint32_t>(o.rank));
+      put_u32(os, o.chunk);
+      put_u64(os, o.post_ordinal);
+      put_u64(os, o.complete_ordinal);
+      put_u64(os, o.words);
+      put_u64(os, o.flops);
+    }
+  }
 }
 
 std::string to_binary(const comm::JobTrace& trace) {
@@ -176,6 +211,26 @@ comm::JobTrace read_binary(std::istream& is) {
     PARSYRK_REQUIRE(e.phase < t.phases.size(), "event references phase ",
                     e.phase, " but the table has ", t.phases.size());
     t.events.push_back(e);
+  }
+  // Optional overlap section (pipelined runs only): peek for EOF first so
+  // legacy streams without the section still read cleanly.
+  if (is.peek() != std::istream::traits_type::eof()) {
+    const std::uint64_t noverlaps = get_u64(is);
+    t.overlaps.reserve(noverlaps);
+    for (std::uint64_t i = 0; i < noverlaps; ++i) {
+      comm::OverlapInterval o;
+      o.rank = static_cast<std::int32_t>(get_u32(is));
+      o.chunk = get_u32(is);
+      o.post_ordinal = get_u64(is);
+      o.complete_ordinal = get_u64(is);
+      o.words = get_u64(is);
+      o.flops = get_u64(is);
+      PARSYRK_REQUIRE(o.rank >= 0 &&
+                          static_cast<std::uint32_t>(o.rank) < t.ranks,
+                      "overlap interval references rank ", o.rank,
+                      " but the trace has ", t.ranks);
+      t.overlaps.push_back(o);
+    }
   }
   return t;
 }

@@ -359,5 +359,116 @@ TEST(SyrkService, MultithreadedSubmittersAllComplete) {
   EXPECT_EQ(st.failed, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined jobs through the service (overlap stress + poisoned rounds)
+// ---------------------------------------------------------------------------
+
+TEST(SyrkService, PipelinedJobsOverlapStressMatchesSoloBitwise) {
+  // Concurrent submitters flood the service with with_pipeline jobs at
+  // mixed chunk counts; batched rounds execute their chunked collectives
+  // with overlap. Every result must still be bitwise-identical to the same
+  // request run solo, and the ledger scoping must survive the in-flight
+  // chunk traffic (the eager-posting attribution rule).
+  service::SyrkService svc(packable_options(12));
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 6;
+  const std::uint64_t caps[kThreads] = {2, 4, 6};
+  const int chunk_counts[kThreads] = {2, 3, 5};
+
+  std::vector<std::vector<Matrix>> inputs(kThreads);
+  std::vector<std::vector<service::SyrkResult>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs[static_cast<std::size_t>(t)].reserve(kPerThread);
+    threads.emplace_back([&, t] {
+      auto& in = inputs[static_cast<std::size_t>(t)];
+      std::vector<service::SyrkTicket> tickets;
+      for (int j = 0; j < kPerThread; ++j) {
+        in.push_back(random_matrix(
+            24, 32, static_cast<std::uint64_t>(t * 977 + j)));
+        tickets.push_back(svc.submit(core::SyrkRequest(in.back())
+                                         .on_procs(caps[t])
+                                         .with_pipeline(chunk_counts[t])));
+      }
+      for (auto& tk : tickets) {
+        results[static_cast<std::size_t>(t)].push_back(tk.wait());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  svc.drain();
+
+  core::Session solo(12);
+  core::PlanSearchOptions plan_opts;
+  plan_opts.allow_folding = false;
+  solo.set_plan_options(plan_opts);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int j = 0; j < kPerThread; ++j) {
+      const auto& res =
+          results[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)];
+      const auto ref = core::syrk(
+          solo, core::SyrkRequest(
+                    inputs[static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(j)])
+                    .on_procs(caps[t])
+                    .with_pipeline(chunk_counts[t]));
+      EXPECT_TRUE(bitwise_equal(res.run.c, ref.c)) << t << "/" << j;
+      EXPECT_EQ(res.run.total.total, ref.total.total) << t << "/" << j;
+      EXPECT_EQ(res.run.total.max, ref.total.max) << t << "/" << j;
+    }
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.pipelined_jobs,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(SyrkService, PoisonedRoundRetriesPipelinedInnocentsBitwise) {
+  // The guilty job is itself pipelined: the 2D kernel's n1 % c² rejection
+  // fires inside the SPMD body, after batching — so the round is poisoned
+  // while the innocent's chunked collectives are (potentially) in flight.
+  // Recovery must tear the whole world job down, and the innocent's solo
+  // retry must be bitwise-identical to a clean solo run.
+  service::SyrkService svc(packable_options(12));
+  Matrix bad_a = random_matrix(18, 8, 5);     // 18 % 2² != 0
+  Matrix good_1d = random_matrix(24, 48, 6);
+  Matrix good_2d = random_matrix(16, 8, 7);
+  auto bad =
+      svc.submit(core::SyrkRequest(bad_a).use_2d(2).with_pipeline(3));
+  auto g1 =
+      svc.submit(core::SyrkRequest(good_1d).on_procs(4).with_pipeline(2));
+  EXPECT_THROW(bad.wait(), InvalidArgument);
+  const auto r1 = g1.wait();
+  svc.drain();
+  // With exactly two jobs in flight, a batched round can only have been
+  // the poisoned one — so batching implies both members were retried solo.
+  const auto st_mid = svc.stats();
+  if (st_mid.batched_rounds > 0) EXPECT_EQ(st_mid.retried_jobs, 2u);
+
+  // Post-recovery: a fresh pipelined job runs on the recovered world.
+  auto g2 =
+      svc.submit(core::SyrkRequest(good_2d).use_2d(2).with_pipeline(4));
+  const auto r2 = g2.wait();
+  svc.drain();
+
+  core::Session solo(12);
+  core::PlanSearchOptions plan_opts;
+  plan_opts.allow_folding = false;
+  solo.set_plan_options(plan_opts);
+  const auto ref1 = core::syrk(
+      solo, core::SyrkRequest(good_1d).on_procs(4).with_pipeline(2));
+  const auto ref2 = core::syrk(
+      solo, core::SyrkRequest(good_2d).use_2d(2).with_pipeline(4));
+  EXPECT_TRUE(bitwise_equal(r1.run.c, ref1.c));
+  EXPECT_TRUE(bitwise_equal(r2.run.c, ref2.c));
+  EXPECT_EQ(r1.run.total.total, ref1.total.total);
+  EXPECT_EQ(r2.run.total.total, ref2.total.total);
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.failed, 1u);
+  // Only completed jobs count as pipelined; the guilty one failed.
+  EXPECT_EQ(st.pipelined_jobs, 2u);
+}
+
 }  // namespace
 }  // namespace parsyrk

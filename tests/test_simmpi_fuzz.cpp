@@ -8,6 +8,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/session.hpp"
+#include "matrix/random.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/job_queue.hpp"
 #include "simmpi/worker_pool.hpp"
@@ -298,6 +300,213 @@ TEST_P(FuzzJobQueues, RandomJobSequencesWithFailures) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzJobQueues,
                          ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28, 29,
                                            30, 31, 32));
+
+// ---------------------------------------------------------------------------
+// Nonblocking-interleaving fuzzer
+// ---------------------------------------------------------------------------
+
+class FuzzNonblocking : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzNonblocking, RandomizedTestWaitOrderings) {
+  // Every rank posts a batch of nonblocking collectives up front, then
+  // drives them with an independently seeded RANDOM test() ordering —
+  // receives complete out of order across handles and within rounds. The
+  // engine's round discipline must keep results equal to the blocking
+  // oracle and the ledger volume equal to a blocking reference run,
+  // regardless of the interleaving.
+  const std::uint64_t seed = GetParam();
+  Rng planner(seed);
+  const int p = static_cast<int>(planner.uniform_int(2, 9));
+  const int n_ops = static_cast<int>(planner.uniform_int(2, 7));
+  std::vector<int> kinds(n_ops), sizes(n_ops);
+  for (int i = 0; i < n_ops; ++i) {
+    kinds[i] = static_cast<int>(planner.uniform_int(0, 3));
+    sizes[i] = static_cast<int>(planner.uniform_int(1, 6));
+  }
+
+  // Per-op result checkers against the deterministic payload oracle.
+  auto verify = [&](Comm& comm, int i, Request& req) {
+    const int n = sizes[i];
+    switch (kinds[i]) {
+      case 0: {  // iall_gather
+        auto all = req.take();
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(n * p));
+        for (int s = 0; s < p; ++s) {
+          for (int t = 0; t < n; ++t) {
+            ASSERT_DOUBLE_EQ(all[s * n + t], val(i, s, 0));
+          }
+        }
+        break;
+      }
+      case 1: {  // ireduce_scatter (equal blocks)
+        auto mine = req.take();
+        ASSERT_EQ(mine.size(), static_cast<std::size_t>(n));
+        double expect = 0.0;
+        for (int s = 0; s < p; ++s) expect += val(i, s, comm.rank());
+        for (double x : mine) ASSERT_DOUBLE_EQ(x, expect);
+        break;
+      }
+      case 2: {  // iall_to_all_v with rank-dependent sizes
+        auto recv = req.take_parts();
+        for (int s = 0; s < p; ++s) {
+          ASSERT_EQ(recv[s].size(),
+                    static_cast<std::size_t>((s + comm.rank()) % 3 + 1));
+          for (double x : recv[s]) ASSERT_DOUBLE_EQ(x, val(i, s, comm.rank()));
+        }
+        break;
+      }
+      default: {  // irecv of the ring isend
+        auto msg = req.take();
+        const int src = (comm.rank() - 1 + p) % p;
+        ASSERT_EQ(msg.size(), static_cast<std::size_t>(n));
+        for (double x : msg) ASSERT_DOUBLE_EQ(x, val(i, src, 0));
+        break;
+      }
+    }
+  };
+
+  auto post_all = [&](Comm& comm, std::vector<Request>& reqs) {
+    for (int i = 0; i < n_ops; ++i) {
+      const int n = sizes[i];
+      switch (kinds[i]) {
+        case 0: {
+          std::vector<double> mine(n, val(i, comm.rank(), 0));
+          reqs.push_back(comm.iall_gather(mine));
+          break;
+        }
+        case 1: {
+          std::vector<double> data(static_cast<std::size_t>(n) * p);
+          for (int b = 0; b < p; ++b) {
+            for (int t = 0; t < n; ++t) data[b * n + t] = val(i, comm.rank(), b);
+          }
+          reqs.push_back(comm.ireduce_scatter(
+              data, std::vector<std::size_t>(p, static_cast<std::size_t>(n))));
+          break;
+        }
+        case 2: {
+          std::vector<std::vector<double>> send(p);
+          for (int d = 0; d < p; ++d) {
+            send[d].assign((comm.rank() + d) % 3 + 1, val(i, comm.rank(), d));
+          }
+          reqs.push_back(comm.iall_to_all_v(send));
+          break;
+        }
+        default: {
+          std::vector<double> payload(n, val(i, comm.rank(), 0));
+          (void)comm.isend((comm.rank() + 1) % p, /*tag=*/i, payload);
+          reqs.push_back(comm.irecv((comm.rank() - 1 + p) % p, /*tag=*/i));
+          break;
+        }
+      }
+    }
+  };
+
+  // Blocking reference: same script, wait immediately in posting order.
+  World ref(p);
+  ref.run([&](Comm& comm) {
+    std::vector<Request> reqs;
+    post_all(comm, reqs);
+    for (int i = 0; i < n_ops; ++i) verify(comm, i, reqs[i]);
+  });
+  const CostSummary ref_cost = ref.ledger().summary();
+
+  World world(p);
+  world.run([&](Comm& comm) {
+    Rng rng(seed * 977 + static_cast<std::uint64_t>(comm.rank()) + 1);
+    std::vector<Request> reqs;
+    post_all(comm, reqs);
+    // Random polling until every handle completes (no blocking wait, so
+    // completions interleave arbitrarily across handles and ranks).
+    int incomplete = n_ops;
+    std::uint64_t spins = 0;
+    while (incomplete > 0) {
+      const int i = static_cast<int>(rng.uniform_int(0, n_ops - 1));
+      if (reqs[i].done()) continue;
+      if (reqs[i].test()) --incomplete;
+      ASSERT_LT(++spins, 100000000ull) << "nonblocking progress stalled";
+    }
+    for (int i = 0; i < n_ops; ++i) verify(comm, i, reqs[i]);
+  });
+
+  // Total moved volume is schedule-invariant.
+  const CostSummary cost = world.ledger().summary();
+  EXPECT_EQ(cost.total, ref_cost.total);
+  EXPECT_EQ(cost.max, ref_cost.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzNonblocking,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48, 49,
+                                           50, 51, 52, 53, 54, 55, 56));
+
+// ---------------------------------------------------------------------------
+// Chunked-SYRK fuzzer: pipelined == blocking across all three grids
+// ---------------------------------------------------------------------------
+
+class FuzzChunkedSyrk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzChunkedSyrk, MatchesBlockingAcrossGridsAndChunkCounts) {
+  namespace core = ::parsyrk::core;
+  const std::uint64_t seed = GetParam();
+  Rng planner(seed);
+  const int grid = static_cast<int>(planner.uniform_int(0, 2));
+  const int chunks = static_cast<int>(planner.uniform_int(1, 9));
+
+  std::size_t n1 = 0, n2 = 0;
+  int ranks = 0;
+  std::uint64_t c = 2, p2 = 2;
+  switch (grid) {
+    case 0:  // 1D
+      ranks = static_cast<int>(planner.uniform_int(2, 8));
+      n1 = planner.uniform_int(6, 20);
+      n2 = planner.uniform_int(4, 24);
+      break;
+    case 1:  // 2D: c = 2 needs n1 % 4 == 0 on c(c+1) = 6 ranks
+      ranks = 6;
+      n1 = 4 * planner.uniform_int(2, 6);
+      n2 = planner.uniform_int(4, 16);
+      break;
+    default:  // 3D: (c=2, p2) grid on 6·p2 ranks
+      p2 = planner.uniform_int(2, 3);
+      ranks = static_cast<int>(6 * p2);
+      n1 = 4 * planner.uniform_int(2, 6);
+      n2 = planner.uniform_int(static_cast<std::uint64_t>(p2), 16);
+      break;
+  }
+  Matrix a = random_matrix(n1, n2, seed);
+
+  auto run_once = [&](int pipeline_chunks) {
+    core::Session session(ranks);
+    core::SyrkRequest req(a);
+    switch (grid) {
+      case 0: req.use_1d(); break;
+      case 1: req.use_2d(c); break;
+      default: req.use_3d(c, p2); break;
+    }
+    if (pipeline_chunks > 0) req.with_pipeline(pipeline_chunks);
+    return core::syrk(session, req);
+  };
+
+  const core::SyrkRun blocking = run_once(0);
+  const core::SyrkRun piped = run_once(chunks);
+  // Bitwise result equality for ANY chunk count (accumulation order is
+  // preserved per entry), and exact word-volume equality.
+  EXPECT_TRUE(piped.c == blocking.c)
+      << "grid=" << grid << " chunks=" << chunks << " n1=" << n1
+      << " n2=" << n2;
+  EXPECT_EQ(piped.total.total.words_sent, blocking.total.total.words_sent);
+  EXPECT_EQ(piped.total.total.words_recv, blocking.total.total.words_recv);
+  EXPECT_EQ(piped.total.max.words_sent, blocking.total.max.words_sent);
+  EXPECT_GE(piped.total.total.msgs_sent, blocking.total.total.msgs_sent);
+  if (chunks == 1) {
+    EXPECT_EQ(piped.total.total.msgs_sent, blocking.total.total.msgs_sent);
+    EXPECT_EQ(piped.total.max.msgs_sent, blocking.total.max.msgs_sent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzChunkedSyrk,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68, 69,
+                                           70, 71, 72, 73, 74, 75, 76, 77, 78,
+                                           79, 80));
 
 }  // namespace
 }  // namespace parsyrk::comm
