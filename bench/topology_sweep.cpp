@@ -1,0 +1,237 @@
+// Two-level topology snapshot: quantifies how much scarce inter-node volume
+// the hierarchical collectives save over the flat pairwise schedule when the
+// same ranks are packed onto nodes. For each ranks-per-node setting the 1D
+// reduce moves T = n1(n1+1)/2 packed words; the busiest node's inter-tier
+// share is
+//
+//   pairwise (tier-split):  R * (T/P) * (P - R)   words
+//   hierarchical:           (1 - 1/N) * T         words
+//
+// so the hierarchy wins by ~R/2 once leaders aggregate their node's
+// contribution before touching the scarce tier. Emits the machine-readable
+// snapshot committed as BENCH_TOPOLOGY.json.
+//
+//   topology_sweep [--out FILE]
+//       runs every (ranks_per_node, strategy) configuration, verifies each
+//       against the flat blocking run bitwise and through BoundAuditor
+//       (including the Theorem 1 @ P = #nodes inter check), and writes the
+//       JSON snapshot (stdout if no --out).
+//
+//   topology_sweep --smoke
+//       cheap perf gate for ctest: asserts the hierarchical schedule's
+//       busiest-node inter volume strictly undercuts the pairwise tier
+//       split at every swept ranks_per_node, with everything bitwise-equal
+//       to flat and every audit green.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/session.hpp"
+#include "costmodel/model.hpp"
+#include "matrix/matrix.hpp"
+#include "trace/audit.hpp"
+
+namespace {
+
+using namespace parsyrk;
+
+// 1D reduce-dominated shape on 8 ranks: every rpn in the sweep divides P
+// and leaves >= 2 nodes, so both the tier split and the hierarchy apply.
+constexpr std::uint64_t kN1 = 96;
+constexpr std::uint64_t kN2 = 48;
+constexpr int kRanks = 8;
+
+/// Integer-valued input: the hierarchical reduce sums in a different order
+/// than the pairwise schedule, and small-integer dot products are exact in
+/// doubles under any association — so "bitwise equal to flat" stays a
+/// meaningful cross-schedule check.
+Matrix integer_matrix(std::uint64_t n1, std::uint64_t n2) {
+  Matrix a(n1, n2);
+  for (std::uint64_t i = 0; i < n1; ++i) {
+    for (std::uint64_t j = 0; j < n2; ++j) {
+      a(i, j) = static_cast<double>((i * 7 + j * 3) % 5) - 2.0;
+    }
+  }
+  return a;
+}
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (std::memcmp(x.data() + i * x.ld(), y.data() + i * y.ld(),
+                    x.cols() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ConfigReport {
+  int ranks_per_node = 0;
+  int nodes = 0;
+  const char* strategy = "";
+  std::uint64_t inter_words = 0;    // busiest node, scarce tier
+  std::uint64_t total_words = 0;    // both tiers, whole job
+  double modeled_seconds = 0.0;     // two-tier alpha-beta-gamma price
+  double inter_ratio_vs_bound = 0.0;
+  bool bitwise_equal_flat = false;
+  bool audit_ok = false;
+  const char* verdict = "";
+};
+
+ConfigReport run_config(core::Session& session, const Matrix& a,
+                        const Matrix& flat_c, int rpn, bool hierarchical,
+                        const costmodel::Machine& m) {
+  core::SyrkRequest req(a);
+  req.use_1d().with_topology(rpn).with_trace();
+  if (hierarchical) req.with_reduce(core::ReduceKind::kHierarchical);
+  const core::SyrkRun run = core::syrk(session, req);
+  const trace::AuditReport audit =
+      trace::BoundAuditor().audit(kN1, kN2, run, &*run.trace);
+
+  ConfigReport rep;
+  rep.ranks_per_node = rpn;
+  rep.nodes = run.nodes;
+  rep.strategy = hierarchical ? "hierarchical" : "pairwise";
+  rep.inter_words = run.total_inter.critical_path_words();
+  rep.total_words = run.total.total.words_sent;
+  rep.modeled_seconds = core::plan_modeled_seconds(kN1, kN2, run.plan, m, rpn);
+  rep.inter_ratio_vs_bound = audit.ratio_inter_vs_bound;
+  rep.bitwise_equal_flat = bitwise_equal(run.c, flat_c);
+  rep.audit_ok = audit.ok() && audit.trace_checked && audit.trace_consistent &&
+                 audit.inter_checked;
+  rep.verdict = trace::audit_verdict_name(audit.verdict);
+  return rep;
+}
+
+int run_bench(const std::string& out_path, bool smoke) {
+  const costmodel::Machine m;  // default two-tier machine
+  Matrix a = integer_matrix(kN1, kN2);
+  core::Session session(kRanks);
+
+  const core::SyrkRun flat =
+      core::syrk(session, core::SyrkRequest(a).use_1d());
+  const std::uint64_t tri = kN1 * (kN1 + 1) / 2;
+
+  const std::vector<int> rpns = {2, 4};
+  std::vector<ConfigReport> configs;
+  bool ok = true;
+  for (int rpn : rpns) {
+    const ConfigReport pairwise =
+        run_config(session, a, flat.c, rpn, /*hierarchical=*/false, m);
+    const ConfigReport hier =
+        run_config(session, a, flat.c, rpn, /*hierarchical=*/true, m);
+    for (const ConfigReport& rep : {pairwise, hier}) {
+      if (!rep.bitwise_equal_flat || !rep.audit_ok) {
+        std::cerr << "FAIL: rpn=" << rep.ranks_per_node << " "
+                  << rep.strategy << " bitwise=" << rep.bitwise_equal_flat
+                  << " audit=" << rep.audit_ok << " verdict=" << rep.verdict
+                  << "\n";
+        ok = false;
+      }
+    }
+    // The whole point of the hierarchy: strictly less scarce-tier traffic.
+    if (hier.inter_words >= pairwise.inter_words) {
+      std::cerr << "FAIL: rpn=" << rpn << " hierarchical inter "
+                << hier.inter_words << " words >= pairwise "
+                << pairwise.inter_words << "\n";
+      ok = false;
+    }
+    // Closed forms the docs advertise; drift here means the schedule or the
+    // ledger's tier attribution changed.
+    const std::uint64_t nodes = static_cast<std::uint64_t>(kRanks) / rpn;
+    const std::uint64_t hier_expect = tri - tri / nodes;
+    const std::uint64_t pair_expect = static_cast<std::uint64_t>(rpn) *
+                                      (tri / kRanks) *
+                                      (kRanks - static_cast<std::uint64_t>(rpn));
+    if (hier.inter_words != hier_expect ||
+        pairwise.inter_words != pair_expect) {
+      std::cerr << "FAIL: rpn=" << rpn << " inter words off closed form: "
+                << "hier " << hier.inter_words << " (want " << hier_expect
+                << "), pairwise " << pairwise.inter_words << " (want "
+                << pair_expect << ")\n";
+      ok = false;
+    }
+    configs.push_back(pairwise);
+    configs.push_back(hier);
+  }
+
+  std::cout << "topology sweep (" << kN1 << "x" << kN2 << ", 1D on "
+            << kRanks << " ranks, T = " << tri << " packed words):\n";
+  for (const ConfigReport& c : configs) {
+    std::cout << "  rpn=" << c.ranks_per_node << " (" << c.nodes
+              << " nodes) " << c.strategy << ": busiest node "
+              << c.inter_words << " inter words, "
+              << c.inter_ratio_vs_bound << "x Theorem 1 @ P=" << c.nodes
+              << ", modeled " << c.modeled_seconds * 1e6 << " us\n";
+  }
+
+  if (smoke) {
+    std::cout << (ok ? "OK\n" : "") << std::flush;
+    return ok ? 0 : 1;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"shape\": {\"n1\": " << kN1 << ", \"n2\": " << kN2
+     << ", \"algorithm\": \"1d\", \"ranks\": " << kRanks
+     << ", \"packed_triangle_words\": " << tri << "},\n";
+  os << "  \"machine\": {\"alpha\": " << m.alpha << ", \"beta\": " << m.beta
+     << ", \"alpha_intra\": " << m.alpha_intra
+     << ", \"beta_intra\": " << m.beta_intra << ", \"gamma\": " << m.gamma
+     << "},\n";
+  os << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ConfigReport& c = configs[i];
+    os << "    {\"ranks_per_node\": " << c.ranks_per_node
+       << ", \"nodes\": " << c.nodes << ", \"strategy\": \"" << c.strategy
+       << "\", \"inter_words_busiest_node\": " << c.inter_words
+       << ", \"total_words\": " << c.total_words
+       << ", \"modeled_seconds\": " << c.modeled_seconds
+       << ", \"inter_ratio_vs_bound\": " << c.inter_ratio_vs_bound
+       << ", \"bitwise_equal_flat\": "
+       << (c.bitwise_equal_flat ? "true" : "false")
+       << ", \"audit_verdict\": \"" << c.verdict << "\""
+       << ", \"audit_ok\": " << (c.audit_ok ? "true" : "false") << "}"
+       << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+
+  if (out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream f(out_path);
+    f << os.str();
+    if (!f) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: topology_sweep [--out FILE] [--smoke]\n";
+      return 2;
+    }
+  }
+  return run_bench(out, smoke);
+}

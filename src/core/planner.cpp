@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "distribution/triangle_block.hpp"
 #include "support/check.hpp"
 #include "support/prime.hpp"
 #include "support/table.hpp"
@@ -22,6 +23,41 @@ double score_candidate(const costmodel::CollectiveCost& cost,
                        const costmodel::Machine& m) {
   const double flops = costmodel::syrk_flops_per_rank(shape, logical_ranks);
   return static_cast<double>(fold) * (cost.seconds(m) + flops * m.gamma);
+}
+
+/// Reprices a flat-scored candidate for a two-level topology
+/// (opts.ranks_per_node > 1): the pairwise schedule's intra-node share moves
+/// to the cheap tier, and for the 1D/2D dominant exchange the hierarchical
+/// node-leader realization competes — the cheaper one wins and is recorded
+/// in plan.strategy. Folded plans and grids that don't split into >= 2 whole
+/// nodes keep flat pricing (topology'd execution refuses folds anyway), and
+/// 3D stays fully inter-priced and pairwise — its sub-grids are strided
+/// across nodes, so that is the conservative bound.
+void apply_topology(std::uint64_t n1, std::uint64_t n2,
+                    const PlanSearchOptions& opts, PlanCandidate* cand) {
+  Plan& plan = cand->plan;
+  if (opts.ranks_per_node <= 1 || plan.folded()) return;
+  const auto rpn = static_cast<std::uint64_t>(opts.ranks_per_node);
+  if (plan.procs % rpn != 0 || plan.procs / rpn < 2) return;
+  if (plan.algorithm == Algorithm::kThreeD) return;
+  const std::uint64_t nodes = plan.procs / rpn;
+  const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
+  const costmodel::CollectiveCost split =
+      costmodel::split_tiers(cand->cost, plan.procs, rpn);
+  const costmodel::CollectiveCost hier =
+      plan.algorithm == Algorithm::kOneD
+          ? costmodel::syrk_1d_cost_hier(shape, nodes, rpn)
+          : costmodel::syrk_2d_cost_hier(shape, plan.c, rpn);
+  if (hier.seconds(opts.machine) < split.seconds(opts.machine)) {
+    plan.strategy = CollectiveStrategy::kHierarchical;
+    cand->cost = hier;
+    if (!cand->note.empty()) cand->note += ", ";
+    cand->note += "hierarchical on " + std::to_string(nodes) + " nodes";
+  } else {
+    cand->cost = split;
+  }
+  cand->score =
+      score_candidate(cand->cost, shape, plan.procs, 1, opts.machine);
 }
 
 /// Candidate constructor shared by the 2D/3D enumeration: grid (c, p2) on
@@ -67,6 +103,7 @@ bool make_grid_candidate(std::uint64_t n1, std::uint64_t n2,
             std::to_string(max_procs) + " (x" + std::to_string(fold) + ")";
   }
   out->note = std::move(note);
+  apply_topology(n1, n2, opts, out);
   return true;
 }
 
@@ -119,6 +156,7 @@ PlanReport enumerate_syrk_plans(std::uint64_t n1, std::uint64_t n2,
     cand.cost = costmodel::syrk_1d_cost(shape, max_procs);
     cand.score = score_candidate(cand.cost, shape, max_procs, 1, opts.machine);
     cand.idle_ranks = 0;
+    apply_topology(n1, n2, opts, &cand);
     report.candidates.push_back(std::move(cand));
   }
 
@@ -178,41 +216,102 @@ PlanReport enumerate_syrk_plans(std::uint64_t n1, std::uint64_t n2,
 
 costmodel::CollectiveCost plan_collective_cost(std::uint64_t n1,
                                                std::uint64_t n2,
-                                               const Plan& plan) {
+                                               const Plan& plan,
+                                               int ranks_per_node) {
   const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
+  costmodel::CollectiveCost flat;
   switch (plan.algorithm) {
     case Algorithm::kOneD:
-      return costmodel::syrk_1d_cost(shape, plan.procs);
+      flat = costmodel::syrk_1d_cost(shape, plan.procs);
+      break;
     case Algorithm::kTwoD:
-      return costmodel::syrk_2d_cost(shape, plan.c);
+      flat = costmodel::syrk_2d_cost(shape, plan.c);
+      break;
     case Algorithm::kThreeD:
-      return costmodel::syrk_3d_cost(shape, plan.c, plan.p2);
+      flat = costmodel::syrk_3d_cost(shape, plan.c, plan.p2);
+      break;
   }
-  return {};
+  const auto rpn =
+      static_cast<std::uint64_t>(ranks_per_node < 1 ? 1 : ranks_per_node);
+  if (rpn <= 1 || plan.folded() || plan.procs % rpn != 0 ||
+      plan.procs / rpn < 2 || plan.algorithm == Algorithm::kThreeD) {
+    return flat;
+  }
+  if (plan.strategy == CollectiveStrategy::kHierarchical) {
+    return plan.algorithm == Algorithm::kOneD
+               ? costmodel::syrk_1d_cost_hier(shape, plan.procs / rpn, rpn)
+               : costmodel::syrk_2d_cost_hier(shape, plan.c, rpn);
+  }
+  return costmodel::split_tiers(flat, plan.procs, rpn);
 }
 
 double plan_modeled_seconds(std::uint64_t n1, std::uint64_t n2,
                             const Plan& plan,
-                            const costmodel::Machine& machine) {
+                            const costmodel::Machine& machine,
+                            int ranks_per_node) {
   const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
-  return score_candidate(plan_collective_cost(n1, n2, plan), shape,
-                         plan.logical_ranks(), plan.fold_factor(), machine);
+  return score_candidate(plan_collective_cost(n1, n2, plan, ranks_per_node),
+                         shape, plan.logical_ranks(), plan.fold_factor(),
+                         machine);
+}
+
+int plan_effective_pipeline_chunks(std::uint64_t n1, std::uint64_t n2,
+                                   const Plan& plan, int chunks) {
+  if (chunks < 1) return 1;
+  const std::uint64_t exec_n1 = plan.exec_n1(n1);
+  std::uint64_t cap = 1;
+  switch (plan.algorithm) {
+    case Algorithm::kOneD:
+      // Segments slice the packed triangle entrywise.
+      cap = exec_n1 * (exec_n1 + 1) / 2;
+      break;
+    case Algorithm::kTwoD: {
+      // Segments slice each exchange payload; the smallest nonempty payload
+      // is ⌊(n1/c²)·n2/(c+1)⌋ words (see syrk_2d_gather's clamp).
+      const std::uint64_t nb = exec_n1 / (plan.c * plan.c);
+      cap = std::max<std::uint64_t>(nb * n2 / (plan.c + 1), 1);
+      break;
+    }
+    case Algorithm::kThreeD: {
+      // Segments group whole output blocks; the critical path runs through
+      // the rank owning the most blocks.
+      const dist::TriangleBlockDistribution d(plan.c);
+      for (std::uint64_t k = 0; k < d.num_procs(); ++k) {
+        const std::uint64_t items =
+            d.owned_pairs(k).size() + (d.diagonal_block(k) ? 1 : 0);
+        cap = std::max(cap, items);
+      }
+      break;
+    }
+  }
+  return static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(chunks), cap));
 }
 
 double plan_modeled_seconds_pipelined(std::uint64_t n1, std::uint64_t n2,
                                       const Plan& plan, int chunks,
-                                      const costmodel::Machine& machine) {
+                                      const costmodel::Machine& machine,
+                                      int ranks_per_node) {
   const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
-  const costmodel::CollectiveCost cost = plan_collective_cost(n1, n2, plan);
-  const double s = chunks < 1 ? 1.0 : static_cast<double>(chunks);
-  // Reduction adds ride with the flight time; latency is paid per segment.
+  const costmodel::CollectiveCost cost =
+      plan_collective_cost(n1, n2, plan, ranks_per_node);
+  // The execution path clamps the segment count to the plan's available
+  // segments; pricing a larger S would charge latency for messages that are
+  // never posted.
+  const int s_eff = plan_effective_pipeline_chunks(n1, n2, plan, chunks);
+  const double s = static_cast<double>(s_eff);
+  // Reduction adds ride with the flight time; latency is paid per segment
+  // on both tiers.
   const double comm = cost.messages * machine.alpha * s +
-                      cost.words * machine.beta + cost.flops * machine.gamma;
+                      cost.words * machine.beta +
+                      cost.messages_intra * machine.alpha_intra * s +
+                      cost.words_intra * machine.beta_intra +
+                      cost.flops * machine.gamma;
   const double comp =
       costmodel::syrk_flops_per_rank(shape, plan.logical_ranks()) *
       machine.gamma;
   return static_cast<double>(plan.fold_factor()) *
-         costmodel::pipelined_seconds(comm, comp, chunks);
+         costmodel::pipelined_seconds(comm, comp, s_eff);
 }
 
 PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
@@ -240,7 +339,12 @@ void PlanReport::explain(std::ostream& os) const {
      << " max_procs=" << max_procs << " ("
      << (options.n1_divisibility ? "exact grids preferred"
                                  : "padded grids compete")
-     << ", folding " << (options.allow_folding ? "on" : "off") << ")\n";
+     << ", folding " << (options.allow_folding ? "on" : "off");
+  if (options.ranks_per_node > 1) {
+    os << ", topology " << max_procs / options.ranks_per_node << " nodes x "
+       << options.ranks_per_node;
+  }
+  os << ")\n";
   Table t({"", "plan", "procs", "idle", "msgs", "words", "score(s)", "note"});
   for (const auto& cand : candidates) {
     std::ostringstream plan_os;

@@ -77,6 +77,14 @@ struct PlanSearchOptions {
   double utilization_slack = 0.10;
   /// Machine the scores are evaluated on.
   costmodel::Machine machine;
+  /// Two-level topology the plans will execute on: consecutive ranks are
+  /// grouped into nodes of this many ranks each (1 = flat machine). When
+  /// > 1, unfolded candidates whose rank count splits into >= 2 whole nodes
+  /// are priced with their intra-node traffic on the cheap (α0,β0) tier,
+  /// and the enumerator additionally scores the hierarchical (node-leader)
+  /// realization of the 1D/2D dominant exchange — the cheaper realization
+  /// wins and is recorded in Plan::strategy.
+  int ranks_per_node = 1;
 };
 
 /// The full result of one plan search: every candidate, ranked by score.
@@ -121,10 +129,15 @@ PlanReport report_for_plan(std::uint64_t n1, std::uint64_t n2,
                            std::string note);
 
 /// The closed-form §5 collective cost of `plan` on A of shape n1×n2 (at the
-/// plan's execution row count when padded).
+/// plan's execution row count when padded). `ranks_per_node` > 1 prices the
+/// plan on a two-level topology: the plan's strategy selects the
+/// hierarchical closed forms when kHierarchical, otherwise the flat pairwise
+/// schedule is tier-split (1D/2D; 3D sub-grids are strided across nodes and
+/// stay fully inter-priced, a conservative bound).
 costmodel::CollectiveCost plan_collective_cost(std::uint64_t n1,
                                                std::uint64_t n2,
-                                               const Plan& plan);
+                                               const Plan& plan,
+                                               int ranks_per_node = 1);
 
 /// Modeled runtime of `plan` on A of shape n1×n2: the same score the
 /// enumerator minimizes — collective cost in seconds plus the local
@@ -133,17 +146,30 @@ costmodel::CollectiveCost plan_collective_cost(std::uint64_t n1,
 /// or explicitly constructed plan prices identically to an enumerated one.
 double plan_modeled_seconds(std::uint64_t n1, std::uint64_t n2,
                             const Plan& plan,
-                            const costmodel::Machine& machine = {});
+                            const costmodel::Machine& machine = {},
+                            int ranks_per_node = 1);
+
+/// The segment count a pipelined execution of `plan` actually runs:
+/// `chunks` clamped to the plan's available segments — the packed-triangle
+/// entry count (1D), the smallest nonempty exchange payload ⌊(n1/c²)·n2 /
+/// (c+1)⌋ (2D), or the busiest rank's owned output-block count (3D).
+/// Matches the execution-path clamps exactly, so the modeled ×S latency
+/// term never prices segments that cannot exist. Returns >= 1; chunks < 1
+/// maps to 1 (the blocking schedule).
+int plan_effective_pipeline_chunks(std::uint64_t n1, std::uint64_t n2,
+                                   const Plan& plan, int chunks);
 
 /// Modeled runtime of `plan` when executed pipelined in `chunks` segments
 /// (SyrkRequest::with_pipeline): the local flops overlap the k-phase
 /// collective's flight time, so steady state runs at max(comm, comp) with
 /// one segment of the smaller term exposed at each end of the pipe
-/// (costmodel::pipelined_seconds). The latency term scales with the chunk
-/// count — message count grows ×chunks while word volume is unchanged.
-/// chunks <= 1 equals plan_modeled_seconds exactly.
+/// (costmodel::pipelined_seconds). The latency term scales with the
+/// *effective* chunk count — plan_effective_pipeline_chunks(chunks) — since
+/// message count grows ×S while word volume is unchanged. chunks <= 1
+/// equals plan_modeled_seconds exactly.
 double plan_modeled_seconds_pipelined(std::uint64_t n1, std::uint64_t n2,
                                       const Plan& plan, int chunks,
-                                      const costmodel::Machine& machine = {});
+                                      const costmodel::Machine& machine = {},
+                                      int ranks_per_node = 1);
 
 }  // namespace parsyrk::core

@@ -8,6 +8,23 @@
 
 namespace parsyrk::core {
 
+namespace {
+
+/// Planner-path search options for one request: the session defaults with
+/// the request's topology stamped in. The topology travels on the request
+/// (with_topology), not the session, so it must reach the enumerator — and,
+/// through these options, the service layer's plan-cache key.
+PlanSearchOptions search_options(const Session& session,
+                                 const SyrkRequest& req) {
+  PlanSearchOptions opts = session.plan_options();
+  if (req.options.ranks_per_node > 1) {
+    opts.ranks_per_node = req.options.ranks_per_node;
+  }
+  return opts;
+}
+
+}  // namespace
+
 comm::World& Session::world_for(const Plan& plan) {
   if (!plan.folded()) return world_;
   const auto key = std::make_pair(static_cast<int>(plan.logical_ranks()),
@@ -76,12 +93,13 @@ Plan resolve_plan(const Session& session, const SyrkRequest& req) {
     // Planner path: consult the session's resolver (the service layer's
     // plan cache) when installed, so repeated shapes skip the enumerator.
     const std::uint64_t cap = req.max_procs.value_or(session_procs);
+    const PlanSearchOptions opts = search_options(session, req);
     if (const PlanResolver& resolver = session.plan_resolver()) {
-      auto report = resolver(n1, n2, cap, session.plan_options());
+      auto report = resolver(n1, n2, cap, opts);
       PARSYRK_REQUIRE(report != nullptr, "plan resolver returned no report");
       plan = report->plan();
     } else {
-      plan = enumerate_syrk_plans(n1, n2, cap, session.plan_options()).plan();
+      plan = enumerate_syrk_plans(n1, n2, cap, opts).plan();
     }
   }
   return plan;
@@ -94,12 +112,13 @@ PlanReport resolve_plan_report(const Session& session, const SyrkRequest& req) {
   const std::uint64_t cap =
       req.max_procs.value_or(static_cast<std::uint64_t>(session.size()));
   if (!req.algorithm && !req.memory_limit_words) {
+    const PlanSearchOptions opts = search_options(session, req);
     if (const PlanResolver& resolver = session.plan_resolver()) {
-      auto report = resolver(n1, n2, cap, session.plan_options());
+      auto report = resolver(n1, n2, cap, opts);
       PARSYRK_REQUIRE(report != nullptr, "plan resolver returned no report");
       return *report;
     }
-    return enumerate_syrk_plans(n1, n2, cap, session.plan_options());
+    return enumerate_syrk_plans(n1, n2, cap, opts);
   }
   // No search ran: wrap the externally determined plan as a one-row report
   // so --explain-plan output exists uniformly.
@@ -110,7 +129,7 @@ PlanReport resolve_plan_report(const Session& session, const SyrkRequest& req) {
 
 SyrkRun syrk(Session& session, const SyrkRequest& req) {
   const Matrix& a = *req.a;
-  const Plan plan = resolve_plan(session, req);
+  Plan plan = resolve_plan(session, req);
   PARSYRK_REQUIRE(plan.procs <= static_cast<std::uint64_t>(session.size()),
                   "request needs ", plan.procs, " ranks; session has ",
                   session.size());
@@ -122,18 +141,55 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
                             plan.procs,
                     "bad root ", *req.options.root);
   }
+  // The builder methods validate these, but the options struct is an open
+  // aggregate — catch hand-assembled nonsense before it executes silently.
+  PARSYRK_REQUIRE(req.options.pipeline_chunks >= 0,
+                  "pipeline_chunks must be >= 0 (0 = blocking); got ",
+                  req.options.pipeline_chunks);
+  PARSYRK_REQUIRE(req.options.ranks_per_node >= 1,
+                  "ranks_per_node must be >= 1 (1 = flat); got ",
+                  req.options.ranks_per_node);
   if (req.options.pipeline_chunks >= 1) {
     PARSYRK_REQUIRE(!req.options.root,
                     "with_pipeline does not support from_root ingestion");
     PARSYRK_REQUIRE(req.options.reduce == ReduceKind::kPairwise &&
                         req.options.exchange == ExchangeKind::kPairwise,
                     "with_pipeline supports pairwise collectives only");
+    // Pipelined segments ride pairwise handles; a hierarchical plan pick
+    // reverts to the (tier-split) pairwise schedule so run.plan reflects
+    // what actually executed.
+    plan.strategy = CollectiveStrategy::kPairwise;
+  }
+  if (req.options.ranks_per_node > 1) {
+    PARSYRK_REQUIRE(!plan.folded(),
+                    "with_topology requires an unfolded plan (folded worlds "
+                    "already model co-location)");
+  }
+  // The planner's hierarchical pick executes through the hierarchical
+  // collective kinds; explicit with_reduce/with_exchange choices win.
+  SyrkOptions exec_opts = req.options;
+  if (plan.strategy == CollectiveStrategy::kHierarchical) {
+    if (exec_opts.reduce == ReduceKind::kPairwise) {
+      exec_opts.reduce = ReduceKind::kHierarchical;
+    }
+    if (exec_opts.exchange == ExchangeKind::kPairwise) {
+      exec_opts.exchange = ExchangeKind::kHierarchical;
+    }
+  } else if (req.options.ranks_per_node > 1 &&
+             (exec_opts.reduce == ReduceKind::kHierarchical ||
+              exec_opts.exchange == ExchangeKind::kHierarchical)) {
+    // Explicit with_reduce/with_exchange hierarchical request: record it on
+    // the plan so run.plan (and the auditor's model) match the execution.
+    plan.strategy = CollectiveStrategy::kHierarchical;
   }
 
   // Folded plans execute on a dedicated cached world of logical_ranks()
   // ranks folded onto plan.procs physical ranks; everything else runs on
-  // the session's own world.
+  // the session's own world. The request's topology is stamped on the world
+  // it runs on (ranks_per_node=1 restores the flat machine, so a later
+  // untopology'd request on the same session world is unaffected).
   comm::World& world = session.world_for(plan);
+  world.set_topology(req.options.ranks_per_node);
   if (req.trace) world.enable_tracing();
   const comm::CostLedger::Snapshot before = world.ledger().snapshot();
   const std::uint64_t exec_n1 = plan.exec_n1(a.rows());
@@ -150,7 +206,7 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
     // the logical grid exactly): run directly on the world communicator (no
     // per-job split on the hot path).
     world.run([&](comm::Comm& wc) {
-      internal::run_syrk_plan_rank(wc, exec_a->view(), plan, req.options,
+      internal::run_syrk_plan_rank(wc, exec_a->view(), plan, exec_opts,
                                    c_exec);
     });
   } else {
@@ -161,7 +217,7 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
       // plan.procs ranks); idle ranks then sit the job out.
       comm::Comm sub = wc.split(active ? 0 : 1, wc.rank());
       if (!active) return;
-      internal::run_syrk_plan_rank(sub, exec_a->view(), plan, req.options,
+      internal::run_syrk_plan_rank(sub, exec_a->view(), plan, exec_opts,
                                    c_exec);
     });
   }
@@ -174,6 +230,14 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
   run.gather_a = ledger.summary_since(before, internal::kPhaseGatherA);
   run.reduce_c = ledger.summary_since(before, internal::kPhaseReduceC);
   run.scatter_a = ledger.summary_since(before, internal::kPhaseScatterA);
+  if (world.ranks_per_node() > 1) {
+    // Nodes the *plan* spans, not the whole session world — the request may
+    // run on an active-ranks prefix of a larger world. Idle ranks record
+    // nothing, so the inter summary's busiest node is among the active ones.
+    const int rpn = world.ranks_per_node();
+    run.nodes = (static_cast<int>(plan.procs) + rpn - 1) / rpn;
+    run.total_inter = ledger.inter_summary_since(before);
+  }
   if (a.rows() >= 2) {
     run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), plan.procs);
   }

@@ -28,6 +28,7 @@
 #include "core/syrk.hpp"
 #include "matrix/matrix.hpp"
 #include "simmpi/comm.hpp"
+#include "support/check.hpp"
 
 namespace parsyrk::core {
 
@@ -168,8 +169,25 @@ struct SyrkRequest {
   /// chunks=1 replays the blocking schedule exactly (ledger AND trace);
   /// chunks>1 keeps word volume identical while message count scales.
   /// Requires pairwise collectives and no from_root ingestion.
+  /// Throws InvalidArgument when chunks < 1 — a non-positive chunk count
+  /// would otherwise store verbatim and silently select the blocking path.
   SyrkRequest& with_pipeline(int chunks) {
+    PARSYRK_REQUIRE(chunks >= 1, "with_pipeline requires chunks >= 1, got ",
+                    chunks);
     options.pipeline_chunks = chunks;
+    return *this;
+  }
+  /// Two-level topology: ranks grouped into nodes of `ranks_per_node`
+  /// consecutive ranks each. Intra-node traffic is priced/ledgered on the
+  /// cheap (α0,β0) tier, inter-node traffic on the scarce (α1,β1) tier, and
+  /// the planner may pick hierarchical collectives (node-leader exchange).
+  /// ranks_per_node=1 is the flat machine (every rank its own node) and is
+  /// byte-identical to not calling this at all.
+  SyrkRequest& with_topology(int ranks_per_node) {
+    PARSYRK_REQUIRE(ranks_per_node >= 1,
+                    "with_topology requires ranks_per_node >= 1, got ",
+                    ranks_per_node);
+    options.ranks_per_node = ranks_per_node;
     return *this;
   }
   /// Records a per-message trace of this request's job into SyrkRun::trace

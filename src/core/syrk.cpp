@@ -310,6 +310,16 @@ const char* algorithm_name(Algorithm a) {
   return "?";
 }
 
+const char* strategy_name(CollectiveStrategy s) {
+  switch (s) {
+    case CollectiveStrategy::kPairwise: return "pairwise";
+    case CollectiveStrategy::kBruck: return "bruck";
+    case CollectiveStrategy::kButterfly: return "butterfly";
+    case CollectiveStrategy::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
 Plan plan_syrk(std::uint64_t n1, std::uint64_t n2, std::uint64_t max_procs,
                bool n1_divisibility) {
   PlanSearchOptions opts;
@@ -323,6 +333,9 @@ std::ostream& operator<<(std::ostream& os, const Plan& plan) {
   os << ", p2=" << plan.p2;
   if (plan.folded()) os << ", folded " << plan.logical << "->" << plan.procs;
   if (plan.padded_n1 != 0) os << ", padded n1=" << plan.padded_n1;
+  if (plan.strategy != CollectiveStrategy::kPairwise) {
+    os << ", " << strategy_name(plan.strategy);
+  }
   os << ", bound case=" << bounds::regime_name(plan.regime) << "}";
   return os;
 }

@@ -63,7 +63,21 @@ struct SyrkOptions {
   /// (ledger AND trace). Requires pairwise collectives and no root
   /// ingestion. Clamped to the available segment count.
   int pipeline_chunks = 0;
+  /// Two-level topology: consecutive ranks are grouped into nodes of this
+  /// many ranks each (1 = flat machine, the historical default). Intra-node
+  /// words are ledgered on the cheap (α0,β0) tier, inter-node words on the
+  /// scarce (α1,β1) tier, and hierarchical collectives become available.
+  int ranks_per_node = 1;
 };
+
+/// Which collective realization a plan selects for its dominant exchange.
+/// kPairwise is the paper's baseline (bandwidth-optimal, latency P−1);
+/// kBruck and kButterfly are the §6 latency-efficient variants; and
+/// kHierarchical is the two-level node-leader scheme that minimizes
+/// inter-node words on a nodes × ranks-per-node topology.
+enum class CollectiveStrategy { kPairwise, kBruck, kButterfly, kHierarchical };
+
+const char* strategy_name(CollectiveStrategy s);
 
 /// Which algorithm a plan selects.
 enum class Algorithm { kOneD, kTwoD, kThreeD };
@@ -88,6 +102,9 @@ struct Plan {
   /// `procs` physical ranks round-robin (0 = unfolded). Folding lets the
   /// planner keep the communication-optimal grid at awkward physical P.
   std::uint64_t logical = 0;
+  /// Collective realization the planner picked for the dominant exchange
+  /// (pairwise unless a two-level topology made hierarchical cheaper).
+  CollectiveStrategy strategy = CollectiveStrategy::kPairwise;
 
   /// Ranks the SPMD body runs on (the world size the plan needs).
   std::uint64_t logical_ranks() const { return logical != 0 ? logical : procs; }
@@ -124,6 +141,12 @@ struct SyrkRun {
   comm::CostSummary reduce_c;      // "reduce_C" phase
   comm::CostSummary scatter_a;     // "scatter_A" ingestion (root requests)
   bounds::SyrkBound bound;         // Theorem 1 at the plan's processor count
+  /// Two-level-topology runs only (nodes >= 2): inter-node traffic alone,
+  /// folded to per-node buckets (ranks = node count; max = busiest node).
+  /// The BoundAuditor audits this against Theorem 1 at P = nodes.
+  comm::CostSummary total_inter;
+  /// Node count of the run's topology (0 = flat machine, no inter summary).
+  int nodes = 0;
   /// Per-message event trace of this request's job, present when the
   /// request opted in via with_trace(). Feed to trace::write_chrome_json /
   /// write_binary / Rollup / BoundAuditor.

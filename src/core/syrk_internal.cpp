@@ -30,11 +30,15 @@ PackedChunk syrk_1d_spmd(comm::Comm& comm, const ConstMatrixView& a,
   comm.set_phase(kPhaseReduceC);
   const std::size_t total = packed.size();
   PackedChunk out;
-  if (reduce == ReduceKind::kPairwise) {
+  if (reduce != ReduceKind::kBruck) {
     std::vector<std::size_t> sizes(p);
     for (int q = 0; q < p; ++q) sizes[q] = dist::chunk_size(total, p, q);
     out.offset = dist::chunk_begin(total, p, r);
-    out.data = comm.reduce_scatter(packed.span(), sizes);
+    // Hierarchical falls back to flat pairwise when the communicator's
+    // members don't form whole nodes of the world's topology.
+    out.data = (reduce == ReduceKind::kHierarchical && comm.hier_available())
+                   ? comm.reduce_scatter_hier(packed.span(), sizes)
+                   : comm.reduce_scatter(packed.span(), sizes);
   } else {
     // Bruck needs equal blocks: pad to a multiple of P; trailing zeros of
     // the last rank's block are trimmed after the reduction.
@@ -211,7 +215,14 @@ AssembledRowBlocks syrk_2d_gather(comm::Comm& comm,
     // blocking exchange; only the message count scales with S.
     PARSYRK_REQUIRE(exchange == ExchangeKind::kPairwise,
                     "pipelined 2D exchange supports pairwise only");
-    const int S = pipeline_chunks;
+    // Effective segment count: no payload is smaller than ⌊flat/(c+1)⌋
+    // words, so clamping there keeps every segment of every nonempty
+    // payload nonempty (a larger S would post empty messages, changing the
+    // schedule for no overlap gain). The clamp depends only on
+    // distribution-level quantities, so sender and receiver agree.
+    const int S = static_cast<int>(std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::max(pipeline_chunks, 1)), 1,
+        std::max<std::size_t>(flat / parts, 1)));
     std::vector<comm::Request> reqs(S);
     std::vector<std::uint64_t> tokens(S), sent(S);
     auto post = [&](int s) {
@@ -267,6 +278,11 @@ AssembledRowBlocks syrk_2d_gather(comm::Comm& comm,
   std::vector<std::vector<double>> recvbuf;
   if (exchange == ExchangeKind::kPairwise) {
     recvbuf = comm.all_to_all_v(sendbuf);
+  } else if (exchange == ExchangeKind::kHierarchical) {
+    // Two-level schedule (falls back to flat pairwise inside when the
+    // communicator's members don't form whole nodes). Payloads are moved
+    // verbatim, so the assembled blocks are bitwise-identical to pairwise.
+    recvbuf = comm.all_to_all_v_hier(sendbuf);
   } else {
     // Butterfly needs equal blocks: every nonempty block is one even chunk
     // of a row block; empty destinations are padded with zeros. The extra

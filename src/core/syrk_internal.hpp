@@ -24,10 +24,14 @@ inline constexpr const char* kPhaseReduceC = "reduce_C";
 inline constexpr const char* kPhaseScatterA = "scatter_A";
 
 /// How the 1D/3D algorithms' Reduce-Scatter is realized: pairwise exchange
-/// (latency P−1) or the §6 Bruck adaptation, which is bandwidth- AND
-/// latency-optimal (ceil(log2 P) messages) at the cost of padding the
-/// packed triangle to a multiple of P (< P extra words).
-enum class ReduceKind { kPairwise, kBruck };
+/// (latency P−1), the §6 Bruck adaptation — bandwidth- AND latency-optimal
+/// (ceil(log2 P) messages) at the cost of padding the packed triangle to a
+/// multiple of P (< P extra words) — or the two-level hierarchical variant
+/// (intra-node reduce to a node leader, leader-only inter-node exchange,
+/// intra-node scatter) which minimizes the scarce inter-node word volume on
+/// a nodes × ranks-per-node topology. kHierarchical requires the world's
+/// topology to have ranks_per_node > 1 and falls back to pairwise otherwise.
+enum class ReduceKind { kPairwise, kBruck, kHierarchical };
 
 /// Alg. 1 per-rank body: local SYRK over this rank's column block of A,
 /// then a Reduce-Scatter of the packed lower triangle of C.
@@ -51,8 +55,11 @@ void syrk_1d_spmd_pipelined(comm::Comm& comm, const ConstMatrixView& a,
 
 /// How the 2D algorithm's All-to-All is realized (§6 trade-off):
 /// pairwise exchange is bandwidth-optimal with latency P−1; the butterfly
-/// (Bruck) variant has latency ceil(log2 P) at ~(log2 P)/2 times the words.
-enum class ExchangeKind { kPairwise, kButterfly };
+/// (Bruck) variant has latency ceil(log2 P) at ~(log2 P)/2 times the words;
+/// the hierarchical variant gathers payloads to node leaders, exchanges
+/// node-aggregates between leaders, and scatters within the node — cheapest
+/// in inter-node words on a two-level topology.
+enum class ExchangeKind { kPairwise, kButterfly, kHierarchical };
 
 /// Alg. 2 per-rank body: All-to-All gather of the c row blocks in this
 /// rank's row-block set, then local GEMMs for the triangle block of blocks

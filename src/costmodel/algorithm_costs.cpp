@@ -38,6 +38,22 @@ CollectiveCost syrk_3d_cost(SyrkShape s, std::uint64_t c, std::uint64_t p2) {
   return cost;
 }
 
+CollectiveCost syrk_1d_cost_hier(SyrkShape s, std::uint64_t nodes,
+                                 std::uint64_t ranks_per_node) {
+  const double tri = 0.5 * static_cast<double>(s.n1) *
+                     (static_cast<double>(s.n1) + 1.0);
+  return reduce_scatter_hier(nodes, ranks_per_node, tri);
+}
+
+CollectiveCost syrk_2d_cost_hier(SyrkShape s, std::uint64_t c,
+                                 std::uint64_t ranks_per_node) {
+  const std::uint64_t p = c * (c + 1);
+  PARSYRK_CHECK(ranks_per_node >= 1 && p % ranks_per_node == 0);
+  const double w = static_cast<double>(s.n1) * static_cast<double>(s.n2) /
+                   static_cast<double>(c);
+  return all_to_all_hier(p / ranks_per_node, ranks_per_node, w);
+}
+
 double syrk_flops_per_rank(SyrkShape s, std::uint64_t p) {
   return static_cast<double>(s.n1) * static_cast<double>(s.n1) *
          static_cast<double>(s.n2) / (2.0 * static_cast<double>(p)) * 1.0 *

@@ -29,6 +29,16 @@ CollectiveCost syrk_2d_cost(SyrkShape s, std::uint64_t c);
 /// Paper §5.3.2: bandwidth/latency of Alg. 3 on a p1×p2 grid, p1 = c(c+1).
 CollectiveCost syrk_3d_cost(SyrkShape s, std::uint64_t c, std::uint64_t p2);
 
+/// Two-level topology variants (nodes × ranks_per_node = P): the same
+/// collectives realized hierarchically — intra-node reduce/gather to a node
+/// leader on the cheap tier, leader-only exchange on the scarce tier. The
+/// inter-node word volume drops to the per-node aggregate, which is what the
+/// BoundAuditor checks against Theorem 1 at P = nodes.
+CollectiveCost syrk_1d_cost_hier(SyrkShape s, std::uint64_t nodes,
+                                 std::uint64_t ranks_per_node);
+CollectiveCost syrk_2d_cost_hier(SyrkShape s, std::uint64_t c,
+                                 std::uint64_t ranks_per_node);
+
 /// Leading-order local flop count of the SYRK algorithms (eq. (9) and the 1D
 /// analogue): n1²·n2 / P multiply-adds counted as one "operation" each, per
 /// the paper's γ accounting of scalar multiplications.

@@ -8,11 +8,11 @@ namespace parsyrk::service {
 bool PlanCache::Key::operator<(const Key& o) const {
   return std::tie(n1, n2, max_procs, n1_divisibility, allow_padding,
                   allow_folding, max_fold, utilization_slack, alpha, beta,
-                  gamma) < std::tie(o.n1, o.n2, o.max_procs,
-                                    o.n1_divisibility, o.allow_padding,
-                                    o.allow_folding, o.max_fold,
-                                    o.utilization_slack, o.alpha, o.beta,
-                                    o.gamma);
+                  gamma, ranks_per_node, alpha_intra, beta_intra) <
+         std::tie(o.n1, o.n2, o.max_procs, o.n1_divisibility, o.allow_padding,
+                  o.allow_folding, o.max_fold, o.utilization_slack, o.alpha,
+                  o.beta, o.gamma, o.ranks_per_node, o.alpha_intra,
+                  o.beta_intra);
 }
 
 std::shared_ptr<const core::PlanReport> PlanCache::resolve(
@@ -28,7 +28,10 @@ std::shared_ptr<const core::PlanReport> PlanCache::resolve(
                 options.utilization_slack,
                 options.machine.alpha,
                 options.machine.beta,
-                options.machine.gamma};
+                options.machine.gamma,
+                options.ranks_per_node,
+                options.machine.alpha_intra,
+                options.machine.beta_intra};
   {
     std::lock_guard lock(mu_);
     auto it = entries_.find(key);

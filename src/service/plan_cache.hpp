@@ -58,6 +58,10 @@ class PlanCache {
   Stats stats() const;
 
  private:
+  // Every plan-affecting search knob participates here; a knob left out
+  // would let one option set serve another's cached plan. Plan-neutral
+  // request options (pipeline_chunks, reduce/exchange kinds, root) are
+  // deliberately absent — they shape execution, never the chosen plan.
   struct Key {
     std::uint64_t n1;
     std::uint64_t n2;
@@ -70,6 +74,11 @@ class PlanCache {
     double alpha;
     double beta;
     double gamma;
+    // Topology changes both the pricing and the strategy pick; the intra
+    // tier's coefficients change which realization wins.
+    int ranks_per_node;
+    double alpha_intra;
+    double beta_intra;
 
     bool operator<(const Key& o) const;
   };

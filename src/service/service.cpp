@@ -182,6 +182,23 @@ bool SyrkService::admit(detail::TicketState& st) {
                               *st.request.options.root) < st.plan.procs,
                       "bad root ", *st.request.options.root);
     }
+    // with_pipeline rejects chunks < 1 at request build, but the options
+    // struct is an open aggregate — a hand-assembled request can carry any
+    // value. Admission is the service's last validation point before the
+    // executor, so malformed knobs fail the ticket here, loudly, instead of
+    // surfacing as a mid-round executor REQUIRE.
+    PARSYRK_REQUIRE(st.request.options.pipeline_chunks >= 0,
+                    "pipeline_chunks must be >= 0 (0 = blocking); got ",
+                    st.request.options.pipeline_chunks);
+    PARSYRK_REQUIRE(st.request.options.ranks_per_node >= 1,
+                    "ranks_per_node must be >= 1 (1 = flat); got ",
+                    st.request.options.ranks_per_node);
+    if (st.request.options.ranks_per_node > 1) {
+      PARSYRK_REQUIRE(!st.plan.folded(),
+                      "with_topology requires an unfolded plan (folded "
+                      "worlds already model co-location)");
+    }
+    const int rpn = st.request.options.ranks_per_node;
     if (st.request.options.pipeline_chunks >= 1) {
       PARSYRK_REQUIRE(!st.request.options.root,
                       "with_pipeline does not support from_root ingestion");
@@ -189,16 +206,21 @@ bool SyrkService::admit(detail::TicketState& st) {
           st.request.options.reduce == core::ReduceKind::kPairwise &&
               st.request.options.exchange == core::ExchangeKind::kPairwise,
           "with_pipeline supports pairwise collectives only");
+      // Pipelined execution rides pairwise handles; mirror core::syrk's
+      // strategy reset so the priced plan matches the executed one.
+      st.plan.strategy = core::CollectiveStrategy::kPairwise;
       // Pipelined jobs are priced at their overlapped makespan, so the
       // admission budget and batch bin-packing see the time they actually
-      // occupy the round.
+      // occupy the round. The ×S latency term inside uses the *effective*
+      // segment count (chunks clamped to the plan's available segments).
       st.modeled_seconds = core::plan_modeled_seconds_pipelined(
           st.request.a->rows(), st.request.a->cols(), st.plan,
-          st.request.options.pipeline_chunks, options_.plan_options.machine);
+          st.request.options.pipeline_chunks, options_.plan_options.machine,
+          rpn);
     } else {
       st.modeled_seconds = core::plan_modeled_seconds(
           st.request.a->rows(), st.request.a->cols(), st.plan,
-          options_.plan_options.machine);
+          options_.plan_options.machine, rpn);
     }
     st.admitted = true;
     return true;
@@ -238,7 +260,11 @@ void SyrkService::scheduler_loop() {
       JobSpec spec;
       spec.ranks = st->plan.logical_ranks();
       spec.modeled_seconds = st->modeled_seconds;
-      spec.solo = st->plan.folded();
+      // Folded plans need a dedicated folded world; topology'd requests
+      // stamp set_topology on the world they run on, which a shared batched
+      // round cannot honor per-job — both run solo through core::syrk.
+      spec.solo =
+          st->plan.folded() || st->request.options.ranks_per_node > 1;
       candidates.push_back(std::move(st));
       specs.push_back(spec);
       ++i;
@@ -320,6 +346,9 @@ void SyrkService::run_batched(
     const std::vector<std::shared_ptr<detail::TicketState>>& batch,
     const RoundPlan& round) {
   comm::World& world = session_->world();
+  // Batched rounds always run flat (topology'd requests are solo-forced);
+  // a preceding solo topology'd request stamped the shared world, so reset.
+  world.set_topology(1);
   bool traced = false;
   for (const auto& st : batch) traced = traced || st->request.trace;
   if (traced) world.enable_tracing();

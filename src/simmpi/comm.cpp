@@ -43,10 +43,30 @@ World::World(int num_ranks, int physical, WorkerPool& pool)
 
 World::~World() = default;
 
+void World::set_topology(int ranks_per_node) {
+  PARSYRK_REQUIRE(ranks_per_node >= 1,
+                  "topology needs ranks_per_node >= 1, got ", ranks_per_node);
+  if (ranks_per_node > 1) {
+    PARSYRK_REQUIRE(!folded(),
+                    "two-level topology requires an unfolded world (folded "
+                    "worlds already model co-location)");
+    PARSYRK_REQUIRE(size() % ranks_per_node == 0, "ranks_per_node ",
+                    ranks_per_node, " must divide the world size ", size());
+  }
+  ranks_per_node_ = ranks_per_node;
+  ledger_.set_topology(ranks_per_node);
+  if (trace_sink_) {
+    trace_sink_->set_ranks_per_node(ranks_per_node > 1 ? ranks_per_node : 0);
+  }
+}
+
 void World::enable_tracing(std::size_t capacity_per_rank) {
   if (trace_sink_) return;
   trace_sink_ = std::make_unique<TraceSink>(size(), capacity_per_rank,
                                             folded() ? physical_ : 0);
+  if (ranks_per_node_ > 1) {
+    trace_sink_->set_ranks_per_node(static_cast<std::uint32_t>(ranks_per_node_));
+  }
 }
 
 void World::disable_tracing() { trace_sink_.reset(); }
@@ -161,7 +181,9 @@ void Comm::send_tagged(int dst, std::int64_t tag,
   // one processor's memory: delivered, but not communication.
   if (!mute_ledger_ &&
       !world_->colocated(world_rank(), group_->world_ranks[dst])) {
-    world_->ledger().record_send(world_rank(), data.size());
+    world_->ledger().record_send(
+        world_rank(), data.size(),
+        world_->tier_between(world_rank(), group_->world_ranks[dst]));
     if (TraceSink* sink = world_->trace_sink()) {
       sink->record(world_rank(), group_->world_ranks[dst],
                    op_kind_.value_or(OpKind::kPointToPoint), TraceDir::kSend,
@@ -181,7 +203,9 @@ std::vector<double> Comm::recv_tagged(int src, std::int64_t tag) {
       world_->mailbox(world_rank()).pop(Envelope{group_->id, src, tag});
   if (!mute_ledger_ &&
       !world_->colocated(world_rank(), group_->world_ranks[src])) {
-    world_->ledger().record_recv(world_rank(), payload.size());
+    world_->ledger().record_recv(
+        world_rank(), payload.size(),
+        world_->tier_between(world_rank(), group_->world_ranks[src]));
     if (TraceSink* sink = world_->trace_sink()) {
       sink->record(world_rank(), group_->world_ranks[src],
                    op_kind_.value_or(OpKind::kPointToPoint), TraceDir::kRecv,
@@ -276,7 +300,8 @@ struct OpState {
     std::vector<double> payload = s.build ? s.build() : std::move(s.payload);
     const int dst_world = group->world_ranks[s.dst];
     if (!mute && !world->colocated(world_rank(), dst_world)) {
-      world->ledger().record_send(world_rank(), payload.size(), phase);
+      world->ledger().record_send(world_rank(), payload.size(), phase,
+                                  world->tier_between(world_rank(), dst_world));
       if (TraceSink* sink = world->trace_sink()) {
         sink->record(world_rank(), dst_world, kind, TraceDir::kSend,
                      payload.size(), trace_phase);
@@ -291,7 +316,8 @@ struct OpState {
   void record_recv(int src, std::size_t words) {
     const int src_world = group->world_ranks[src];
     if (mute || world->colocated(world_rank(), src_world)) return;
-    world->ledger().record_recv(world_rank(), words, phase);
+    world->ledger().record_recv(world_rank(), words, phase,
+                                world->tier_between(world_rank(), src_world));
     if (TraceSink* sink = world->trace_sink()) {
       sink->record(world_rank(), src_world, kind, TraceDir::kRecv, words,
                    trace_phase);
@@ -957,6 +983,150 @@ std::vector<double> Comm::scatter(
   };
   st->rounds.push_back(std::move(round));
   return Request(std::move(st)).take();
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical collectives (two-level topology)
+// ---------------------------------------------------------------------------
+//
+// Composed from split() plus the rooted and pairwise primitives, so every
+// message rides the existing engine (tags, ledger tiers, trace kinds all
+// come for free). Node membership is by *world* topology: a communicator
+// qualifies when its members form complete, node-aligned groups — which the
+// session's contiguous active-ranks splits always do on a topology'd world.
+
+bool Comm::hier_available() const {
+  const int rpn = world_->ranks_per_node();
+  const int p = size();
+  if (rpn <= 1 || p % rpn != 0 || p / rpn < 2) return false;
+  for (int base = 0; base < p; base += rpn) {
+    const int node = world_->node_of(group_->world_ranks[base]);
+    for (int i = 1; i < rpn; ++i) {
+      if (world_->node_of(group_->world_ranks[base + i]) != node) return false;
+    }
+    if (base > 0 && world_->node_of(group_->world_ranks[base - 1]) == node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> Comm::reduce_scatter_hier(
+    std::span<const double> data, const std::vector<std::size_t>& sizes) {
+  if (!hier_available()) return reduce_scatter(data, sizes);
+  const int p = size();
+  PARSYRK_REQUIRE(static_cast<int>(sizes.size()) == p,
+                  "reduce_scatter needs one block size per rank");
+  const int rpn = world_->ranks_per_node();
+  const int nnodes = p / rpn;
+  const int my_node = rank_ / rpn;
+  const bool leader = rank_ % rpn == 0;
+  Comm node = split(my_node, rank_);
+  Comm peers = split(leader ? 0 : 1, rank_);
+  // Stage 1 (intra tier): binomial reduce of the full buffer to the leader.
+  std::vector<double> partial = node.reduce(data, 0);
+  // Stage 2 (inter tier): leaders alone reduce-scatter per-node aggregate
+  // blocks. A node's members own contiguous segments of the buffer, so its
+  // aggregate is one contiguous block and the blocking is well-formed.
+  std::vector<std::vector<double>> member_parts;
+  if (leader) {
+    std::vector<std::size_t> node_sizes(nnodes, 0);
+    for (int r = 0; r < p; ++r) node_sizes[r / rpn] += sizes[r];
+    std::vector<double> node_block = peers.reduce_scatter(partial, node_sizes);
+    // Stage 3 prep: slice the node block back into member segments.
+    member_parts.resize(rpn);
+    std::size_t off = 0;
+    for (int i = 0; i < rpn; ++i) {
+      const std::size_t w = sizes[my_node * rpn + i];
+      member_parts[i].assign(node_block.begin() + off,
+                             node_block.begin() + off + w);
+      off += w;
+    }
+  }
+  // Stage 3 (intra tier): leader scatters each member its summed segment.
+  return node.scatter(member_parts, 0);
+}
+
+std::vector<std::vector<double>> Comm::all_to_all_v_hier(
+    const std::vector<std::vector<double>>& send) {
+  if (!hier_available()) return all_to_all_v(send);
+  const int p = size();
+  PARSYRK_REQUIRE(static_cast<int>(send.size()) == p,
+                  "all_to_all_v needs one block per rank; got ", send.size(),
+                  " for ", p, " ranks");
+  const int rpn = world_->ranks_per_node();
+  const int nnodes = p / rpn;
+  const int my_node = rank_ / rpn;
+  const bool leader = rank_ % rpn == 0;
+  Comm node = split(my_node, rank_);
+  Comm peers = split(leader ? 0 : 1, rank_);
+
+  // Wire image: a header of per-destination-node blob sizes, then for each
+  // destination node a blob of [payload words][payload] frames in
+  // destination-rank order. Frame sizes ride the wire as doubles (payload
+  // word counts are far below 2^53, so the encoding is exact).
+  std::vector<double> wire;
+  {
+    std::size_t total = nnodes;
+    for (int d = 0; d < p; ++d) total += 1 + send[d].size();
+    wire.reserve(total);
+    for (int j = 0; j < nnodes; ++j) {
+      std::size_t blob = 0;
+      for (int i = 0; i < rpn; ++i) blob += 1 + send[j * rpn + i].size();
+      wire.push_back(static_cast<double>(blob));
+    }
+    for (int d = 0; d < p; ++d) {
+      wire.push_back(static_cast<double>(send[d].size()));
+      wire.insert(wire.end(), send[d].begin(), send[d].end());
+    }
+  }
+  // Stage 1 (intra tier): every member's wire image gathers at the leader.
+  std::vector<std::vector<double>> gathered = node.gather(wire, 0);
+  // Stage 2 (inter tier): leaders exchange node-to-node aggregates (their
+  // own node's aggregate stays local inside all_to_all_v).
+  std::vector<std::vector<double>> member_in;
+  if (leader) {
+    std::vector<std::vector<double>> agg(nnodes);
+    for (int j = 0; j < nnodes; ++j) {
+      for (int m = 0; m < rpn; ++m) {
+        const std::vector<double>& w = gathered[m];
+        std::size_t off = nnodes;
+        for (int k = 0; k < j; ++k) off += static_cast<std::size_t>(w[k]);
+        const std::size_t len = static_cast<std::size_t>(w[j]);
+        agg[j].insert(agg[j].end(), w.begin() + off, w.begin() + off + len);
+      }
+    }
+    std::vector<std::vector<double>> from_nodes = peers.all_to_all_v(agg);
+    // Regroup into per-local-member streams: frames arrive grouped by
+    // (source node, source member, destination member); emitting them per
+    // destination in that scan order yields source-rank order streams.
+    member_in.assign(rpn, {});
+    for (int s = 0; s < nnodes; ++s) {
+      const std::vector<double>& blob = from_nodes[s];
+      std::size_t off = 0;
+      for (int m = 0; m < rpn; ++m) {
+        for (int i = 0; i < rpn; ++i) {
+          const std::size_t len = static_cast<std::size_t>(blob[off]);
+          member_in[i].insert(member_in[i].end(), blob.begin() + off,
+                              blob.begin() + off + 1 + len);
+          off += 1 + len;
+        }
+      }
+      PARSYRK_CHECK(off == blob.size());
+    }
+  }
+  // Stage 3 (intra tier): each member receives its inbound frame stream
+  // (sources in rank order) and decodes.
+  std::vector<double> mine = node.scatter(member_in, 0);
+  std::vector<std::vector<double>> out(p);
+  std::size_t off = 0;
+  for (int src = 0; src < p; ++src) {
+    const std::size_t len = static_cast<std::size_t>(mine[off]);
+    out[src].assign(mine.begin() + off + 1, mine.begin() + off + 1 + len);
+    off += 1 + len;
+  }
+  PARSYRK_CHECK(off == mine.size());
+  return out;
 }
 
 // ---------------------------------------------------------------------------

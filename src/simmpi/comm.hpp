@@ -186,6 +186,35 @@ class Comm {
   std::vector<double> scatter(const std::vector<std::vector<double>>& parts,
                               int root);
 
+  // ---- Hierarchical collectives (two-level topology) ----
+  //
+  // sdpb shared_memory_comm-style schedules for a nodes × ranks-per-node
+  // machine: members first reduce/gather within their node (cheap intra
+  // tier), node leaders alone exchange aggregates (scarce inter tier), then
+  // leaders scatter within the node. The busiest node's inter volume drops
+  // from R·T·(P−R)/P (flat pairwise, R ranks per node) to T·(N−1)/N. Both
+  // fall back to the flat pairwise schedule when hier_available() is false.
+
+  /// True when the world has a topology (ranks_per_node > 1) and this
+  /// communicator's members form >= 2 complete node-aligned groups, i.e.
+  /// the hierarchical collectives will actually run the two-level schedule.
+  bool hier_available() const;
+
+  /// Hierarchical reduce-scatter: intra-node binomial reduce to the node
+  /// leader, leader-only pairwise reduce-scatter of per-node aggregate
+  /// blocks, intra-node scatter of member segments. Same semantics as
+  /// reduce_scatter() (summation order differs, so results are exact for
+  /// integer-valued data but may differ in final bits otherwise).
+  std::vector<double> reduce_scatter_hier(std::span<const double> data,
+                                          const std::vector<std::size_t>& sizes);
+
+  /// Hierarchical personalized all-to-all: members serialize per-node
+  /// payload blobs, node leaders gather them, exchange node-to-node
+  /// aggregates pairwise, and scatter regrouped per-member streams. Same
+  /// semantics as all_to_all_v() (payloads are moved verbatim).
+  std::vector<std::vector<double>> all_to_all_v_hier(
+      const std::vector<std::vector<double>>& send);
+
   /// Splits into sub-communicators by color; ranks sharing a color form a
   /// group ordered by (key, rank). Collective over this communicator.
   Comm split(int color, int key);
@@ -348,6 +377,29 @@ class World {
   bool colocated(int a, int b) const {
     return a % physical_ == b % physical_;
   }
+
+  // ---- Two-level topology (nodes × ranks-per-node) ----
+
+  /// Groups the physical processors into nodes of `ranks_per_node`
+  /// consecutive processors each. 1 (the default) is the flat machine —
+  /// every rank its own node — whose accounting is byte-identical to the
+  /// pre-topology runtime. Requires ranks_per_node to divide size(), and an
+  /// unfolded world when > 1 (folded worlds model co-location already).
+  /// Set between jobs only.
+  void set_topology(int ranks_per_node);
+  int ranks_per_node() const { return ranks_per_node_; }
+  int nodes() const { return physical_ / ranks_per_node_; }
+  /// Node hosting logical rank r.
+  int node_of(int logical_rank) const {
+    return (logical_rank % physical_) / ranks_per_node_;
+  }
+  /// Whether a message between these ranks crosses the scarce inter-node
+  /// link (on the flat topology every non-colocated pair does).
+  bool inter_node(int a, int b) const { return node_of(a) != node_of(b); }
+  Tier tier_between(int a, int b) const {
+    return inter_node(a, b) ? Tier::kInter : Tier::kIntra;
+  }
+
   CostLedger& ledger() { return ledger_; }
   /// Jobs executed by this world so far (each run() is one job).
   std::uint64_t jobs_run() const { return jobs_run_; }
@@ -398,6 +450,7 @@ class World {
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   int physical_ = 1;  // physical ranks the accounting folds onto
+  int ranks_per_node_ = 1;  // two-level topology; 1 = flat
   CostLedger ledger_;
   std::unique_ptr<TraceSink> trace_sink_;
   WorkerPool::Lease lease_;

@@ -17,6 +17,19 @@ void CostLedger::set_fold(int physical) {
   physical_ = physical;
 }
 
+void CostLedger::set_topology(int ranks_per_node) {
+  std::lock_guard lock(mu_);
+  PARSYRK_CHECK_MSG(ranks_per_node >= 1 && physical_ % ranks_per_node == 0,
+                    "topology needs ranks_per_node >= 1 dividing the ",
+                    "physical processor count");
+  ranks_per_node_ = ranks_per_node;
+}
+
+int CostLedger::ranks_per_node() const {
+  std::lock_guard lock(mu_);
+  return ranks_per_node_;
+}
+
 void CostLedger::set_phase(int rank, std::string phase) {
   std::lock_guard lock(mu_);
   PARSYRK_CHECK(rank >= 0 && rank < static_cast<int>(ranks_.size()));
@@ -57,6 +70,60 @@ void CostLedger::record_recv(int rank, std::uint64_t words,
   c.msgs_recv += 1;
 }
 
+void CostLedger::record_send(int rank, std::uint64_t words, Tier tier) {
+  std::lock_guard lock(mu_);
+  auto& r = ranks_[rank];
+  auto& c = r.by_phase[r.phase];
+  c.words_sent += words;
+  c.msgs_sent += 1;
+  if (tier == Tier::kInter && ranks_per_node_ > 1) {
+    auto& ci = r.by_phase_inter[r.phase];
+    ci.words_sent += words;
+    ci.msgs_sent += 1;
+  }
+}
+
+void CostLedger::record_recv(int rank, std::uint64_t words, Tier tier) {
+  std::lock_guard lock(mu_);
+  auto& r = ranks_[rank];
+  auto& c = r.by_phase[r.phase];
+  c.words_recv += words;
+  c.msgs_recv += 1;
+  if (tier == Tier::kInter && ranks_per_node_ > 1) {
+    auto& ci = r.by_phase_inter[r.phase];
+    ci.words_recv += words;
+    ci.msgs_recv += 1;
+  }
+}
+
+void CostLedger::record_send(int rank, std::uint64_t words,
+                             const std::string& phase, Tier tier) {
+  std::lock_guard lock(mu_);
+  auto& r = ranks_[rank];
+  auto& c = r.by_phase[phase];
+  c.words_sent += words;
+  c.msgs_sent += 1;
+  if (tier == Tier::kInter && ranks_per_node_ > 1) {
+    auto& ci = r.by_phase_inter[phase];
+    ci.words_sent += words;
+    ci.msgs_sent += 1;
+  }
+}
+
+void CostLedger::record_recv(int rank, std::uint64_t words,
+                             const std::string& phase, Tier tier) {
+  std::lock_guard lock(mu_);
+  auto& r = ranks_[rank];
+  auto& c = r.by_phase[phase];
+  c.words_recv += words;
+  c.msgs_recv += 1;
+  if (tier == Tier::kInter && ranks_per_node_ > 1) {
+    auto& ci = r.by_phase_inter[phase];
+    ci.words_recv += words;
+    ci.msgs_recv += 1;
+  }
+}
+
 std::string CostLedger::current_phase(int rank) const {
   std::lock_guard lock(mu_);
   PARSYRK_CHECK(rank >= 0 && rank < static_cast<int>(ranks_.size()));
@@ -68,13 +135,14 @@ void CostLedger::reset() {
   for (auto& r : ranks_) {
     r.phase = "default";
     r.by_phase.clear();
+    r.by_phase_inter.clear();
   }
   phase_order_.clear();
 }
 
 CostSummary CostLedger::summarize(const std::string* phase,
                                   const Snapshot* since, int rank_begin,
-                                  int rank_end) const {
+                                  int rank_end, bool inter) const {
   std::lock_guard lock(mu_);
   PARSYRK_CHECK_MSG(since == nullptr || since->by_phase_.size() == ranks_.size(),
                     "ledger snapshot is from a different world");
@@ -85,24 +153,37 @@ CostSummary CostLedger::summarize(const std::string* phase,
                         rank_end == static_cast<int>(ranks_.size()) ||
                         physical_ == static_cast<int>(ranks_.size()),
                     "rank-range summaries need an unfolded world");
+  PARSYRK_CHECK_MSG(!inter || ranks_per_node_ > 1,
+                    "inter-node summaries need a topology with "
+                    "ranks_per_node > 1");
   CostSummary s;
-  s.ranks = static_cast<std::uint64_t>(physical_);
   // Fold logical ranks onto their physical hosts (i % physical_) before
   // taking the per-field max: the critical path belongs to the busiest
   // *processor*, which under folding carries several logical ranks' traffic.
-  std::vector<Counters> buckets(physical_);
+  // Inter-tier summaries fold one level further, onto *nodes*: the busiest
+  // node's inter volume is what Theorem 1 bounds at P = #nodes.
+  const int bucket_count = inter ? physical_ / ranks_per_node_ : physical_;
+  s.ranks = static_cast<std::uint64_t>(bucket_count);
+  std::vector<Counters> buckets(bucket_count);
   for (int i = rank_begin; i < rank_end; ++i) {
+    const auto& by_phase =
+        inter ? ranks_[i].by_phase_inter : ranks_[i].by_phase;
+    const auto* snap_phase =
+        since != nullptr
+            ? (inter ? &since->by_phase_inter_[i] : &since->by_phase_[i])
+            : nullptr;
     Counters rank_total;
-    for (const auto& [name, c] : ranks_[i].by_phase) {
+    for (const auto& [name, c] : by_phase) {
       if (phase != nullptr && name != *phase) continue;
       rank_total += c;
-      if (since != nullptr) {
-        auto it = since->by_phase_[i].find(name);
-        if (it != since->by_phase_[i].end()) rank_total -= it->second;
+      if (snap_phase != nullptr) {
+        auto it = snap_phase->find(name);
+        if (it != snap_phase->end()) rank_total -= it->second;
       }
     }
     s.total += rank_total;
-    buckets[i % physical_] += rank_total;
+    const int host = i % physical_;
+    buckets[inter ? host / ranks_per_node_ : host] += rank_total;
   }
   for (const Counters& b : buckets) {
     s.max.words_sent = std::max(s.max.words_sent, b.words_sent);
@@ -114,39 +195,57 @@ CostSummary CostLedger::summarize(const std::string* phase,
 }
 
 CostSummary CostLedger::summary() const {
-  return summarize(nullptr, nullptr, 0, static_cast<int>(ranks_.size()));
+  return summarize(nullptr, nullptr, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/false);
 }
 
 CostSummary CostLedger::summary(const std::string& phase) const {
-  return summarize(&phase, nullptr, 0, static_cast<int>(ranks_.size()));
+  return summarize(&phase, nullptr, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/false);
 }
 
 CostLedger::Snapshot CostLedger::snapshot() const {
   std::lock_guard lock(mu_);
   Snapshot snap;
   snap.by_phase_.reserve(ranks_.size());
-  for (const auto& r : ranks_) snap.by_phase_.push_back(r.by_phase);
+  snap.by_phase_inter_.reserve(ranks_.size());
+  for (const auto& r : ranks_) {
+    snap.by_phase_.push_back(r.by_phase);
+    snap.by_phase_inter_.push_back(r.by_phase_inter);
+  }
   return snap;
 }
 
 CostSummary CostLedger::summary_since(const Snapshot& since) const {
-  return summarize(nullptr, &since, 0, static_cast<int>(ranks_.size()));
+  return summarize(nullptr, &since, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/false);
 }
 
 CostSummary CostLedger::summary_since(const Snapshot& since,
                                       const std::string& phase) const {
-  return summarize(&phase, &since, 0, static_cast<int>(ranks_.size()));
+  return summarize(&phase, &since, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/false);
 }
 
 CostSummary CostLedger::summary_since(const Snapshot& since, int rank_begin,
                                       int rank_end) const {
-  return summarize(nullptr, &since, rank_begin, rank_end);
+  return summarize(nullptr, &since, rank_begin, rank_end, /*inter=*/false);
 }
 
 CostSummary CostLedger::summary_since(const Snapshot& since,
                                       const std::string& phase,
                                       int rank_begin, int rank_end) const {
-  return summarize(&phase, &since, rank_begin, rank_end);
+  return summarize(&phase, &since, rank_begin, rank_end, /*inter=*/false);
+}
+
+CostSummary CostLedger::inter_summary() const {
+  return summarize(nullptr, nullptr, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/true);
+}
+
+CostSummary CostLedger::inter_summary_since(const Snapshot& since) const {
+  return summarize(nullptr, &since, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/true);
 }
 
 std::vector<Counters> CostLedger::per_rank_since(const Snapshot& since) const {

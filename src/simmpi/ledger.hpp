@@ -15,6 +15,14 @@
 
 namespace parsyrk::comm {
 
+/// Which pricing tier a message travelled on under a two-level topology:
+/// intra-node (the cheap α0,β0 link) or inter-node (the scarce α1,β1 link).
+/// On a flat machine every rank is its own node, so all traffic is
+/// conceptually inter-node; the ledger only keeps the separate inter-tier
+/// maps when a topology with ranks_per_node > 1 is set, which leaves the
+/// flat hot path byte-identical to the pre-topology accounting.
+enum class Tier { kIntra, kInter };
+
 struct Counters {
   std::uint64_t words_sent = 0;
   std::uint64_t words_recv = 0;
@@ -68,6 +76,9 @@ class CostLedger {
    private:
     friend class CostLedger;
     std::vector<std::map<std::string, Counters>> by_phase_;
+    // Inter-node-tier counters, parallel to by_phase_; all-empty on flat
+    // worlds (ranks_per_node == 1), where no inter map is ever written.
+    std::vector<std::map<std::string, Counters>> by_phase_inter_;
   };
 
   explicit CostLedger(int num_ranks);
@@ -79,11 +90,31 @@ class CostLedger {
   /// num_ranks (unfolded). Set once, before any job runs.
   void set_fold(int physical);
 
+  /// Two-level topology: groups the `physical` processors into nodes of
+  /// `ranks_per_node` consecutive processors each (must divide the physical
+  /// count; 1 = flat, the default). While set > 1, tier-aware recording
+  /// additionally accumulates kInter traffic into a separate inter-node
+  /// ledger surfaced by inter_summary()/inter_summary_since().
+  void set_topology(int ranks_per_node);
+  int ranks_per_node() const;
+
   /// Sets the phase label subsequent traffic of `rank` is attributed to.
   void set_phase(int rank, std::string phase);
 
   void record_send(int rank, std::uint64_t words);
   void record_recv(int rank, std::uint64_t words);
+
+  // ---- Tier-aware recording (two-level-topology support) ----
+  //
+  // The runtime classifies each message by whether its endpoints share a
+  // node and passes the tier explicitly. kInter traffic is double-entered:
+  // once in the ordinary per-phase counters (so totals, goldens, and every
+  // pre-topology consumer are unchanged) and once in the inter-node ledger
+  // (only when a topology is set). kIntra traffic touches the ordinary
+  // counters alone.
+
+  void record_send(int rank, std::uint64_t words, Tier tier);
+  void record_recv(int rank, std::uint64_t words, Tier tier);
 
   // ---- Explicit-phase recording (nonblocking-operation support) ----
   //
@@ -96,6 +127,10 @@ class CostLedger {
 
   void record_send(int rank, std::uint64_t words, const std::string& phase);
   void record_recv(int rank, std::uint64_t words, const std::string& phase);
+  void record_send(int rank, std::uint64_t words, const std::string& phase,
+                   Tier tier);
+  void record_recv(int rank, std::uint64_t words, const std::string& phase,
+                   Tier tier);
 
   /// The phase label `rank`'s traffic is currently attributed to (what a
   /// nonblocking operation captures at post time).
@@ -138,6 +173,17 @@ class CostLedger {
   CostSummary summary_since(const Snapshot& since, const std::string& phase,
                             int rank_begin, int rank_end) const;
 
+  // ---- Inter-node-tier accounting (two-level-topology support) ----
+  //
+  // Inter summaries fold to *node* buckets: logical rank i's inter traffic
+  // lands in node (i % physical) / ranks_per_node, CostSummary::ranks
+  // reports the node count, and critical_path_words() is the busiest
+  // node's inter volume — the quantity Theorem 1 bounds at P = #nodes.
+  // Requires a topology with ranks_per_node > 1 to have been set.
+
+  CostSummary inter_summary() const;
+  CostSummary inter_summary_since(const Snapshot& since) const;
+
   /// Per-rank counters (all phases) recorded after `since` was taken.
   std::vector<Counters> per_rank_since(const Snapshot& since) const;
 
@@ -145,14 +191,16 @@ class CostLedger {
   struct RankState {
     std::string phase = "default";
     std::map<std::string, Counters> by_phase;
+    std::map<std::string, Counters> by_phase_inter;  // kInter tier only
   };
 
   CostSummary summarize(const std::string* phase, const Snapshot* since,
-                        int rank_begin, int rank_end) const;
+                        int rank_begin, int rank_end, bool inter) const;
 
   mutable std::mutex mu_;
   std::vector<RankState> ranks_;
   int physical_;  // summary fold target; == ranks_.size() when unfolded
+  int ranks_per_node_ = 1;  // two-level topology; 1 = flat
   std::vector<std::string> phase_order_;
 };
 

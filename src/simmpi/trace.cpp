@@ -33,6 +33,7 @@ JobTrace extract_rank_range(const JobTrace& round, int rank_begin,
   t.job_id = round.job_id;
   t.ranks = round.ranks;
   t.physical_ranks = round.physical_ranks;
+  t.ranks_per_node = round.ranks_per_node;
   t.poisoned = round.poisoned;
   t.dropped = round.dropped;
   std::vector<bool> used(round.phases.size(), false);
@@ -164,6 +165,7 @@ JobTrace TraceSink::drain(bool poisoned) {
   t.job_id = job_id_;
   t.ranks = static_cast<std::uint32_t>(per_rank_.size());
   t.physical_ranks = physical_ranks_;
+  t.ranks_per_node = ranks_per_node_;
   t.poisoned = poisoned;
   for (auto& pr : per_rank_) {
     pr->ring.drain(t.events);  // per-ring ordinal order, ranks appended in order

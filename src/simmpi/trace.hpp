@@ -99,6 +99,11 @@ struct JobTrace {
   /// event stream already reflects inter-processor traffic only. Runtime
   /// metadata — not part of the binary golden-trace format.
   std::uint32_t physical_ranks = 0;
+  /// Two-level topology the job ran under: ranks per node (0 = flat). With
+  /// it, inter-node events are those whose rank/peer land in different
+  /// nodes of `ranks_per_node` consecutive ranks. Runtime metadata — not
+  /// part of the binary golden-trace format, so flat goldens are unchanged.
+  std::uint32_t ranks_per_node = 0;
   bool poisoned = false;      // a rank threw mid-job; sends may be unmatched
   std::uint64_t dropped = 0;  // events lost to ring-buffer overflow
   std::vector<std::string> phases;
@@ -199,6 +204,12 @@ class TraceSink {
   /// thread; drained into JobTrace::overlaps alongside the events.
   void record_overlap(const OverlapInterval& interval);
 
+  /// Stamps subsequently drained JobTraces with the world's two-level
+  /// topology (0 = flat). Between jobs only.
+  void set_ranks_per_node(std::uint32_t ranks_per_node) {
+    ranks_per_node_ = ranks_per_node;
+  }
+
   /// Collects everything recorded since begin_job() as one JobTrace with a
   /// canonical phase table. Must not run concurrently with a job.
   JobTrace drain(bool poisoned);
@@ -220,6 +231,7 @@ class TraceSink {
 
   std::vector<std::unique_ptr<PerRank>> per_rank_;
   std::uint32_t physical_ranks_ = 0;
+  std::uint32_t ranks_per_node_ = 0;  // two-level topology; 0 = flat
   std::uint64_t job_id_ = 0;
 
   std::mutex phases_mu_;

@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -61,18 +62,32 @@ std::string CliParser::get(const std::string& name) const {
 std::int64_t CliParser::get_int(const std::string& name) const {
   const std::string v = get(name);
   char* end = nullptr;
+  errno = 0;
   const long long out = std::strtoll(v.c_str(), &end, 10);
   PARSYRK_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
                   "flag --", name, " expects an integer, got '", v, "'");
+  PARSYRK_REQUIRE(errno != ERANGE, "flag --", name,
+                  " value '", v, "' does not fit a 64-bit integer");
+  return out;
+}
+
+std::int64_t CliParser::get_int_in(const std::string& name, std::int64_t lo,
+                                   std::int64_t hi) const {
+  const std::int64_t out = get_int(name);
+  PARSYRK_REQUIRE(out >= lo && out <= hi, "flag --", name, " value ", out,
+                  " is outside the accepted range [", lo, ", ", hi, "]");
   return out;
 }
 
 double CliParser::get_double(const std::string& name) const {
   const std::string v = get(name);
   char* end = nullptr;
+  errno = 0;
   const double out = std::strtod(v.c_str(), &end);
   PARSYRK_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
                   "flag --", name, " expects a number, got '", v, "'");
+  PARSYRK_REQUIRE(errno != ERANGE, "flag --", name,
+                  " value '", v, "' overflows a double");
   return out;
 }
 

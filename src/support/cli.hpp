@@ -24,6 +24,11 @@ class CliParser {
   bool has(const std::string& name) const;
   std::string get(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
+  /// get_int plus an inclusive range check, so callers narrowing to int (or
+  /// rejecting nonsense like --procs 0) fail with a flag-named diagnostic
+  /// instead of a silent truncation.
+  std::int64_t get_int_in(const std::string& name, std::int64_t lo,
+                          std::int64_t hi) const;
   double get_double(const std::string& name) const;
 
   const std::vector<std::string>& positional() const { return positional_; }

@@ -35,13 +35,32 @@ double modeled_words(std::uint64_t n1, std::uint64_t n2,
   const core::Plan& plan = run.plan;
   const costmodel::SyrkShape shape{plan.exec_n1(n1), n2};
   double words = 0.0;
+  // A hierarchical run's busiest rank is the node leader, whose critical
+  // path carries both tiers (binomial-reduce inflow plus the inter-node
+  // exchange) — the flat eq. (3)/(10) envelope does not apply. Model it
+  // with the hierarchical closed forms, both tiers summed.
+  const bool hier =
+      run.nodes >= 2 &&
+      plan.strategy == core::CollectiveStrategy::kHierarchical &&
+      plan.procs % static_cast<std::uint64_t>(run.nodes) == 0 &&
+      plan.algorithm != core::Algorithm::kThreeD;
+  const std::uint64_t nodes = hier ? static_cast<std::uint64_t>(run.nodes) : 0;
+  const std::uint64_t rpn = hier ? plan.procs / nodes : 1;
   switch (plan.algorithm) {
-    case core::Algorithm::kOneD:
-      words = costmodel::syrk_1d_cost(shape, plan.procs).words;
+    case core::Algorithm::kOneD: {
+      const costmodel::CollectiveCost c =
+          hier ? costmodel::syrk_1d_cost_hier(shape, nodes, rpn)
+               : costmodel::syrk_1d_cost(shape, plan.procs);
+      words = c.words + c.words_intra;
       break;
-    case core::Algorithm::kTwoD:
-      words = costmodel::syrk_2d_cost(shape, plan.c).words;
+    }
+    case core::Algorithm::kTwoD: {
+      const costmodel::CollectiveCost c =
+          hier ? costmodel::syrk_2d_cost_hier(shape, plan.c, rpn)
+               : costmodel::syrk_2d_cost(shape, plan.c);
+      words = c.words + c.words_intra;
       break;
+    }
     case core::Algorithm::kThreeD:
       words = costmodel::syrk_3d_cost(shape, plan.c, plan.p2).words;
       break;
@@ -94,6 +113,29 @@ AuditReport BoundAuditor::audit(std::uint64_t n1, std::uint64_t n2,
     rep.verdict = AuditVerdict::kExceedsModel;
   }
 
+  // Two-level topology: audit the scarce tier as a machine of N = #nodes
+  // ranks. Requires 2 <= nodes < procs (nodes == procs is the flat machine)
+  // and n1 >= 2 (Theorem 1's domain).
+  if (run.nodes >= 2 &&
+      static_cast<std::uint64_t>(run.nodes) < run.plan.procs && n1 >= 2) {
+    rep.inter_checked = true;
+    rep.nodes = run.nodes;
+    rep.inter_bound =
+        bounds::syrk_lower_bound(n1, n2, static_cast<std::uint64_t>(run.nodes));
+    rep.measured_inter_words =
+        static_cast<double>(run.total_inter.critical_path_words());
+    rep.ratio_inter_vs_bound =
+        rep.inter_bound.communicated > 0.0
+            ? rep.measured_inter_words / rep.inter_bound.communicated
+            : (rep.measured_inter_words > 0.0 ? inf : 1.0);
+    if (rep.verdict == AuditVerdict::kOk &&
+        rep.inter_bound.communicated > 0.0 &&
+        rep.measured_inter_words <
+            (1.0 - opts_.bound_slack) * rep.inter_bound.communicated) {
+      rep.verdict = AuditVerdict::kBeatsLowerBound;
+    }
+  }
+
   if (trace != nullptr) {
     rep.trace_checked = true;
     // The run may have executed on an active-ranks subset of a larger
@@ -133,6 +175,13 @@ void print_audit(std::ostream& os, const AuditReport& rep) {
   t.print(os);
   os << "measured/bound = " << fmt_double(rep.ratio_vs_bound, 4)
      << ", measured/model = " << fmt_double(rep.ratio_vs_model, 4) << "\n";
+  if (rep.inter_checked) {
+    os << "inter-node (" << rep.nodes
+       << " nodes): busiest node " << fmt_double(rep.measured_inter_words, 8)
+       << " words, Theorem 1 @ P=" << rep.nodes << " bound "
+       << fmt_double(rep.inter_bound.communicated, 8)
+       << ", ratio = " << fmt_double(rep.ratio_inter_vs_bound, 4) << "\n";
+  }
   if (rep.trace_checked) {
     os << "trace/ledger consistency: "
        << (rep.trace_consistent ? "ok" : "MISMATCH") << "\n";

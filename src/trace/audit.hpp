@@ -65,6 +65,18 @@ struct AuditReport {
   std::vector<PhaseAudit> phases;
   AuditVerdict verdict = AuditVerdict::kOk;
 
+  /// Two-level-topology runs only (run.nodes >= 2): the inter-node traffic
+  /// audited as its own machine — Theorem 1 re-instantiated at P = #nodes
+  /// lower-bounds what the busiest node must move across the scarce tier,
+  /// since each node computes a 1/N share of the work memory-independently.
+  /// A hierarchical schedule should approach this bound; beating it is an
+  /// inter-tier accounting bug, same as the flat check.
+  bool inter_checked = false;
+  int nodes = 0;
+  bounds::SyrkBound inter_bound;
+  double measured_inter_words = 0.0;  // busiest node's inter-tier words
+  double ratio_inter_vs_bound = 0.0;
+
   /// Trace/ledger cross-check; trace_consistent is meaningful only when a
   /// trace was supplied (trace_checked).
   bool trace_checked = false;

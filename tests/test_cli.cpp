@@ -108,5 +108,48 @@ TEST(Cli, NegativeNumberAsValue) {
   EXPECT_EQ(cli.get_int("offset"), -12);
 }
 
+TEST(Cli, IntOverflowRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1=99999999999999999999999"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  // Without the ERANGE check strtoll saturates to LLONG_MAX silently.
+  EXPECT_THROW(cli.get_int("n1"), InvalidArgument);
+}
+
+TEST(Cli, IntUnderflowRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1=-99999999999999999999999"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_THROW(cli.get_int("n1"), InvalidArgument);
+}
+
+TEST(Cli, DoubleOverflowRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({"--rate=1e999"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_THROW(cli.get_double("rate"), InvalidArgument);
+}
+
+TEST(Cli, TrailingGarbageOnNumberRejected) {
+  auto cli = make_parser();
+  auto args = argv_of({"--rate=1.5x"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_THROW(cli.get_double("rate"), InvalidArgument);
+}
+
+TEST(Cli, RangeCheckedIntAccepts) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1=64"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(cli.get_int_in("n1", 1, 1 << 20), 64);
+}
+
+TEST(Cli, RangeCheckedIntRejectsOutOfRange) {
+  auto cli = make_parser();
+  auto args = argv_of({"--n1=0"});
+  cli.parse(static_cast<int>(args.size()), args.data());
+  EXPECT_THROW(cli.get_int_in("n1", 1, 1 << 20), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace parsyrk

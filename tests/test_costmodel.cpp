@@ -1,9 +1,12 @@
-// Tests for src/costmodel: collective cost formulas (§3.2, §6) and the
-// closed-form per-algorithm costs (§5 analysis, eqs. (3), (10)–(12)).
+// Tests for src/costmodel: collective cost formulas (§3.2, §6), the
+// closed-form per-algorithm costs (§5 analysis, eqs. (3), (10)–(12)), the
+// two-level-topology tier split and hierarchical closed forms, and the
+// planner's effective-pipeline-chunk accounting.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "core/planner.hpp"
 #include "costmodel/algorithm_costs.hpp"
 #include "costmodel/model.hpp"
 
@@ -138,6 +141,125 @@ TEST(AlgorithmCosts, Gemm3dOptimalGridCost) {
 TEST(AlgorithmCosts, ScalapackSyrkCommunicatesLikeGemm) {
   const SyrkShape s{4096, 64};
   EXPECT_DOUBLE_EQ(scalapack_syrk_cost(s, 8).words, gemm_2d_cost(s, 8).words);
+}
+
+// ---------------------------------------------------------------------------
+// Two-level topology: tier split and hierarchical closed forms
+// ---------------------------------------------------------------------------
+
+TEST(TwoTier, SecondsPricesBothTiers) {
+  Machine m{.alpha = 2.0, .beta = 3.0, .gamma = 5.0,
+            .alpha_intra = 0.2, .beta_intra = 0.3};
+  CollectiveCost c{10.0, 100.0, 7.0};
+  c.messages_intra = 4.0;
+  c.words_intra = 50.0;
+  EXPECT_DOUBLE_EQ(c.seconds(m), 10.0 * 2.0 + 100.0 * 3.0 + 7.0 * 5.0 +
+                                     4.0 * 0.2 + 50.0 * 0.3);
+}
+
+TEST(TwoTier, SplitTiersConservesVolume) {
+  // Of a rank's P−1 pairwise partners, P−R are off-node: the inter fraction
+  // is (P−R)/(P−1) and the rest moves to the intra tier — nothing is lost.
+  const CollectiveCost flat = reduce_scatter_pairwise(8, 1000.0);
+  const CollectiveCost split = split_tiers(flat, 8, 2);
+  EXPECT_DOUBLE_EQ(split.words + split.words_intra, flat.words);
+  EXPECT_DOUBLE_EQ(split.messages + split.messages_intra, flat.messages);
+  EXPECT_DOUBLE_EQ(split.flops, flat.flops);
+  EXPECT_DOUBLE_EQ(split.words, flat.words * 6.0 / 7.0);
+}
+
+TEST(TwoTier, SplitTiersIsIdentityWhenTopologyDoesNotApply) {
+  const CollectiveCost flat = all_to_all_pairwise(6, 400.0);
+  // rpn = 1 (flat machine), non-divisible node size, single whole node.
+  for (const std::uint64_t rpn : {1u, 4u, 6u}) {
+    const CollectiveCost s = split_tiers(flat, 6, rpn);
+    EXPECT_DOUBLE_EQ(s.words, flat.words) << "rpn=" << rpn;
+    EXPECT_DOUBLE_EQ(s.words_intra, 0.0) << "rpn=" << rpn;
+  }
+}
+
+TEST(TwoTier, ReduceScatterHierClosedForm) {
+  // N=4 nodes of R=4 ranks, w words/rank: binomial intra reduce
+  // (ceil(log2 R) rounds of w), leader-only pairwise reduce-scatter
+  // ((1−1/N)·w inter), intra scatter ((1−1/R)·(w/N)).
+  const double w = 1024.0;
+  const CollectiveCost c = reduce_scatter_hier(4, 4, w);
+  EXPECT_DOUBLE_EQ(c.words, (1.0 - 0.25) * w);
+  EXPECT_DOUBLE_EQ(c.messages, 3.0);
+  EXPECT_DOUBLE_EQ(c.words_intra, 2.0 * w + (1.0 - 0.25) * (w / 4.0));
+  // The inter words are what Theorem 1 bounds at P = N: strictly fewer than
+  // the tier-split pairwise schedule's R·w·(P−R)/P per node... per rank the
+  // leader carries (1−1/N)·w vs the flat (1−1/P)·w.
+  EXPECT_LT(c.words, reduce_scatter_pairwise(16, w).words);
+}
+
+TEST(TwoTier, AllToAllHierClosedForm) {
+  // Leader carries its node's whole off-node volume: R·w·(1−1/N) inter
+  // words in N−1 messages; gather+scatter at (R−1)·w each on the intra tier.
+  const double w = 300.0;
+  const CollectiveCost c = all_to_all_hier(3, 2, w);
+  EXPECT_DOUBLE_EQ(c.words, 2.0 * w * (2.0 / 3.0));
+  EXPECT_DOUBLE_EQ(c.messages, 2.0);
+  EXPECT_DOUBLE_EQ(c.words_intra, 2.0 * 1.0 * w);
+  EXPECT_DOUBLE_EQ(c.messages_intra, 2.0 * 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Effective pipeline chunks: the modeled ×S term mirrors the executor clamp
+// ---------------------------------------------------------------------------
+
+namespace core = parsyrk::core;
+
+core::Plan plan_1d(std::uint64_t p) {
+  core::Plan plan;
+  plan.algorithm = core::Algorithm::kOneD;
+  plan.procs = p;
+  plan.c = 0;
+  plan.p1 = 1;
+  plan.p2 = p;
+  return plan;
+}
+
+core::Plan plan_2d(std::uint64_t c) {
+  core::Plan plan;
+  plan.algorithm = core::Algorithm::kTwoD;
+  plan.procs = c * (c + 1);
+  plan.c = c;
+  plan.p1 = c * (c + 1);
+  plan.p2 = 1;
+  return plan;
+}
+
+TEST(EffectiveChunks, OneDClampsToPackedTriangleSize) {
+  // 1D segments the n1(n1+1)/2-entry packed triangle: at n1 = 8 there are
+  // 36 entries, so 1000 requested chunks execute as 36.
+  const core::Plan plan = plan_1d(4);
+  EXPECT_EQ(core::plan_effective_pipeline_chunks(8, 4, plan, 1000), 36);
+  EXPECT_EQ(core::plan_effective_pipeline_chunks(8, 4, plan, 5), 5);
+  EXPECT_EQ(core::plan_effective_pipeline_chunks(8, 4, plan, 0), 1);
+  EXPECT_EQ(core::plan_effective_pipeline_chunks(8, 4, plan, -2), 1);
+}
+
+TEST(EffectiveChunks, TwoDClampsToSmallestExchangePayload) {
+  // 2D segments the (n1/c²)·n2-word exchange payload into at most
+  // ⌊payload/(c+1)⌋ nonempty pieces: n1=16, n2=8, c=2 → 32/3 = 10.
+  const core::Plan plan = plan_2d(2);
+  EXPECT_EQ(core::plan_effective_pipeline_chunks(16, 8, plan, 1 << 20), 10);
+  EXPECT_EQ(core::plan_effective_pipeline_chunks(16, 8, plan, 3), 3);
+}
+
+TEST(EffectiveChunks, PipelinedSecondsUsesEffectiveNotRequestedChunks) {
+  // The ×S latency term must price the segments that can actually exist:
+  // requesting 2^20 chunks prices identically to requesting the cap.
+  const core::Plan plan = plan_1d(4);
+  const int cap = core::plan_effective_pipeline_chunks(8, 4, plan, 1 << 20);
+  const double huge =
+      core::plan_modeled_seconds_pipelined(8, 4, plan, 1 << 20);
+  const double at_cap = core::plan_modeled_seconds_pipelined(8, 4, plan, cap);
+  EXPECT_DOUBLE_EQ(huge, at_cap);
+  // And chunks <= 1 degenerates to the blocking model exactly.
+  EXPECT_DOUBLE_EQ(core::plan_modeled_seconds_pipelined(8, 4, plan, 1),
+                   core::plan_modeled_seconds(8, 4, plan));
 }
 
 }  // namespace

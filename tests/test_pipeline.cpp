@@ -162,11 +162,56 @@ TEST_P(Pipeline, ChunkedTraceRoundTripsThroughBinaryFormat) {
   EXPECT_NE(json.find("in flight"), std::string::npos);
 }
 
+TEST_P(Pipeline, OversizedChunkCountClampsAndStaysBitwise) {
+  // More chunks than the per-rank output range has items: the executor
+  // clamps to the available segments (never an empty segment), and the run
+  // remains bitwise- and volume-identical to blocking.
+  const PipelineConfig& cfg = GetParam();
+  Matrix a = random_matrix(cfg.n1, cfg.n2, cfg.seed);
+  const core::SyrkRun blocking = run_config(cfg, a, /*chunks=*/0);
+  const core::SyrkRun piped = run_config(cfg, a, /*chunks=*/1 << 20);
+  EXPECT_TRUE(piped.c == blocking.c) << cfg.name;
+  EXPECT_EQ(piped.total.total.words_sent, blocking.total.total.words_sent);
+  EXPECT_EQ(piped.total.total.words_recv, blocking.total.total.words_recv);
+  EXPECT_EQ(piped.total.max.words_sent, blocking.total.max.words_sent);
+  // The clamp is finite: message count is bounded by one message per
+  // available segment, nowhere near the requested 2^20.
+  EXPECT_LT(piped.total.total.msgs_sent,
+            blocking.total.total.msgs_sent + (1u << 20));
+  const trace::AuditReport audit =
+      trace::BoundAuditor().audit(cfg.n1, cfg.n2, piped, &*piped.trace);
+  EXPECT_TRUE(audit.ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Algorithms, Pipeline, ::testing::ValuesIn(kConfigs),
     [](const ::testing::TestParamInfo<PipelineConfig>& info) {
       return std::string(info.param.name);
     });
+
+// ---------------------------------------------------------------------------
+// with_pipeline argument validation (the chunks < 1 regression)
+// ---------------------------------------------------------------------------
+
+TEST(PipelineValidation, WithPipelineRejectsNonPositiveChunks) {
+  Matrix a = random_matrix(8, 8, 1);
+  core::SyrkRequest req(a);
+  EXPECT_THROW(req.with_pipeline(0), InvalidArgument);
+  EXPECT_THROW(req.with_pipeline(-3), InvalidArgument);
+  EXPECT_NO_THROW(req.with_pipeline(1));
+}
+
+TEST(PipelineValidation, ExecutorRejectsDirectlySetNegativeChunks) {
+  // The options struct is an open aggregate; a hand-assembled request can
+  // bypass with_pipeline. pipeline_chunks < 0 has no meaning (0 = blocking,
+  // >= 1 = pipelined) and must fail loudly, not execute as garbage.
+  Matrix a = random_matrix(12, 8, 2);
+  core::Session session(4);
+  core::SyrkRequest req(a);
+  req.use_1d();
+  req.options.pipeline_chunks = -7;
+  EXPECT_THROW(core::syrk(session, req), InvalidArgument);
+}
 
 // ---------------------------------------------------------------------------
 // Nonblocking ledger attribution (the snapshot-boundary regression)

@@ -470,5 +470,82 @@ TEST(SyrkService, PoisonedRoundRetriesPipelinedInnocentsBitwise) {
   EXPECT_EQ(st.pipelined_jobs, 2u);
 }
 
+TEST(SyrkService, HandAssembledNegativeChunksRejectedAtAdmission) {
+  // SyrkOptions is an open aggregate: with_pipeline validates, but a
+  // directly-stamped negative chunk count must still fail at admission
+  // (not silently run blocking), and must not poison the service.
+  service::SyrkService svc(packable_options(8));
+  Matrix a = random_matrix(16, 32, 11);
+  core::SyrkRequest bad(a);
+  bad.options.pipeline_chunks = -1;
+  auto ticket = svc.submit(std::move(bad));
+  EXPECT_THROW(ticket.wait(), InvalidArgument);
+  EXPECT_EQ(ticket.status(), service::TicketStatus::kFailed);
+
+  // Same guard for a hand-stamped bogus topology.
+  core::SyrkRequest bad_topo(a);
+  bad_topo.options.ranks_per_node = 0;
+  auto t2 = svc.submit(std::move(bad_topo));
+  EXPECT_THROW(t2.wait(), InvalidArgument);
+
+  // The service stays healthy for well-formed follow-ups.
+  auto ok = svc.submit(core::SyrkRequest(a).on_procs(4).with_pipeline(2));
+  const auto& res = ok.wait();
+  EXPECT_LT(max_abs_diff(res.run.c.view(), syrk_reference(a.view()).view()),
+            1e-9);
+  svc.drain();
+  EXPECT_EQ(svc.stats().failed, 2u);
+}
+
+TEST(SyrkService, TopologyParticipatesInPlanCacheKey) {
+  // Same shape, different ranks_per_node: distinct plan-cache entries (the
+  // two-tier pricing can pick different plans). Repeats of each must hit.
+  service::SyrkService svc(packable_options(8));
+  Matrix a = random_matrix(24, 48, 3);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    svc.submit(core::SyrkRequest(a)).wait();
+    svc.submit(core::SyrkRequest(a).with_topology(2)).wait();
+  }
+  svc.drain();
+  const auto st = svc.stats();
+  // One miss per distinct (shape, topology) key — a single miss here would
+  // mean ranks_per_node leaked out of the cache key. Each request resolves
+  // at admission and again at execution, so repeats only add hits.
+  EXPECT_EQ(st.plan_cache.misses, 2u);
+  EXPECT_EQ(st.plan_cache.entries, 2u);
+  EXPECT_GE(st.plan_cache.hits, 2u);
+}
+
+TEST(SyrkService, TopologyRequestsRunSoloWithNodeAccounting) {
+  // A topology'd request stamps its rpn on the shared session world, so it
+  // must never share a round; the result carries the node count and the
+  // per-node inter summary, and batched flat jobs are unaffected.
+  service::SyrkService svc(packable_options(8));
+  Matrix a = random_matrix(16, 24, 9);
+  Matrix b = random_matrix(20, 12, 4);
+  auto topo =
+      svc.submit(core::SyrkRequest(a).use_1d().on_procs(8).with_topology(2));
+  auto flat1 = svc.submit(core::SyrkRequest(b).on_procs(4));
+  auto flat2 = svc.submit(core::SyrkRequest(b).on_procs(4));
+  const auto rt = topo.wait();
+  const auto r1 = flat1.wait();
+  const auto r2 = flat2.wait();
+  svc.drain();
+
+  EXPECT_FALSE(rt.batched);
+  EXPECT_EQ(rt.run.nodes, 4);
+  EXPECT_GT(rt.run.total_inter.max.words_sent, 0u);
+  // Flat jobs (whether batched or solo) never report a topology.
+  EXPECT_EQ(r1.run.nodes, 0);
+  EXPECT_EQ(r2.run.nodes, 0);
+
+  core::Session solo(8);
+  const auto ref = core::syrk(
+      solo, core::SyrkRequest(a).use_1d().on_procs(8).with_topology(2));
+  EXPECT_TRUE(bitwise_equal(rt.run.c, ref.c));
+  EXPECT_LT(max_abs_diff(r1.run.c.view(), syrk_reference(b.view()).view()),
+            1e-9);
+}
+
 }  // namespace
 }  // namespace parsyrk

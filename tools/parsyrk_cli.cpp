@@ -236,6 +236,13 @@ int main(int argc, char** argv) {
   cli.add_flag("p2", "slice count for 3d", "1");
   cli.add_flag("memory", "per-rank memory budget in words (0 = unlimited)",
                "0");
+  cli.add_flag("chunks", "pipelined-collective segment count for syrk "
+               "(0 = blocking; clamped to the plan's available segments)",
+               "0");
+  cli.add_flag("ranks-per-node", "two-level topology: consecutive ranks per "
+               "node (1 = flat machine; syrk only)", "1");
+  cli.add_flag("strategy", "collective realization for syrk: auto (planner "
+               "picks per topology) | pairwise | hierarchical", "auto");
   cli.add_flag("seed", "RNG seed for the synthetic input", "1");
   cli.add_flag("input", "read A from a MatrixMarket file instead of "
                "synthesizing it (overrides --n1/--n2)", std::nullopt);
@@ -257,11 +264,37 @@ int main(int argc, char** argv) {
                             "communication-optimal parallel SYRK & friends");
       return EXIT_SUCCESS;
     }
-    auto n1 = static_cast<std::uint64_t>(cli.get_int("n1"));
-    auto n2 = static_cast<std::uint64_t>(cli.get_int("n2"));
-    const auto procs = static_cast<std::uint64_t>(cli.get_int("procs"));
+    // Range-checked reads: garbage ("banana") and overflow both surface as
+    // a flag-named InvalidArgument caught below, never a silent truncation.
+    auto n1 = static_cast<std::uint64_t>(
+        cli.get_int_in("n1", 1, std::int64_t{1} << 32));
+    auto n2 = static_cast<std::uint64_t>(
+        cli.get_int_in("n2", 1, std::int64_t{1} << 32));
+    const auto procs =
+        static_cast<std::uint64_t>(cli.get_int_in("procs", 1, 1 << 24));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     const std::string op = cli.get("op");
+    const int chunks = static_cast<int>(cli.get_int_in("chunks", 0, 1 << 24));
+    const int ranks_per_node =
+        static_cast<int>(cli.get_int_in("ranks-per-node", 1, 1 << 24));
+    const std::string strategy = cli.get("strategy");
+    PARSYRK_REQUIRE(strategy == "auto" || strategy == "pairwise" ||
+                        strategy == "hierarchical",
+                    "unknown --strategy ", strategy,
+                    " (want auto | pairwise | hierarchical)");
+    PARSYRK_REQUIRE(chunks == 0 || strategy != "hierarchical",
+                    "--chunks requires pairwise collectives; drop "
+                    "--strategy hierarchical");
+    auto apply_exec_options = [&](core::SyrkRequest& req) {
+      if (chunks >= 1) req.with_pipeline(chunks);
+      if (ranks_per_node > 1) req.with_topology(ranks_per_node);
+      if (strategy == "hierarchical") {
+        req.with_reduce(core::ReduceKind::kHierarchical)
+            .with_exchange(core::ExchangeKind::kHierarchical);
+      }
+      // "pairwise" is the default kinds; "auto" leaves the planner's
+      // strategy pick (mapped inside core::syrk) in charge.
+    };
 
     Matrix a;
     if (cli.has("input")) {
@@ -298,9 +331,16 @@ int main(int argc, char** argv) {
       core::SyrkRequest req(a);
       if (audit) req.with_audit();
       else if (tracing) req.with_trace();
+      apply_exec_options(req);
       if (explain) core::resolve_plan_report(session, req).explain(std::cout);
       const auto run = core::syrk(session, req);
       std::cout << "Plan: " << run.plan << "\n";
+      if (run.nodes >= 2) {
+        std::cout << "Topology: " << run.nodes << " nodes x "
+                  << ranks_per_node << " ranks; busiest node sent "
+                  << run.total_inter.max.words_sent
+                  << " inter-node words\n";
+      }
       const double err =
           max_abs_diff(run.c.view(), syrk_reference(a.view()).view());
       Table t({"phase", "max words/rank"});
@@ -342,6 +382,7 @@ int main(int argc, char** argv) {
       core::SyrkRequest req(a);
       if (audit) req.with_audit();
       else if (tracing) req.with_trace();
+      apply_exec_options(req);
       if (algo == "1d") {
         req.use_1d();
       } else if (algo == "2d") {
