@@ -10,12 +10,23 @@
 //       runs the workload and writes the JSON snapshot (stdout if no
 //       --out).
 //
-//   service_throughput --smoke [--factor F]
+//   service_throughput --smoke [--factor F] [--straggler-factor G]
 //       cheap perf gate for ctest: asserts batched throughput beats the
 //       serialized baseline by at least F (default 1.3) on the
-//       dispatch-dominated workload AND that every batched job's result
+//       dispatch-dominated workload, that the streaming scheduler beats
+//       the round-barrier executor by at least G (default 1.15) on the
+//       straggler mix below, AND that every batched/streamed job's result
 //       matrix and ledger counters are bitwise-identical to the same
 //       request run solo. Exits nonzero otherwise.
+//
+// The straggler mix is the scenario the streaming scheduler exists for:
+// one large pipelined 3D job submitted ahead of many small 1D jobs. The
+// round-barrier executor packs a couple of smalls beside the straggler,
+// then barriers the whole round on it — every later small waits for the
+// 3D job even though 4 ranks sat idle the entire time. The streaming
+// executor keeps cycling smalls through the leftover ranks while the
+// straggler runs (mid-round interleaving on nonblocking range handles),
+// so its makespan approaches the straggler's own runtime.
 //
 // Why batching wins even on this simulated runtime: every scheduled round
 // pays one condition-variable dispatch handoff to the session's parked
@@ -194,8 +205,75 @@ CacheTiming measure_cache_timing(const Shape& s) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Straggler mix: one large 3D job + many small 1D jobs
+// ---------------------------------------------------------------------------
+
+struct StragglerMix {
+  int procs = 16;       // 3D straggler on 12 ranks leaves a 4-rank side lane
+  int smalls = 24;      // small 1D jobs riding behind the straggler
+  std::uint64_t big_n1 = 96, big_n2 = 64;    // use_3d(2, 2): 12 ranks
+  std::uint64_t small_n1 = 16, small_n2 = 32;  // 1D at 2 ranks
+};
+
+std::vector<Matrix> straggler_inputs(const StragglerMix& mix) {
+  std::vector<Matrix> inputs;
+  inputs.reserve(static_cast<std::size_t>(mix.smalls) + 1);
+  inputs.push_back(random_matrix(mix.big_n1, mix.big_n2, 7100));
+  for (int j = 0; j < mix.smalls; ++j) {
+    inputs.push_back(random_matrix(mix.small_n1, mix.small_n2,
+                                   7200 + static_cast<std::uint64_t>(j)));
+  }
+  return inputs;
+}
+
+core::SyrkRequest straggler_request(const StragglerMix& mix,
+                                    const std::vector<Matrix>& inputs,
+                                    std::size_t j) {
+  if (j == 0) {
+    // The straggler: pipelined 3D, its all-gather phase chunked through
+    // the segmented nonblocking path.
+    return core::SyrkRequest(inputs[0]).use_3d(2, 2).with_pipeline(4);
+  }
+  return core::SyrkRequest(inputs[j]).use_1d(2);
+}
+
+ModeResult run_straggler_mix(const StragglerMix& mix,
+                             const std::vector<Matrix>& inputs,
+                             service::SchedMode mode) {
+  auto opts = service_options(mix.procs, /*batching=*/true);
+  opts.scheduler = mode;
+  service::SyrkService svc(opts);
+  ModeResult out;
+  const auto t0 = Clock::now();
+  std::vector<service::SyrkTicket> tickets;
+  tickets.reserve(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    tickets.push_back(svc.submit(straggler_request(mix, inputs, j)));
+  }
+  out.results.reserve(tickets.size());
+  for (auto& t : tickets) out.results.push_back(t.wait());
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.stats = svc.stats();
+  return out;
+}
+
+std::vector<core::SyrkRun> straggler_references(
+    const StragglerMix& mix, const std::vector<Matrix>& inputs) {
+  core::Session session(mix.procs);
+  core::PlanSearchOptions plan_options;
+  plan_options.allow_folding = false;
+  session.set_plan_options(plan_options);
+  std::vector<core::SyrkRun> refs;
+  refs.reserve(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    refs.push_back(core::syrk(session, straggler_request(mix, inputs, j)));
+  }
+  return refs;
+}
+
 int run_bench(int jobs, int procs, const std::string& out_path, bool smoke,
-              double factor) {
+              double factor, double straggler_factor) {
   const auto shapes = workload_shapes();
   std::vector<Matrix> inputs;
   inputs.reserve(static_cast<std::size_t>(jobs));
@@ -228,6 +306,30 @@ int run_bench(int jobs, int procs, const std::string& out_path, bool smoke,
   const auto refs = solo_references(shapes, inputs, procs);
   const int eq_failures = equivalence_failures(batched, refs);
 
+  // Straggler mix: round-barrier vs streaming makespan, best-of-3 each.
+  const StragglerMix mix;
+  const auto mix_inputs = straggler_inputs(mix);
+  run_straggler_mix(mix, mix_inputs, service::SchedMode::kRounds);  // warm
+  ModeResult mix_rounds, mix_stream;
+  double best_rounds = 1e30, best_stream = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto r = run_straggler_mix(mix, mix_inputs, service::SchedMode::kRounds);
+    if (r.seconds < best_rounds) {
+      best_rounds = r.seconds;
+      mix_rounds = std::move(r);
+    }
+    auto s = run_straggler_mix(mix, mix_inputs,
+                               service::SchedMode::kStreaming);
+    if (s.seconds < best_stream) {
+      best_stream = s.seconds;
+      mix_stream = std::move(s);
+    }
+  }
+  const double mix_speedup = mix_rounds.seconds / mix_stream.seconds;
+  const auto mix_refs = straggler_references(mix, mix_inputs);
+  const int mix_eq_failures = equivalence_failures(mix_stream, mix_refs) +
+                              equivalence_failures(mix_rounds, mix_refs);
+
   const double n = static_cast<double>(jobs);
   const double rps_serial = n / serialized.seconds;
   const double rps_batched = n / batched.seconds;
@@ -259,9 +361,19 @@ int run_bench(int jobs, int procs, const std::string& out_path, bool smoke,
             << "  cache-hit resolve " << cache_timing.hit_us
             << " us vs enumeration " << cache_timing.enumerate_us << " us\n"
             << "  batched-vs-solo equivalence failures: " << eq_failures
+            << "\n"
+            << "straggler mix (1 pipelined 3D straggler + " << mix.smalls
+            << " small 1D jobs, " << mix.procs << "-rank service):\n"
+            << "  round-barrier: " << mix_rounds.seconds * 1e3 << " ms ("
+            << mix_rounds.stats.rounds << " rounds)\n"
+            << "  streaming:     " << mix_stream.seconds * 1e3 << " ms ("
+            << mix_stream.stats.interleaved_jobs << " interleaved jobs, gap "
+            << mix_stream.stats.scheduler_gap_seconds * 1e3 << " rank-ms)\n"
+            << "  speedup:       " << mix_speedup << "x\n"
+            << "  streamed-vs-solo equivalence failures: " << mix_eq_failures
             << "\n";
 
-  bool ok = eq_failures == 0;
+  bool ok = eq_failures == 0 && mix_eq_failures == 0;
   // The cache must have enumerated once per distinct shape, no more.
   if (batched.stats.plan_cache.misses != shapes.size()) {
     std::cerr << "FAIL: expected " << shapes.size()
@@ -279,6 +391,11 @@ int run_bench(int jobs, int procs, const std::string& out_path, bool smoke,
     if (speedup < factor) {
       std::cerr << "FAIL: batched speedup " << speedup << "x < " << factor
                 << "x\n";
+      ok = false;
+    }
+    if (mix_speedup < straggler_factor) {
+      std::cerr << "FAIL: straggler-mix streaming speedup " << mix_speedup
+                << "x < " << straggler_factor << "x\n";
       ok = false;
     }
     std::cout << (ok ? "OK\n" : "") << std::flush;
@@ -311,7 +428,20 @@ int run_bench(int jobs, int procs, const std::string& out_path, bool smoke,
      << ", \"misses\": " << batched.stats.plan_cache.misses
      << ", \"hit_resolve_us\": " << cache_timing.hit_us
      << ", \"enumerate_us\": " << cache_timing.enumerate_us << "},\n";
-  os << "  \"batched_vs_solo_equivalence_failures\": " << eq_failures << "\n";
+  os << "  \"batched_vs_solo_equivalence_failures\": " << eq_failures
+     << ",\n";
+  os << "  \"straggler_mix\": {\"smalls\": " << mix.smalls
+     << ", \"service_ranks\": " << mix.procs
+     << ", \"rounds_seconds\": " << mix_rounds.seconds
+     << ", \"rounds_count\": " << mix_rounds.stats.rounds
+     << ", \"streaming_seconds\": " << mix_stream.seconds
+     << ", \"streaming_dispatches\": " << mix_stream.stats.rounds
+     << ", \"interleaved_jobs\": " << mix_stream.stats.interleaved_jobs
+     << ", \"scheduler_gap_seconds\": "
+     << mix_stream.stats.scheduler_gap_seconds
+     << ", \"speedup\": " << mix_speedup
+     << ", \"streamed_vs_solo_equivalence_failures\": " << mix_eq_failures
+     << "}\n";
   os << "}\n";
 
   if (out_path.empty()) {
@@ -336,6 +466,7 @@ int main(int argc, char** argv) {
   int procs = 12;
   bool smoke = false;
   double factor = 1.3;
+  double straggler_factor = 1.15;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -346,13 +477,16 @@ int main(int argc, char** argv) {
       procs = std::atoi(argv[++i]);
     } else if (arg == "--factor" && i + 1 < argc) {
       factor = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--straggler-factor" && i + 1 < argc) {
+      straggler_factor = std::strtod(argv[++i], nullptr);
     } else if (arg == "--smoke") {
       smoke = true;
     } else {
       std::cerr << "usage: service_throughput [--out FILE] [--jobs N] "
-                   "[--procs P] [--smoke [--factor F]]\n";
+                   "[--procs P] [--smoke [--factor F] "
+                   "[--straggler-factor G]]\n";
       return 2;
     }
   }
-  return run_bench(jobs, procs, out, smoke, factor);
+  return run_bench(jobs, procs, out, smoke, factor, straggler_factor);
 }

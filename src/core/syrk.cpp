@@ -111,15 +111,18 @@ void run_3d_rank(comm::Comm& comm, const ConstMatrixView& a,
   auto a_slice = a.block(0, c0, a.rows(), cw);
 
   if (opts.pipeline_chunks >= 1) {
-    // Pipelined Alg. 3: gather/assemble the slice's row blocks, then
-    // compute the owned output blocks group by group, reduce-scattering
-    // each group across Pi_{k*} while the next group's GEMMs run. Whole
-    // blocks per group and ownership-range intersections per segment keep
-    // every entry's accumulation order identical to blocking, so results
-    // are bitwise-equal for ANY chunk count; chunks=1 additionally replays
+    // Pipelined Alg. 3: gather/assemble the slice's row blocks with the
+    // slice exchange itself segmented (the gather was the one phase the
+    // original overlap pass left blocking), then compute the owned output
+    // blocks group by group, reduce-scattering each group across Pi_{k*}
+    // while the next group's GEMMs run. Whole blocks per group and
+    // ownership-range intersections per segment keep every entry's
+    // accumulation order identical to blocking, so results are
+    // bitwise-equal for ANY chunk count; chunks=1 additionally replays
     // the blocking message schedule bitwise.
     internal::AssembledRowBlocks rb =
-        syrk_2d_gather(slice, d, a_slice, ExchangeKind::kPairwise);
+        syrk_2d_gather(slice, d, a_slice, ExchangeKind::kPairwise,
+                       opts.pipeline_chunks);
     comm::Comm row = comm.split(/*color=*/k, /*key=*/l);
     comm.set_phase(kPhaseReduceC);
 

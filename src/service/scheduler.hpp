@@ -69,7 +69,56 @@ struct RoundPlan {
 
 /// Packs the longest admissible FIFO prefix of `queue` into a world of
 /// `world_size` ranks. `queue` must be non-empty; the head is always placed.
+/// The head is exempt from the cost budget; when its cost alone exceeds the
+/// budget it also stops consuming follower budget, so tiny followers still
+/// pack onto the leftover ranks behind an oversized head.
 RoundPlan plan_round(const std::vector<JobSpec>& queue, int world_size,
                      const AdmissionLimits& limits);
+
+// ---- Streaming (work-conserving) mode ----
+//
+// The streaming scheduler keeps plan_round's pure admission policy but
+// drops the round barrier: whenever a job's rank subset drains, the next
+// admissible FIFO jobs are dispatched onto the freed ranks immediately.
+// plan_stream_step is the per-wakeup decision — which queue prefix to
+// launch onto the currently free rank intervals — and streaming_makespan
+// is the matching cost model: a list-scheduling bound (max over per-rank
+// busy time) instead of plan_round's max-over-round-members.
+
+/// How the service executes its queue.
+enum class SchedMode {
+  kRounds,     ///< barrier-synchronized plan_round batches (PR 6 semantics)
+  kStreaming,  ///< continuous dispatch onto freed ranks (work-conserving)
+};
+
+/// One maximal run of currently-free consecutive world ranks.
+struct RankInterval {
+  int base = 0;
+  int extent = 0;
+};
+
+/// Picks the FIFO prefix of `queue` to dispatch right now onto the free
+/// intervals. Strictly FIFO (stops at the first job that does not fit — a
+/// later job never overtakes), first-fit leftmost within the free
+/// intervals, admission-bounded: in-flight modeled seconds plus the newly
+/// placed sum may not exceed the budget, and in-flight plus placed jobs may
+/// not exceed the job cap. When nothing is in flight the queue head is
+/// exempt from the cost budget (plan_round's no-starvation rule), and an
+/// oversized head does not consume follower budget. Solo jobs are never
+/// placed (the caller quiesces the stream and runs them alone). Placement
+/// base ranks refer to world ranks; `job` indexes into `queue`.
+std::vector<Placement> plan_stream_step(const std::vector<JobSpec>& queue,
+                                        const std::vector<RankInterval>& free,
+                                        double inflight_modeled_seconds,
+                                        std::size_t inflight_jobs,
+                                        const AdmissionLimits& limits);
+
+/// List-scheduling makespan bound of running `queue` FIFO through the
+/// streaming scheduler on `world_size` ranks: jobs start in order, each on
+/// the contiguous window that frees earliest (leftmost on ties), solo jobs
+/// quiesce the world. Returns the max per-rank busy time — the modeled
+/// quantity the service prices streamed admission against, and the number
+/// the straggler-mix bench compares to plan_round's barrier makespan.
+double streaming_makespan(const std::vector<JobSpec>& queue, int world_size);
 
 }  // namespace parsyrk::service

@@ -92,6 +92,8 @@ SyrkService::SyrkService(ServiceOptions options)
   session_ = std::make_unique<core::Session>(options_.procs, *pool_);
   cache_.bind_worker_count(options_.procs);
   install_cache_resolver();
+  epoch_ = std::chrono::steady_clock::now();
+  timeline_.set_ranks(options_.procs);
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -163,6 +165,11 @@ ServiceStats SyrkService::stats() const {
   return s;
 }
 
+trace::ServiceTimeline SyrkService::timeline() const {
+  std::lock_guard lock(mu_);
+  return timeline_;
+}
+
 bool SyrkService::admit(detail::TicketState& st) {
   // Resolution goes through the session's resolver, i.e. the plan cache —
   // this is the one resolve every request pays at admission. (Solo rounds
@@ -232,6 +239,14 @@ bool SyrkService::admit(detail::TicketState& st) {
 
 void SyrkService::scheduler_loop() {
   std::unique_lock lock(mu_);
+  if (options_.batching && options_.scheduler == SchedMode::kStreaming) {
+    streaming_loop(lock);
+  } else {
+    rounds_loop(lock);
+  }
+}
+
+void SyrkService::rounds_loop(std::unique_lock<std::mutex>& lock) {
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) {
@@ -302,6 +317,307 @@ void SyrkService::scheduler_loop() {
     round_in_flight_ = false;
     if (queue_.empty()) idle_cv_.notify_all();
   }
+}
+
+/// Per-job execution state of one streamed dispatch. Heap-pinned for its
+/// whole flight: the rank bodies capture a raw pointer into it.
+struct SyrkService::StreamJob {
+  std::shared_ptr<detail::TicketState> st;
+  comm::RangeJob handle;
+  int base = 0;
+  int procs = 0;
+  const Matrix* exec_a = nullptr;
+  Matrix a_pad;   // storage when the plan pads n1
+  Matrix c_exec;  // result assembly target, plan-execution-sized
+  /// Ledger snapshot at launch; the job's range is idle then, so
+  /// rank-range summaries against it are exact even while other ranges run.
+  comm::CostLedger::Snapshot before;
+  /// Shared the world with another in-flight job at any point of its
+  /// flight (the streaming analogue of riding a batched round).
+  bool batched = false;
+};
+
+void SyrkService::streaming_loop(std::unique_lock<std::mutex>& lock) {
+  // All owned by this thread. StreamJobs live here from dispatch to reap;
+  // completion callbacks hand back raw pointers through stream_completed_.
+  std::vector<std::unique_ptr<StreamJob>> inflight;
+  std::vector<std::chrono::steady_clock::time_point> free_at;
+  bool episode_failed = false;
+  std::vector<std::shared_ptr<detail::TicketState>> to_retry;
+
+  for (;;) {
+    // Anything that changes schedulable state this iteration (a reap, a
+    // recovery, a solo run, a launch) warrants another pass before
+    // sleeping: the queue head may have become dispatchable.
+    bool progressed = false;
+
+    // ---- Reap: finalize streamed jobs whose last rank returned ----
+    while (!stream_completed_.empty()) {
+      progressed = true;
+      StreamJob* done = stream_completed_.back();
+      stream_completed_.pop_back();
+      auto it = std::find_if(
+          inflight.begin(), inflight.end(),
+          [&](const std::unique_ptr<StreamJob>& j) { return j.get() == done; });
+      PARSYRK_CHECK(it != inflight.end());
+      std::unique_ptr<StreamJob> job = std::move(*it);
+      inflight.erase(it);
+      // Hold drain()/resize() off while the job finalizes outside the lock.
+      round_in_flight_ = true;
+      lock.unlock();
+      job->handle.wait();  // returns immediately; runs the drained check
+      const bool job_failed = job->handle.failed() || job->handle.aborted();
+      if (!job_failed) finalize_stream_job(*job);
+      lock.lock();
+      if (job_failed) {
+        // A failure poisons the whole world: stop dispatching, collect the
+        // casualties (guilty and innocent alike), recover once drained.
+        episode_failed = true;
+        to_retry.push_back(job->st);
+      }
+      const auto now = std::chrono::steady_clock::now();
+      for (int r = job->base;
+           r < job->base + job->procs &&
+           r < static_cast<int>(free_at.size());
+           ++r) {
+        free_at[static_cast<std::size_t>(r)] = now;
+      }
+    }
+
+    // ---- Failure recovery: rerun the casualties solo once drained ----
+    if (episode_failed && inflight.empty()) {
+      progressed = true;
+      round_in_flight_ = true;
+      lock.unlock();
+      session_->world().recover_after_failure();
+      // The guilty job reports its real error from its solo rerun; the
+      // innocent ones complete normally (same policy as a poisoned round).
+      for (const auto& st : to_retry) run_solo(st, /*retry=*/true);
+      lock.lock();
+      to_retry.clear();
+      episode_failed = false;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& t : free_at) t = now;
+    }
+
+    // ---- Dispatch: admit and launch the FIFO prefix that fits ----
+    if (!episode_failed && !queue_.empty()) {
+      comm::World& world = session_->world();
+      const int world_size = world.size();
+      if (free_at.size() != static_cast<std::size_t>(world_size)) {
+        free_at.assign(static_cast<std::size_t>(world_size),
+                       std::chrono::steady_clock::now());
+      }
+
+      // Admission window, priced exactly as in rounds mode.
+      const std::size_t window =
+          std::max<std::size_t>(1, options_.admission.max_jobs_per_round);
+      std::vector<std::shared_ptr<detail::TicketState>> candidates;
+      std::vector<JobSpec> specs;
+      std::size_t i = 0;
+      while (i < queue_.size() && candidates.size() < window) {
+        std::shared_ptr<detail::TicketState> st = queue_[i];
+        if (!st->admitted && !admit(*st)) {
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+          ++stats_.failed;
+          fail(st, std::move(st->error));
+          continue;
+        }
+        JobSpec spec;
+        spec.ranks = st->plan.logical_ranks();
+        spec.modeled_seconds = st->modeled_seconds;
+        spec.solo =
+            st->plan.folded() || st->request.options.ranks_per_node > 1;
+        candidates.push_back(std::move(st));
+        specs.push_back(spec);
+        ++i;
+      }
+
+      if (!candidates.empty()) {
+        // Quiesce gates: solo jobs need the whole world to themselves, and
+        // enabling the trace sink (first traced job) must happen between
+        // jobs. Strict FIFO means nothing behind them dispatches early.
+        const bool head_trace_enable =
+            candidates[0]->request.trace && !world.tracing();
+        if (specs[0].solo || head_trace_enable) {
+          if (inflight.empty()) {
+            if (head_trace_enable) world.enable_tracing();
+            if (specs[0].solo) {
+              std::shared_ptr<detail::TicketState> head = candidates[0];
+              queue_.pop_front();
+              head->dispatched_at = std::chrono::steady_clock::now();
+              {
+                std::lock_guard ticket_lock(head->mu);
+                head->status = TicketStatus::kRunning;
+              }
+              ++stats_.rounds;
+              round_in_flight_ = true;
+              progressed = true;
+              lock.unlock();
+              run_solo(head, /*retry=*/false);
+              lock.lock();
+              const auto now = std::chrono::steady_clock::now();
+              for (auto& t : free_at) t = now;
+            }
+          }
+          // else: wait for the stream to drain, then handle the head.
+        }
+        if (!specs[0].solo) {
+          // Streamed placement onto the currently free rank intervals.
+          // A traced job can only launch once the sink is live; truncation
+          // keeps FIFO (jobs behind it wait too).
+          if (world.ranks_per_node() != 1 && inflight.empty()) {
+            // A preceding solo topology'd request stamped the shared
+            // world; streamed jobs run flat.
+            world.set_topology(1);
+          }
+          std::vector<char> rank_busy(static_cast<std::size_t>(world_size), 0);
+          double inflight_modeled = 0.0;
+          for (const auto& j : inflight) {
+            for (int r = j->base; r < j->base + j->procs; ++r) {
+              rank_busy[static_cast<std::size_t>(r)] = 1;
+            }
+            inflight_modeled += j->st->modeled_seconds;
+          }
+          std::vector<RankInterval> holes;
+          for (int r = 0; r < world_size;) {
+            if (rank_busy[static_cast<std::size_t>(r)]) {
+              ++r;
+              continue;
+            }
+            int e = r;
+            while (e < world_size && !rank_busy[static_cast<std::size_t>(e)]) {
+              ++e;
+            }
+            holes.push_back({r, e - r});
+            r = e;
+          }
+          std::vector<Placement> placed = plan_stream_step(
+              specs, holes, inflight_modeled, inflight.size(),
+              options_.admission);
+          std::size_t launchable = placed.size();
+          for (std::size_t k = 0; k < placed.size(); ++k) {
+            if (candidates[placed[k].job]->request.trace && !world.tracing()) {
+              launchable = k;
+              break;
+            }
+          }
+          const auto dispatched_at = std::chrono::steady_clock::now();
+          if (launchable > 0) progressed = true;
+          for (std::size_t k = 0; k < launchable; ++k) {
+            const Placement& p = placed[k];
+            std::shared_ptr<detail::TicketState> st = candidates[p.job];
+            queue_.pop_front();
+            st->dispatched_at = dispatched_at;
+            {
+              std::lock_guard ticket_lock(st->mu);
+              st->status = TicketStatus::kRunning;
+            }
+
+            auto job = std::make_unique<StreamJob>();
+            job->st = st;
+            job->base = p.base_rank;
+            job->procs = static_cast<int>(st->plan.logical_ranks());
+            const Matrix& a = *st->request.a;
+            const std::uint64_t exec_n1 = st->plan.exec_n1(a.rows());
+            job->exec_a = &a;
+            if (exec_n1 != a.rows()) {
+              job->a_pad = core::internal::pad_rows(a, exec_n1);
+              job->exec_a = &job->a_pad;
+            }
+            job->c_exec = Matrix(exec_n1, exec_n1);
+            job->before = world.ledger().snapshot();
+
+            ++stats_.rounds;
+            if (!inflight.empty()) {
+              ++stats_.interleaved_jobs;
+              ++stats_.batched_rounds;
+              job->batched = true;
+              for (auto& other : inflight) other->batched = true;
+            }
+            // Work-conservation gap: idle time of the job's ranks since
+            // they last freed — or since the job was submitted, if later
+            // (a rank cannot run work that does not exist yet).
+            for (int r = job->base; r < job->base + job->procs; ++r) {
+              const auto could_start =
+                  std::max(free_at[static_cast<std::size_t>(r)],
+                           st->submitted_at);
+              stats_.scheduler_gap_seconds +=
+                  std::max(0.0, seconds_between(could_start, dispatched_at));
+            }
+
+            StreamJob* raw = job.get();
+            job->handle = world.launch_ranks(
+                job->base, job->base + job->procs,
+                [raw](comm::Comm& c) {
+                  core::internal::run_syrk_plan_rank(
+                      c, raw->exec_a->view(), raw->st->plan,
+                      raw->st->request.options, raw->c_exec);
+                },
+                [this, raw] {
+                  // Notify while holding the lock: this callback runs on a
+                  // pool-worker thread, and the scheduler (then ~SyrkService)
+                  // may otherwise reap the completion and destroy work_cv_
+                  // while the broadcast is still touching it. Holding mu_
+                  // orders the broadcast before any waiter can return.
+                  std::lock_guard completion_lock(mu_);
+                  stream_completed_.push_back(raw);
+                  work_cv_.notify_all();
+                });
+            inflight.push_back(std::move(job));
+          }
+        }
+      }
+    }
+
+    round_in_flight_ = !inflight.empty();
+    if (queue_.empty() && !round_in_flight_) idle_cv_.notify_all();
+    if (stop_ && queue_.empty() && inflight.empty() &&
+        stream_completed_.empty()) {
+      return;
+    }
+    if (progressed) continue;  // re-examine the queue before sleeping
+    // Sleep until something can change the schedule: a completion, a new
+    // submission, or a stop. Waking on a bare non-empty queue would spin
+    // when the queue head cannot dispatch yet (busy ranks, full budget).
+    const std::uint64_t seen_submitted = stats_.submitted;
+    const bool seen_stop = stop_;
+    work_cv_.wait(lock, [&] {
+      return !stream_completed_.empty() ||
+             stats_.submitted != seen_submitted || stop_ != seen_stop;
+    });
+  }
+}
+
+void SyrkService::finalize_stream_job(StreamJob& job) {
+  comm::World& world = session_->world();
+  const comm::CostLedger& ledger = world.ledger();
+  detail::TicketState& st = *job.st;
+  const Matrix& a = *st.request.a;
+  const int lo = job.base;
+  const int hi = job.base + job.procs;
+  core::SyrkRun run;
+  run.plan = st.plan;
+  run.c = core::internal::truncate_result(std::move(job.c_exec), a.rows());
+  run.total = ledger.summary_since(job.before, lo, hi);
+  run.gather_a =
+      ledger.summary_since(job.before, core::internal::kPhaseGatherA, lo, hi);
+  run.reduce_c =
+      ledger.summary_since(job.before, core::internal::kPhaseReduceC, lo, hi);
+  run.scatter_a =
+      ledger.summary_since(job.before, core::internal::kPhaseScatterA, lo, hi);
+  if (a.rows() >= 2) {
+    run.bound = bounds::syrk_lower_bound(a.rows(), a.cols(), run.plan.procs);
+  }
+  if (st.request.trace) {
+    // Range drain + extraction == the solo trace pipeline: the world-shaped
+    // range trace holds exactly this job's events, and extract rebases them
+    // to the same canonical form a solo drain produces.
+    const comm::JobTrace range = world.trace_sink()->drain_ranks(
+        /*poisoned=*/false, lo, hi, job.handle.job_id());
+    run.trace = comm::extract_rank_range(range, lo, hi);
+  }
+  finish(job.st, std::move(run), job.batched, job.base);
 }
 
 void SyrkService::execute_round(
@@ -462,6 +778,14 @@ void SyrkService::finish(const std::shared_ptr<detail::TicketState>& st,
     if (st->request.options.pipeline_chunks >= 1) ++stats_.pipelined_jobs;
     stats_.total_queue_seconds += res.latency.queue_seconds;
     stats_.total_service_seconds += res.latency.service_seconds;
+    trace::TimelineInterval iv;
+    iv.job_id = res.completion_seq;
+    iv.rank_begin = base_rank;
+    iv.rank_end = base_rank + static_cast<int>(st->plan.logical_ranks());
+    iv.start_seconds = seconds_between(epoch_, st->dispatched_at);
+    iv.end_seconds = seconds_between(epoch_, now);
+    iv.solo = !batched;
+    timeline_.add(iv);
   }
   {
     std::lock_guard lock(st->mu);

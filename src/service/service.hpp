@@ -42,6 +42,7 @@
 #include "service/plan_cache.hpp"
 #include "service/scheduler.hpp"
 #include "trace/audit.hpp"
+#include "trace/timeline.hpp"
 
 namespace parsyrk::service {
 
@@ -111,8 +112,15 @@ struct ServiceOptions {
   /// Worker (world) size of the service's session. Required.
   int procs = 0;
   /// When false, every job runs solo (the serialized baseline the
-  /// throughput bench compares against).
+  /// throughput bench compares against). Forces SchedMode::kRounds.
   bool batching = true;
+  /// How the queue executes: barrier-synchronized plan_round batches, or
+  /// the continuous streaming scheduler that dispatches the next FIFO job
+  /// the moment a rank subset drains. Streaming is the default — it is
+  /// work-conserving and keeps every per-job accounting guarantee — but
+  /// completion order is no longer globally FIFO (a short job placed after
+  /// a straggler may finish first; dispatch order stays FIFO).
+  SchedMode scheduler = SchedMode::kStreaming;
   AdmissionLimits admission;
   /// Plan-search options for planner-path requests (and the cache key).
   /// Services that want maximal packing typically disable folding — folded
@@ -134,6 +142,14 @@ struct ServiceStats {
   std::uint64_t retried_jobs = 0;
   /// Jobs executed with pipelined chunked collectives (with_pipeline).
   std::uint64_t pipelined_jobs = 0;
+  /// Streamed jobs dispatched while at least one other job was mid-flight
+  /// (the mid-round interleaving the round-barrier executor could not do).
+  std::uint64_t interleaved_jobs = 0;
+  /// Work-conservation gap: summed idle rank-seconds between a rank
+  /// becoming free (or the dispatched job being submitted, whichever is
+  /// later) and its next streamed dispatch. Zero in rounds mode; small
+  /// values mean the streaming scheduler is keeping freed ranks fed.
+  double scheduler_gap_seconds = 0.0;
   double total_queue_seconds = 0.0;
   double total_service_seconds = 0.0;
   PlanCache::Stats plan_cache;
@@ -170,6 +186,9 @@ class SyrkService {
 
   int procs() const;
   ServiceStats stats() const;
+  /// Per-rank busy/idle lanes of every dispatched job (wall-clock seconds
+  /// since service construction). Copied out under the service lock.
+  trace::ServiceTimeline timeline() const;
   PlanCache& plan_cache() { return cache_; }
 
   /// The underlying session. Only safe to touch when the queue is drained
@@ -178,8 +197,18 @@ class SyrkService {
 
  private:
   struct BatchJob;
+  struct StreamJob;
 
   void scheduler_loop();
+  /// PR 6 executor: barrier-synchronized plan_round batches.
+  void rounds_loop(std::unique_lock<std::mutex>& lock);
+  /// Continuous executor: dispatches FIFO jobs onto freed rank subsets via
+  /// World::launch_ranks, reaping completions as they land.
+  void streaming_loop(std::unique_lock<std::mutex>& lock);
+  /// Finalizes one cleanly-completed streamed job: rank-range ledger
+  /// summaries, range trace drain + extraction, result truncation, finish().
+  /// Runs on the scheduler thread without holding mu_.
+  void finalize_stream_job(StreamJob& job);
   /// Resolves the ticket's plan/modeled cost against the current session.
   /// Returns false (ticket failed) when the request is invalid.
   bool admit(detail::TicketState& st);
@@ -208,6 +237,12 @@ class SyrkService {
   bool stop_ = false;
   ServiceStats stats_;
   std::uint64_t completion_seq_ = 0;
+  /// Streamed jobs whose last rank returned, awaiting the scheduler
+  /// thread's reap (raw pointers into streaming_loop's in-flight set; only
+  /// the scheduler thread dereferences them).
+  std::vector<StreamJob*> stream_completed_;
+  trace::ServiceTimeline timeline_;
+  std::chrono::steady_clock::time_point epoch_;
 
   std::thread scheduler_;  // last member: joins before the rest tears down
 };

@@ -119,6 +119,117 @@ void World::run(const std::function<void(Comm&)>& body) {
   }
 }
 
+bool RangeJob::done() const {
+  std::lock_guard lock(state_->mu);
+  return state_->pending == 0;
+}
+
+void RangeJob::wait() {
+  detail::RangeJobState& st = *state_;
+  {
+    std::unique_lock lock(st.mu);
+    st.cv.wait(lock, [&] { return st.pending == 0; });
+  }
+  // A clean streamed job consumes every message it causes to be sent —
+  // the per-range analogue of World::run's post-job check. Skipped on
+  // failure: poisoned mailboxes legitimately hold undelivered messages
+  // until recover_after_failure().
+  if (!st.error && !st.any_aborted) {
+    for (int r = st.rank_begin; r < st.rank_end; ++r) {
+      PARSYRK_CHECK_MSG(st.world->mailboxes_[r]->empty(),
+                        "rank ", r, " finished with undrained messages");
+    }
+  }
+}
+
+RangeJob World::launch_ranks(int rank_begin, int rank_end,
+                                    std::function<void(Comm&)> body,
+                                    std::function<void()> on_complete) {
+  PARSYRK_REQUIRE(!folded(),
+                  "launch_ranks requires an unfolded world (folded "
+                  "accounting spans all ranks)");
+  PARSYRK_REQUIRE(ranks_per_node_ == 1,
+                  "launch_ranks requires the flat topology (a node-aware "
+                  "range would split nodes across jobs)");
+  PARSYRK_REQUIRE(rank_begin >= 0 && rank_begin < rank_end &&
+                      rank_end <= size(),
+                  "launch_ranks range [", rank_begin, ", ", rank_end,
+                  ") invalid for a world of ", size(), " ranks");
+  const std::uint64_t job_id = ++jobs_run_;
+  if (trace_sink_) trace_sink_->begin_ranks(rank_begin, rank_end);
+
+  // One job epoch for this range: reset the handle generations of every
+  // group whose members all lie inside it (their ranks are idle by the
+  // caller's placement discipline), so the job draws collective tags
+  // exactly as the same job would on a fresh world of the range's size.
+  const bool whole_world = rank_begin == 0 && rank_end == size();
+  {
+    std::lock_guard lock(groups_mu_);
+    if (whole_world) {
+      std::fill(world_group_->handle_gen.begin(),
+                world_group_->handle_gen.end(), 0u);
+    }
+    for (auto& [sig, g] : group_registry_) {
+      const bool inside = std::all_of(
+          g->world_ranks.begin(), g->world_ranks.end(),
+          [&](int r) { return r >= rank_begin && r < rank_end; });
+      if (inside) std::fill(g->handle_gen.begin(), g->handle_gen.end(), 0u);
+    }
+  }
+  std::shared_ptr<detail::Group> group;
+  if (whole_world) {
+    group = world_group_;
+  } else {
+    std::vector<int> members(rank_end - rank_begin);
+    for (int r = rank_begin; r < rank_end; ++r) {
+      members[r - rank_begin] = r;
+    }
+    group = intern_group("range:" + std::to_string(rank_begin) + ":" +
+                             std::to_string(rank_end),
+                         members);
+  }
+
+  auto st = std::make_shared<detail::RangeJobState>();
+  st->world = this;
+  st->rank_begin = rank_begin;
+  st->rank_end = rank_end;
+  st->job_id = job_id;
+  st->body = std::move(body);
+  st->on_complete = std::move(on_complete);
+  st->pending = rank_end - rank_begin;
+  for (int r = rank_begin; r < rank_end; ++r) {
+    const int gr = r - rank_begin;
+    const std::uint32_t gen = group->handle_gen[gr]++;
+    lease_.dispatch(r, [this, st, group, gr, gen] {
+      Comm comm(this, group, gr, gen);
+      bool rank_aborted = false;
+      std::exception_ptr err;
+      try {
+        st->body(comm);
+      } catch (const RankAborted&) {
+        rank_aborted = true;  // secondary victim; the root cause is elsewhere
+      } catch (...) {
+        err = std::current_exception();
+        poison_all();
+      }
+      bool last = false;
+      {
+        std::lock_guard lock(st->mu);
+        if (rank_aborted) st->any_aborted = true;
+        // Lowest failing rank wins, mirroring World::run's rethrow order.
+        if (err && (st->error_rank < 0 || gr < st->error_rank)) {
+          st->error = err;
+          st->error_rank = gr;
+        }
+        last = --st->pending == 0;
+      }
+      st->cv.notify_all();
+      if (last && st->on_complete) st->on_complete();
+    });
+  }
+  return RangeJob(std::move(st));
+}
+
 void World::poison_all() {
   for (auto& mb : mailboxes_) mb->poison();
   auto poison_group = [](detail::Group& g) {

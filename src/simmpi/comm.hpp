@@ -29,6 +29,7 @@
 namespace parsyrk::comm {
 
 class World;
+class Comm;
 
 namespace detail {
 
@@ -105,6 +106,69 @@ struct Group {
 };
 
 }  // namespace detail
+
+namespace detail {
+
+/// Shared state of one streamed rank-range job (World::launch_ranks): the
+/// per-rank completion count plus the failure verdict, written by the pool
+/// workers and read by the scheduler thread through RangeJob.
+struct RangeJobState {
+  World* world = nullptr;
+  int rank_begin = 0;
+  int rank_end = 0;
+  std::uint64_t job_id = 0;
+  std::function<void(Comm&)> body;
+  std::function<void()> on_complete;  // fired once by the last rank
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = 0;
+  std::exception_ptr error;  // lowest failing rank's exception
+  int error_rank = -1;       // group-relative rank, mirrors run()'s rethrow
+  bool any_aborted = false;  // a rank unwound with RankAborted
+};
+
+}  // namespace detail
+
+/// Handle to one in-flight streamed job on a rank subset of a World
+/// (World::launch_ranks). Completion is observed either by polling done(),
+/// blocking in wait(), or through the on_complete callback the job was
+/// launched with. Unlike World::run, failure is reported through failed() /
+/// error() rather than rethrown — the launching thread is not inside the
+/// job when it dies.
+class RangeJob {
+ public:
+  RangeJob() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  int rank_begin() const { return state_->rank_begin; }
+  int rank_end() const { return state_->rank_end; }
+  /// World::jobs_run() value assigned to this job at launch.
+  std::uint64_t job_id() const { return state_->job_id; }
+
+  /// True once every rank of the job has returned.
+  bool done() const;
+
+  /// Blocks until every rank has returned, then (on a clean completion)
+  /// checks the job's mailboxes drained — the per-range analogue of
+  /// World::run's post-job check. Never throws the job's error; inspect
+  /// failed()/aborted()/error() after.
+  void wait();
+
+  /// A rank threw a real (non-RankAborted) exception. Valid once done().
+  bool failed() const { return state_->error != nullptr; }
+  /// A rank unwound with RankAborted (poisoned by a failure elsewhere).
+  bool aborted() const { return state_->any_aborted; }
+  /// The lowest failing rank's exception (nullptr when !failed()).
+  std::exception_ptr error() const { return state_->error; }
+
+ private:
+  friend class World;
+  explicit RangeJob(std::shared_ptr<detail::RangeJobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::RangeJobState> state_;
+};
 
 /// Per-rank handle to a communicator. Cheap to copy.
 class Comm {
@@ -427,8 +491,46 @@ class World {
   /// World — and its leased workers — stay usable for the next job.
   void run(const std::function<void(Comm&)>& body);
 
+  // ---- Streamed execution (work-conserving scheduling substrate) ----
+  //
+  // launch_ranks is the mid-round interleaving primitive: it starts a job
+  // on a rank subset while other disjoint subsets are still mid-flight, so
+  // a scheduler can dispatch the next queued job the moment a subset
+  // drains instead of barriering on the slowest member of a round. The
+  // caller (one scheduling thread) owns the placement discipline:
+  //
+  //   - ranges of concurrently in-flight jobs must be disjoint, and a
+  //     range may be relaunched only after its previous job completed;
+  //   - World::run, set_topology, enable/disable_tracing, and a
+  //     whole-world launch still require a fully quiesced world;
+  //   - after any streamed job fails or aborts, no further launches until
+  //     every in-flight job completed and recover_after_failure() ran
+  //     (poisoning is world-wide, so innocent in-flight jobs abort too).
+  //
+  // Each launch is one job epoch for its range only: the trace sink's
+  // range ordinals reset, and the handle generations of every group fully
+  // contained in the range reset, so the job replays exactly the tag and
+  // trace schedule of the same job run solo on a fresh world of the range's
+  // size — the property that keeps streamed results bitwise-identical.
+
+  /// Launches `body` on ranks [rank_begin, rank_end) of an unfolded, flat
+  /// world and returns immediately. Each rank's Comm spans the range
+  /// (size == rank_end - rank_begin, rank 0 == world rank rank_begin).
+  /// `on_complete`, if given, fires exactly once on the last finishing
+  /// rank's worker thread — it must be cheap and must not launch jobs or
+  /// touch the World directly (signal the scheduling thread instead).
+  RangeJob launch_ranks(int rank_begin, int rank_end,
+                        std::function<void(Comm&)> body,
+                        std::function<void()> on_complete = {});
+
+  /// Clears poison and undelivered messages after a streamed job failed,
+  /// restoring the world for further launches. Call only once every
+  /// in-flight RangeJob has completed.
+  void recover_after_failure() { reset_after_failure(); }
+
  private:
   friend class Comm;
+  friend class RangeJob;
   friend struct detail::OpState;  // the nonblocking engine posts/pops directly
 
   Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }

@@ -111,14 +111,21 @@ TraceSink::TraceSink(int num_ranks, std::size_t capacity_per_rank,
 
 void TraceSink::begin_job(std::uint64_t job_id) {
   job_id_ = job_id;
+  begin_ranks(0, ranks());
+}
+
+void TraceSink::begin_ranks(int rank_begin, int rank_end) {
+  PARSYRK_CHECK(rank_begin >= 0 && rank_begin <= rank_end &&
+                rank_end <= ranks());
   std::vector<TraceEvent> discard;
-  for (auto& pr : per_rank_) {
+  for (int r = rank_begin; r < rank_end; ++r) {
+    PerRank& pr = *per_rank_[r];
     discard.clear();
-    pr->ring.drain(discard);
-    pr->ring.reset_dropped();
-    pr->phase = 0;  // back to "default", exactly as on a fresh world
-    pr->ordinal = 0;
-    pr->overlaps.clear();
+    pr.ring.drain(discard);
+    pr.ring.reset_dropped();
+    pr.phase = 0;  // back to "default", exactly as on a fresh world
+    pr.ordinal = 0;
+    pr.overlaps.clear();
   }
 }
 
@@ -177,6 +184,34 @@ JobTrace TraceSink::drain(bool poisoned) {
                       pr->overlaps.end());
     pr->overlaps.clear();
   }
+  canonicalize_phases(t);
+  return t;
+}
+
+JobTrace TraceSink::drain_ranks(bool poisoned, int rank_begin, int rank_end,
+                                std::uint64_t job_id) {
+  PARSYRK_CHECK(rank_begin >= 0 && rank_begin <= rank_end &&
+                rank_end <= ranks());
+  JobTrace t;
+  t.job_id = job_id;
+  t.ranks = static_cast<std::uint32_t>(per_rank_.size());
+  t.physical_ranks = physical_ranks_;
+  t.ranks_per_node = ranks_per_node_;
+  t.poisoned = poisoned;
+  for (int r = rank_begin; r < rank_end; ++r) {
+    PerRank& pr = *per_rank_[r];
+    pr.ring.drain(t.events);
+    t.dropped += pr.ring.dropped();
+    pr.ring.reset_dropped();
+    t.overlaps.insert(t.overlaps.end(), pr.overlaps.begin(),
+                      pr.overlaps.end());
+    pr.overlaps.clear();
+  }
+  canonicalize_phases(t);
+  return t;
+}
+
+void TraceSink::canonicalize_phases(JobTrace& t) {
   // Canonicalize the phase table: ids in the raw events reflect interning
   // order, which can differ run-to-run when ranks race to name phases. The
   // exported table holds only the phases this job used, sorted by name, and
@@ -200,7 +235,6 @@ JobTrace TraceSink::drain(bool poisoned) {
     for (auto& e : t.events) e.phase = canon.at(phase_names_[e.phase]);
   }
   t.phases = std::move(used_names);
-  return t;
 }
 
 }  // namespace parsyrk::comm

@@ -177,6 +177,23 @@ class TraceSink {
   /// `job_id`.
   void begin_job(std::uint64_t job_id);
 
+  /// Range-scoped epoch for streamed jobs: resets only ranks
+  /// [rank_begin, rank_end) — ordinals, phases, rings, overlap windows — so
+  /// a job can start on a freed rank subset while other subsets are
+  /// mid-flight. The ranks being reset must be idle (their previous job
+  /// fully drained); other ranks' producer state is untouched.
+  void begin_ranks(int rank_begin, int rank_end);
+
+  /// Range-scoped drain for streamed jobs: collects what ranks
+  /// [rank_begin, rank_end) recorded since their begin_ranks() into a
+  /// world-shaped JobTrace stamped `job_id` (other ranks contribute no
+  /// events; feed the result to extract_rank_range for the solo-shaped
+  /// sub-trace). The drained ranks must be idle; concurrently running ranks
+  /// are safe — their rings are untouched and the phase table is
+  /// mutex-interned.
+  JobTrace drain_ranks(bool poisoned, int rank_begin, int rank_end,
+                       std::uint64_t job_id);
+
   /// Attributes subsequent events of `rank` to `phase` (interned).
   void set_phase(int rank, const std::string& phase);
 
@@ -228,6 +245,10 @@ class TraceSink {
   };
 
   std::uint32_t intern(const std::string& phase);
+
+  /// Remaps `t.events` onto a canonical phase table (the phases the job
+  /// used, sorted by name) so equal schedules yield bitwise-equal traces.
+  void canonicalize_phases(JobTrace& t);
 
   std::vector<std::unique_ptr<PerRank>> per_rank_;
   std::uint32_t physical_ranks_ = 0;

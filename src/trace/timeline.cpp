@@ -1,0 +1,76 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace parsyrk::trace {
+
+void ServiceTimeline::add(const TimelineInterval& interval) {
+  PARSYRK_REQUIRE(interval.rank_begin >= 0 &&
+                      interval.rank_begin < interval.rank_end,
+                  "timeline interval needs a non-empty rank range");
+  PARSYRK_REQUIRE(interval.end_seconds >= interval.start_seconds,
+                  "timeline interval ends before it starts");
+  ranks_ = std::max(ranks_, interval.rank_end);
+  intervals_.push_back(interval);
+}
+
+double ServiceTimeline::horizon_seconds() const {
+  double h = 0.0;
+  for (const TimelineInterval& iv : intervals_) {
+    h = std::max(h, iv.end_seconds);
+  }
+  return h;
+}
+
+double ServiceTimeline::busy_seconds(int rank) const {
+  double busy = 0.0;
+  for (const TimelineInterval& iv : intervals_) {
+    if (rank >= iv.rank_begin && rank < iv.rank_end) {
+      busy += iv.end_seconds - iv.start_seconds;
+    }
+  }
+  return busy;
+}
+
+double ServiceTimeline::idle_seconds(int rank) const {
+  // Idle counts from the rank's first dispatch (before that it was never
+  // needed) to the timeline horizon (after which nothing is scheduled).
+  double first = -1.0;
+  for (const TimelineInterval& iv : intervals_) {
+    if (rank >= iv.rank_begin && rank < iv.rank_end) {
+      first = first < 0.0 ? iv.start_seconds : std::min(first, iv.start_seconds);
+    }
+  }
+  if (first < 0.0) return 0.0;
+  return std::max(0.0, horizon_seconds() - first - busy_seconds(rank));
+}
+
+double ServiceTimeline::total_idle_seconds() const {
+  double total = 0.0;
+  for (int r = 0; r < ranks_; ++r) total += idle_seconds(r);
+  return total;
+}
+
+std::string ServiceTimeline::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TimelineInterval& iv : intervals_) {
+    for (int r = iv.rank_begin; r < iv.rank_end; ++r) {
+      if (!first) os << ",";
+      first = false;
+      // Microsecond timestamps, the unit trace viewers expect.
+      os << "{\"name\":\"job " << iv.job_id << (iv.solo ? " (solo)" : "")
+         << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << r
+         << ",\"ts\":" << iv.start_seconds * 1e6
+         << ",\"dur\":" << (iv.end_seconds - iv.start_seconds) * 1e6 << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace parsyrk::trace

@@ -59,8 +59,20 @@ TEST(PlanRound, HeadIsAlwaysPlacedEvenOverBudget) {
   limits.modeled_seconds_per_round = 1e-9;
   const std::vector<service::JobSpec> q = {spec(4, 1.0), spec(2, 1e-12)};
   const auto round = service::plan_round(q, 12, limits);
-  ASSERT_EQ(round.placements.size(), 1u);
+  // The over-budget head is exempt (it must run eventually and blocking it
+  // forever would deadlock) AND it does not consume the round budget: the
+  // tiny follower fits on the leftover ranks instead of stalling behind it.
+  ASSERT_EQ(round.placements.size(), 2u);
   EXPECT_EQ(round.placements[0].job, 0u);
+  EXPECT_EQ(round.placements[1].job, 1u);
+  EXPECT_EQ(round.placements[1].base_rank, 4);
+  // modeled_sum_seconds still reports the true in-flight cost.
+  EXPECT_DOUBLE_EQ(round.modeled_sum_seconds, 1.0 + 1e-12);
+
+  // A follower that itself exceeds the budget still breaks the round: the
+  // exemption is for the head only.
+  const std::vector<service::JobSpec> q2 = {spec(4, 1.0), spec(2, 1.0)};
+  ASSERT_EQ(service::plan_round(q2, 12, limits).placements.size(), 1u);
 }
 
 TEST(PlanRound, BudgetStopsPacking) {
@@ -227,7 +239,12 @@ TEST(SyrkService, ResizeInvalidatesCachedPlans) {
 }
 
 TEST(SyrkService, CompletionOrderIsFifoAcrossMixedSizes) {
-  service::SyrkService svc(packable_options(12));
+  // Global completion-order FIFO is a rounds-mode guarantee; the streaming
+  // scheduler keeps dispatch FIFO but lets short jobs finish ahead of
+  // stragglers (test_scheduler_stream covers that mode).
+  auto opts = packable_options(12);
+  opts.scheduler = service::SchedMode::kRounds;
+  service::SyrkService svc(opts);
   const std::uint64_t caps[] = {2, 12, 3, 6, 4, 2, 12, 3};
   const int jobs = 24;
   std::vector<Matrix> inputs;
