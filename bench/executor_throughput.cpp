@@ -111,6 +111,22 @@ int main(int argc, char** argv) {
   }
   const double traced_sec = seconds_since(t_traced);
 
+  // Warm session with SPMD protocol verification: same jobs again under
+  // the full dynamic verifier (collective matching, watchdog registration,
+  // leak and ledger checks at job end). The hot-path cost is one null-check
+  // plus the inline topology test per message; docs/VERIFY.md records the
+  // <= 10% budget this measures.
+  double verified_err = 0.0;
+  session.world().disable_tracing();  // isolate verify cost from trace cost
+  const auto t_verified = Clock::now();
+  for (int j = 0; j < jobs; ++j) {
+    const auto run =
+        core::syrk(session, core::SyrkRequest(a).use_1d().with_verify());
+    verified_err =
+        std::max(verified_err, max_abs_diff(run.c.view(), ref.view()));
+  }
+  const double verified_sec = seconds_since(t_verified);
+
   // Local-kernel time: the gamma the planner's cost model should use on this
   // host, for both kernel tiers (docs/PLANNING.md records the calibration).
   const double gamma_packed = bench::measured_gamma_syrk(
@@ -128,8 +144,10 @@ int main(int argc, char** argv) {
   const double fresh_jps = jobs / fresh_sec;
   const double warm_jps = jobs / warm_sec;
   const double traced_jps = jobs / traced_sec;
+  const double verified_jps = jobs / verified_sec;
   const double speedup = warm_jps / fresh_jps;
   const double trace_overhead_pct = 100.0 * (traced_sec / warm_sec - 1.0);
+  const double verify_overhead_pct = 100.0 * (verified_sec / warm_sec - 1.0);
 
   Table t({"executor", "jobs/sec", "threads created", "max err"});
   t.add_row({"fresh world per job", fmt_double(fresh_jps, 6),
@@ -138,11 +156,15 @@ int main(int argc, char** argv) {
              std::to_string(warm_threads), fmt_double(warm_err, 3)});
   t.add_row({"warm session, traced", fmt_double(traced_jps, 6),
              std::to_string(warm_threads), fmt_double(traced_err, 3)});
+  t.add_row({"warm session, verified", fmt_double(verified_jps, 6),
+             std::to_string(warm_threads), fmt_double(verified_err, 3)});
   t.print(std::cout);
   std::cout << "\nspeedup (warm/fresh): " << fmt_double(speedup, 4) << "x\n";
   std::cout << "trace overhead (traced vs warm): "
             << fmt_double(trace_overhead_pct, 3) << "% over " << traced_events
             << " events\n";
+  std::cout << "verify overhead (verified vs warm): "
+            << fmt_double(verify_overhead_pct, 3) << "%\n";
 
   // Machine-readable summary (one line).
   std::cout << "\n{\"bench\":\"executor_throughput\",\"n1\":" << n1
@@ -154,11 +176,14 @@ int main(int argc, char** argv) {
             << ",\"traced_jobs_per_sec\":" << traced_jps
             << ",\"trace_overhead_pct\":" << trace_overhead_pct
             << ",\"traced_events\":" << traced_events
+            << ",\"verified_jobs_per_sec\":" << verified_jps
+            << ",\"verify_overhead_pct\":" << verify_overhead_pct
             << ",\"gamma_packed\":" << gamma_packed
             << ",\"gamma_blocked\":" << gamma_blocked
             << ",\"ukernel\":\"" << kern::active_ukernel().name << "\"}\n";
 
-  return (fresh_err < 1e-9 && warm_err < 1e-9 && traced_err < 1e-9)
+  return (fresh_err < 1e-9 && warm_err < 1e-9 && traced_err < 1e-9 &&
+          verified_err < 1e-9)
              ? EXIT_SUCCESS
              : EXIT_FAILURE;
 }

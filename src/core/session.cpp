@@ -191,6 +191,7 @@ SyrkRun syrk(Session& session, const SyrkRequest& req) {
   comm::World& world = session.world_for(plan);
   world.set_topology(req.options.ranks_per_node);
   if (req.trace) world.enable_tracing();
+  if (req.verify) world.enable_verify();
   const comm::CostLedger::Snapshot before = world.ledger().snapshot();
   const std::uint64_t exec_n1 = plan.exec_n1(a.rows());
   const Matrix* exec_a = &a;

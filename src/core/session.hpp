@@ -206,6 +206,15 @@ struct SyrkRequest {
     trace = true;
     return *this;
   }
+  /// Runs this request under the SPMD protocol verifier (collective
+  /// matching, deadlock watchdog, leak analysis, topology routing — see
+  /// verify/verifier.hpp). Violations throw verify::VerifyError with a
+  /// structured, rank-attributed report. Also enabled for every request by
+  /// the PARSYRK_VERIFY=1 environment variable.
+  SyrkRequest& with_verify() {
+    verify = true;
+    return *this;
+  }
 
   const Matrix* a = nullptr;
   std::optional<Algorithm> algorithm;          // unset -> planner
@@ -216,6 +225,7 @@ struct SyrkRequest {
   std::optional<std::uint64_t> memory_limit_words;  // memory-aware planning
   bool trace = false;                          // drain a JobTrace into the run
   bool audit = false;                          // audit the run (implies trace)
+  bool verify = false;                         // SPMD protocol verification
   SyrkOptions options;
 };
 

@@ -435,13 +435,17 @@ void SyrkService::streaming_loop(std::unique_lock<std::mutex>& lock) {
 
       if (!candidates.empty()) {
         // Quiesce gates: solo jobs need the whole world to themselves, and
-        // enabling the trace sink (first traced job) must happen between
-        // jobs. Strict FIFO means nothing behind them dispatches early.
+        // enabling the trace sink (first traced job) or the protocol
+        // verifier (first verify-mode job) must happen between jobs. Strict
+        // FIFO means nothing behind them dispatches early.
         const bool head_trace_enable =
             candidates[0]->request.trace && !world.tracing();
-        if (specs[0].solo || head_trace_enable) {
+        const bool head_verify_enable =
+            candidates[0]->request.verify && !world.verifying();
+        if (specs[0].solo || head_trace_enable || head_verify_enable) {
           if (inflight.empty()) {
             if (head_trace_enable) world.enable_tracing();
+            if (head_verify_enable) world.enable_verify();
             if (specs[0].solo) {
               std::shared_ptr<detail::TicketState> head = candidates[0];
               queue_.pop_front();
@@ -497,7 +501,9 @@ void SyrkService::streaming_loop(std::unique_lock<std::mutex>& lock) {
               options_.admission);
           std::size_t launchable = placed.size();
           for (std::size_t k = 0; k < placed.size(); ++k) {
-            if (candidates[placed[k].job]->request.trace && !world.tracing()) {
+            const detail::TicketState& c = *candidates[placed[k].job];
+            if ((c.request.trace && !world.tracing()) ||
+                (c.request.verify && !world.verifying())) {
               launchable = k;
               break;
             }
@@ -666,8 +672,13 @@ void SyrkService::run_batched(
   // a preceding solo topology'd request stamped the shared world, so reset.
   world.set_topology(1);
   bool traced = false;
-  for (const auto& st : batch) traced = traced || st->request.trace;
+  bool verified = false;
+  for (const auto& st : batch) {
+    traced = traced || st->request.trace;
+    verified = verified || st->request.verify;
+  }
   if (traced) world.enable_tracing();
+  if (verified) world.enable_verify();
 
   std::vector<BatchJob> jobs(batch.size());
   std::vector<int> rank_to_job(static_cast<std::size_t>(world.size()), -1);

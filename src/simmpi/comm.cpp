@@ -1,10 +1,123 @@
 #include "simmpi/comm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
 
 #include "support/check.hpp"
+#include "verify/verifier.hpp"
 
 namespace parsyrk::comm {
+namespace {
+
+/// Layout digest for collective matching: order-sensitive FNV-1a over the
+/// per-rank block sizes, so two ranks agreeing on the total but not the
+/// blocking still diverge.
+std::uint64_t sizes_signature(const std::vector<std::size_t>& sizes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t s : sizes) {
+    h ^= static_cast<std::uint64_t>(s);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Blocking mailbox pop, watchdogged under verify mode: waits in verifier
+/// ticks, reporting to the deadlock analysis each time the tick expires with
+/// the message still absent. on_blocked_tick throws VerifyError once a
+/// deadlock / stranded wait is confirmed; otherwise we just keep waiting.
+std::vector<double> watched_pop(World* world, Mailbox& mb, const Envelope& env,
+                                int self_world, int src_world) {
+  verify::Verifier* v = world->verifier();
+  if (v == nullptr) return mb.pop(env);
+  verify::WaitFor wf;
+  wf.kind = verify::WaitFor::Kind::kMessage;
+  wf.group = env.comm_id;
+  wf.src_world = src_world;
+  wf.src_group_rank = env.src;
+  wf.tag = env.tag;
+  bool registered = false;
+  try {
+    for (;;) {
+      auto got = mb.pop_for(env, v->options().tick);
+      if (got) {
+        if (registered) v->on_unblocked(self_world);
+        return std::move(*got);
+      }
+      registered = true;
+      v->on_blocked_tick(self_world, wf, [&] { return !mb.contains(env); });
+    }
+  } catch (...) {
+    // RankAborted from the poisoned mailbox, or the verifier's own verdict:
+    // either way this rank is no longer parked.
+    if (registered) v->on_unblocked(self_world);
+    throw;
+  }
+}
+
+/// Appends kLedgerImbalance findings when a quiesced job's double-entry
+/// accounting does not balance: per phase, words/messages sent must equal
+/// words/messages received, both overall and on the inter-node tier.
+void append_ledger_balance(const CostLedger& ledger,
+                           const CostLedger::Snapshot& snap, int rank_begin,
+                           int rank_end, bool check_inter, std::uint64_t job,
+                           verify::VerifyReport& report) {
+  for (const std::string& phase : ledger.phases()) {
+    const CostSummary s =
+        ledger.summary_since(snap, phase, rank_begin, rank_end);
+    const bool balanced = s.total.words_sent == s.total.words_recv &&
+                          s.total.msgs_sent == s.total.msgs_recv;
+    CostSummary inter;
+    bool inter_balanced = true;
+    if (check_inter) {
+      inter = ledger.inter_summary_since(snap, phase);
+      inter_balanced = inter.total.words_sent == inter.total.words_recv &&
+                       inter.total.msgs_sent == inter.total.msgs_recv;
+    }
+    if (balanced && inter_balanced) continue;
+    verify::Finding f;
+    f.kind = verify::FindingKind::kLedgerImbalance;
+    f.job = job;
+    std::string detail = "phase \"" + phase + "\" does not balance:";
+    if (!balanced) {
+      detail += " sent " + std::to_string(s.total.words_sent) + " word(s)/" +
+                std::to_string(s.total.msgs_sent) + " msg(s), received " +
+                std::to_string(s.total.words_recv) + "/" +
+                std::to_string(s.total.msgs_recv);
+    }
+    if (!inter_balanced) {
+      detail += " [inter-node tier: sent " +
+                std::to_string(inter.total.words_sent) + " word(s)/" +
+                std::to_string(inter.total.msgs_sent) + " msg(s), received " +
+                std::to_string(inter.total.words_recv) + "/" +
+                std::to_string(inter.total.msgs_recv) + "]";
+    }
+    f.detail = std::move(detail);
+    report.findings.push_back(std::move(f));
+  }
+}
+
+/// RAII window for the verifier's leader-routing check: between
+/// construction and destruction, every unmuted inter-node message this rank
+/// sends must have leader endpoints.
+class HierScope {
+ public:
+  HierScope(World* world, int world_rank)
+      : v_(world->verifier()), rank_(world_rank) {
+    if (v_) v_->on_hier_begin(rank_);
+  }
+  ~HierScope() {
+    if (v_) v_->on_hier_end(rank_);
+  }
+  HierScope(const HierScope&) = delete;
+  HierScope& operator=(const HierScope&) = delete;
+
+ private:
+  verify::Verifier* v_;
+  int rank_;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // World
@@ -39,9 +152,34 @@ World::World(int num_ranks, int physical, WorkerPool& pool)
   world_group_->world_ranks.resize(num_ranks);
   for (int i = 0; i < num_ranks; ++i) world_group_->world_ranks[i] = i;
   world_group_->handle_gen.assign(num_ranks, 0);
+  if (const char* env = std::getenv("PARSYRK_VERIFY");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    enable_verify();
+  }
 }
 
 World::~World() = default;
+
+void World::enable_verify() {
+  if (verifier_) return;
+  verifier_ = std::make_unique<verify::Verifier>(size());
+  verifier_->set_topology(ranks_per_node_);
+  verifier_->register_group(world_group_->id, world_group_->world_ranks);
+  {
+    std::lock_guard lock(groups_mu_);
+    for (auto& [sig, g] : group_registry_) {
+      verifier_->register_group(g->id, g->world_ranks);
+    }
+  }
+  // Deadlock edges are re-probed against the live mailboxes before any
+  // accusation: an edge whose message is deliverable is slowness, not
+  // deadlock. (Lock order: verifier mutex, then mailbox mutex.)
+  verifier_->set_message_probe([this](int dst_world, std::uint64_t group,
+                                      int src_group_rank, std::int64_t tag) {
+    return mailboxes_[dst_world]->contains(
+        Envelope{group, src_group_rank, tag});
+  });
+}
 
 void World::set_topology(int ranks_per_node) {
   PARSYRK_REQUIRE(ranks_per_node >= 1,
@@ -55,6 +193,7 @@ void World::set_topology(int ranks_per_node) {
   }
   ranks_per_node_ = ranks_per_node;
   ledger_.set_topology(ranks_per_node);
+  if (verifier_) verifier_->set_topology(ranks_per_node);
   if (trace_sink_) {
     trace_sink_->set_ranks_per_node(ranks_per_node > 1 ? ranks_per_node : 0);
   }
@@ -73,6 +212,7 @@ void World::disable_tracing() { trace_sink_.reset(); }
 
 void World::begin_job() {
   if (trace_sink_) trace_sink_->begin_job(jobs_run_ + 1);
+  if (verifier_) verifier_->begin_scope(0, size(), jobs_run_ + 1);
   std::fill(world_group_->handle_gen.begin(), world_group_->handle_gen.end(),
             0u);
   std::lock_guard lock(groups_mu_);
@@ -84,7 +224,9 @@ void World::begin_job() {
 void World::run(const std::function<void(Comm&)>& body) {
   const int p = size();
   begin_job();
-  ++jobs_run_;
+  const std::uint64_t job_id = ++jobs_run_;
+  CostLedger::Snapshot verify_snap;
+  if (verifier_) verify_snap = ledger_.snapshot();
   std::vector<std::exception_ptr> errors(p);
   // One byte per rank (vector<bool> would pack bits into shared words and
   // race across threads).
@@ -93,16 +235,21 @@ void World::run(const std::function<void(Comm&)>& body) {
   // hot path of the executor: no thread is created or joined here, only a
   // condition-variable handoff per rank and one completion latch.
   for (int r = 0; r < p; ++r) {
-    lease_.dispatch(r, [this, &body, &errors, &aborted, r] {
+    lease_.dispatch(r, [this, &body, &errors, &aborted, r, job_id] {
       Comm comm(this, world_group_, r, world_group_->handle_gen[r]++);
+      if (verifier_) verifier_->on_rank_begin(r, job_id);
+      bool clean = true;
       try {
         body(comm);
       } catch (const RankAborted&) {
         aborted[r] = 1;  // secondary victim; the root cause is elsewhere
+        clean = false;
       } catch (...) {
         errors[r] = std::current_exception();
         poison_all();
+        clean = false;
       }
+      if (verifier_) verifier_->on_rank_end(r, clean);
     });
   }
   lease_.wait();
@@ -110,6 +257,25 @@ void World::run(const std::function<void(Comm&)>& body) {
     if (errors[r]) {
       reset_after_failure();
       std::rethrow_exception(errors[r]);
+    }
+  }
+  // End-of-job verification: the scope's deferred findings (request leaks,
+  // sequence-length divergence), undrained mailbox messages, and ledger
+  // balance. Runs before the abort checks below so a protocol leak is a
+  // recoverable diagnosis (the world is reset), not a process abort.
+  if (verifier_) {
+    verify::VerifyReport report = verifier_->end_scope(0, p);
+    for (int r = 0; r < p; ++r) {
+      for (const auto& [env, words] : mailboxes_[r]->pending()) {
+        report.findings.push_back(
+            verifier_->message_leak(r, env.comm_id, env.src, env.tag, words));
+      }
+    }
+    append_ledger_balance(ledger_, verify_snap, 0, p,
+                          /*check_inter=*/ranks_per_node_ > 1, job_id, report);
+    if (!report.empty()) {
+      reset_after_failure();
+      throw verify::VerifyError(std::move(report));
     }
   }
   // A clean SPMD body consumes every message it causes to be sent.
@@ -135,6 +301,34 @@ void RangeJob::wait() {
   // failure: poisoned mailboxes legitimately hold undelivered messages
   // until recover_after_failure().
   if (!st.error && !st.any_aborted) {
+    // End-of-job verification for the range. wait() is documented never to
+    // throw the job's error, and the service's scheduler thread calls it
+    // mid-stream — so findings are recorded as the job's error() (and the
+    // range's mailboxes drained to keep the world usable), not thrown.
+    if (verify::Verifier* v = st.world->verifier()) {
+      verify::VerifyReport report = v->end_scope(st.rank_begin, st.rank_end);
+      for (int r = st.rank_begin; r < st.rank_end; ++r) {
+        for (const auto& [env, words] : st.world->mailboxes_[r]->pending()) {
+          report.findings.push_back(
+              v->message_leak(r, env.comm_id, env.src, env.tag, words));
+        }
+      }
+      append_ledger_balance(st.world->ledger_, st.verify_snap, st.rank_begin,
+                            st.rank_end, /*check_inter=*/false, st.job_id,
+                            report);
+      if (!report.empty()) {
+        for (int r = st.rank_begin; r < st.rank_end; ++r) {
+          st.world->mailboxes_[r]->reset();
+        }
+        std::lock_guard lock(st.mu);
+        if (!st.error) {
+          st.error = std::make_exception_ptr(
+              verify::VerifyError(std::move(report)));
+          st.error_rank = 0;
+        }
+        return;
+      }
+    }
     for (int r = st.rank_begin; r < st.rank_end; ++r) {
       PARSYRK_CHECK_MSG(st.world->mailboxes_[r]->empty(),
                         "rank ", r, " finished with undrained messages");
@@ -197,11 +391,16 @@ RangeJob World::launch_ranks(int rank_begin, int rank_end,
   st->body = std::move(body);
   st->on_complete = std::move(on_complete);
   st->pending = rank_end - rank_begin;
+  if (verifier_) {
+    verifier_->begin_scope(rank_begin, rank_end, job_id);
+    st->verify_snap = ledger_.snapshot();
+  }
   for (int r = rank_begin; r < rank_end; ++r) {
     const int gr = r - rank_begin;
     const std::uint32_t gen = group->handle_gen[gr]++;
-    lease_.dispatch(r, [this, st, group, gr, gen] {
+    lease_.dispatch(r, [this, st, group, gr, gen, r] {
       Comm comm(this, group, gr, gen);
+      if (verifier_) verifier_->on_rank_begin(r, st->job_id);
       bool rank_aborted = false;
       std::exception_ptr err;
       try {
@@ -212,6 +411,7 @@ RangeJob World::launch_ranks(int rank_begin, int rank_end,
         err = std::current_exception();
         poison_all();
       }
+      if (verifier_) verifier_->on_rank_end(r, !rank_aborted && !err);
       bool last = false;
       {
         std::lock_guard lock(st->mu);
@@ -245,6 +445,10 @@ void World::poison_all() {
 }
 
 void World::reset_after_failure() {
+  // The failed job's verification bookkeeping (wait-for graph, collective
+  // records, deferred findings) is meaningless once the mailboxes drop
+  // their messages; start the next job from a clean slate.
+  if (verifier_) verifier_->clear_all();
   for (auto& mb : mailboxes_) mb->reset();
   auto reset_group = [](detail::Group& g) {
     std::lock_guard lock(g.bar_mu);
@@ -270,6 +474,7 @@ std::shared_ptr<detail::Group> World::intern_group(
   g->world_ranks = members;
   g->handle_gen.assign(members.size(), 0);
   group_registry_.emplace(signature, g);
+  if (verifier_) verifier_->register_group(g->id, members);
   return g;
 }
 
@@ -301,6 +506,10 @@ void Comm::send_tagged(int dst, std::int64_t tag,
                    data.size());
     }
   }
+  if (verify::Verifier* v = world_->verifier()) {
+    v->on_message(world_rank(), group_->world_ranks[dst], data.size(),
+                  mute_ledger_);
+  }
   Message msg;
   msg.env = Envelope{group_->id, rank_, tag};
   msg.payload.assign(data.begin(), data.end());
@@ -311,7 +520,9 @@ std::vector<double> Comm::recv_tagged(int src, std::int64_t tag) {
   PARSYRK_CHECK_MSG(src >= 0 && src < size() && src != rank_,
                     "bad source ", src, " at rank ", rank_);
   auto payload =
-      world_->mailbox(world_rank()).pop(Envelope{group_->id, src, tag});
+      watched_pop(world_, world_->mailbox(world_rank()),
+                  Envelope{group_->id, src, tag}, world_rank(),
+                  group_->world_ranks[src]);
   if (!mute_ledger_ &&
       !world_->colocated(world_rank(), group_->world_ranks[src])) {
     world_->ledger().record_recv(
@@ -338,15 +549,43 @@ std::vector<double> Comm::recv(int src, int tag) {
 
 void Comm::barrier() {
   auto& g = *group_;
+  verify::Verifier* v = world_->verifier();
   std::unique_lock lock(g.bar_mu);
   if (g.poisoned) throw RankAborted();
   const std::uint64_t gen = g.bar_gen;
+  if (v) v->on_barrier_arrive(g.id, gen, world_rank());
   if (++g.bar_count == size()) {
     g.bar_count = 0;
     ++g.bar_gen;
+    if (v) v->on_barrier_release(g.id, gen);
     g.bar_cv.notify_all();
-  } else {
+  } else if (v == nullptr) {
     g.bar_cv.wait(lock, [&] { return g.bar_gen != gen || g.poisoned; });
+    if (g.bar_gen == gen && g.poisoned) throw RankAborted();
+  } else {
+    // Watchdogged park: wake each verifier tick to consult the deadlock
+    // analysis (a member finishing the job without arriving here is a
+    // stranded wait; a cross-group cycle through this barrier is a
+    // deadlock). on_blocked_tick is called holding bar_mu — the verifier
+    // never touches barrier state, so the lock order is one-way.
+    verify::WaitFor wf;
+    wf.kind = verify::WaitFor::Kind::kBarrier;
+    wf.group = g.id;
+    wf.barrier_gen = gen;
+    bool registered = false;
+    try {
+      while (!g.bar_cv.wait_for(lock, v->options().tick, [&] {
+        return g.bar_gen != gen || g.poisoned;
+      })) {
+        registered = true;
+        v->on_blocked_tick(world_rank(), wf,
+                           [&] { return g.bar_gen == gen && !g.poisoned; });
+      }
+    } catch (...) {
+      if (registered) v->on_unblocked(world_rank());
+      throw;
+    }
+    if (registered) v->on_unblocked(world_rank());
     if (g.bar_gen == gen && g.poisoned) throw RankAborted();
   }
 }
@@ -407,9 +646,25 @@ struct OpState {
   int world_rank() const { return group->world_ranks[rank]; }
   bool complete() const { return current >= rounds.size(); }
 
+  /// Leak detection: a handle abandoned before completion leaves receives
+  /// unmatched (its peers' sends rot in the mailbox) — report it the moment
+  /// the state dies. Unwinding ranks (a poisoned or failing job) drop their
+  /// handles legitimately, so those stay silent; and the finding is
+  /// deferred (not thrown) because destructors must not throw.
+  ~OpState() {
+    if (complete() || world == nullptr) return;
+    verify::Verifier* v = world->verifier();
+    if (v == nullptr || std::uncaught_exceptions() > 0) return;
+    v->on_request_abandoned(world_rank(), group->id, op_kind_name(kind),
+                            rounds.size() - current);
+  }
+
   void post_send(Send& s) {
     std::vector<double> payload = s.build ? s.build() : std::move(s.payload);
     const int dst_world = group->world_ranks[s.dst];
+    if (verify::Verifier* v = world->verifier()) {
+      v->on_message(world_rank(), dst_world, payload.size(), mute);
+    }
     if (!mute && !world->colocated(world_rank(), dst_world)) {
       world->ledger().record_send(world_rank(), payload.size(), phase,
                                   world->tier_between(world_rank(), dst_world));
@@ -486,8 +741,9 @@ struct OpState {
       post_current_sends();
       for (Recv& rv : r.recvs) {
         if (rv.done) continue;
-        auto payload = world->mailbox(world_rank())
-                           .pop(Envelope{group->id, rv.src, rv.tag});
+        auto payload = watched_pop(world, world->mailbox(world_rank()),
+                                   Envelope{group->id, rv.src, rv.tag},
+                                   world_rank(), group->world_ranks[rv.src]);
         record_recv(rv.src, payload.size());
         rv.payload = std::move(payload);
         rv.done = true;
@@ -531,6 +787,28 @@ std::vector<double> Request::take() {
 std::vector<std::vector<double>> Request::take_parts() {
   wait();
   return std::move(state_->parts);
+}
+
+void Comm::note_collective(OpKind kind, std::uint64_t signature,
+                           std::int64_t count, int root) const {
+  verify::Verifier* v = world_->verifier();
+  if (v == nullptr) return;
+  verify::Verifier::CollectiveSite site;
+  // The *structural* kind, not an enclosing OpScope's label: an all_reduce
+  // is its reduce-scatter + all-gather composition on every rank, so the
+  // members compare equal exactly when they run the same schedule.
+  site.kind = static_cast<std::uint8_t>(kind);
+  site.name = op_kind_name(kind);
+  site.signature = signature;
+  site.count = count;
+  site.root = root;
+  // op_seq_ was just advanced by next_op_tag(): (group, handle generation,
+  // op_seq_) is this collective's tag-space identity — the same key message
+  // matching uses, so divergent ranks are caught before their messages can
+  // cross-match.
+  v->on_collective(world_rank(), group_->id,
+                   static_cast<std::uint32_t>(tag_base_ / kOpsPerHandle),
+                   op_seq_, site);
 }
 
 std::shared_ptr<detail::OpState> Comm::make_op(OpKind kind) const {
@@ -607,6 +885,8 @@ Request Comm::ireduce_scatter(std::span<const double> data,
                   data.size(), " words but block sizes sum to ", offset[p]);
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kReduceScatter, sizes_signature(sizes),
+                  static_cast<std::int64_t>(data.size()));
   auto st = make_op(OpKind::kReduceScatter);
   st->flat.assign(data.begin() + offset[rank_],
                   data.begin() + offset[rank_ + 1]);
@@ -637,6 +917,8 @@ Request Comm::iall_gather(std::span<const double> mine) {
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kAllGather, mine.size(),
+                  static_cast<std::int64_t>(mine.size()));
   auto st = make_op(OpKind::kAllGather);
   const std::size_t n = mine.size();
   st->flat.assign(n * p, 0.0);
@@ -670,6 +952,9 @@ Request Comm::iall_to_all_v(const std::vector<std::vector<double>>& send) {
                   " for ", p, " ranks");
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
+  // Per-rank payload sizes legitimately differ in a personalized exchange;
+  // only the operation identity is matched.
+  note_collective(OpKind::kAllToAllV, 0, p);
   auto st = make_op(OpKind::kAllToAllV);
   st->parts.resize(p);
   st->parts[rank_] = send[rank_];  // own block stays local; no cost
@@ -730,6 +1015,8 @@ std::vector<std::vector<double>> Comm::all_gather_v(
   const int p = size();
   PARSYRK_CHECK_MSG(p < kTagStride, "communicator too large for tag scheme");
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kAllGatherV, 0,
+                  static_cast<std::int64_t>(mine.size()));
   auto st = make_op(OpKind::kAllGatherV);
   st->parts.resize(p);
   st->parts[rank_].assign(mine.begin(), mine.end());
@@ -761,6 +1048,7 @@ std::vector<double> Comm::all_gather_bruck(std::span<const double> mine) {
   const int p = size();
   const std::size_t n = mine.size();
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kAllGatherBruck, n, static_cast<std::int64_t>(n));
   auto st = make_op(OpKind::kAllGatherBruck);
   // parts[t] holds the contribution of rank (rank_ + t) mod p; round-k
   // payloads flatten what earlier rounds delivered, so they are built
@@ -819,6 +1107,8 @@ std::vector<double> Comm::reduce_scatter_bruck(std::span<const double> data) {
                   " words is not divisible by ", p, " ranks");
   const std::size_t n = data.size() / p;
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kReduceScatterBruck, data.size(),
+                  static_cast<std::int64_t>(data.size()));
   auto st = make_op(OpKind::kReduceScatterBruck);
   // parts[t] = my partial for rank (rank_ + t) mod p. The schedule is the
   // exact reverse of all_gather_bruck with summation folded in: what the
@@ -882,6 +1172,8 @@ std::vector<double> Comm::all_to_all_butterfly(std::span<const double> send,
   PARSYRK_REQUIRE(send.size() == block * p,
                   "butterfly all-to-all needs p equal blocks");
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kAllToAllButterfly, block,
+                  static_cast<std::int64_t>(block));
   auto st = make_op(OpKind::kAllToAllButterfly);
   // Phase 1: local rotation so slot j holds the block destined to rank_+j.
   st->parts.resize(p);
@@ -952,6 +1244,8 @@ void Comm::bcast(std::span<double> data, int root) {
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad bcast root ", root);
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kBcast, data.size(),
+                  static_cast<std::int64_t>(data.size()), root);
   auto st = make_op(OpKind::kBcast);
   const int vrank = (rank_ - root + p) % p;
   // Binomial tree: receive once (non-root), then forward down the tree. The
@@ -994,6 +1288,8 @@ std::vector<double> Comm::reduce(std::span<const double> data, int root) {
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad reduce root ", root);
   const std::int64_t tag0 = next_op_tag();
+  note_collective(OpKind::kReduce, data.size(),
+                  static_cast<std::int64_t>(data.size()), root);
   auto st = make_op(OpKind::kReduce);
   const int vrank = (rank_ - root + p) % p;
   st->flat.assign(data.begin(), data.end());
@@ -1037,6 +1333,9 @@ std::vector<std::vector<double>> Comm::gather(std::span<const double> mine,
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad gather root ", root);
   const std::int64_t tag0 = next_op_tag();
+  // Contribution sizes legitimately differ (variable-size gather).
+  note_collective(OpKind::kGather, 0, static_cast<std::int64_t>(mine.size()),
+                  root);
   auto st = make_op(OpKind::kGather);
   detail::OpState* raw = st.get();
   if (rank_ != root) {
@@ -1069,6 +1368,8 @@ std::vector<double> Comm::scatter(
   const int p = size();
   PARSYRK_REQUIRE(root >= 0 && root < p, "bad scatter root ", root);
   const std::int64_t tag0 = next_op_tag();
+  // Parts are only read on root; non-roots cannot contribute a size.
+  note_collective(OpKind::kScatter, 0, 0, root);
   auto st = make_op(OpKind::kScatter);
   detail::OpState* raw = st.get();
   if (rank_ == root) {
@@ -1125,6 +1426,7 @@ bool Comm::hier_available() const {
 std::vector<double> Comm::reduce_scatter_hier(
     std::span<const double> data, const std::vector<std::size_t>& sizes) {
   if (!hier_available()) return reduce_scatter(data, sizes);
+  HierScope hier_scope(world_, world_rank());
   const int p = size();
   PARSYRK_REQUIRE(static_cast<int>(sizes.size()) == p,
                   "reduce_scatter needs one block size per rank");
@@ -1161,6 +1463,7 @@ std::vector<double> Comm::reduce_scatter_hier(
 std::vector<std::vector<double>> Comm::all_to_all_v_hier(
     const std::vector<std::vector<double>>& send) {
   if (!hier_available()) return all_to_all_v(send);
+  HierScope hier_scope(world_, world_rank());
   const int p = size();
   PARSYRK_REQUIRE(static_cast<int>(send.size()) == p,
                   "all_to_all_v needs one block per rank; got ", send.size(),

@@ -26,6 +26,10 @@
 #include "simmpi/worker_pool.hpp"
 #include "support/check.hpp"
 
+namespace parsyrk::verify {
+class Verifier;
+}
+
 namespace parsyrk::comm {
 
 class World;
@@ -119,6 +123,7 @@ struct RangeJobState {
   std::uint64_t job_id = 0;
   std::function<void(Comm&)> body;
   std::function<void()> on_complete;  // fired once by the last rank
+  CostLedger::Snapshot verify_snap;   // job-begin ledger state (verify mode)
 
   std::mutex mu;
   std::condition_variable cv;
@@ -151,8 +156,10 @@ class RangeJob {
 
   /// Blocks until every rank has returned, then (on a clean completion)
   /// checks the job's mailboxes drained — the per-range analogue of
-  /// World::run's post-job check. Never throws the job's error; inspect
-  /// failed()/aborted()/error() after.
+  /// World::run's post-job check. Under verify mode the range's end-of-job
+  /// analyses run here too; findings are recorded as the job's error()
+  /// (a verify::VerifyError), not thrown. Never throws the job's error;
+  /// inspect failed()/aborted()/error() after.
   void wait();
 
   /// A rank threw a real (non-RankAborted) exception. Valid once done().
@@ -358,6 +365,12 @@ class Comm {
   void send_tagged(int dst, std::int64_t tag, std::span<const double> data);
   std::vector<double> recv_tagged(int src, std::int64_t tag);
 
+  /// Verify-mode hook, called right after next_op_tag() by every collective
+  /// builder with the op's *structural* kind and a kind-specific layout
+  /// signature. No-op unless the world is verifying.
+  void note_collective(OpKind kind, std::uint64_t signature,
+                       std::int64_t count, int root = -1) const;
+
   /// Allocates engine state for one nonblocking operation, capturing the
   /// posting context (kind honours an enclosing OpScope; phase labels are
   /// snapshotted from the ledger/trace).
@@ -482,6 +495,20 @@ class World {
   /// jobs to collect the last job's events.
   TraceSink* trace_sink() { return trace_sink_.get(); }
 
+  // ---- SPMD protocol verification (opt-in; see verify/verifier.hpp) ----
+
+  /// Attaches the protocol verifier: collective matching, deadlock
+  /// detection (blocking waits become watchdogged), leak analysis at job
+  /// boundaries, and topology routing checks. Idempotent; between jobs
+  /// only. Also enabled automatically at construction when PARSYRK_VERIFY=1
+  /// is set in the environment. Violations surface as verify::VerifyError
+  /// through the normal failure path (poison + rethrow), so a broken
+  /// schedule diagnoses instead of hanging, and the world stays usable.
+  void enable_verify();
+  bool verifying() const { return verifier_ != nullptr; }
+  /// The verifier while enabled (nullptr otherwise).
+  verify::Verifier* verifier() const { return verifier_.get(); }
+
   /// Executes `body` as one job: the SPMD bodies are handed to the size()
   /// already-parked pool workers (condition-variable handoff — no thread is
   /// created or joined here) and run one per rank. If a rank throws, the
@@ -555,6 +582,7 @@ class World {
   int ranks_per_node_ = 1;  // two-level topology; 1 = flat
   CostLedger ledger_;
   std::unique_ptr<TraceSink> trace_sink_;
+  std::unique_ptr<verify::Verifier> verifier_;
   WorkerPool::Lease lease_;
   std::shared_ptr<detail::Group> world_group_;
   std::uint64_t jobs_run_ = 0;

@@ -248,6 +248,12 @@ CostSummary CostLedger::inter_summary_since(const Snapshot& since) const {
                    /*inter=*/true);
 }
 
+CostSummary CostLedger::inter_summary_since(const Snapshot& since,
+                                            const std::string& phase) const {
+  return summarize(&phase, &since, 0, static_cast<int>(ranks_.size()),
+                   /*inter=*/true);
+}
+
 std::vector<Counters> CostLedger::per_rank_since(const Snapshot& since) const {
   std::lock_guard lock(mu_);
   PARSYRK_CHECK_MSG(since.by_phase_.size() == ranks_.size(),

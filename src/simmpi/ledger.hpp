@@ -183,6 +183,9 @@ class CostLedger {
 
   CostSummary inter_summary() const;
   CostSummary inter_summary_since(const Snapshot& since) const;
+  /// Per-phase variant of inter_summary_since (verify-mode tier balance).
+  CostSummary inter_summary_since(const Snapshot& since,
+                                  const std::string& phase) const;
 
   /// Per-rank counters (all phases) recorded after `since` was taken.
   std::vector<Counters> per_rank_since(const Snapshot& since) const;

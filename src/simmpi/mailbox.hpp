@@ -6,12 +6,14 @@
 // on (communicator id, source, tag), mirroring MPI envelope matching.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace parsyrk::comm {
@@ -68,6 +70,38 @@ class Mailbox {
     }
   }
 
+  /// Bounded-wait variant of pop() for the verifier's watchdog: waits at
+  /// most `timeout` for a match, returning nullopt on expiry so the caller
+  /// can consult the deadlock analysis and then resume waiting. Throws
+  /// RankAborted under poison like pop().
+  std::optional<std::vector<double>> pop_for(
+      const Envelope& env, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->env == env) {
+          std::vector<double> payload = std::move(it->payload);
+          queue_.erase(it);
+          return payload;
+        }
+      }
+      if (poisoned_) throw RankAborted();
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // One last scan under the lock: a push may have slipped in between
+        // the scan above and the timed wait expiring.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->env == env) {
+            std::vector<double> payload = std::move(it->payload);
+            queue_.erase(it);
+            return payload;
+          }
+        }
+        return std::nullopt;
+      }
+    }
+  }
+
   /// Non-blocking variant of pop(): removes and returns the payload of the
   /// first message matching `env` if one is already queued, nullopt
   /// otherwise. The nonblocking engine's test() path polls with this, so it
@@ -107,6 +141,30 @@ class Mailbox {
   bool empty() const {
     std::lock_guard lock(mu_);
     return queue_.empty();
+  }
+
+  /// True if a message matching `env` is currently queued (does not remove
+  /// it). The verifier probes candidate deadlock edges with this before
+  /// accusing: an edge whose message exists is slowness, not deadlock.
+  bool contains(const Envelope& env) const {
+    std::lock_guard lock(mu_);
+    for (const Message& m : queue_) {
+      if (m.env == env) return true;
+    }
+    return false;
+  }
+
+  /// Snapshot of queued messages as (envelope, payload word count) — the
+  /// verifier's leak analysis attributes undrained messages from this at
+  /// job boundaries without ever touching the send/receive fast paths.
+  std::vector<std::pair<Envelope, std::size_t>> pending() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::pair<Envelope, std::size_t>> out;
+    out.reserve(queue_.size());
+    for (const Message& m : queue_) {
+      out.emplace_back(m.env, m.payload.size());
+    }
+    return out;
   }
 
  private:

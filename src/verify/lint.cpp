@@ -1,0 +1,93 @@
+#include "verify/lint.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace parsyrk::verify {
+namespace {
+
+struct Flow {
+  std::uint64_t sent_words = 0;
+  std::uint64_t recv_words = 0;
+  std::uint64_t sent_msgs = 0;
+  std::uint64_t recv_msgs = 0;
+  const char* kind_name = "";
+};
+
+}  // namespace
+
+VerifyReport lint_trace(const LintInput& input) {
+  VerifyReport report;
+  if (input.dropped) {
+    Finding f;
+    f.kind = FindingKind::kTraceImbalance;
+    f.job = input.job;
+    f.detail =
+        "trace recorded with dropped events; flow balance cannot be "
+        "certified (raise the event capacity and re-capture)";
+    report.findings.push_back(std::move(f));
+    return report;
+  }
+
+  // Directed channel: (src, dst, kind, phase). Sender entries and receiver
+  // entries land in the same slot; a coherent trace leaves every slot with
+  // equal sent/recv totals.
+  std::map<std::tuple<int, int, std::uint8_t, std::string>, Flow> flows;
+  std::uint64_t intra_sent = 0, intra_recv = 0;
+  std::uint64_t inter_sent = 0, inter_recv = 0;
+  const int rpn = input.ranks_per_node < 1 ? 1 : input.ranks_per_node;
+  for (const LintEvent& e : input.events) {
+    if (e.peer < 0) continue;  // non-pairwise bookkeeping event
+    const int src = e.sent ? e.rank : e.peer;
+    const int dst = e.sent ? e.peer : e.rank;
+    Flow& flow = flows[{src, dst, e.kind, e.phase}];
+    flow.kind_name = e.kind_name;
+    if (e.sent) {
+      flow.sent_words += e.words;
+      ++flow.sent_msgs;
+    } else {
+      flow.recv_words += e.words;
+      ++flow.recv_msgs;
+    }
+    const bool inter = src / rpn != dst / rpn;
+    (e.sent ? (inter ? inter_sent : intra_sent)
+            : (inter ? inter_recv : intra_recv)) += e.words;
+  }
+
+  for (const auto& [key, flow] : flows) {
+    if (flow.sent_words == flow.recv_words &&
+        flow.sent_msgs == flow.recv_msgs) {
+      continue;
+    }
+    const auto& [src, dst, kind, phase] = key;
+    Finding f;
+    f.kind = FindingKind::kTraceImbalance;
+    f.rank = src;
+    f.peer = dst;
+    f.job = input.job;
+    std::ostringstream os;
+    os << flow.kind_name << " flow " << src << " -> " << dst;
+    if (!phase.empty()) os << " (phase \"" << phase << "\")";
+    os << ": sender recorded " << flow.sent_words << " word(s) in "
+       << flow.sent_msgs << " message(s), receiver recorded "
+       << flow.recv_words << " word(s) in " << flow.recv_msgs;
+    f.detail = os.str();
+    report.findings.push_back(std::move(f));
+  }
+
+  if (intra_sent != intra_recv || inter_sent != inter_recv) {
+    Finding f;
+    f.kind = FindingKind::kTraceImbalance;
+    f.job = input.job;
+    std::ostringstream os;
+    os << "tier totals unbalanced: intra-node sent " << intra_sent
+       << " / received " << intra_recv << ", inter-node sent " << inter_sent
+       << " / received " << inter_recv << " (ranks_per_node=" << rpn << ")";
+    f.detail = os.str();
+    report.findings.push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace parsyrk::verify

@@ -1,0 +1,50 @@
+// Offline trace lint: replays recorded communication events through the
+// same invariant vocabulary as the dynamic verifier.
+//
+// The input is deliberately POD (LintEvent) rather than simmpi's JobTrace
+// so the engine has no dependency on the runtime — tools/trace_lint adapts
+// PSYRKTRC files into LintEvents, and unit tests can fabricate streams
+// directly. Checks:
+//
+//   * pair flow balance — for every (src, dst, kind, phase) channel, the
+//     words and messages the sender recorded going out must equal what the
+//     receiver recorded coming in (the trace is double-entry, like the
+//     ledger);
+//   * tier balance — total intra-node and inter-node words must each
+//     balance between send and receive sides given ranks_per_node;
+//   * completeness — a trace flagged as having dropped events cannot be
+//     certified and reports a finding instead of silently passing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/report.hpp"
+
+namespace parsyrk::verify {
+
+/// One recorded transfer endpoint. `sent` is true for the sender-side entry
+/// (dir == kSend), false for the receiver-side entry.
+struct LintEvent {
+  int rank = -1;
+  int peer = -1;
+  bool sent = true;
+  std::uint8_t kind = 0;      // comm::OpKind value
+  const char* kind_name = ""; // for report text; not part of matching
+  std::uint64_t words = 0;
+  std::string phase;
+};
+
+struct LintInput {
+  std::uint64_t job = 0;
+  int ranks = 0;
+  int ranks_per_node = 1;
+  bool dropped = false;  // the recorder overflowed; balance is unknowable
+  std::vector<LintEvent> events;
+};
+
+/// Runs all offline checks; an empty report means the trace is coherent.
+VerifyReport lint_trace(const LintInput& input);
+
+}  // namespace parsyrk::verify

@@ -1,0 +1,75 @@
+#include "verify/report.hpp"
+
+#include <sstream>
+
+namespace parsyrk::verify {
+
+const char* finding_kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kCollectiveKindMismatch:
+      return "collective-kind-mismatch";
+    case FindingKind::kCollectiveCountMismatch:
+      return "collective-count-mismatch";
+    case FindingKind::kCollectiveRootMismatch:
+      return "collective-root-mismatch";
+    case FindingKind::kCollectiveSeqMismatch:
+      return "collective-seq-mismatch";
+    case FindingKind::kDeadlockCycle:
+      return "deadlock-cycle";
+    case FindingKind::kStrandedWait:
+      return "stranded-wait";
+    case FindingKind::kIdleStall:
+      return "idle-stall";
+    case FindingKind::kMessageLeak:
+      return "message-leak";
+    case FindingKind::kRequestLeak:
+      return "request-leak";
+    case FindingKind::kLeaderBypass:
+      return "leader-bypass";
+    case FindingKind::kLedgerImbalance:
+      return "ledger-imbalance";
+    case FindingKind::kTraceImbalance:
+      return "trace-imbalance";
+  }
+  return "unknown";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << "[" << finding_kind_name(kind) << "]";
+  if (rank >= 0) os << " rank " << rank;
+  if (peer >= 0) os << " (peer " << peer << ")";
+  if (group != 0 || kind == FindingKind::kCollectiveKindMismatch ||
+      kind == FindingKind::kCollectiveCountMismatch ||
+      kind == FindingKind::kCollectiveRootMismatch ||
+      kind == FindingKind::kCollectiveSeqMismatch) {
+    os << " group " << group;
+  }
+  if (job != 0) os << " job " << job;
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+bool VerifyReport::has(FindingKind kind) const {
+  return first(kind) != nullptr;
+}
+
+const Finding* VerifyReport::first(FindingKind kind) const {
+  for (const Finding& f : findings) {
+    if (f.kind == kind) return &f;
+  }
+  return nullptr;
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << "SPMD verification failed with " << findings.size() << " finding"
+     << (findings.size() == 1 ? "" : "s") << ":";
+  for (const Finding& f : findings) os << "\n  " << f.to_string();
+  return os.str();
+}
+
+VerifyError::VerifyError(VerifyReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
+
+}  // namespace parsyrk::verify

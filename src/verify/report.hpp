@@ -1,0 +1,97 @@
+// Structured findings of the SPMD protocol verifier.
+//
+// Every analysis (collective matching, deadlock detection, leak analysis,
+// topology/ledger invariants, offline trace lint) reports through the same
+// Finding record so tests, the service layer, and tools/trace_lint can all
+// assert on machine-readable verdicts instead of parsing abort messages.
+// A non-empty VerifyReport surfaces as a thrown VerifyError: unlike the
+// runtime's PARSYRK_CHECK aborts, verification failures are recoverable —
+// the world is reset and the caller decides what to do with the diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace parsyrk::verify {
+
+/// Defect classes the verifier can report. Values are stable identifiers
+/// (tests and tools switch on them); append only.
+enum class FindingKind : std::uint8_t {
+  /// Ranks of one communicator posted different collective kinds as the
+  /// same operation (tag-space position) of the same handle.
+  kCollectiveKindMismatch = 0,
+  /// Same collective kind, incompatible element counts / block layouts.
+  kCollectiveCountMismatch = 1,
+  /// Same rooted collective, different roots.
+  kCollectiveRootMismatch = 2,
+  /// At job end, members of one communicator handle had posted different
+  /// numbers of collectives (a rank skipped or added an operation).
+  kCollectiveSeqMismatch = 3,
+  /// A cycle of blocked ranks, each waiting on the next (receive or
+  /// barrier), none of whose awaited messages exist.
+  kDeadlockCycle = 4,
+  /// A rank is blocked waiting on a rank that already finished the job
+  /// without satisfying the wait (message never sent / barrier skipped).
+  kStrandedWait = 5,
+  /// Every unfinished rank of the job stayed blocked past the watchdog
+  /// horizon with no deliverable message (global stall; the wait-for graph
+  /// is attached even when no simple cycle through the accuser exists).
+  kIdleStall = 6,
+  /// A message was still sitting in a mailbox when its job completed.
+  kMessageLeak = 7,
+  /// A nonblocking Request was abandoned before completion (its OpState
+  /// died with rounds still outstanding).
+  kRequestLeak = 8,
+  /// An inter-node message inside a hierarchical collective had a
+  /// non-leader endpoint (two-level topology routing invariant).
+  kLeaderBypass = 9,
+  /// Per-phase / per-tier ledger totals do not balance (words sent !=
+  /// words received) on a quiesced job.
+  kLedgerImbalance = 10,
+  /// Offline trace lint: a (src, dst) pair's send volume does not match
+  /// the receive volume recorded by the peer.
+  kTraceImbalance = 11,
+};
+
+const char* finding_kind_name(FindingKind kind);
+
+/// One verified defect, attributed to the rank (and peer, group, job) the
+/// analysis pinned it on. `rank`/`peer` are world ranks; -1 means "not
+/// applicable / global".
+struct Finding {
+  FindingKind kind = FindingKind::kCollectiveKindMismatch;
+  int rank = -1;
+  int peer = -1;
+  std::uint64_t group = 0;
+  std::uint64_t job = 0;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// The verdict of one verification scope (a job, a rank range, a trace).
+struct VerifyReport {
+  std::vector<Finding> findings;
+
+  bool empty() const { return findings.empty(); }
+  bool has(FindingKind kind) const;
+  /// First finding of `kind`, or nullptr.
+  const Finding* first(FindingKind kind) const;
+  std::string to_string() const;
+};
+
+/// Thrown when verification fails. Carries the structured report; what() is
+/// the rendered summary, so unaware callers still get a useful message.
+class VerifyError : public std::runtime_error {
+ public:
+  explicit VerifyError(VerifyReport report);
+
+  const VerifyReport& report() const { return report_; }
+
+ private:
+  VerifyReport report_;
+};
+
+}  // namespace parsyrk::verify

@@ -1,0 +1,530 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace parsyrk::verify {
+namespace {
+
+std::string render_site(const Verifier::CollectiveSite& site) {
+  std::ostringstream os;
+  os << site.name << "(count=" << site.count;
+  if (site.root >= 0) os << ", root=" << site.root;
+  os << ", sig=" << site.signature << ")";
+  return os.str();
+}
+
+}  // namespace
+
+Verifier::Verifier(int world_size, VerifyOptions options)
+    : options_(options),
+      hier_depth_(static_cast<std::size_t>(world_size), 0),
+      ranks_(static_cast<std::size_t>(world_size)),
+      candidates_(static_cast<std::size_t>(world_size)) {}
+
+void Verifier::set_message_probe(MessageProbe probe) {
+  std::lock_guard<std::mutex> lk(mu_);
+  probe_ = std::move(probe);
+}
+
+void Verifier::set_topology(int ranks_per_node) {
+  ranks_per_node_ = ranks_per_node < 1 ? 1 : ranks_per_node;
+}
+
+void Verifier::register_group(std::uint64_t id, std::vector<int> world_ranks) {
+  std::lock_guard<std::mutex> lk(mu_);
+  groups_.emplace(id, std::move(world_ranks));
+}
+
+void Verifier::begin_scope(int rank_begin, int rank_end, std::uint64_t job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Collective records of groups fully contained in the range restart with
+  // the handle-generation reset the runtime performs at job begin. Groups
+  // straddling the range keep their slots (their generations were not
+  // reset, so stale keys cannot collide).
+  for (const auto& [id, members] : groups_) {
+    const bool contained =
+        std::all_of(members.begin(), members.end(), [&](int r) {
+          return r >= rank_begin && r < rank_end;
+        });
+    if (!contained) continue;
+    std::erase_if(collectives_,
+                  [&](const auto& kv) { return kv.first.group == id; });
+    std::erase_if(posted_,
+                  [&](const auto& kv) { return kv.first.group == id; });
+    std::erase_if(barriers_,
+                  [&](const auto& kv) { return kv.first.group == id; });
+  }
+  for (int r = rank_begin; r < rank_end; ++r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    st.phase = RankPhase::kIdle;
+    st.job = job;
+    candidates_[static_cast<std::size_t>(r)] = Candidate{};
+  }
+  std::erase_if(pending_, [&](const Finding& f) {
+    return f.rank >= rank_begin && f.rank < rank_end;
+  });
+}
+
+VerifyReport Verifier::end_scope(int rank_begin, int rank_end) {
+  std::lock_guard<std::mutex> lk(mu_);
+  VerifyReport report;
+  // Deferred findings attributed to ranks in the range (request leaks
+  // posted from dying OpStates, runtime add_finding calls).
+  auto attributed = [&](const Finding& f) {
+    return f.rank < 0 || (f.rank >= rank_begin && f.rank < rank_end);
+  };
+  for (const Finding& f : pending_) {
+    if (attributed(f)) report.findings.push_back(f);
+  }
+  std::erase_if(pending_, attributed);
+
+  // Sequence-length check: every member of a (group, generation) handle
+  // whose group is fully contained in the range must have posted the same
+  // number of collectives. A rank that skipped an op leaves a shorter
+  // sequence even when every op it did post matched.
+  for (const auto& [key, per_rank] : posted_) {
+    auto git = groups_.find(key.group);
+    if (git == groups_.end()) continue;
+    const auto& members = git->second;
+    const bool contained =
+        std::all_of(members.begin(), members.end(), [&](int r) {
+          return r >= rank_begin && r < rank_end;
+        });
+    if (!contained || per_rank.empty()) continue;
+    std::int64_t hi = 0;
+    int hi_rank = -1;
+    for (const auto& [r, n] : per_rank) {
+      if (n > hi || hi_rank < 0) {
+        hi = n;
+        hi_rank = r;
+      }
+    }
+    for (int r : members) {
+      auto it = per_rank.find(r);
+      const std::int64_t n = it == per_rank.end() ? 0 : it->second;
+      if (n == hi) continue;
+      Finding f;
+      f.kind = FindingKind::kCollectiveSeqMismatch;
+      f.rank = r;
+      f.peer = hi_rank;
+      f.group = key.group;
+      f.job = ranks_[static_cast<std::size_t>(r)].job;
+      std::ostringstream os;
+      os << "posted " << n << " collective(s) on handle generation "
+         << key.gen << " but rank " << hi_rank << " posted " << hi;
+      f.detail = os.str();
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+void Verifier::clear_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectives_.clear();
+  posted_.clear();
+  barriers_.clear();
+  pending_.clear();
+  for (auto& st : ranks_) st = RankState{};
+  for (auto& c : candidates_) c = Candidate{};
+  std::fill(hier_depth_.begin(), hier_depth_.end(), 0);
+}
+
+void Verifier::on_rank_begin(int world_rank, std::uint64_t job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& st = ranks_[static_cast<std::size_t>(world_rank)];
+  st.phase = RankPhase::kRunning;
+  st.clean_end = false;
+  st.job = job;
+  hier_depth_[static_cast<std::size_t>(world_rank)] = 0;
+}
+
+void Verifier::on_rank_end(int world_rank, bool clean) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& st = ranks_[static_cast<std::size_t>(world_rank)];
+  st.phase = RankPhase::kFinished;
+  st.clean_end = clean;
+  ++st.unblocks;
+  hier_depth_[static_cast<std::size_t>(world_rank)] = 0;
+}
+
+void Verifier::on_collective(int world_rank, std::uint64_t group,
+                             std::uint32_t handle_gen, std::int64_t op_seq,
+                             const CollectiveSite& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++posted_[HandleKey{group, handle_gen}][world_rank];
+  const CollKey key{group, handle_gen, op_seq};
+  auto [it, inserted] = collectives_.try_emplace(key);
+  CollRecord& rec = it->second;
+  if (inserted) {
+    rec.kind = site.kind;
+    rec.name = site.name;
+    rec.signature = site.signature;
+    rec.count = site.count;
+    rec.root = site.root;
+    rec.first_rank = world_rank;
+    return;
+  }
+  Finding f;
+  f.rank = world_rank;
+  f.peer = rec.first_rank;
+  f.group = group;
+  f.job = ranks_[static_cast<std::size_t>(world_rank)].job;
+  CollectiveSite prev;
+  prev.kind = rec.kind;
+  prev.name = rec.name.c_str();
+  prev.signature = rec.signature;
+  prev.count = rec.count;
+  prev.root = rec.root;
+  std::ostringstream os;
+  if (site.kind != rec.kind) {
+    f.kind = FindingKind::kCollectiveKindMismatch;
+    os << "operation " << op_seq << " of handle generation " << handle_gen
+       << " is " << render_site(site) << " here but rank " << rec.first_rank
+       << " posted " << render_site(prev);
+  } else if (site.root != rec.root) {
+    f.kind = FindingKind::kCollectiveRootMismatch;
+    os << site.name << " (operation " << op_seq << ") rooted at "
+       << site.root << " here but at " << rec.root << " on rank "
+       << rec.first_rank;
+  } else if (site.signature != rec.signature) {
+    f.kind = FindingKind::kCollectiveCountMismatch;
+    os << site.name << " (operation " << op_seq << ") posted with "
+       << render_site(site) << " here but " << render_site(prev)
+       << " on rank " << rec.first_rank;
+  } else {
+    return;  // compatible repost of the slot
+  }
+  f.detail = os.str();
+  VerifyReport report;
+  report.findings.push_back(std::move(f));
+  throw VerifyError(std::move(report));
+}
+
+void Verifier::on_barrier_arrive(std::uint64_t group, std::uint64_t gen,
+                                 int world_rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  barriers_[HandleKey{group, static_cast<std::uint32_t>(gen)}].push_back(
+      world_rank);
+}
+
+void Verifier::on_barrier_release(std::uint64_t group, std::uint64_t gen) {
+  std::lock_guard<std::mutex> lk(mu_);
+  barriers_.erase(HandleKey{group, static_cast<std::uint32_t>(gen)});
+}
+
+std::vector<int> Verifier::wait_edges_locked(int world_rank) const {
+  const RankState& st = ranks_[static_cast<std::size_t>(world_rank)];
+  if (st.phase != RankPhase::kBlocked) return {};
+  if (st.wait.kind == WaitFor::Kind::kMessage) {
+    if (st.wait.src_world >= 0) return {st.wait.src_world};
+    return {};
+  }
+  // Barrier: waiting on every member of the group not yet arrived at this
+  // generation.
+  std::vector<int> edges;
+  auto git = groups_.find(st.wait.group);
+  if (git == groups_.end()) return edges;
+  auto bit = barriers_.find(HandleKey{
+      st.wait.group, static_cast<std::uint32_t>(st.wait.barrier_gen)});
+  const std::vector<int>* arrived =
+      bit == barriers_.end() ? nullptr : &bit->second;
+  for (int r : git->second) {
+    if (r == world_rank) continue;
+    if (arrived && std::find(arrived->begin(), arrived->end(), r) !=
+                       arrived->end()) {
+      continue;
+    }
+    edges.push_back(r);
+  }
+  return edges;
+}
+
+bool Verifier::edges_still_blocked_locked(
+    const std::vector<int>& members) const {
+  for (int r : members) {
+    const RankState& st = ranks_[static_cast<std::size_t>(r)];
+    if (st.phase != RankPhase::kBlocked) return false;
+    if (st.wait.kind == WaitFor::Kind::kMessage) {
+      if (!probe_) continue;
+      if (probe_(r, st.wait.group, st.wait.src_group_rank, st.wait.tag)) {
+        return false;  // awaited message exists: not deadlocked, just slow
+      }
+    }
+  }
+  return true;
+}
+
+std::string Verifier::describe_wait_locked(int world_rank) const {
+  const RankState& st = ranks_[static_cast<std::size_t>(world_rank)];
+  std::ostringstream os;
+  os << "rank " << world_rank;
+  if (st.phase != RankPhase::kBlocked) {
+    os << " (" << (st.phase == RankPhase::kFinished ? "finished" : "running")
+       << ")";
+    return os.str();
+  }
+  if (st.wait.kind == WaitFor::Kind::kMessage) {
+    os << " waiting on message from rank " << st.wait.src_world << " (group "
+       << st.wait.group << ", tag " << st.wait.tag << ")";
+  } else {
+    os << " waiting at barrier generation " << st.wait.barrier_gen
+       << " of group " << st.wait.group;
+  }
+  return os.str();
+}
+
+void Verifier::throw_deadlock_locked(int accuser,
+                                     const std::vector<int>& members,
+                                     bool stall, std::uint64_t job) {
+  Finding f;
+  f.kind = stall ? FindingKind::kIdleStall : FindingKind::kDeadlockCycle;
+  f.rank = accuser;
+  f.job = job;
+  f.group = ranks_[static_cast<std::size_t>(accuser)].wait.group;
+  std::ostringstream os;
+  os << (stall ? "all unfinished ranks blocked with no deliverable message"
+               : "wait-for cycle")
+     << ":";
+  for (int r : members) os << "\n    " << describe_wait_locked(r);
+  f.detail = os.str();
+  VerifyReport report;
+  report.findings.push_back(std::move(f));
+  throw VerifyError(std::move(report));
+}
+
+void Verifier::on_blocked_tick(int world_rank, const WaitFor& wait,
+                               const std::function<bool()>& still_waiting) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& st = ranks_[static_cast<std::size_t>(world_rank)];
+  if (st.phase != RankPhase::kBlocked) {
+    st.phase = RankPhase::kBlocked;
+    st.blocked_since = now;
+  }
+  st.wait = wait;
+  const std::uint64_t job = st.job;
+
+  // The caller re-checks its wakeup condition under our lock: if satisfied
+  // we are racing a wakeup, not blocked.
+  if (still_waiting && !still_waiting()) return;
+
+  // Stranded wait: the only rank able to unblock us already finished this
+  // job. A finished rank's sends happen-before finishing, so the re-check
+  // above proves the message will never arrive. Barrier analogue: a member
+  // finished without arriving at our generation. Only a *clean* finish
+  // grounds the accusation: a peer that unwound an exception (its own
+  // verdict, or a poison abort) was cut short mid-protocol, which proves
+  // nothing about this rank — and its error already carries the diagnosis.
+  std::vector<int> edges = wait_edges_locked(world_rank);
+  for (int peer : edges) {
+    const RankState& ps = ranks_[static_cast<std::size_t>(peer)];
+    if (ps.phase == RankPhase::kFinished && ps.clean_end && ps.job == job) {
+      Finding f;
+      f.kind = FindingKind::kStrandedWait;
+      f.rank = world_rank;
+      f.peer = peer;
+      f.group = wait.group;
+      f.job = job;
+      std::ostringstream os;
+      os << describe_wait_locked(world_rank) << ", but rank " << peer
+         << " already finished the job";
+      f.detail = os.str();
+      st.phase = RankPhase::kRunning;
+      ++st.unblocks;
+      VerifyReport report;
+      report.findings.push_back(std::move(f));
+      throw VerifyError(std::move(report));
+    }
+  }
+
+  // Cycle search: walk the wait-for graph from this rank (DFS over blocked
+  // ranks) looking for a path back to it.
+  Candidate& cand = candidates_[static_cast<std::size_t>(world_rank)];
+  std::vector<int> cycle;
+  {
+    std::vector<int> path;
+    std::vector<char> seen(ranks_.size(), 0);
+    // Iterative DFS carrying the path; cycles in this graph are simple
+    // because message waits have out-degree 1 and barrier fan-out is small.
+    std::function<bool(int)> dfs = [&](int r) -> bool {
+      if (seen[static_cast<std::size_t>(r)]) return false;
+      seen[static_cast<std::size_t>(r)] = 1;
+      path.push_back(r);
+      for (int next : wait_edges_locked(r)) {
+        if (next == world_rank) return true;
+        const RankState& ns = ranks_[static_cast<std::size_t>(next)];
+        if (ns.phase == RankPhase::kBlocked && dfs(next)) return true;
+      }
+      path.pop_back();
+      return false;
+    };
+    if (dfs(world_rank)) cycle = path;
+  }
+
+  if (!cycle.empty()) {
+    std::vector<std::uint64_t> counters;
+    counters.reserve(cycle.size());
+    for (int r : cycle) {
+      counters.push_back(ranks_[static_cast<std::size_t>(r)].unblocks);
+    }
+    const bool same = cand.valid && !cand.stall && cand.members == cycle &&
+                      cand.counters == counters;
+    if (!same) {
+      cand.valid = true;
+      cand.stall = false;
+      cand.members = cycle;
+      cand.counters = std::move(counters);
+      cand.first_seen = now;
+      return;
+    }
+    if (now - cand.first_seen < options_.confirm) return;
+    if (!edges_still_blocked_locked(cycle)) {
+      cand.valid = false;
+      return;
+    }
+    st.phase = RankPhase::kRunning;
+    ++st.unblocks;
+    throw_deadlock_locked(world_rank, cycle, /*stall=*/false, job);
+  }
+
+  // No cycle through this rank. Backstop: if every unfinished rank of this
+  // job is blocked, and has been for the stall horizon, the job can never
+  // progress (nobody can send).
+  if (now - st.blocked_since < options_.stall) {
+    cand.valid = false;
+    return;
+  }
+  std::vector<int> stalled;
+  bool all_blocked = true;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& rs = ranks_[r];
+    if (rs.job != job || rs.phase == RankPhase::kFinished ||
+        rs.phase == RankPhase::kIdle) {
+      continue;
+    }
+    if (rs.phase != RankPhase::kBlocked ||
+        now - rs.blocked_since < options_.stall) {
+      all_blocked = false;
+      break;
+    }
+    stalled.push_back(static_cast<int>(r));
+  }
+  if (!all_blocked || stalled.empty()) {
+    cand.valid = false;
+    return;
+  }
+  std::vector<std::uint64_t> counters;
+  counters.reserve(stalled.size());
+  for (int r : stalled) {
+    counters.push_back(ranks_[static_cast<std::size_t>(r)].unblocks);
+  }
+  const bool same = cand.valid && cand.stall && cand.members == stalled &&
+                    cand.counters == counters;
+  if (!same) {
+    cand.valid = true;
+    cand.stall = true;
+    cand.members = stalled;
+    cand.counters = std::move(counters);
+    cand.first_seen = now;
+    return;
+  }
+  if (now - cand.first_seen < options_.confirm) return;
+  if (!edges_still_blocked_locked(stalled)) {
+    cand.valid = false;
+    return;
+  }
+  st.phase = RankPhase::kRunning;
+  ++st.unblocks;
+  throw_deadlock_locked(world_rank, stalled, /*stall=*/true, job);
+}
+
+void Verifier::on_unblocked(int world_rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& st = ranks_[static_cast<std::size_t>(world_rank)];
+  if (st.phase == RankPhase::kBlocked) {
+    st.phase = RankPhase::kRunning;
+    ++st.unblocks;
+  }
+  candidates_[static_cast<std::size_t>(world_rank)].valid = false;
+}
+
+void Verifier::on_request_abandoned(int world_rank, std::uint64_t group,
+                                    const char* kind_name,
+                                    std::size_t rounds_left) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Finding f;
+  f.kind = FindingKind::kRequestLeak;
+  f.rank = world_rank;
+  f.group = group;
+  f.job = world_rank >= 0 &&
+                  world_rank < static_cast<int>(ranks_.size())
+              ? ranks_[static_cast<std::size_t>(world_rank)].job
+              : 0;
+  std::ostringstream os;
+  os << kind_name << " request abandoned with " << rounds_left
+     << " round(s) outstanding (never waited/tested to completion)";
+  f.detail = os.str();
+  pending_.push_back(std::move(f));
+}
+
+Finding Verifier::message_leak(int dst_world, std::uint64_t group,
+                               int src_group_rank, std::int64_t tag,
+                               std::size_t words) const {
+  Finding f;
+  f.kind = FindingKind::kMessageLeak;
+  f.rank = dst_world;
+  f.group = group;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto git = groups_.find(group);
+    if (git != groups_.end() && src_group_rank >= 0 &&
+        src_group_rank < static_cast<int>(git->second.size())) {
+      f.peer = git->second[static_cast<std::size_t>(src_group_rank)];
+    }
+    f.job = ranks_[static_cast<std::size_t>(dst_world)].job;
+  }
+  std::ostringstream os;
+  os << "message (tag " << tag << ", " << words
+     << " word(s)) from group rank " << src_group_rank
+     << " never received before job completion";
+  f.detail = os.str();
+  return f;
+}
+
+void Verifier::add_finding(Finding finding) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_.push_back(std::move(finding));
+}
+
+void Verifier::on_hier_begin(int world_rank) {
+  ++hier_depth_[static_cast<std::size_t>(world_rank)];
+}
+
+void Verifier::on_hier_end(int world_rank) {
+  --hier_depth_[static_cast<std::size_t>(world_rank)];
+}
+
+void Verifier::fail_leader_bypass(int src_world, int dst_world,
+                                  std::size_t words) {
+  Finding f;
+  f.kind = FindingKind::kLeaderBypass;
+  f.rank = src_world;
+  f.peer = dst_world;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    f.job = ranks_[static_cast<std::size_t>(src_world)].job;
+  }
+  std::ostringstream os;
+  os << "inter-node message (" << words
+     << " word(s)) inside a hierarchical collective bypasses node leaders"
+     << " (ranks_per_node=" << ranks_per_node_ << ")";
+  f.detail = os.str();
+  VerifyReport report;
+  report.findings.push_back(std::move(f));
+  throw VerifyError(std::move(report));
+}
+
+}  // namespace parsyrk::verify

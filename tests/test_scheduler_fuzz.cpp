@@ -26,6 +26,14 @@
 namespace parsyrk {
 namespace {
 
+// Like test_simmpi_fuzz, this suite runs fully verified: the streaming
+// scheduler's mid-flight rank-subset launches are exactly the interleavings
+// most likely to trip a false positive in the verifier's scope handling.
+const bool kVerifyEnabled = [] {
+  setenv("PARSYRK_VERIFY", "1", /*overwrite=*/1);
+  return true;
+}();
+
 bool bitwise_equal(const Matrix& x, const Matrix& y) {
   if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
   for (std::size_t i = 0; i < x.rows(); ++i) {

@@ -18,6 +18,15 @@
 namespace parsyrk::comm {
 namespace {
 
+// The fuzz suite doubles as the verifier's zero-false-positive gate: every
+// randomized world below runs with full SPMD protocol verification on, so
+// any over-eager invariant (collective matching, watchdog, leak or ledger
+// checks) fails loudly here before it can reject a correct program.
+const bool kVerifyEnabled = [] {
+  setenv("PARSYRK_VERIFY", "1", /*overwrite=*/1);
+  return true;
+}();
+
 /// Deterministic payload for (round, rank, slot).
 double val(int round, int rank, int slot) {
   return round * 1e6 + rank * 1e3 + slot;
